@@ -1,0 +1,62 @@
+//! Microbenchmark: CWC tree matching — flat multisets vs compartment
+//! patterns (the per-step cost centre of the whole simulator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwc::matching::{assignments, match_count};
+use cwc::multiset::Multiset;
+use cwc::rule::{CompPattern, Pattern};
+use cwc::species::{Label, Species};
+use cwc::term::{Compartment, Term};
+
+fn sp(i: u32) -> Species {
+    Species::from_raw(i)
+}
+
+fn flat_term(species: u32, copies: u64) -> Term {
+    Term::from_atoms((0..species).map(|i| (sp(i), copies)).collect())
+}
+
+fn comp_term(cells: usize) -> Term {
+    let mut t = Term::new();
+    for i in 0..cells {
+        t.add_compartment(Compartment::new(
+            Label::from_raw(0),
+            Multiset::from([(sp(0), 1)]),
+            Term::from_atoms(Multiset::from([(sp(1), i as u64 % 7 + 1)])),
+        ));
+    }
+    t
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+
+    let term = flat_term(8, 100);
+    let pat = Pattern::atoms(Multiset::from([(sp(0), 2), (sp(3), 1)]));
+    g.bench_function("flat_match_count_8species", |b| {
+        b.iter(|| std::hint::black_box(match_count(&term, &pat)))
+    });
+
+    for cells in [4usize, 16, 64] {
+        let term = comp_term(cells);
+        let pat = Pattern {
+            atoms: Multiset::new(),
+            comps: vec![CompPattern {
+                label: Label::from_raw(0),
+                wrap: Multiset::new(),
+                atoms: Multiset::from([(sp(1), 1)]),
+            }],
+        };
+        g.bench_function(format!("comp_match_count_{cells}cells"), |b| {
+            b.iter(|| std::hint::black_box(match_count(&term, &pat)))
+        });
+        g.bench_function(format!("comp_assignments_{cells}cells"), |b| {
+            b.iter(|| std::hint::black_box(assignments(&term, &pat).len()))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

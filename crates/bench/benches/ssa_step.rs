@@ -1,0 +1,43 @@
+//! Microbenchmark: one Gillespie step on the Neurospora model — flat vs
+//! compartmentalised terms (the tree-matching overhead the paper calls
+//! "significantly more complex than a plain Gillespie algorithm").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use biomodels::neurospora::{neurospora_compartments, neurospora_flat, NeurosporaParams};
+use gillespie::ssa::SsaEngine;
+
+fn bench_ssa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ssa_step");
+
+    let flat = Arc::new(neurospora_flat(NeurosporaParams::default()));
+    g.bench_function("neurospora_flat_step", |b| {
+        let mut engine = SsaEngine::new(Arc::clone(&flat), 1, 0);
+        b.iter(|| std::hint::black_box(engine.step()));
+    });
+
+    let comp = Arc::new(neurospora_compartments(NeurosporaParams::default()));
+    g.bench_function("neurospora_compartments_step", |b| {
+        let mut engine = SsaEngine::new(Arc::clone(&comp), 1, 0);
+        b.iter(|| std::hint::black_box(engine.step()));
+    });
+
+    let lv = Arc::new(biomodels::lotka_volterra(
+        biomodels::LotkaVolterraParams::default(),
+    ));
+    g.bench_function("lotka_volterra_step", |b| {
+        let mut engine = SsaEngine::new(Arc::clone(&lv), 1, 0);
+        b.iter(|| {
+            if engine.total_propensity() == 0.0 {
+                engine = SsaEngine::new(Arc::clone(&lv), 1, 0);
+            }
+            std::hint::black_box(engine.step())
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ssa);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Prints the measured unit costs and workload rates used to calibrate the
+//! platform models (a helper, not one of the paper's experiments).
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let model = bench::neurospora_model();
+    let mut e = gillespie::ssa::SsaEngine::new(Arc::clone(&model), 1, 0);
+    let t0 = Instant::now();
+    let mut fired = 0u64;
+    while fired < 50_000 {
+        match e.step() {
+            gillespie::ssa::StepOutcome::Fired { .. } => fired += 1,
+            _ => break,
+        }
+    }
+    let spe = t0.elapsed().as_secs_f64() / fired as f64;
+    println!("sec_per_event          = {spe:.3e}");
+    println!(
+        "event rate             = {:.0} events per simulated hour",
+        e.steps() as f64 / e.time()
+    );
+    let costs = distrt::workload::CostModel::measure(model);
+    println!("sec_per_stat_value     = {:.3e}", costs.sec_per_stat_value);
+    println!("sec_per_aligned_sample = {:.3e}", costs.sec_per_aligned_sample);
+    println!(
+        "stat/sim cost ratio    = {:.3}",
+        costs.sec_per_stat_value / costs.sec_per_event
+    );
+}

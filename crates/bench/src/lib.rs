@@ -1,0 +1,149 @@
+//! Shared harness utilities for the per-figure/table benchmark binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §4 for the index and EXPERIMENTS.md
+//! for the recorded outcomes). They share the workload preparation here:
+//! the Neurospora model's event trace is recorded by *running the real
+//! stochastic engine*, then platform models replay it.
+
+use std::sync::Arc;
+
+use biomodels::neurospora::{neurospora_flat, NeurosporaParams};
+use cwc::model::Model;
+use distrt::workload::{CostModel, WorkloadTrace};
+
+/// Standard simulated horizon (hours) of harness runs. Shorter than the
+/// paper's 96-day cloud run so harnesses finish in minutes; the workload
+/// *shape* (per-quantum imbalance, phase decorrelation) is established
+/// well within a few circadian cycles.
+pub const HORIZON_H: f64 = 12.0;
+
+/// Quanta per run at the fine (τ-grained) slicing.
+pub const FINE_QUANTA: usize = 500;
+
+/// The Neurospora model used by all harnesses.
+pub fn neurospora_model() -> Arc<Model> {
+    Arc::new(neurospora_flat(NeurosporaParams::default()))
+}
+
+/// Records (or synthesises, with `quick = true`) the τ-grained workload
+/// trace for `instances` trajectories.
+///
+/// The fine trace has one quantum per sample period; coarsening by 10
+/// yields the Q/τ = 10 workload of the same trajectories.
+pub fn fine_trace(instances: u64, quick: bool) -> WorkloadTrace {
+    trace_with(instances, quick, HORIZON_H, FINE_QUANTA, 15.0)
+}
+
+/// Records (or synthesises) a τ-grained trace with explicit horizon and
+/// quantum count. `mean_events` parameterises only the synthetic fallback.
+pub fn trace_with(
+    instances: u64,
+    quick: bool,
+    horizon_h: f64,
+    fine_quanta: usize,
+    mean_events: f64,
+) -> WorkloadTrace {
+    if quick {
+        let mut t = WorkloadTrace::synthetic(instances, fine_quanta, mean_events);
+        t.samples_per_instance = fine_quanta as u64 + 1;
+        t
+    } else {
+        let tau = horizon_h / fine_quanta as f64;
+        // 60 h of burn-in decorrelates the oscillator phases (see
+        // `record_with_burn_in`), matching the paper's long-run regime.
+        WorkloadTrace::record_with_burn_in(
+            neurospora_model(),
+            instances,
+            2014,
+            60.0,
+            horizon_h,
+            tau,
+            tau,
+        )
+    }
+}
+
+/// Measured unit costs (or nominal ones, with `quick = true`).
+pub fn costs(quick: bool) -> CostModel {
+    if quick {
+        CostModel::nominal()
+    } else {
+        CostModel::measure(neurospora_model())
+    }
+}
+
+/// Records a trace with independent quantum and sampling grids: `quanta`
+/// quanta, each sampled `samples_per_quantum` times. Used where the
+/// analysis share of the total work must match the paper's (our
+/// statistical engines are cheaper per value than the paper's
+/// period-detection stack, so the sampling grid compensates — see
+/// EXPERIMENTS.md).
+pub fn dense_trace(
+    instances: u64,
+    quick: bool,
+    horizon_h: f64,
+    quanta: usize,
+    samples_per_quantum: usize,
+) -> WorkloadTrace {
+    if quick {
+        let mut t = WorkloadTrace::synthetic(instances, quanta, 150.0);
+        t.samples_per_instance = (quanta * samples_per_quantum) as u64 + 1;
+        t
+    } else {
+        let quantum = horizon_h / quanta as f64;
+        let tau = quantum / samples_per_quantum as f64;
+        WorkloadTrace::record_with_burn_in(
+            neurospora_model(),
+            instances,
+            2014,
+            60.0,
+            horizon_h,
+            quantum,
+            tau,
+        )
+    }
+}
+
+/// True when `--quick` was passed (synthetic workload, nominal costs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Prints a markdown-ish table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title}");
+    println!("{}", headers.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats seconds with 3 significant decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_trace_has_expected_shape() {
+        let t = fine_trace(16, true);
+        assert_eq!(t.instances, 16);
+        assert_eq!(t.quanta, FINE_QUANTA);
+        assert_eq!(t.samples_per_instance, FINE_QUANTA as u64 + 1);
+    }
+
+    #[test]
+    fn formatters_behave() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(secs(0.12345), "0.123");
+    }
+}

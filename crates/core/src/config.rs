@@ -1,0 +1,217 @@
+//! Simulation run configuration.
+
+use crate::engines::StatEngineKind;
+
+/// Configuration of one simulation-analysis run (the paper's knobs).
+///
+/// Build with [`SimConfig::new`] and the fluent setters; validated by
+/// [`SimConfig::validate`] before a run starts.
+///
+/// # Examples
+///
+/// ```
+/// use cwcsim::config::SimConfig;
+///
+/// let cfg = SimConfig::new(128, 50.0)
+///     .quantum(1.0)
+///     .sample_period(0.5)
+///     .sim_workers(4)
+///     .stat_workers(2);
+/// cfg.validate().unwrap();
+/// assert_eq!(cfg.samples_per_instance(), 101);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of independent simulation instances (trajectories).
+    pub instances: u64,
+    /// Simulation time horizon.
+    pub t_end: f64,
+    /// Simulation quantum Q: how long a task runs before rescheduling.
+    pub quantum: f64,
+    /// Sampling period τ (the paper's Q/τ ratio follows from these two).
+    pub sample_period: f64,
+    /// Workers in the farm of simulation engines.
+    pub sim_workers: usize,
+    /// Workers in the farm of statistical engines.
+    pub stat_workers: usize,
+    /// Sliding-window width, in cuts.
+    pub window_width: usize,
+    /// Sliding-window slide, in cuts.
+    pub window_slide: usize,
+    /// Base RNG seed; instance `i` uses a seed derived from it.
+    pub base_seed: u64,
+    /// Statistical engines to run on every window.
+    pub engines: Vec<StatEngineKind>,
+    /// Capacity of inter-stage channels.
+    pub channel_capacity: usize,
+}
+
+/// Error returned by [`SimConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid simulation config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl SimConfig {
+    /// Creates a configuration with sensible defaults for the given number
+    /// of instances and time horizon.
+    pub fn new(instances: u64, t_end: f64) -> Self {
+        SimConfig {
+            instances,
+            t_end,
+            quantum: t_end / 20.0,
+            sample_period: t_end / 200.0,
+            sim_workers: 2,
+            stat_workers: 1,
+            window_width: 5,
+            window_slide: 1,
+            base_seed: 1,
+            engines: vec![StatEngineKind::MeanVariance],
+            channel_capacity: 64,
+        }
+    }
+
+    /// Sets the simulation quantum Q.
+    pub fn quantum(mut self, q: f64) -> Self {
+        self.quantum = q;
+        self
+    }
+
+    /// Sets the sampling period τ.
+    pub fn sample_period(mut self, tau: f64) -> Self {
+        self.sample_period = tau;
+        self
+    }
+
+    /// Sets the number of simulation engine workers.
+    pub fn sim_workers(mut self, n: usize) -> Self {
+        self.sim_workers = n;
+        self
+    }
+
+    /// Sets the number of statistical engine workers.
+    pub fn stat_workers(mut self, n: usize) -> Self {
+        self.stat_workers = n;
+        self
+    }
+
+    /// Sets the sliding-window geometry (width and slide, in cuts).
+    pub fn window(mut self, width: usize, slide: usize) -> Self {
+        self.window_width = width;
+        self.window_slide = slide;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Replaces the statistical engine set.
+    pub fn engines(mut self, engines: Vec<StatEngineKind>) -> Self {
+        self.engines = engines;
+        self
+    }
+
+    /// Sets the channel capacity between stages.
+    pub fn channel_capacity(mut self, cap: usize) -> Self {
+        self.channel_capacity = cap;
+        self
+    }
+
+    /// The paper's Q/τ ratio.
+    pub fn q_over_tau(&self) -> f64 {
+        self.quantum / self.sample_period
+    }
+
+    /// Number of samples each instance produces (grid 0, τ, 2τ, … ≤ t_end).
+    pub fn samples_per_instance(&self) -> u64 {
+        (self.t_end / self.sample_period).floor() as u64 + 1
+    }
+
+    /// Checks the configuration for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.instances == 0 {
+            return Err(ConfigError("instances must be > 0".into()));
+        }
+        if !(self.t_end > 0.0 && self.t_end.is_finite()) {
+            return Err(ConfigError("t_end must be positive and finite".into()));
+        }
+        if !(self.quantum > 0.0 && self.quantum.is_finite()) {
+            return Err(ConfigError("quantum must be positive and finite".into()));
+        }
+        if !(self.sample_period > 0.0 && self.sample_period.is_finite()) {
+            return Err(ConfigError(
+                "sample_period must be positive and finite".into(),
+            ));
+        }
+        if self.sim_workers == 0 {
+            return Err(ConfigError("sim_workers must be > 0".into()));
+        }
+        if self.stat_workers == 0 {
+            return Err(ConfigError("stat_workers must be > 0".into()));
+        }
+        if self.window_width == 0 || self.window_slide == 0 {
+            return Err(ConfigError("window width/slide must be > 0".into()));
+        }
+        if self.window_slide > self.window_width {
+            return Err(ConfigError(
+                "window slide must not exceed window width".into(),
+            ));
+        }
+        if self.engines.is_empty() {
+            return Err(ConfigError("at least one statistical engine".into()));
+        }
+        if self.channel_capacity == 0 {
+            return Err(ConfigError("channel_capacity must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SimConfig::new(10, 100.0).validate().unwrap();
+    }
+
+    #[test]
+    fn q_over_tau_matches_paper_knob() {
+        let cfg = SimConfig::new(1, 100.0).quantum(5.0).sample_period(0.5);
+        assert!((cfg.q_over_tau() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_per_instance_counts_grid_points() {
+        let cfg = SimConfig::new(1, 10.0).sample_period(1.0);
+        assert_eq!(cfg.samples_per_instance(), 11); // t = 0..=10
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SimConfig::new(0, 10.0).validate().is_err());
+        assert!(SimConfig::new(1, 0.0).validate().is_err());
+        assert!(SimConfig::new(1, 10.0).quantum(0.0).validate().is_err());
+        assert!(SimConfig::new(1, 10.0).sample_period(-1.0).validate().is_err());
+        assert!(SimConfig::new(1, 10.0).sim_workers(0).validate().is_err());
+        assert!(SimConfig::new(1, 10.0).stat_workers(0).validate().is_err());
+        assert!(SimConfig::new(1, 10.0).window(0, 1).validate().is_err());
+        assert!(SimConfig::new(1, 10.0).window(2, 3).validate().is_err());
+        assert!(SimConfig::new(1, 10.0).engines(vec![]).validate().is_err());
+        assert!(SimConfig::new(1, 10.0).channel_capacity(0).validate().is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! # cwcsim — the CWC simulation-analysis pipeline
+//!
+//! The paper's primary artifact (Aldinucci et al., ICDCS 2014, Fig. 2): a
+//! stochastic simulator for the Calculus of Wrapped Compartments whose
+//! simulation *and* on-line analysis are expressed as one stream-parallel
+//! network of FastFlow patterns:
+//!
+//! ```text
+//!            simulation pipeline                 analysis pipeline
+//! ┌────────────────────────────────────┐ ┌────────────────────────────────┐
+//! │ generation ─▶ farm of sim engines  │ │ sliding   ─▶ farm of stat      │
+//! │ of tasks      (feedback/rebalance) │▶│ windows      engines (ordered) │▶ display
+//! │               ─▶ alignment         │ │                                │
+//! └────────────────────────────────────┘ └────────────────────────────────┘
+//! ```
+//!
+//! - [`config`]: run parameters (instances, horizon, quantum Q, sampling
+//!   period τ, worker counts, window geometry, engine set);
+//! - [`task`]: the simulation task objects streamed through the farm;
+//! - [`sim_farm`]: master/worker logic with per-quantum rescheduling;
+//! - [`alignment`]: re-groups interleaved samples into time-ordered cuts;
+//! - [`windows`]: sliding windows of cuts;
+//! - [`engines`]: mean/variance, k-means, quantile and histogram engines;
+//! - [`display`]: CSV and ASCII-chart renderers (GUI stand-ins);
+//! - [`storage`]: streaming CSV sink + loader (Fig. 2's "permanent storage");
+//! - [`runner`]: one-call assembly ([`run_simulation`]) plus the
+//!   sequential reference ([`run_sequential`]) used for correctness checks
+//!   and speedup baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cwcsim::{run_simulation, SimConfig};
+//!
+//! let model = Arc::new(biomodels::simple::decay(100, 1.0));
+//! let cfg = SimConfig::new(8, 2.0) // 8 trajectories to t = 2.0
+//!     .quantum(0.5)
+//!     .sample_period(0.25)
+//!     .sim_workers(2);
+//! let report = run_simulation(model, &cfg)?;
+//! assert_eq!(report.rows.len(), 9); // grid 0, 0.25, ..., 2.0
+//! # Ok::<(), cwcsim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alignment;
+pub mod config;
+pub mod display;
+pub mod engines;
+pub mod runner;
+pub mod sim_farm;
+pub mod storage;
+pub mod task;
+pub mod windows;
+
+pub use alignment::Alignment;
+pub use config::{ConfigError, SimConfig};
+pub use display::{ascii_chart, CsvRenderer};
+pub use engines::{ObsStats, StatBlock, StatEngineKind, StatEngineSet, StatRow};
+pub use runner::{run_sequential, run_simulation, run_simulation_steered, SimError, SimReport};
+pub use sim_farm::{SimMaster, SimWorker, Steering};
+pub use storage::{load_csv, CsvFileSink, StoredRun};
+pub use task::{SampleBatch, SimTask};
+pub use windows::{Window, WindowGen};

@@ -1,0 +1,386 @@
+//! Whole-pipeline assembly: the paper's Fig. 2 in one call.
+//!
+//! [`run_simulation`] spawns the three-stage main pipeline —
+//!
+//! ```text
+//! generation ─▶ farm of sim engines (feedback) ─▶ alignment ─▶
+//!   sliding windows ─▶ ordered farm of stat engines ─▶ rows ─▶ report
+//! ```
+//!
+//! — and returns every produced [`StatRow`] plus run-time metrics.
+//! [`run_sequential`] computes the same rows with no parallelism at all;
+//! the two must agree bit-for-bit for a fixed seed, which is the
+//! correctness contract the integration tests enforce.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cwc::model::Model;
+use fastflow::metrics::RunStats;
+use fastflow::node::flat_stage;
+use fastflow::pipeline::Pipeline;
+use gillespie::trajectory::Cut;
+
+use crate::alignment::Alignment;
+use crate::config::{ConfigError, SimConfig};
+use crate::display::CsvRenderer;
+use crate::engines::{StatBlock, StatEngineSet, StatRow};
+use crate::sim_farm::{SimMaster, SimWorker};
+use crate::task::{SampleBatch, SimTask};
+use crate::windows::{Window, WindowGen};
+
+/// Outcome of a simulation-analysis run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Analysis rows in time order (one per cut).
+    pub rows: Vec<StatRow>,
+    /// Per-node run-time statistics from the pattern framework.
+    pub run_stats: RunStats,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// Total reactions fired across all trajectories.
+    pub events: u64,
+    /// Observable names, in row order.
+    pub observable_names: Vec<String>,
+}
+
+impl SimReport {
+    /// Renders the rows as CSV (see [`CsvRenderer`]).
+    pub fn to_csv(&self) -> String {
+        let with_centroids = self
+            .rows
+            .first()
+            .map(|r| r.observables.iter().any(|o| !o.centroids.is_empty()))
+            .unwrap_or(false);
+        CsvRenderer::new(self.observable_names.clone(), with_centroids).render(&self.rows)
+    }
+
+    /// Mean-of-means of observable `k` over the whole run (quick summary).
+    pub fn grand_mean(&self, k: usize) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .map(|r| r.observables.get(k).map(|o| o.mean).unwrap_or(0.0))
+            .sum::<f64>()
+            / self.rows.len() as f64
+    }
+}
+
+/// Error from a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The model failed validation.
+    Model(cwc::model::ModelError),
+    /// A pipeline node panicked.
+    Pipeline(fastflow::error::Error),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<cwc::model::ModelError> for SimError {
+    fn from(e: cwc::model::ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+impl From<fastflow::error::Error> for SimError {
+    fn from(e: fastflow::error::Error) -> Self {
+        SimError::Pipeline(e)
+    }
+}
+
+/// Runs the full parallel simulation-analysis pipeline.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on invalid configuration/model or a node panic.
+pub fn run_simulation(model: Arc<Model>, cfg: &SimConfig) -> Result<SimReport, SimError> {
+    run_simulation_steered(model, cfg, &crate::sim_farm::Steering::new())
+}
+
+/// Like [`run_simulation`], controlled by a [`Steering`] handle: calling
+/// [`Steering::terminate`] from any thread stops the run at the next
+/// quantum boundaries; the pipeline drains and the report covers whatever
+/// completed (the paper's GUI "steer and terminate running simulations").
+///
+/// [`Steering`]: crate::sim_farm::Steering
+/// [`Steering::terminate`]: crate::sim_farm::Steering::terminate
+///
+/// # Errors
+///
+/// Returns [`SimError`] on invalid configuration/model or a node panic.
+pub fn run_simulation_steered(
+    model: Arc<Model>,
+    cfg: &SimConfig,
+    steering: &crate::sim_farm::Steering,
+) -> Result<SimReport, SimError> {
+    cfg.validate()?;
+    model.validate()?;
+    let start = Instant::now();
+    let events = Arc::new(AtomicU64::new(0));
+
+    // Stage 1: generation of simulation tasks.
+    let tasks: Vec<SimTask> = (0..cfg.instances)
+        .map(|i| {
+            SimTask::new(
+                Arc::clone(&model),
+                cfg.base_seed,
+                i,
+                cfg.t_end,
+                cfg.quantum,
+                cfg.sample_period,
+            )
+        })
+        .collect();
+
+    // Stage 2: farm of simulation engines with feedback.
+    let workers: Vec<SimWorker> = (0..cfg.sim_workers).map(|_| SimWorker::new()).collect();
+
+    // Stage 3: alignment of trajectories; then the analysis pipeline.
+    let engine_set = StatEngineSet::new(cfg.engines.clone());
+    let events_in_stage = Arc::clone(&events);
+
+    let pipeline = Pipeline::from_source_with_capacity(tasks.into_iter(), cfg.channel_capacity)
+        .master_worker_farm(SimMaster::with_steering(steering.clone()), workers)
+        .named_stage(
+            "events-counter",
+            fastflow::node::map_stage(move |batch: SampleBatch| {
+                events_in_stage.fetch_add(batch.events, Ordering::Relaxed);
+                batch
+            }),
+        )
+        .named_stage("alignment", Alignment::new(cfg.instances, cfg.sample_period))
+        .named_stage("window-gen", WindowGen::new(cfg.window_width, cfg.window_slide))
+        .ordered_farm(cfg.stat_workers, |_| {
+            let set = engine_set.clone();
+            move |w: Window| set.analyse(&w)
+        })
+        .stage(flat_stage(|block: StatBlock, out: &mut fastflow::node::Outbox<'_, StatRow>| {
+            for row in block.rows {
+                out.push(row);
+            }
+        }));
+
+    let (rx, handle) = pipeline.into_receiver();
+    let mut rows: Vec<StatRow> = rx.iter().collect();
+    let run_stats = handle.join()?;
+    // Blocks arrive window-ordered; rows within blocks are time-ordered, so
+    // the concatenation is already sorted. Assert it cheaply in debug runs.
+    debug_assert!(rows.windows(2).all(|w| w[0].time <= w[1].time));
+    rows.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("times are not NaN"));
+
+    Ok(SimReport {
+        rows,
+        run_stats,
+        wall: start.elapsed(),
+        events: events.load(Ordering::Relaxed),
+        observable_names: model
+            .observable_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+    })
+}
+
+/// Sequential reference implementation: same rows, no parallelism.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on invalid configuration or model.
+pub fn run_sequential(model: Arc<Model>, cfg: &SimConfig) -> Result<SimReport, SimError> {
+    cfg.validate()?;
+    model.validate()?;
+    let start = Instant::now();
+
+    // Run every instance to completion, collecting samples.
+    let mut events = 0u64;
+    let mut batches: Vec<SampleBatch> = Vec::new();
+    for i in 0..cfg.instances {
+        let mut task = SimTask::new(
+            Arc::clone(&model),
+            cfg.base_seed,
+            i,
+            cfg.t_end,
+            cfg.quantum,
+            cfg.sample_period,
+        );
+        let mut samples = Vec::new();
+        while !task.is_done() {
+            events += task.run_quantum(&mut samples);
+        }
+        batches.push(SampleBatch {
+            instance: i,
+            samples,
+            events: 0,
+            finished: true,
+        });
+    }
+
+    // Alignment.
+    let mut alignment = Alignment::new(cfg.instances, cfg.sample_period);
+    let mut cuts: Vec<Cut> = Vec::new();
+    {
+        use fastflow::node::Stage;
+        let (tx, rx) = fastflow::channel::unbounded();
+        let mut out = fastflow::node::Outbox::new(&tx);
+        for b in batches {
+            alignment.on_item(b, &mut out);
+        }
+        drop(out);
+        drop(tx);
+        cuts.extend(rx.iter());
+    }
+
+    // Windows + statistics.
+    let set = StatEngineSet::new(cfg.engines.clone());
+    let mut rows: Vec<StatRow> = Vec::new();
+    {
+        use fastflow::node::Stage;
+        let mut gen = WindowGen::new(cfg.window_width, cfg.window_slide);
+        let (tx, rx) = fastflow::channel::unbounded();
+        let mut out = fastflow::node::Outbox::new(&tx);
+        for cut in cuts {
+            gen.on_item(cut, &mut out);
+        }
+        gen.on_end(&mut out);
+        drop(out);
+        drop(tx);
+        for window in rx.iter() {
+            rows.extend(set.analyse(&window).rows);
+        }
+    }
+
+    Ok(SimReport {
+        rows,
+        run_stats: RunStats::default(),
+        wall: start.elapsed(),
+        events,
+        observable_names: model
+            .observable_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::StatEngineKind;
+    use biomodels::simple::{birth_death, decay};
+    use cwc::model::Model;
+
+    fn small_cfg() -> SimConfig {
+        SimConfig::new(6, 3.0)
+            .quantum(0.5)
+            .sample_period(0.25)
+            .sim_workers(2)
+            .stat_workers(2)
+            .window(4, 2)
+            .seed(11)
+    }
+
+    #[test]
+    fn parallel_equals_sequential_bit_for_bit() {
+        let model = Arc::new(decay(40, 1.0));
+        let cfg = small_cfg();
+        let par = run_simulation(Arc::clone(&model), &cfg).unwrap();
+        let seq = run_sequential(model, &cfg).unwrap();
+        assert_eq!(par.rows, seq.rows);
+        assert_eq!(par.events, seq.events);
+    }
+
+    #[test]
+    fn report_has_one_row_per_grid_point() {
+        let model = Arc::new(decay(30, 1.0));
+        let cfg = small_cfg();
+        let report = run_simulation(model, &cfg).unwrap();
+        assert_eq!(report.rows.len(), cfg.samples_per_instance() as usize);
+        assert!(report
+            .rows
+            .windows(2)
+            .all(|w| w[0].time < w[1].time));
+        assert!(report.events > 0);
+        assert_eq!(report.observable_names, vec!["A"]);
+    }
+
+    #[test]
+    fn decay_mean_trend_is_monotone_decreasing() {
+        let model = Arc::new(decay(200, 1.0));
+        let cfg = SimConfig::new(16, 2.0)
+            .quantum(0.5)
+            .sample_period(0.5)
+            .sim_workers(2)
+            .seed(5);
+        let report = run_simulation(model, &cfg).unwrap();
+        let means: Vec<f64> = report.rows.iter().map(|r| r.observables[0].mean).collect();
+        assert!(means.windows(2).all(|w| w[0] >= w[1]), "means {means:?}");
+        assert_eq!(means[0], 200.0);
+    }
+
+    #[test]
+    fn kmeans_engine_flows_through_pipeline() {
+        let model = Arc::new(birth_death(20.0, 1.0, 0));
+        let cfg = small_cfg().engines(vec![
+            StatEngineKind::MeanVariance,
+            StatEngineKind::KMeans { k: 2 },
+        ]);
+        let report = run_simulation(model, &cfg).unwrap();
+        assert!(report
+            .rows
+            .iter()
+            .all(|r| r.observables[0].centroids.len() <= 2));
+        let csv = report.to_csv();
+        assert!(csv.contains("A_centroids"));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_spawning() {
+        let model = Arc::new(decay(10, 1.0));
+        let cfg = SimConfig::new(0, 1.0);
+        assert!(matches!(
+            run_simulation(model, &cfg),
+            Err(SimError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_model_is_rejected() {
+        let model = Arc::new(Model::new("empty"));
+        let cfg = SimConfig::new(1, 1.0);
+        assert!(matches!(
+            run_simulation(model, &cfg),
+            Err(SimError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn grand_mean_summarises_rows() {
+        let model = Arc::new(decay(100, 10.0));
+        let cfg = small_cfg();
+        let report = run_simulation(model, &cfg).unwrap();
+        let gm = report.grand_mean(0);
+        assert!(gm >= 0.0 && gm <= 100.0);
+    }
+}

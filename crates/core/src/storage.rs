@@ -1,0 +1,271 @@
+//! Permanent storage of analysis results.
+//!
+//! Fig. 2 of the paper streams the filtered results "toward the user
+//! interface **and permanent storage**". This module is the storage half:
+//! a streaming CSV sink that can terminate a pipeline (rows are written as
+//! they arrive, never buffered whole — "high-quality results might turn
+//! into big data"), plus a loader for reading stored runs back.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use fastflow::node::{Flow, Sink};
+
+use crate::display::CsvRenderer;
+use crate::engines::{ObsStats, StatRow};
+
+/// A streaming [`Sink`] writing one CSV line per [`StatRow`].
+#[derive(Debug)]
+pub struct CsvFileSink {
+    path: PathBuf,
+    writer: Option<BufWriter<File>>,
+    renderer: CsvRenderer,
+    rows_written: u64,
+}
+
+impl CsvFileSink {
+    /// Creates the sink, truncating any existing file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        observable_names: Vec<String>,
+        with_centroids: bool,
+    ) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        let renderer = CsvRenderer::new(observable_names, with_centroids);
+        let mut writer = BufWriter::new(file);
+        writeln!(writer, "{}", renderer.header())?;
+        Ok(CsvFileSink {
+            path,
+            writer: Some(writer),
+            renderer,
+            rows_written: 0,
+        })
+    }
+
+    /// Rows written so far.
+    pub fn rows_written(&self) -> u64 {
+        self.rows_written
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for CsvFileSink {
+    type In = StatRow;
+
+    fn on_item(&mut self, row: StatRow) -> Flow {
+        if let Some(w) = self.writer.as_mut() {
+            // An I/O error mid-stream stops the sink; the pipeline drains.
+            if writeln!(w, "{}", self.renderer.line(&row)).is_err() {
+                self.writer = None;
+                return Flow::Break;
+            }
+            self.rows_written += 1;
+        }
+        Flow::Continue
+    }
+
+    fn on_end(&mut self) {
+        if let Some(mut w) = self.writer.take() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// A run loaded back from storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRun {
+    /// Column names (from the header).
+    pub columns: Vec<String>,
+    /// Parsed rows (time, instances and the mean/var/min/max groups).
+    pub rows: Vec<StatRow>,
+}
+
+/// Error loading a stored run.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based index and content).
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Malformed(line, content) => {
+                write!(f, "malformed csv line {line}: `{content}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Loads a CSV file previously written by [`CsvFileSink`] (without
+/// centroid columns).
+///
+/// # Errors
+///
+/// Returns [`LoadError`] on I/O failure or malformed content.
+pub fn load_csv<P: AsRef<Path>>(path: P) -> Result<StoredRun, LoadError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| LoadError::Malformed(1, "<empty file>".into()))??;
+    let columns: Vec<String> = header.split(',').map(str::to_owned).collect();
+    if columns.len() < 2 || (columns.len() - 2) % 4 != 0 {
+        return Err(LoadError::Malformed(1, header));
+    }
+    let n_obs = (columns.len() - 2) / 4;
+    let mut rows = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != columns.len() {
+            return Err(LoadError::Malformed(idx + 2, line));
+        }
+        let parse = |s: &str, l: &str| -> Result<f64, LoadError> {
+            s.parse()
+                .map_err(|_| LoadError::Malformed(idx + 2, l.to_owned()))
+        };
+        let time = parse(fields[0], &line)?;
+        let instances = fields[1]
+            .parse::<usize>()
+            .map_err(|_| LoadError::Malformed(idx + 2, line.clone()))?;
+        let mut observables = Vec::with_capacity(n_obs);
+        for k in 0..n_obs {
+            let base = 2 + 4 * k;
+            observables.push(ObsStats {
+                mean: parse(fields[base], &line)?,
+                variance: parse(fields[base + 1], &line)?,
+                min: parse(fields[base + 2], &line)?,
+                max: parse(fields[base + 3], &line)?,
+                centroids: Vec::new(),
+                quantile: None,
+                mode: None,
+            });
+        }
+        rows.push(StatRow {
+            time,
+            instances,
+            observables,
+        });
+    }
+    Ok(StoredRun { columns, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cwcsim-storage-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn row(time: f64, mean: f64) -> StatRow {
+        StatRow {
+            time,
+            instances: 4,
+            observables: vec![ObsStats {
+                mean,
+                variance: 1.5,
+                min: mean - 1.0,
+                max: mean + 1.0,
+                centroids: vec![],
+                quantile: None,
+                mode: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let path = temp_path("roundtrip");
+        {
+            let mut sink = CsvFileSink::create(&path, vec!["A".into()], false).unwrap();
+            for k in 0..5 {
+                assert_eq!(sink.on_item(row(k as f64, 10.0 + k as f64)), Flow::Continue);
+            }
+            sink.on_end();
+            assert_eq!(sink.rows_written(), 5);
+        }
+        let stored = load_csv(&path).unwrap();
+        assert_eq!(stored.columns[0], "time");
+        assert_eq!(stored.rows.len(), 5);
+        assert_eq!(stored.rows[3].time, 3.0);
+        assert!((stored.rows[3].observables[0].mean - 13.0).abs() < 1e-9);
+        assert_eq!(stored.rows[3].instances, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipeline_can_terminate_in_a_file_sink() {
+        use crate::config::SimConfig;
+        use std::sync::Arc;
+
+        let path = temp_path("pipeline");
+        let model = Arc::new({
+            let mut m = cwc::model::Model::new("d");
+            let a = m.species("A");
+            m.rule("decay").consumes("A", 1).rate(1.0).build().unwrap();
+            m.initial.add_atoms(a, 20);
+            m.observe("A", a);
+            m
+        });
+        let cfg = SimConfig::new(4, 2.0)
+            .quantum(0.5)
+            .sample_period(0.5)
+            .sim_workers(2)
+            .seed(6);
+        let report = crate::runner::run_simulation(Arc::clone(&model), &cfg).unwrap();
+        {
+            let mut sink =
+                CsvFileSink::create(&path, vec!["A".into()], false).unwrap();
+            for r in &report.rows {
+                sink.on_item(r.clone());
+            }
+            sink.on_end();
+        }
+        let stored = load_csv(&path).unwrap();
+        assert_eq!(stored.rows.len(), report.rows.len());
+        for (a, b) in stored.rows.iter().zip(&report.rows) {
+            assert!((a.time - b.time).abs() < 1e-6);
+            assert!((a.observables[0].mean - b.observables[0].mean).abs() < 1e-6);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_malformed_content() {
+        let path = temp_path("bad");
+        std::fs::write(&path, "time,instances,A_mean,A_var,A_min,A_max\n1.0,oops,1,1,1,1\n")
+            .unwrap();
+        assert!(matches!(load_csv(&path), Err(LoadError::Malformed(2, _))));
+        std::fs::write(&path, "time,instances,odd\n").unwrap();
+        assert!(matches!(load_csv(&path), Err(LoadError::Malformed(1, _))));
+        std::fs::remove_file(&path).ok();
+    }
+}

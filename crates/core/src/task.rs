@@ -1,0 +1,150 @@
+//! Stream message types of the simulation pipeline.
+//!
+//! "The first stage generates a number of independent simulation tasks,
+//! each of them wrapped in a C++ object" — here, [`SimTask`]: the engine
+//! state plus its sampling clock, shipped between the master and the farm
+//! workers along the feedback cycle.
+
+use std::sync::Arc;
+
+use cwc::model::Model;
+use gillespie::ssa::{SampleClock, SsaEngine};
+
+/// A simulation task: one trajectory's engine state and sampling clock.
+///
+/// The task object travels master → worker → (feedback) → master until its
+/// engine reaches the time horizon.
+#[derive(Debug, Clone)]
+pub struct SimTask {
+    /// The stochastic engine (term, time, RNG — the whole instance state).
+    pub engine: SsaEngine,
+    /// Persistent τ-grid clock (survives quantum boundaries).
+    pub clock: SampleClock,
+    /// Time horizon of the run.
+    pub t_end: f64,
+    /// Quantum length Q.
+    pub quantum: f64,
+}
+
+impl SimTask {
+    /// Creates the task for `instance`, sampling every `sample_period`.
+    pub fn new(
+        model: Arc<Model>,
+        base_seed: u64,
+        instance: u64,
+        t_end: f64,
+        quantum: f64,
+        sample_period: f64,
+    ) -> Self {
+        SimTask {
+            engine: SsaEngine::new(model, base_seed, instance),
+            clock: SampleClock::new(0.0, sample_period),
+            t_end,
+            quantum,
+        }
+    }
+
+    /// Instance id of the wrapped trajectory.
+    pub fn instance(&self) -> u64 {
+        self.engine.instance()
+    }
+
+    /// True when the trajectory reached its horizon.
+    pub fn is_done(&self) -> bool {
+        self.engine.time() >= self.t_end
+    }
+
+    /// End of the next quantum (capped at the horizon).
+    pub fn next_quantum_end(&self) -> f64 {
+        (self.engine.time() + self.quantum).min(self.t_end)
+    }
+
+    /// Runs one quantum, appending produced samples to `out`.
+    ///
+    /// Returns the number of reactions fired in the quantum.
+    pub fn run_quantum(&mut self, out: &mut Vec<(f64, Vec<u64>)>) -> u64 {
+        let horizon = self.next_quantum_end();
+        let clock = &mut self.clock;
+        self.engine
+            .run_sampled(horizon, clock, |t, values| out.push((t, values.to_vec())))
+    }
+}
+
+/// A batch of samples produced by one quantum of one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleBatch {
+    /// The trajectory that produced the samples.
+    pub instance: u64,
+    /// `(grid time, observable values)` pairs, in time order.
+    pub samples: Vec<(f64, Vec<u64>)>,
+    /// Reactions fired during the quantum (for workload accounting).
+    pub events: u64,
+    /// True when this is the instance's final batch.
+    pub finished: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biomodels::simple::decay;
+
+    fn task() -> SimTask {
+        SimTask::new(Arc::new(decay(20, 1.0)), 42, 0, 2.0, 0.5, 0.25)
+    }
+
+    #[test]
+    fn quantum_advances_time_and_emits_samples() {
+        let mut t = task();
+        let mut out = Vec::new();
+        t.run_quantum(&mut out);
+        assert_eq!(t.engine.time(), 0.5);
+        // Grid 0, 0.25, 0.5 -> 3 samples in the first quantum.
+        assert_eq!(out.len(), 3);
+        assert!(!t.is_done());
+    }
+
+    #[test]
+    fn task_completes_after_enough_quanta() {
+        let mut t = task();
+        let mut all = Vec::new();
+        let mut quanta = 0;
+        while !t.is_done() {
+            t.run_quantum(&mut all);
+            quanta += 1;
+            assert!(quanta <= 4, "2.0 horizon / 0.5 quantum = 4 quanta");
+        }
+        assert_eq!(quanta, 4);
+        // Grid 0, 0.25, ..., 2.0 -> 9 samples.
+        assert_eq!(all.len(), 9);
+        let times: Vec<f64> = all.iter().map(|(t, _)| *t).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn quantum_end_caps_at_horizon() {
+        let mut t = task();
+        t.quantum = 1.5;
+        let mut out = Vec::new();
+        t.run_quantum(&mut out);
+        assert_eq!(t.engine.time(), 1.5);
+        t.run_quantum(&mut out);
+        assert_eq!(t.engine.time(), 2.0); // capped, not 3.0
+        assert!(t.is_done());
+    }
+
+    #[test]
+    fn quantised_task_equals_monolithic_run() {
+        // The paper's load-rebalancing slicing must not change results.
+        let mut sliced = task();
+        let mut sliced_samples = Vec::new();
+        while !sliced.is_done() {
+            sliced.run_quantum(&mut sliced_samples);
+        }
+        let mut whole = task();
+        whole.quantum = 1e9;
+        let mut whole_samples = Vec::new();
+        whole.run_quantum(&mut whole_samples);
+        assert_eq!(sliced_samples, whole_samples);
+        assert_eq!(sliced.engine.term(), whole.engine.term());
+    }
+}

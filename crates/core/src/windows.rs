@@ -1,0 +1,173 @@
+//! Generation of sliding windows of trajectory cuts.
+//!
+//! First stage of the analysis pipeline (Fig. 2): "the incoming stream is
+//! passed through sliding windows of trajectory cuts. Each sliding window
+//! can be processed in parallel."
+
+use fastflow::node::{Flow, Outbox, Stage};
+use gillespie::trajectory::Cut;
+use streamstat::window::SlidingWindow;
+
+/// A window of consecutive cuts plus its sequence number for reordering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Monotone sequence number (assigned by the window generator).
+    pub seq: u64,
+    /// The cuts in the window, oldest first.
+    pub cuts: Vec<Cut>,
+    /// How many trailing cuts of this window are *new* (not seen by the
+    /// previous window). Statistical engines produce one output row per new
+    /// cut, so each cut is analysed exactly once while engines still see
+    /// the full window context.
+    pub fresh: usize,
+}
+
+impl Window {
+    /// Time of the first cut.
+    pub fn start_time(&self) -> f64 {
+        self.cuts.first().map(|c| c.time).unwrap_or(0.0)
+    }
+
+    /// Time of the last cut.
+    pub fn end_time(&self) -> f64 {
+        self.cuts.last().map(|c| c.time).unwrap_or(0.0)
+    }
+
+    /// The trailing cuts that this window is responsible for analysing.
+    pub fn fresh_cuts(&self) -> &[Cut] {
+        &self.cuts[self.cuts.len() - self.fresh..]
+    }
+}
+
+/// Stage turning the cut stream into overlapping [`Window`]s.
+#[derive(Debug)]
+pub struct WindowGen {
+    window: SlidingWindow<Cut>,
+    seq: u64,
+    /// Cuts received since the last emitted window (the un-analysed tail).
+    unanalysed: usize,
+}
+
+impl WindowGen {
+    /// Creates a generator with the given width and slide (in cuts).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero width/slide or `slide > width` (see
+    /// [`SlidingWindow::new`]).
+    pub fn new(width: usize, slide: usize) -> Self {
+        WindowGen {
+            window: SlidingWindow::new(width, slide),
+            seq: 0,
+            unanalysed: 0,
+        }
+    }
+
+    fn make_window(&mut self, cuts: Vec<Cut>) -> Window {
+        let fresh = self.unanalysed.min(cuts.len());
+        self.unanalysed = 0;
+        let w = Window {
+            seq: self.seq,
+            cuts,
+            fresh,
+        };
+        self.seq += 1;
+        w
+    }
+}
+
+impl Stage for WindowGen {
+    type In = Cut;
+    type Out = Window;
+
+    fn on_item(&mut self, cut: Cut, out: &mut Outbox<'_, Window>) -> Flow {
+        self.unanalysed += 1;
+        if let Some(cuts) = self.window.push(cut) {
+            let w = self.make_window(cuts);
+            out.push(w);
+        }
+        Flow::Continue
+    }
+
+    fn on_end(&mut self, out: &mut Outbox<'_, Window>) {
+        // Flush the tail so trailing cuts are analysed too.
+        if self.unanalysed > 0 {
+            if let Some(cuts) = self.window.flush() {
+                let w = self.make_window(cuts);
+                out.push(w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cut(k: u64) -> Cut {
+        Cut {
+            time: k as f64,
+            values: vec![vec![k]],
+        }
+    }
+
+    fn run(width: usize, slide: usize, n: u64) -> Vec<Window> {
+        let mut stage = WindowGen::new(width, slide);
+        let (tx, rx) = fastflow::channel::bounded(256);
+        let mut out = Outbox::new(&tx);
+        for k in 0..n {
+            stage.on_item(cut(k), &mut out);
+        }
+        stage.on_end(&mut out);
+        drop(out);
+        drop(tx);
+        rx.iter().collect()
+    }
+
+    #[test]
+    fn windows_carry_sequence_numbers() {
+        let ws = run(3, 1, 6);
+        let seqs: Vec<u64> = ws.iter().map(|w| w.seq).collect();
+        assert_eq!(seqs, (0..ws.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_window_is_fully_fresh_then_slide_fresh() {
+        let ws = run(3, 1, 6);
+        assert_eq!(ws[0].fresh, 3);
+        assert!(ws[1..].iter().all(|w| w.fresh == 1));
+    }
+
+    #[test]
+    fn every_cut_is_fresh_exactly_once() {
+        for (width, slide) in [(3usize, 1usize), (4, 2), (5, 5)] {
+            let ws = run(width, slide, 17);
+            let fresh_total: usize = ws.iter().map(|w| w.fresh).sum();
+            assert_eq!(fresh_total, 17, "width={width} slide={slide}");
+            // Fresh ranges must be disjoint and ordered.
+            let mut covered = Vec::new();
+            for w in &ws {
+                for c in w.fresh_cuts() {
+                    covered.push(c.time as u64);
+                }
+            }
+            let expect: Vec<u64> = (0..17).collect();
+            assert_eq!(covered, expect, "width={width} slide={slide}");
+        }
+    }
+
+    #[test]
+    fn window_time_accessors() {
+        let ws = run(3, 1, 4);
+        assert_eq!(ws[0].start_time(), 0.0);
+        assert_eq!(ws[0].end_time(), 2.0);
+    }
+
+    #[test]
+    fn short_stream_flushes_partial_window() {
+        let ws = run(5, 5, 3);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].cuts.len(), 3);
+        assert_eq!(ws[0].fresh, 3);
+    }
+}

@@ -1,0 +1,625 @@
+//! Tree matching and rule application.
+//!
+//! "The evolution of a single step of the system requires a number of
+//! tree-matching functions": this module provides them. For every rule and
+//! every site of the term with the rule's label, the matcher computes the
+//! number of distinct ways the left-hand side can be selected from the site
+//! — Gillespie's combinatorial factor h, generalised to compartment trees —
+//! and, once the SSA has chosen a rule, picks one concrete match (an
+//! *assignment* of pattern compartments to term compartments) with
+//! probability proportional to its weight and rewrites the term in place.
+//!
+//! Compartment patterns are treated as distinguishable positions: a rule
+//! with two identical compartment patterns counts ordered assignments, and
+//! the rate constant is expected to absorb the symmetry factor (the same
+//! convention the CWC simulator papers use).
+
+use crate::multiset::Multiset;
+use crate::rule::{CompPattern, CompProduction, Pattern, Rule};
+use crate::term::{Compartment, Path, Term};
+
+/// Weight of one compartment binding: ways to select the pattern's wrap and
+/// content atoms from the compartment.
+fn comp_binding_weight(comp: &Compartment, pat: &CompPattern) -> u64 {
+    if comp.label != pat.label {
+        return 0;
+    }
+    let w = comp.wrap.selection_count(&pat.wrap);
+    if w == 0 {
+        return 0;
+    }
+    let a = comp.content.atoms.selection_count(&pat.atoms);
+    w.saturating_mul(a)
+}
+
+/// Enumerates injective assignments of `pattern.comps` to compartments of
+/// `site`, returning each assignment with its multiplicative weight.
+///
+/// The returned vector is empty when no assignment matches. Pure-atom
+/// patterns yield the single empty assignment with weight 1.
+pub fn assignments(site: &Term, pattern: &Pattern) -> Vec<(Vec<usize>, u64)> {
+    let mut out = Vec::new();
+    let mut chosen = Vec::with_capacity(pattern.comps.len());
+    let mut used = vec![false; site.comps.len()];
+    fn rec(
+        site: &Term,
+        pats: &[CompPattern],
+        k: usize,
+        weight: u64,
+        chosen: &mut Vec<usize>,
+        used: &mut [bool],
+        out: &mut Vec<(Vec<usize>, u64)>,
+    ) {
+        if k == pats.len() {
+            out.push((chosen.clone(), weight));
+            return;
+        }
+        for (i, comp) in site.comps.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let w = comp_binding_weight(comp, &pats[k]);
+            if w == 0 {
+                continue;
+            }
+            used[i] = true;
+            chosen.push(i);
+            rec(site, pats, k + 1, weight.saturating_mul(w), chosen, used, out);
+            chosen.pop();
+            used[i] = false;
+        }
+    }
+    rec(
+        site,
+        &pattern.comps,
+        0,
+        1,
+        &mut chosen,
+        &mut used,
+        &mut out,
+    );
+    out
+}
+
+/// Number of distinct matches of `pattern` at `site`: the site-level atom
+/// selection count times the total weight of all compartment assignments.
+///
+/// This is the factor `h` such that the rule's propensity at this site is
+/// `rate * h`.
+pub fn match_count(site: &Term, pattern: &Pattern) -> u64 {
+    let atom_factor = site.atoms.selection_count(&pattern.atoms);
+    if atom_factor == 0 {
+        return 0;
+    }
+    if pattern.comps.is_empty() {
+        return atom_factor;
+    }
+    let total: u64 = assignments(site, pattern)
+        .iter()
+        .fold(0u64, |acc, (_, w)| acc.saturating_add(*w));
+    atom_factor.saturating_mul(total)
+}
+
+/// Picks one assignment with probability proportional to its weight.
+///
+/// `u` must be uniform in `[0, 1)`; the caller (the stochastic engine)
+/// supplies it so this crate stays RNG-free. Returns `None` when the
+/// pattern has no match at the site.
+pub fn choose_assignment(site: &Term, pattern: &Pattern, u: f64) -> Option<Vec<usize>> {
+    if pattern.comps.is_empty() {
+        return if site.atoms.contains(&pattern.atoms) {
+            Some(Vec::new())
+        } else {
+            None
+        };
+    }
+    let all = assignments(site, pattern);
+    let total: u64 = all.iter().map(|(_, w)| *w).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut target = (u * total as f64) as u64;
+    if target >= total {
+        target = total - 1; // guard against u ~ 1.0 rounding
+    }
+    let mut acc = 0u64;
+    for (assignment, w) in all {
+        acc += w;
+        if target < acc {
+            return Some(assignment);
+        }
+    }
+    unreachable!("weights sum to total")
+}
+
+/// Error returned by [`apply_at`] when the rewrite cannot be performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The site path does not exist in the term.
+    BadSite,
+    /// The pattern does not match at the site (stale match).
+    NoMatch,
+    /// The assignment references a compartment that is gone or changed.
+    StaleAssignment,
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::BadSite => write!(f, "site path does not exist in the term"),
+            ApplyError::NoMatch => write!(f, "pattern does not match at the site"),
+            ApplyError::StaleAssignment => {
+                write!(f, "assignment references a missing or changed compartment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// Applies `rule` at `site` of `term` using the compartment `assignment`
+/// produced by [`choose_assignment`].
+///
+/// The rewrite is atomic: on error the term is left unchanged.
+///
+/// # Errors
+///
+/// See [`ApplyError`] variants.
+pub fn apply_at(
+    term: &mut Term,
+    rule: &Rule,
+    site: &Path,
+    assignment: &[usize],
+) -> Result<(), ApplyError> {
+    // --- validation pass (term untouched) -------------------------------
+    {
+        let site_term = term.site(site).ok_or(ApplyError::BadSite)?;
+        if !site_term.atoms.contains(&rule.lhs.atoms) {
+            return Err(ApplyError::NoMatch);
+        }
+        if assignment.len() != rule.lhs.comps.len() {
+            return Err(ApplyError::StaleAssignment);
+        }
+        for (pat, &ci) in rule.lhs.comps.iter().zip(assignment) {
+            let comp = site_term.comps.get(ci).ok_or(ApplyError::StaleAssignment)?;
+            if comp_binding_weight(comp, pat) == 0 {
+                return Err(ApplyError::StaleAssignment);
+            }
+        }
+        let mut sorted = assignment.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != assignment.len() {
+            return Err(ApplyError::StaleAssignment);
+        }
+    }
+
+    // --- mutation pass ---------------------------------------------------
+    let site_term = term.site_mut(site).expect("validated above");
+    site_term
+        .atoms
+        .remove_all(&rule.lhs.atoms)
+        .expect("validated above");
+
+    // Work out each matched compartment's fate.
+    #[derive(Clone, Copy)]
+    enum Fate<'a> {
+        Destroy,
+        Dissolve,
+        Keep {
+            add_wrap: &'a Multiset,
+            add_atoms: &'a Multiset,
+        },
+    }
+    let mut fates: Vec<Fate<'_>> = vec![Fate::Destroy; rule.lhs.comps.len()];
+    for cp in &rule.rhs.comps {
+        match cp {
+            CompProduction::Keep {
+                index,
+                add_wrap,
+                add_atoms,
+            } => {
+                fates[*index] = Fate::Keep {
+                    add_wrap,
+                    add_atoms,
+                }
+            }
+            CompProduction::Dissolve { index } => fates[*index] = Fate::Dissolve,
+            CompProduction::New { .. } => {}
+        }
+    }
+
+    // Keep-rewrites happen in place; dissolve/destroy removals are done in
+    // descending index order so earlier indices stay valid.
+    let mut removals: Vec<(usize, bool)> = Vec::new(); // (site index, spill?)
+    for (pi, (&ci, fate)) in assignment.iter().zip(&fates).enumerate() {
+        let pat = &rule.lhs.comps[pi];
+        match fate {
+            Fate::Keep {
+                add_wrap,
+                add_atoms,
+            } => {
+                let comp = &mut site_term.comps[ci];
+                comp.wrap.remove_all(&pat.wrap).expect("validated above");
+                comp.content
+                    .atoms
+                    .remove_all(&pat.atoms)
+                    .expect("validated above");
+                comp.wrap.add_all(add_wrap);
+                comp.content.atoms.add_all(add_atoms);
+            }
+            Fate::Dissolve => removals.push((ci, true)),
+            Fate::Destroy => removals.push((ci, false)),
+        }
+    }
+    removals.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    let mut spilled_atoms = Multiset::new();
+    let mut spilled_comps: Vec<Compartment> = Vec::new();
+    for (ci, spill) in removals {
+        let comp = site_term.comps.remove(ci);
+        if spill {
+            // Residual membrane and content are released into the site; the
+            // pattern's matched atoms were consumed by the rule.
+            let pi = assignment.iter().position(|&a| a == ci).expect("matched");
+            let pat = &rule.lhs.comps[pi];
+            let mut wrap = comp.wrap;
+            wrap.remove_all(&pat.wrap).expect("validated above");
+            let mut content_atoms = comp.content.atoms;
+            content_atoms.remove_all(&pat.atoms).expect("validated above");
+            spilled_atoms.add_all(&wrap);
+            spilled_atoms.add_all(&content_atoms);
+            spilled_comps.extend(comp.content.comps);
+        }
+    }
+    site_term.atoms.add_all(&spilled_atoms);
+    site_term.comps.extend(spilled_comps);
+
+    // Produce atoms and new compartments.
+    site_term.atoms.add_all(&rule.rhs.atoms);
+    for cp in &rule.rhs.comps {
+        if let CompProduction::New { label, wrap, atoms } = cp {
+            site_term.comps.push(Compartment::new(
+                *label,
+                wrap.clone(),
+                Term::from_atoms(atoms.clone()),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Production;
+    use crate::species::{Label, Species};
+
+    fn sp(i: u32) -> Species {
+        Species::from_raw(i)
+    }
+
+    fn lb(i: u32) -> Label {
+        Label::from_raw(i)
+    }
+
+    fn cell(content_atoms: Multiset, wrap: Multiset) -> Compartment {
+        Compartment::new(lb(0), wrap, Term::from_atoms(content_atoms))
+    }
+
+    #[test]
+    fn flat_match_count_is_binomial_product() {
+        let site = Term::from_atoms(Multiset::from([(sp(0), 3), (sp(1), 2)]));
+        let pat = Pattern::atoms(Multiset::from([(sp(0), 2), (sp(1), 1)]));
+        assert_eq!(match_count(&site, &pat), 3 * 2); // C(3,2)*C(2,1)
+    }
+
+    #[test]
+    fn comp_match_counts_each_candidate() {
+        let mut site = Term::new();
+        site.add_compartment(cell(Multiset::from([(sp(0), 2)]), Multiset::new()));
+        site.add_compartment(cell(Multiset::from([(sp(0), 1)]), Multiset::new()));
+        site.add_compartment(cell(Multiset::new(), Multiset::new()));
+        let pat = Pattern {
+            atoms: Multiset::new(),
+            comps: vec![CompPattern {
+                label: lb(0),
+                wrap: Multiset::new(),
+                atoms: Multiset::from([(sp(0), 1)]),
+            }],
+        };
+        // First cell: C(2,1)=2 ways; second: 1; third: 0. Total 3.
+        assert_eq!(match_count(&site, &pat), 3);
+        let asg = assignments(&site, &pat);
+        assert_eq!(asg.len(), 2);
+        assert_eq!(asg[0], (vec![0], 2));
+        assert_eq!(asg[1], (vec![1], 1));
+    }
+
+    #[test]
+    fn wrap_pattern_restricts_matches() {
+        let mut site = Term::new();
+        site.add_compartment(cell(Multiset::new(), Multiset::from([(sp(5), 1)])));
+        site.add_compartment(cell(Multiset::new(), Multiset::new()));
+        let pat = Pattern {
+            atoms: Multiset::new(),
+            comps: vec![CompPattern {
+                label: lb(0),
+                wrap: Multiset::from([(sp(5), 1)]),
+                atoms: Multiset::new(),
+            }],
+        };
+        assert_eq!(match_count(&site, &pat), 1);
+    }
+
+    #[test]
+    fn label_mismatch_gives_zero() {
+        let mut site = Term::new();
+        site.add_compartment(Compartment::new(lb(1), Multiset::new(), Term::new()));
+        let pat = Pattern {
+            atoms: Multiset::new(),
+            comps: vec![CompPattern {
+                label: lb(0),
+                wrap: Multiset::new(),
+                atoms: Multiset::new(),
+            }],
+        };
+        assert_eq!(match_count(&site, &pat), 0);
+        assert!(assignments(&site, &pat).is_empty());
+    }
+
+    #[test]
+    fn two_patterns_count_ordered_injective_assignments() {
+        let mut site = Term::new();
+        site.add_compartment(cell(Multiset::new(), Multiset::new()));
+        site.add_compartment(cell(Multiset::new(), Multiset::new()));
+        let cp = CompPattern {
+            label: lb(0),
+            wrap: Multiset::new(),
+            atoms: Multiset::new(),
+        };
+        let pat = Pattern {
+            atoms: Multiset::new(),
+            comps: vec![cp.clone(), cp],
+        };
+        // Ordered injective assignments of 2 patterns to 2 compartments: 2.
+        assert_eq!(match_count(&site, &pat), 2);
+    }
+
+    #[test]
+    fn choose_assignment_is_weight_proportional() {
+        let mut site = Term::new();
+        site.add_compartment(cell(Multiset::from([(sp(0), 3)]), Multiset::new()));
+        site.add_compartment(cell(Multiset::from([(sp(0), 1)]), Multiset::new()));
+        let pat = Pattern {
+            atoms: Multiset::new(),
+            comps: vec![CompPattern {
+                label: lb(0),
+                wrap: Multiset::new(),
+                atoms: Multiset::from([(sp(0), 1)]),
+            }],
+        };
+        // Weights 3 and 1 -> u < 0.75 picks compartment 0.
+        assert_eq!(choose_assignment(&site, &pat, 0.0), Some(vec![0]));
+        assert_eq!(choose_assignment(&site, &pat, 0.74), Some(vec![0]));
+        assert_eq!(choose_assignment(&site, &pat, 0.76), Some(vec![1]));
+        assert_eq!(choose_assignment(&site, &pat, 0.999_999), Some(vec![1]));
+    }
+
+    fn simple_rule(lhs: Pattern, rhs: Production) -> Rule {
+        Rule {
+            name: "r".into(),
+            site: Label::TOP,
+            lhs,
+            rhs,
+            rate: 1.0,
+            law: cwc_law_default(),
+        }
+    }
+
+    fn cwc_law_default() -> crate::rule::RateLaw {
+        crate::rule::RateLaw::MassAction
+    }
+
+    #[test]
+    fn apply_flat_rule_rewrites_atoms() {
+        let mut term = Term::from_atoms(Multiset::from([(sp(0), 2), (sp(1), 1)]));
+        let rule = simple_rule(
+            Pattern::atoms(Multiset::from([(sp(0), 1), (sp(1), 1)])),
+            Production::atoms(Multiset::from([(sp(2), 1)])),
+        );
+        apply_at(&mut term, &rule, &Path::root(), &[]).unwrap();
+        assert_eq!(term.atoms.count(sp(0)), 1);
+        assert_eq!(term.atoms.count(sp(1)), 0);
+        assert_eq!(term.atoms.count(sp(2)), 1);
+    }
+
+    #[test]
+    fn apply_fails_cleanly_without_match() {
+        let mut term = Term::from_atoms(Multiset::from([(sp(0), 1)]));
+        let before = term.clone();
+        let rule = simple_rule(
+            Pattern::atoms(Multiset::from([(sp(0), 2)])),
+            Production::atoms(Multiset::new()),
+        );
+        assert_eq!(
+            apply_at(&mut term, &rule, &Path::root(), &[]),
+            Err(ApplyError::NoMatch)
+        );
+        assert_eq!(term, before);
+        assert_eq!(
+            apply_at(&mut term, &rule, &Path(vec![7]), &[]),
+            Err(ApplyError::BadSite)
+        );
+    }
+
+    #[test]
+    fn apply_keep_moves_atom_into_compartment() {
+        // A (cell: | ) -> (cell: | A): transport into a compartment.
+        let mut term = Term::from_atoms(Multiset::from([(sp(0), 1)]));
+        term.add_compartment(cell(Multiset::new(), Multiset::new()));
+        let rule = simple_rule(
+            Pattern {
+                atoms: Multiset::from([(sp(0), 1)]),
+                comps: vec![CompPattern {
+                    label: lb(0),
+                    wrap: Multiset::new(),
+                    atoms: Multiset::new(),
+                }],
+            },
+            Production {
+                atoms: Multiset::new(),
+                comps: vec![CompProduction::Keep {
+                    index: 0,
+                    add_wrap: Multiset::new(),
+                    add_atoms: Multiset::from([(sp(0), 1)]),
+                }],
+            },
+        );
+        apply_at(&mut term, &rule, &Path::root(), &[0]).unwrap();
+        assert_eq!(term.atoms.count(sp(0)), 0);
+        assert_eq!(term.comps[0].content.atoms.count(sp(0)), 1);
+        assert_eq!(term.total_count(sp(0)), 1);
+    }
+
+    #[test]
+    fn apply_new_creates_compartment() {
+        let mut term = Term::from_atoms(Multiset::from([(sp(0), 1)]));
+        let rule = simple_rule(
+            Pattern::atoms(Multiset::from([(sp(0), 1)])),
+            Production {
+                atoms: Multiset::new(),
+                comps: vec![CompProduction::New {
+                    label: lb(0),
+                    wrap: Multiset::from([(sp(1), 1)]),
+                    atoms: Multiset::from([(sp(2), 2)]),
+                }],
+            },
+        );
+        apply_at(&mut term, &rule, &Path::root(), &[]).unwrap();
+        assert_eq!(term.comps.len(), 1);
+        assert_eq!(term.comps[0].label, lb(0));
+        assert_eq!(term.comps[0].wrap.count(sp(1)), 1);
+        assert_eq!(term.comps[0].content.atoms.count(sp(2)), 2);
+    }
+
+    #[test]
+    fn apply_dissolve_spills_residual_content() {
+        // (cell: W | A B (nucleus...)) dissolved by consuming A: B, W and the
+        // nucleus spill into the site.
+        let mut inner = Term::from_atoms(Multiset::from([(sp(0), 1), (sp(1), 1)]));
+        inner.add_compartment(Compartment::new(lb(1), Multiset::new(), Term::new()));
+        let mut term = Term::new();
+        term.add_compartment(Compartment::new(
+            lb(0),
+            Multiset::from([(sp(3), 1)]),
+            inner,
+        ));
+        let rule = simple_rule(
+            Pattern {
+                atoms: Multiset::new(),
+                comps: vec![CompPattern {
+                    label: lb(0),
+                    wrap: Multiset::new(),
+                    atoms: Multiset::from([(sp(0), 1)]),
+                }],
+            },
+            Production {
+                atoms: Multiset::new(),
+                comps: vec![CompProduction::Dissolve { index: 0 }],
+            },
+        );
+        apply_at(&mut term, &rule, &Path::root(), &[0]).unwrap();
+        assert_eq!(term.atoms.count(sp(0)), 0); // consumed
+        assert_eq!(term.atoms.count(sp(1)), 1); // spilled content
+        assert_eq!(term.atoms.count(sp(3)), 1); // spilled membrane
+        assert_eq!(term.comps.len(), 1); // nucleus survived the spill
+        assert_eq!(term.comps[0].label, lb(1));
+    }
+
+    #[test]
+    fn apply_destroys_unreferenced_compartment() {
+        let mut term = Term::new();
+        term.add_compartment(cell(Multiset::from([(sp(0), 5)]), Multiset::new()));
+        let rule = simple_rule(
+            Pattern {
+                atoms: Multiset::new(),
+                comps: vec![CompPattern {
+                    label: lb(0),
+                    wrap: Multiset::new(),
+                    atoms: Multiset::new(),
+                }],
+            },
+            Production::atoms(Multiset::from([(sp(2), 1)])),
+        );
+        apply_at(&mut term, &rule, &Path::root(), &[0]).unwrap();
+        assert!(term.comps.is_empty());
+        assert_eq!(term.total_count(sp(0)), 0); // content destroyed with it
+        assert_eq!(term.atoms.count(sp(2)), 1);
+    }
+
+    #[test]
+    fn apply_in_nested_site() {
+        // Rule at label cell rewrites inside the compartment only.
+        let mut term = Term::from_atoms(Multiset::from([(sp(0), 1)]));
+        term.add_compartment(cell(Multiset::from([(sp(0), 2)]), Multiset::new()));
+        let rule = Rule {
+            name: "inner".into(),
+            site: lb(0),
+            lhs: Pattern::atoms(Multiset::from([(sp(0), 1)])),
+            rhs: Production::atoms(Multiset::from([(sp(1), 1)])),
+            rate: 1.0,
+            law: cwc_law_default(),
+        };
+        apply_at(&mut term, &rule, &Path(vec![0]), &[]).unwrap();
+        assert_eq!(term.atoms.count(sp(0)), 1); // top level untouched
+        assert_eq!(term.comps[0].content.atoms.count(sp(0)), 1);
+        assert_eq!(term.comps[0].content.atoms.count(sp(1)), 1);
+    }
+
+    #[test]
+    fn stale_assignment_is_detected() {
+        let mut term = Term::new();
+        term.add_compartment(cell(Multiset::new(), Multiset::new()));
+        let rule = simple_rule(
+            Pattern {
+                atoms: Multiset::new(),
+                comps: vec![CompPattern {
+                    label: lb(0),
+                    wrap: Multiset::new(),
+                    atoms: Multiset::new(),
+                }],
+            },
+            Production::default(),
+        );
+        // Out-of-range compartment index.
+        assert_eq!(
+            apply_at(&mut term, &rule, &Path::root(), &[3]),
+            Err(ApplyError::StaleAssignment)
+        );
+        // Wrong arity.
+        assert_eq!(
+            apply_at(&mut term, &rule, &Path::root(), &[]),
+            Err(ApplyError::StaleAssignment)
+        );
+        // Duplicate indices.
+        let rule2 = simple_rule(
+            Pattern {
+                atoms: Multiset::new(),
+                comps: vec![
+                    CompPattern {
+                        label: lb(0),
+                        wrap: Multiset::new(),
+                        atoms: Multiset::new(),
+                    };
+                    2
+                ],
+            },
+            Production::default(),
+        );
+        term.add_compartment(cell(Multiset::new(), Multiset::new()));
+        assert_eq!(
+            apply_at(&mut term, &rule2, &Path::root(), &[0, 0]),
+            Err(ApplyError::StaleAssignment)
+        );
+    }
+}

@@ -1,0 +1,598 @@
+//! Text format for CWC models.
+//!
+//! A small line-oriented language so models can live in files next to the
+//! simulator (the paper's GUI "makes it possible to design the biological
+//! model"; this parser is the headless equivalent). Example:
+//!
+//! ```text
+//! model birth-death
+//! # atoms: A; one compartment type: cell
+//! term: A*100 (cell: R | A*3)
+//! rule birth @ 0.5 : A => A A
+//! rule death @ 0.1 : A =>
+//! rule uptake @ 1.0 : A (cell: R |) => [1: | A]
+//! rule lysis @ 0.01 : (cell: | A) => !1
+//! rule divide @ 0.02 in cell : A A => A (cell: | A)
+//! observe total_A = A
+//! observe cell_A = A in cell
+//! observe free_A = A at top
+//! ```
+//!
+//! Syntax summary:
+//! - atoms: `NAME` or `NAME*COUNT`;
+//! - compartments in terms: `(label: wrap-atoms | content)` (contents nest);
+//! - LHS compartment patterns: `(label: wrap-atoms | content-atoms)`;
+//! - RHS: `[i: wrap-adds | content-adds]` keeps LHS compartment `i`
+//!   (1-based), `!i` dissolves it, `(label: wrap | atoms)` creates a new
+//!   one; unreferenced matched compartments are destroyed;
+//! - `rule NAME @ RATE [in LABEL] : LHS => RHS` (top level when no `in`).
+
+use crate::model::{Model, ModelError, Observable, ObservableSite};
+use crate::multiset::Multiset;
+use crate::rule::{CompPattern, CompProduction, Pattern, Production, Rule};
+use crate::species::Label;
+use crate::term::{Compartment, Term};
+
+/// Error produced while parsing a model file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<(usize, ModelError)> for ParseError {
+    fn from((line, e): (usize, ModelError)) -> Self {
+        ParseError {
+            line,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses a model from its textual representation.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on any syntax or
+/// validation problem.
+pub fn parse_model(source: &str) -> Result<Model, ParseError> {
+    let mut model = Model::new("unnamed");
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
+        if let Some(rest) = line.strip_prefix("model ") {
+            model.name = rest.trim().to_owned();
+        } else if let Some(rest) = line.strip_prefix("species ") {
+            for name in rest.split_whitespace() {
+                model.species(name);
+            }
+        } else if let Some(rest) = line.strip_prefix("term:") {
+            let tokens = tokenize(rest).map_err(|m| err(m))?;
+            let mut cursor = Cursor::new(&tokens);
+            let term = parse_term(&mut cursor, &mut model)?.map_err(|m| err(m))?;
+            if !cursor.at_end() {
+                return Err(err(format!("unexpected trailing input in term")));
+            }
+            model.initial = term;
+        } else if let Some(rest) = line.strip_prefix("rule ") {
+            parse_rule_line(rest, &mut model).map_err(|m| err(m))?;
+        } else if let Some(rest) = line.strip_prefix("observe ") {
+            parse_observe_line(rest, &mut model).map_err(|m| err(m))?;
+        } else {
+            return Err(err(format!("unrecognised directive: `{line}`")));
+        }
+    }
+    Ok(model)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Colon,
+    Pipe,
+    Bang,
+    Ident(String),
+    /// `NAME*COUNT` collapsed by the tokenizer.
+    Counted(String, u64),
+    Number(f64),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '[' => {
+                chars.next();
+                tokens.push(Token::LBracket);
+            }
+            ']' => {
+                chars.next();
+                tokens.push(Token::RBracket);
+            }
+            ':' => {
+                chars.next();
+                tokens.push(Token::Colon);
+            }
+            '|' => {
+                chars.next();
+                tokens.push(Token::Pipe);
+            }
+            '!' => {
+                chars.next();
+                tokens.push(Token::Bang);
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut num = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || d == '-' && num.ends_with(['e', 'E']) || d == '+' && num.ends_with(['e', 'E']) {
+                        num.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value: f64 = num
+                    .parse()
+                    .map_err(|_| format!("invalid number `{num}`"))?;
+                tokens.push(Token::Number(value));
+            }
+            c if is_ident_char(c) => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if is_ident_char(d) {
+                        name.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if chars.peek() == Some(&'*') {
+                    chars.next();
+                    let mut num = String::new();
+                    while let Some(&d) = chars.peek() {
+                        if d.is_ascii_digit() {
+                            num.push(d);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let count: u64 = num
+                        .parse()
+                        .map_err(|_| format!("invalid count after `{name}*`"))?;
+                    tokens.push(Token::Counted(name, count));
+                } else {
+                    tokens.push(Token::Ident(name));
+                }
+            }
+            other => return Err(format!("unexpected character `{other}`")),
+        }
+    }
+    Ok(tokens)
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '\''
+}
+
+struct Cursor<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(tokens: &'a [Token]) -> Self {
+        Cursor { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, token: &Token, what: &str) -> Result<(), String> {
+        match self.next() {
+            Some(t) if t == token => Ok(()),
+            other => Err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+}
+
+/// Parses atoms (Ident/Counted tokens) until a structural token.
+fn parse_atoms(cursor: &mut Cursor<'_>, model: &mut Model) -> Multiset {
+    let mut ms = Multiset::new();
+    while let Some(token) = cursor.peek() {
+        match token {
+            Token::Ident(name) => {
+                let s = model.species(name);
+                ms.insert(s, 1);
+                cursor.next();
+            }
+            Token::Counted(name, n) => {
+                let s = model.species(name);
+                ms.insert(s, *n);
+                cursor.next();
+            }
+            _ => break,
+        }
+    }
+    ms
+}
+
+/// Parses a (possibly nested) term: atoms and `(label: wrap | content)`.
+#[allow(clippy::type_complexity)]
+fn parse_term(
+    cursor: &mut Cursor<'_>,
+    model: &mut Model,
+) -> Result<Result<Term, String>, ParseError> {
+    fn rec(cursor: &mut Cursor<'_>, model: &mut Model) -> Result<Term, String> {
+        let mut term = Term::new();
+        loop {
+            match cursor.peek() {
+                Some(Token::Ident(_)) | Some(Token::Counted(..)) => {
+                    let atoms = parse_atoms(cursor, model);
+                    term.atoms.add_all(&atoms);
+                }
+                Some(Token::LParen) => {
+                    cursor.next();
+                    let label = match cursor.next() {
+                        Some(Token::Ident(name)) => model.label(name),
+                        other => return Err(format!("expected label, found {other:?}")),
+                    };
+                    cursor.expect(&Token::Colon, "`:` after label")?;
+                    let wrap = parse_atoms(cursor, model);
+                    cursor.expect(&Token::Pipe, "`|` between wrap and content")?;
+                    let content = rec(cursor, model)?;
+                    cursor.expect(&Token::RParen, "closing `)`")?;
+                    term.add_compartment(Compartment::new(label, wrap, content));
+                }
+                _ => break,
+            }
+        }
+        Ok(term)
+    }
+    Ok(rec(cursor, model))
+}
+
+/// `NAME @ RATE [in LABEL] : LHS => RHS` (the `rule ` prefix is stripped).
+fn parse_rule_line(rest: &str, model: &mut Model) -> Result<(), String> {
+    let (head, body) = rest
+        .split_once(':')
+        .ok_or_else(|| "rule needs `:` separating header and body".to_owned())?;
+    let mut head_parts = head.split_whitespace();
+    let name = head_parts
+        .next()
+        .ok_or_else(|| "rule needs a name".to_owned())?
+        .to_owned();
+    match head_parts.next() {
+        Some("@") => {}
+        other => return Err(format!("expected `@` after rule name, found {other:?}")),
+    }
+    let rate: f64 = head_parts
+        .next()
+        .ok_or_else(|| "rule needs a rate after `@`".to_owned())?
+        .parse()
+        .map_err(|_| "invalid rate".to_owned())?;
+    let site = match head_parts.next() {
+        None => Label::TOP,
+        Some("in") => {
+            let label = head_parts
+                .next()
+                .ok_or_else(|| "`in` needs a label".to_owned())?;
+            model.label(label)
+        }
+        Some(other) => return Err(format!("unexpected token `{other}` in rule header")),
+    };
+    if head_parts.next().is_some() {
+        return Err("trailing tokens in rule header".to_owned());
+    }
+
+    let (lhs_src, rhs_src) = body
+        .split_once("=>")
+        .ok_or_else(|| "rule body needs `=>`".to_owned())?;
+
+    let lhs = parse_pattern(lhs_src, model)?;
+    let rhs = parse_production(rhs_src, model)?;
+    let rule = Rule {
+        name,
+        site,
+        lhs,
+        rhs,
+        rate,
+        law: crate::rule::RateLaw::MassAction,
+    };
+    model.push_rule(rule).map_err(|e| e.to_string())
+}
+
+fn parse_pattern(src: &str, model: &mut Model) -> Result<Pattern, String> {
+    let tokens = tokenize(src)?;
+    let mut cursor = Cursor::new(&tokens);
+    let mut pattern = Pattern::default();
+    loop {
+        match cursor.peek() {
+            Some(Token::Ident(_)) | Some(Token::Counted(..)) => {
+                let atoms = parse_atoms(&mut cursor, model);
+                pattern.atoms.add_all(&atoms);
+            }
+            Some(Token::LParen) => {
+                cursor.next();
+                let label = match cursor.next() {
+                    Some(Token::Ident(name)) => model.label(name),
+                    other => return Err(format!("expected label, found {other:?}")),
+                };
+                cursor.expect(&Token::Colon, "`:` after label")?;
+                let wrap = parse_atoms(&mut cursor, model);
+                cursor.expect(&Token::Pipe, "`|` between wrap and content")?;
+                let atoms = parse_atoms(&mut cursor, model);
+                cursor.expect(&Token::RParen, "closing `)`")?;
+                pattern.comps.push(CompPattern { label, wrap, atoms });
+            }
+            None => break,
+            other => return Err(format!("unexpected token in pattern: {other:?}")),
+        }
+    }
+    Ok(pattern)
+}
+
+fn parse_production(src: &str, model: &mut Model) -> Result<Production, String> {
+    let tokens = tokenize(src)?;
+    let mut cursor = Cursor::new(&tokens);
+    let mut production = Production::default();
+    loop {
+        match cursor.peek() {
+            Some(Token::Ident(_)) | Some(Token::Counted(..)) => {
+                let atoms = parse_atoms(&mut cursor, model);
+                production.atoms.add_all(&atoms);
+            }
+            Some(Token::LParen) => {
+                cursor.next();
+                let label = match cursor.next() {
+                    Some(Token::Ident(name)) => model.label(name),
+                    other => return Err(format!("expected label, found {other:?}")),
+                };
+                cursor.expect(&Token::Colon, "`:` after label")?;
+                let wrap = parse_atoms(&mut cursor, model);
+                cursor.expect(&Token::Pipe, "`|` between wrap and content")?;
+                let atoms = parse_atoms(&mut cursor, model);
+                cursor.expect(&Token::RParen, "closing `)`")?;
+                production
+                    .comps
+                    .push(CompProduction::New { label, wrap, atoms });
+            }
+            Some(Token::LBracket) => {
+                cursor.next();
+                let index = parse_comp_index(&mut cursor)?;
+                cursor.expect(&Token::Colon, "`:` after kept compartment index")?;
+                let add_wrap = parse_atoms(&mut cursor, model);
+                cursor.expect(&Token::Pipe, "`|` between wrap and content adds")?;
+                let add_atoms = parse_atoms(&mut cursor, model);
+                cursor.expect(&Token::RBracket, "closing `]`")?;
+                production.comps.push(CompProduction::Keep {
+                    index,
+                    add_wrap,
+                    add_atoms,
+                });
+            }
+            Some(Token::Bang) => {
+                cursor.next();
+                let index = parse_comp_index(&mut cursor)?;
+                production.comps.push(CompProduction::Dissolve { index });
+            }
+            None => break,
+            other => return Err(format!("unexpected token in production: {other:?}")),
+        }
+    }
+    Ok(production)
+}
+
+/// Parses a 1-based compartment reference and converts to 0-based.
+fn parse_comp_index(cursor: &mut Cursor<'_>) -> Result<usize, String> {
+    match cursor.next() {
+        Some(Token::Number(n)) if *n >= 1.0 && n.fract() == 0.0 => Ok((*n as usize) - 1),
+        other => Err(format!(
+            "expected 1-based compartment index, found {other:?}"
+        )),
+    }
+}
+
+/// `NAME = SPECIES [in LABEL | at top]` (the `observe ` prefix is stripped).
+fn parse_observe_line(rest: &str, model: &mut Model) -> Result<(), String> {
+    let (name, spec) = rest
+        .split_once('=')
+        .ok_or_else(|| "observe needs `=`".to_owned())?;
+    let name = name.trim();
+    let mut parts = spec.split_whitespace();
+    let species_name = parts
+        .next()
+        .ok_or_else(|| "observe needs a species".to_owned())?;
+    let species = model.species(species_name);
+    let site = match (parts.next(), parts.next()) {
+        (None, _) => ObservableSite::Everywhere,
+        (Some("in"), Some(label)) => ObservableSite::AtLabel(model.label(label)),
+        (Some("at"), Some("top")) => ObservableSite::TopOnly,
+        other => return Err(format!("bad observable site {other:?}")),
+    };
+    model.observables.push(Observable {
+        name: name.to_owned(),
+        species,
+        site,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r"
+model birth-death
+species A R
+term: A*100 (cell: R | A*3)
+rule birth @ 0.5 : A => A A
+rule death @ 0.1 : A =>
+rule uptake @ 1.0 : A (cell: R |) => [1: | A]
+rule lysis @ 0.01 : (cell: | A) => !1
+rule divide @ 0.02 in cell : A A => A (cell: | A)
+observe total_A = A
+observe cell_A = A in cell
+observe free_A = A at top
+";
+
+    #[test]
+    fn full_example_parses() {
+        let m = parse_model(EXAMPLE).unwrap();
+        assert_eq!(m.name, "birth-death");
+        assert_eq!(m.rules.len(), 5);
+        assert_eq!(m.observables.len(), 3);
+        m.validate().unwrap();
+
+        let a = m.alphabet.find_species("A").unwrap();
+        assert_eq!(m.initial.atoms.count(a), 100);
+        assert_eq!(m.initial.comps.len(), 1);
+        assert_eq!(m.initial.comps[0].content.atoms.count(a), 3);
+    }
+
+    #[test]
+    fn nested_term_parses() {
+        let m = parse_model("term: (cell: M | A (nucleus: | B*2))").unwrap();
+        assert_eq!(m.initial.total_compartments(), 2);
+        assert_eq!(m.initial.depth(), 2);
+        let b = m.alphabet.find_species("B").unwrap();
+        assert_eq!(m.initial.total_count(b), 2);
+    }
+
+    #[test]
+    fn rule_site_defaults_to_top() {
+        let m = parse_model("rule r @ 1.0 : A => B").unwrap();
+        assert!(m.rules[0].site.is_top());
+        assert_eq!(m.rules[0].rate, 1.0);
+    }
+
+    #[test]
+    fn rule_in_label_sets_site() {
+        let m = parse_model("rule r @ 2.5 in cell : A => B").unwrap();
+        let cell = m.alphabet.find_label("cell").unwrap();
+        assert_eq!(m.rules[0].site, cell);
+    }
+
+    #[test]
+    fn keep_production_round_trips_index() {
+        let m = parse_model("rule r @ 1.0 : (cell: |) => [1: X | Y]").unwrap();
+        match &m.rules[0].rhs.comps[0] {
+            CompProduction::Keep {
+                index,
+                add_wrap,
+                add_atoms,
+            } => {
+                assert_eq!(*index, 0);
+                assert_eq!(add_wrap.len(), 1);
+                assert_eq!(add_atoms.len(), 1);
+            }
+            other => panic!("expected Keep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dissolve_production_parses() {
+        let m = parse_model("rule r @ 1.0 : (cell: |) => !1").unwrap();
+        assert_eq!(
+            m.rules[0].rhs.comps[0],
+            CompProduction::Dissolve { index: 0 }
+        );
+    }
+
+    #[test]
+    fn empty_rhs_is_degradation() {
+        let m = parse_model("rule del @ 0.1 : A =>").unwrap();
+        assert!(m.rules[0].rhs.atoms.is_empty());
+        assert!(m.rules[0].rhs.comps.is_empty());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let m = parse_model("# a comment\n\nrule r @ 1.0 : A => B # trailing\n").unwrap();
+        assert_eq!(m.rules.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_model("rule r @ 1.0 : A => B\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unrecognised"));
+    }
+
+    #[test]
+    fn bad_rate_is_rejected() {
+        let err = parse_model("rule r @ fast : A => B").unwrap_err();
+        assert!(err.message.contains("invalid rate") || err.message.contains("expected"));
+    }
+
+    #[test]
+    fn bad_keep_index_is_rejected() {
+        let err = parse_model("rule r @ 1.0 : A => [1: |]").unwrap_err();
+        assert!(err.message.contains("compartment"), "{}", err.message);
+    }
+
+    #[test]
+    fn scientific_notation_rates_parse() {
+        let m = parse_model("rule r @ 1.5e-3 : A => B").unwrap();
+        assert!((m.rules[0].rate - 1.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counted_atoms_in_rules() {
+        let m = parse_model("rule dimer @ 1.0 : A*2 => D").unwrap();
+        let a = m.alphabet.find_species("A").unwrap();
+        assert_eq!(m.rules[0].lhs.atoms.count(a), 2);
+    }
+}

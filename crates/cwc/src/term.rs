@@ -1,0 +1,369 @@
+//! CWC terms: multisets of atoms and nested compartments.
+//!
+//! "Starting from an alphabet of atomic elements, CWC terms are defined as
+//! multisets of elements and compartments. [...] a cell can be represented
+//! as a compartment and its nucleus with a separate, nested, compartment."
+//! Terms are trees: each compartment wraps a membrane multiset and a
+//! content term. This dynamic tree structure is what makes the CWC
+//! simulator "significantly more complex than a plain Gillespie algorithm".
+
+use crate::multiset::Multiset;
+use crate::species::{Alphabet, Label, Species};
+
+/// A compartment: a labelled membrane (`wrap`) enclosing a content term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Compartment {
+    /// Compartment type label.
+    pub label: Label,
+    /// Elements of interest on the membrane.
+    pub wrap: Multiset,
+    /// The wrapped content.
+    pub content: Term,
+}
+
+impl Compartment {
+    /// Creates a compartment with the given label, membrane and content.
+    pub fn new(label: Label, wrap: Multiset, content: Term) -> Self {
+        Compartment {
+            label,
+            wrap,
+            content,
+        }
+    }
+}
+
+/// A CWC term: atoms at this level plus nested compartments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Term {
+    /// Atoms at this nesting level.
+    pub atoms: Multiset,
+    /// Compartments at this nesting level, in creation order.
+    pub comps: Vec<Compartment>,
+}
+
+/// Path from the root of a term to one of its (sub)compartments.
+///
+/// The empty path denotes the root (top level); `[i, j]` denotes the `j`-th
+/// compartment inside the `i`-th top-level compartment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Path(pub Vec<usize>);
+
+impl Path {
+    /// The root path (top level of the term).
+    pub fn root() -> Self {
+        Path(Vec::new())
+    }
+
+    /// Extends this path one level down into child `index`.
+    pub fn child(&self, index: usize) -> Self {
+        let mut v = self.0.clone();
+        v.push(index);
+        Path(v)
+    }
+
+    /// True for the root path.
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Nesting depth (0 for the root).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl Term {
+    /// Creates an empty term.
+    pub fn new() -> Self {
+        Term::default()
+    }
+
+    /// Creates a term holding only atoms.
+    pub fn from_atoms(atoms: Multiset) -> Self {
+        Term {
+            atoms,
+            comps: Vec::new(),
+        }
+    }
+
+    /// Adds `n` copies of `species` at the top level.
+    pub fn add_atoms(&mut self, species: Species, n: u64) {
+        self.atoms.insert(species, n);
+    }
+
+    /// Adds a compartment at the top level.
+    pub fn add_compartment(&mut self, comp: Compartment) {
+        self.comps.push(comp);
+    }
+
+    /// Immutable access to the sub-term at `path`.
+    ///
+    /// Returns `None` when the path does not denote an existing compartment.
+    pub fn site(&self, path: &Path) -> Option<&Term> {
+        let mut current = self;
+        for &i in &path.0 {
+            current = &current.comps.get(i)?.content;
+        }
+        Some(current)
+    }
+
+    /// Mutable access to the sub-term at `path`.
+    pub fn site_mut(&mut self, path: &Path) -> Option<&mut Term> {
+        let mut current = self;
+        for &i in &path.0 {
+            current = &mut current.comps.get_mut(i)?.content;
+        }
+        Some(current)
+    }
+
+    /// The compartment at `path` (`None` for the root, which is not a
+    /// compartment, or for dangling paths).
+    pub fn compartment(&self, path: &Path) -> Option<&Compartment> {
+        let (&last, prefix) = path.0.split_last()?;
+        let mut current = self;
+        for &i in prefix {
+            current = &current.comps.get(i)?.content;
+        }
+        current.comps.get(last)
+    }
+
+    /// Walks every site (root first, then depth-first) invoking
+    /// `f(path, label_of_site, term_at_site)`.
+    ///
+    /// The label of the root site is [`Label::TOP`]; the label of a
+    /// compartment site is the compartment's label.
+    pub fn walk_sites<F>(&self, f: &mut F)
+    where
+        F: FnMut(&Path, Label, &Term),
+    {
+        fn rec<F>(term: &Term, path: &Path, label: Label, f: &mut F)
+        where
+            F: FnMut(&Path, Label, &Term),
+        {
+            f(path, label, term);
+            for (i, c) in term.comps.iter().enumerate() {
+                let child = path.child(i);
+                rec(&c.content, &child, c.label, f);
+            }
+        }
+        rec(self, &Path::root(), Label::TOP, f);
+    }
+
+    /// Collects the paths of every site whose label is `label`
+    /// (root included when `label` is [`Label::TOP`]).
+    pub fn sites_with_label(&self, label: Label) -> Vec<Path> {
+        let mut out = Vec::new();
+        self.walk_sites(&mut |path, site_label, _| {
+            if site_label == label {
+                out.push(path.clone());
+            }
+        });
+        out
+    }
+
+    /// Total count of `species` across the whole tree (atoms and wraps).
+    pub fn total_count(&self, species: Species) -> u64 {
+        let mut total = self.atoms.count(species);
+        for c in &self.comps {
+            total += c.wrap.count(species);
+            total += c.content.total_count(species);
+        }
+        total
+    }
+
+    /// Total number of atoms in the whole tree (atoms and wraps).
+    pub fn total_atoms(&self) -> u64 {
+        let mut total = self.atoms.len();
+        for c in &self.comps {
+            total += c.wrap.len();
+            total += c.content.total_atoms();
+        }
+        total
+    }
+
+    /// Total number of compartments in the whole tree.
+    pub fn total_compartments(&self) -> usize {
+        self.comps
+            .iter()
+            .map(|c| 1 + c.content.total_compartments())
+            .sum()
+    }
+
+    /// Maximum nesting depth (0 for a compartment-free term).
+    pub fn depth(&self) -> usize {
+        self.comps
+            .iter()
+            .map(|c| 1 + c.content.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the term in CWC-like ASCII syntax using `alphabet` names:
+    /// atoms as `name*count`, compartments as `(label: wrap | content)`.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        fn atoms_to_string(ms: &Multiset, ab: &Alphabet, out: &mut String) {
+            let mut first = true;
+            for (s, n) in ms.iter() {
+                if !first {
+                    out.push(' ');
+                }
+                first = false;
+                if n == 1 {
+                    out.push_str(ab.species_name(s));
+                } else {
+                    out.push_str(&format!("{}*{}", ab.species_name(s), n));
+                }
+            }
+        }
+        fn rec(term: &Term, ab: &Alphabet, out: &mut String) {
+            atoms_to_string(&term.atoms, ab, out);
+            for c in &term.comps {
+                if !out.is_empty() && !out.ends_with(' ') {
+                    out.push(' ');
+                }
+                out.push('(');
+                out.push_str(ab.label_name(c.label));
+                out.push_str(": ");
+                atoms_to_string(&c.wrap, ab, out);
+                out.push_str(" | ");
+                rec(&c.content, ab, out);
+                out.push(')');
+            }
+        }
+        let mut out = String::new();
+        rec(self, alphabet, &mut out);
+        if out.is_empty() {
+            "<empty>".to_owned()
+        } else {
+            out
+        }
+    }
+}
+
+impl From<Multiset> for Term {
+    fn from(atoms: Multiset) -> Self {
+        Term::from_atoms(atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(i: u32) -> Species {
+        Species::from_raw(i)
+    }
+
+    fn lb(i: u32) -> Label {
+        Label::from_raw(i)
+    }
+
+    /// `A*2 (cell: m | B (nucleus: | C))`
+    fn nested_term() -> Term {
+        let mut root = Term::new();
+        root.add_atoms(sp(0), 2);
+        let mut cell_content = Term::new();
+        cell_content.add_atoms(sp(1), 1);
+        let nucleus = Compartment::new(
+            lb(1),
+            Multiset::new(),
+            Term::from_atoms(Multiset::from([(sp(2), 1)])),
+        );
+        cell_content.add_compartment(nucleus);
+        let cell = Compartment::new(lb(0), Multiset::from([(sp(3), 1)]), cell_content);
+        root.add_compartment(cell);
+        root
+    }
+
+    #[test]
+    fn site_navigation() {
+        let t = nested_term();
+        assert_eq!(t.site(&Path::root()).unwrap().atoms.count(sp(0)), 2);
+        let cell = t.site(&Path(vec![0])).unwrap();
+        assert_eq!(cell.atoms.count(sp(1)), 1);
+        let nucleus = t.site(&Path(vec![0, 0])).unwrap();
+        assert_eq!(nucleus.atoms.count(sp(2)), 1);
+        assert!(t.site(&Path(vec![1])).is_none());
+        assert!(t.site(&Path(vec![0, 5])).is_none());
+    }
+
+    #[test]
+    fn compartment_lookup() {
+        let t = nested_term();
+        assert!(t.compartment(&Path::root()).is_none());
+        let cell = t.compartment(&Path(vec![0])).unwrap();
+        assert_eq!(cell.label, lb(0));
+        assert_eq!(cell.wrap.count(sp(3)), 1);
+        let nucleus = t.compartment(&Path(vec![0, 0])).unwrap();
+        assert_eq!(nucleus.label, lb(1));
+    }
+
+    #[test]
+    fn walk_sites_visits_all_levels() {
+        let t = nested_term();
+        let mut visited = Vec::new();
+        t.walk_sites(&mut |path, label, _| visited.push((path.clone(), label)));
+        assert_eq!(
+            visited,
+            vec![
+                (Path::root(), Label::TOP),
+                (Path(vec![0]), lb(0)),
+                (Path(vec![0, 0]), lb(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn sites_with_label_filters() {
+        let t = nested_term();
+        assert_eq!(t.sites_with_label(Label::TOP), vec![Path::root()]);
+        assert_eq!(t.sites_with_label(lb(1)), vec![Path(vec![0, 0])]);
+        assert!(t.sites_with_label(lb(9)).is_empty());
+    }
+
+    #[test]
+    fn totals_include_wraps_and_nesting() {
+        let t = nested_term();
+        assert_eq!(t.total_count(sp(0)), 2);
+        assert_eq!(t.total_count(sp(3)), 1); // membrane atom
+        assert_eq!(t.total_atoms(), 5);
+        assert_eq!(t.total_compartments(), 2);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn site_mut_allows_in_place_edit() {
+        let mut t = nested_term();
+        t.site_mut(&Path(vec![0, 0]))
+            .unwrap()
+            .atoms
+            .insert(sp(2), 9);
+        assert_eq!(t.total_count(sp(2)), 10);
+    }
+
+    #[test]
+    fn display_renders_nested_structure() {
+        let mut ab = Alphabet::new();
+        let a = ab.species("A");
+        let b = ab.species("B");
+        let cell = ab.label("cell");
+        let mut t = Term::new();
+        t.add_atoms(a, 2);
+        t.add_compartment(Compartment::new(
+            cell,
+            Multiset::from([(b, 1)]),
+            Term::from_atoms(Multiset::from([(a, 1)])),
+        ));
+        assert_eq!(t.display(&ab), "A*2 (cell: B | A)");
+        assert_eq!(Term::new().display(&ab), "<empty>");
+    }
+
+    #[test]
+    fn path_helpers() {
+        let p = Path::root();
+        assert!(p.is_root());
+        let c = p.child(3).child(1);
+        assert_eq!(c, Path(vec![3, 1]));
+        assert_eq!(c.depth(), 2);
+    }
+}

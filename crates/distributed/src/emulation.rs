@@ -1,0 +1,215 @@
+//! Functional emulation of the distributed simulator.
+//!
+//! The DES models in [`crate::cluster`] predict *timing*; this module
+//! proves the *code path*: it actually runs the distributed deployment —
+//! remote simulation farms receiving [`RemoteTaskSpec`]s, streaming
+//! serialised [`SampleBatch`]es back through the wire codec to the
+//! alignment/analysis node — inside one process, with every byte really
+//! encoded and decoded. The paper's claim that the port needs "very
+//! limited code modifications" is visible here: the farm, alignment,
+//! window and statistics stages are the unmodified `cwcsim` components;
+//! only (de)serialisation stages are added around them.
+
+use std::sync::Arc;
+
+use cwc::model::Model;
+use cwcsim::config::SimConfig;
+use cwcsim::engines::{StatEngineSet, StatRow};
+use cwcsim::sim_farm::{SimMaster, SimWorker};
+use cwcsim::task::{SampleBatch, SimTask};
+use cwcsim::windows::WindowGen;
+use cwcsim::Alignment;
+use fastflow::node::{flat_stage, map_stage, Outbox};
+use fastflow::pipeline::Pipeline;
+
+use crate::wire::{self, RemoteTaskSpec, WireError};
+
+/// Error from an emulated distributed run.
+#[derive(Debug)]
+pub enum EmulationError {
+    /// The underlying pipeline failed.
+    Pipeline(fastflow::error::Error),
+    /// A message failed to decode.
+    Wire(WireError),
+    /// Configuration/model rejected.
+    Sim(cwcsim::SimError),
+}
+
+impl std::fmt::Display for EmulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmulationError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            EmulationError::Wire(e) => write!(f, "wire error: {e}"),
+            EmulationError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmulationError {}
+
+/// Outcome of an emulated distributed run.
+#[derive(Debug)]
+pub struct EmulatedRun {
+    /// Analysis rows, time-ordered (same contract as `cwcsim::SimReport`).
+    pub rows: Vec<StatRow>,
+    /// Bytes that crossed the emulated network.
+    pub bytes_transferred: u64,
+    /// Messages that crossed the emulated network.
+    pub messages: u64,
+}
+
+/// Runs `cfg.instances` trajectories split across `farms` emulated remote
+/// hosts, streaming serialised batches back to a local analysis node.
+///
+/// Every farm is a real master–worker pipeline over its own instance
+/// range; its output batches are wire-encoded, "shipped", decoded, and
+/// merged into the standard alignment → windows → statistics pipeline.
+///
+/// # Errors
+///
+/// Returns [`EmulationError`] on invalid input or node failure.
+pub fn run_distributed_emulation(
+    model: Arc<Model>,
+    cfg: &SimConfig,
+    farms: usize,
+) -> Result<EmulatedRun, EmulationError> {
+    cfg.validate()
+        .map_err(|e| EmulationError::Sim(cwcsim::SimError::Config(e)))?;
+    model
+        .validate()
+        .map_err(|e| EmulationError::Sim(cwcsim::SimError::Model(e)))?;
+    assert!(farms > 0, "need at least one farm");
+
+    // --- "generation of simulation tasks" node: produce one RemoteTaskSpec
+    // per farm (parameters only — remote farms build their own engines).
+    let per_farm = cfg.instances / farms as u64;
+    let remainder = cfg.instances % farms as u64;
+    let mut specs = Vec::with_capacity(farms);
+    let mut first = 0;
+    for f in 0..farms as u64 {
+        let count = per_farm + u64::from(f < remainder);
+        specs.push(RemoteTaskSpec {
+            first_instance: first,
+            count,
+            base_seed: cfg.base_seed,
+            t_end: cfg.t_end,
+            quantum: cfg.quantum,
+            sample_period: cfg.sample_period,
+        });
+        first += count;
+    }
+
+    // Ship the specs through the codec, as the real deployment would.
+    let encoded_specs: Vec<Vec<u8>> = specs.iter().map(wire::to_bytes).collect();
+
+    // --- remote farms: each runs a real master-worker pipeline and returns
+    // its encoded batch stream.
+    let mut encoded_batches: Vec<Vec<u8>> = Vec::new();
+    for spec_bytes in &encoded_specs {
+        let spec: RemoteTaskSpec =
+            wire::from_bytes(spec_bytes).map_err(EmulationError::Wire)?;
+        if spec.count == 0 {
+            continue;
+        }
+        let model = Arc::clone(&model);
+        let tasks: Vec<SimTask> = (spec.first_instance..spec.first_instance + spec.count)
+            .map(|i| {
+                SimTask::new(
+                    Arc::clone(&model),
+                    spec.base_seed,
+                    i,
+                    spec.t_end,
+                    spec.quantum,
+                    spec.sample_period,
+                )
+            })
+            .collect();
+        let workers: Vec<SimWorker> = (0..cfg.sim_workers.max(1)).map(|_| SimWorker::new()).collect();
+        let farm_out: Vec<Vec<u8>> = Pipeline::from_source(tasks.into_iter())
+            .master_worker_farm(SimMaster::new(), workers)
+            // Serialising stage added around unchanged pipeline code.
+            .named_stage("serialise", map_stage(|b: SampleBatch| wire::to_bytes(&b)))
+            .collect()
+            .map_err(EmulationError::Pipeline)?;
+        encoded_batches.extend(farm_out);
+    }
+
+    let messages = encoded_batches.len() as u64;
+    let bytes_transferred: u64 = encoded_batches.iter().map(|b| b.len() as u64).sum();
+
+    // --- local node: de-serialising stage, then the unchanged alignment →
+    // windows → statistics pipeline.
+    let engine_set = StatEngineSet::new(cfg.engines.clone());
+    let stat_set = engine_set.clone();
+    let rows: Vec<StatRow> = Pipeline::from_source(encoded_batches.into_iter())
+        .named_stage(
+            "deserialise",
+            map_stage(|bytes: Vec<u8>| {
+                wire::from_bytes::<SampleBatch>(&bytes).expect("well-formed batch")
+            }),
+        )
+        .named_stage("alignment", Alignment::new(cfg.instances, cfg.sample_period))
+        .named_stage("window-gen", WindowGen::new(cfg.window_width, cfg.window_slide))
+        .stage(flat_stage(
+            move |w: cwcsim::windows::Window, out: &mut Outbox<'_, StatRow>| {
+                for row in stat_set.analyse(&w).rows {
+                    out.push(row);
+                }
+            },
+        ))
+        .collect()
+        .map_err(EmulationError::Pipeline)?;
+
+    let mut rows = rows;
+    rows.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("times are not NaN"));
+    Ok(EmulatedRun {
+        rows,
+        bytes_transferred,
+        messages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biomodels::simple::decay;
+
+    fn cfg() -> SimConfig {
+        SimConfig::new(8, 3.0)
+            .quantum(0.5)
+            .sample_period(0.25)
+            .sim_workers(2)
+            .stat_workers(1)
+            .window(4, 2)
+            .seed(21)
+    }
+
+    #[test]
+    fn distributed_rows_equal_local_rows() {
+        let model = Arc::new(decay(40, 1.0));
+        let cfg = cfg();
+        let local = cwcsim::run_simulation(Arc::clone(&model), &cfg).unwrap();
+        let remote = run_distributed_emulation(model, &cfg, 3).unwrap();
+        assert_eq!(remote.rows, local.rows, "distribution must not change results");
+        assert!(remote.bytes_transferred > 0);
+        assert!(remote.messages >= 8); // at least one batch per instance
+    }
+
+    #[test]
+    fn farm_count_does_not_change_results() {
+        let model = Arc::new(decay(25, 1.0));
+        let cfg = cfg();
+        let one = run_distributed_emulation(Arc::clone(&model), &cfg, 1).unwrap();
+        let four = run_distributed_emulation(model, &cfg, 4).unwrap();
+        assert_eq!(one.rows, four.rows);
+    }
+
+    #[test]
+    fn more_farms_than_instances_is_fine() {
+        let model = Arc::new(decay(5, 1.0));
+        let mut cfg = cfg();
+        cfg.instances = 3;
+        let run = run_distributed_emulation(model, &cfg, 8).unwrap();
+        assert!(!run.rows.is_empty());
+    }
+}

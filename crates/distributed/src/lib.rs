@@ -1,0 +1,37 @@
+//! # distrt — the distributed CWC simulator: runtime and platform models
+//!
+//! Two complementary halves reproduce the paper's cluster/cloud port
+//! (Aldinucci et al., ICDCS 2014, §IV-B and §V):
+//!
+//! **Functional** — [`wire`] (the explicit serialisation the distributed
+//! pipeline adds around unchanged stages) and [`emulation`] (a real
+//! in-process deployment: remote farms receive task *parameters*, stream
+//! encoded sample batches back, the analysis node decodes and runs the
+//! standard alignment→windows→statistics pipeline; results are asserted
+//! identical to local execution).
+//!
+//! **Performance** — [`platform`] (host/VM/network profiles of the paper's
+//! testbeds), [`workload`] (event traces recorded from *real* engine runs
+//! plus measured unit costs), [`multicore`] (DES of the Fig. 3 pipeline),
+//! [`cluster`] (DES of the farm-of-pipelines over a network, Fig. 4) and
+//! [`cloud`] (EC2 deployments, Figs. 5–6). See DESIGN.md §3 for why these
+//! models substitute the paper's hardware and what they preserve.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cloud;
+pub mod cluster;
+pub mod emulation;
+pub mod multicore;
+pub mod platform;
+pub mod wire;
+pub mod workload;
+
+pub use cloud::{heterogeneous, heterogeneous_deployment, single_vm, virtual_cluster};
+pub use cluster::{simulate_cluster, ClusterOutcome, ClusterParams};
+pub use emulation::{run_distributed_emulation, EmulatedRun, EmulationError};
+pub use multicore::{simulate_multicore, MulticoreParams, PipelineOutcome};
+pub use platform::{HostProfile, NetworkProfile};
+pub use wire::{from_bytes, to_bytes, RemoteTaskSpec, Wire, WireError, WireReader};
+pub use workload::{CostModel, WorkloadTrace};

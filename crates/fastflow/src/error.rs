@@ -1,0 +1,65 @@
+//! Error type shared by the pattern run-times.
+
+/// Error produced while building or running a stream network.
+#[derive(Debug)]
+pub enum Error {
+    /// A worker/stage thread panicked; the payload message is included when
+    /// it was a `&str` or `String` panic.
+    StagePanicked {
+        /// Name of the node whose thread panicked.
+        stage: String,
+        /// Best-effort panic message.
+        message: String,
+    },
+    /// A pattern was configured with an invalid parameter.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::StagePanicked { stage, message } => {
+                write!(f, "stage `{stage}` panicked: {message}")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias for the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::StagePanicked {
+            stage: "worker-3".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "stage `worker-3` panicked: boom");
+        let e = Error::InvalidConfig("zero workers".into());
+        assert_eq!(e.to_string(), "invalid configuration: zero workers");
+    }
+
+    #[test]
+    fn panic_message_extracts_str_and_string() {
+        assert_eq!(panic_message(Box::new("oops")), "oops");
+        assert_eq!(panic_message(Box::new(String::from("oh no"))), "oh no");
+        assert_eq!(panic_message(Box::new(42u8)), "<non-string panic payload>");
+    }
+}

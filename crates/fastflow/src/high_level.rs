@@ -1,0 +1,240 @@
+//! High-level patterns: parallel-for, map, reduce, map-reduce.
+//!
+//! These correspond to the top layer of FastFlow's stack (paper Fig. 1):
+//! data-parallel abstractions implemented on top of the core farm pattern,
+//! "likewise OpenMP parallel" as the paper puts it. They are deliberately
+//! simple wrappers — the point the paper makes is that such abstractions
+//! *compose from* the core patterns rather than being bespoke run-times.
+
+use crate::farm::{Farm, SchedPolicy};
+use crate::error::Result;
+use crate::node::map_stage;
+use crate::pipeline::Pipeline;
+
+/// Applies `body` to every index in `range`, in parallel, in chunks.
+///
+/// Results are discarded; use [`parallel_map`] to keep them. `chunk`
+/// controls grain size: larger chunks amortise scheduling overhead, smaller
+/// chunks balance load (the same trade-off as the paper's simulation
+/// quantum).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+/// let sum = Arc::new(AtomicU64::new(0));
+/// let s = Arc::clone(&sum);
+/// fastflow::parallel_for(0..1000, 64, 4, move |i| {
+///     s.fetch_add(i, Ordering::Relaxed);
+/// }).unwrap();
+/// assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if a worker thread panicked.
+///
+/// # Panics
+///
+/// Panics if `chunk` or `workers` is zero.
+pub fn parallel_for<F>(
+    range: std::ops::Range<u64>,
+    chunk: usize,
+    workers: usize,
+    body: F,
+) -> Result<()>
+where
+    F: Fn(u64) + Send + Sync + 'static,
+{
+    assert!(chunk > 0, "chunk size must be non-zero");
+    let body = std::sync::Arc::new(body);
+    let chunks = chunk_ranges(range, chunk);
+    let farm = Farm::new(workers, |_| {
+        let body = std::sync::Arc::clone(&body);
+        map_stage(move |r: std::ops::Range<u64>| {
+            for i in r {
+                body(i);
+            }
+        })
+    })
+    .name("parallel_for");
+    Pipeline::from_source(chunks.into_iter())
+        .farm(farm)
+        .run_to_sink(crate::node::sink_fn(|_: ()| {}))?;
+    Ok(())
+}
+
+/// Applies `f` to every element of `items` in parallel, preserving order.
+///
+/// # Errors
+///
+/// Returns an error if a worker thread panicked.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn parallel_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Result<Vec<U>>
+where
+    T: Send + 'static,
+    U: Send + 'static,
+    F: Fn(T) -> U + Send + Sync + 'static,
+{
+    let f = std::sync::Arc::new(f);
+    Pipeline::from_source(items.into_iter())
+        .ordered_farm(workers, |_| {
+            let f = std::sync::Arc::clone(&f);
+            move |x| f(x)
+        })
+        .collect()
+}
+
+/// Reduces `items` in parallel with an associative `combine`, starting from
+/// `identity` in each worker.
+///
+/// `combine` must be associative and `identity` its identity element,
+/// otherwise the result depends on the work partition.
+///
+/// # Errors
+///
+/// Returns an error if a worker thread panicked.
+pub fn parallel_reduce<T, F>(items: Vec<T>, workers: usize, identity: T, combine: F) -> Result<T>
+where
+    T: Send + Clone + 'static,
+    F: Fn(T, T) -> T + Send + Sync + 'static,
+{
+    let combine = std::sync::Arc::new(combine);
+    let chunk = (items.len() / workers.max(1)).max(1);
+    let chunks: Vec<Vec<T>> = items.chunks(chunk).map(|c| c.to_vec()).collect();
+    let partials = {
+        let combine = std::sync::Arc::clone(&combine);
+        parallel_map(chunks, workers, move |chunk: Vec<T>| {
+            chunk.into_iter().reduce(|acc, x| combine(acc, x))
+        })?
+    };
+    Ok(partials
+        .into_iter()
+        .flatten()
+        .fold(identity, |acc, x| combine(acc, x)))
+}
+
+/// Classic map-reduce: maps every item, then reduces the mapped values.
+///
+/// # Errors
+///
+/// Returns an error if a worker thread panicked.
+pub fn map_reduce<T, U, M, R>(
+    items: Vec<T>,
+    workers: usize,
+    map: M,
+    identity: U,
+    reduce: R,
+) -> Result<U>
+where
+    T: Send + 'static,
+    U: Send + Clone + 'static,
+    M: Fn(T) -> U + Send + Sync + 'static,
+    R: Fn(U, U) -> U + Send + Sync + 'static,
+{
+    let mapped = parallel_map(items, workers, map)?;
+    parallel_reduce(mapped, workers, identity, reduce)
+}
+
+/// Splits `range` into consecutive sub-ranges of at most `chunk` indices.
+fn chunk_ranges(range: std::ops::Range<u64>, chunk: usize) -> Vec<std::ops::Range<u64>> {
+    let mut out = Vec::new();
+    let mut lo = range.start;
+    while lo < range.end {
+        let hi = (lo + chunk as u64).min(range.end);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
+/// Runs independent closures in parallel on a farm and returns their
+/// results in submission order.
+///
+/// A small utility used by the simulator's deployment layers.
+///
+/// # Errors
+///
+/// Returns an error if a worker thread panicked.
+pub fn parallel_invoke<U, F>(jobs: Vec<F>, workers: usize) -> Result<Vec<U>>
+where
+    U: Send + 'static,
+    F: FnOnce() -> U + Send + 'static,
+{
+    parallel_map(jobs, workers, |job| job())
+}
+
+/// Re-export of the farm policy for tuning data-parallel grain scheduling.
+pub use crate::farm::SchedPolicy as DataSchedPolicy;
+
+#[allow(unused_imports)]
+use SchedPolicy as _; // keep the policy type linked in rustdoc
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let hits = Arc::new((0..100).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+        let h = Arc::clone(&hits);
+        parallel_for(0..100, 7, 3, move |i| {
+            h[i as usize].fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert!(hits.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_range_is_ok() {
+        parallel_for(5..5, 4, 2, |_| panic!("must not be called")).unwrap();
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100u64).collect(), 4, |x| x * x).unwrap();
+        assert_eq!(out, (0..100u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_reduce_sums() {
+        let total = parallel_reduce((1..=100u64).collect(), 4, 0, |a, b| a + b).unwrap();
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn parallel_reduce_single_worker_matches_sequential() {
+        let total = parallel_reduce(vec![3u32, 1, 4, 1, 5], 1, 0, |a, b| a + b).unwrap();
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn map_reduce_composes() {
+        // Sum of squares of 1..=10 = 385.
+        let out = map_reduce((1..=10u64).collect(), 3, |x| x * x, 0, |a, b| a + b).unwrap();
+        assert_eq!(out, 385);
+    }
+
+    #[test]
+    fn parallel_invoke_returns_in_submission_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..10)
+            .map(|i| Box::new(move || i * 2usize) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = parallel_invoke(jobs, 3).unwrap();
+        assert_eq!(out, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_ranges_covers_range_exactly() {
+        let chunks = chunk_ranges(0..10, 3);
+        assert_eq!(chunks, vec![0..3, 3..6, 6..9, 9..10]);
+        let flat: Vec<u64> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+}

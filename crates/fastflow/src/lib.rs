@@ -1,0 +1,89 @@
+//! # fastflow — pattern-based stream-parallel programming
+//!
+//! A Rust reproduction of the FastFlow C++ framework as described in
+//! *"Exercising high-level parallel programming on streams: a systems
+//! biology use case"* (Aldinucci et al., ICDCS 2014). The crate follows the
+//! paper's layered design (its Fig. 1):
+//!
+//! | Layer | Modules |
+//! |---|---|
+//! | Building blocks | [`spsc`], [`unbounded`], [`channel`], [`backoff`] |
+//! | Core patterns | [`pipeline`], [`farm`], [`master_worker`] (feedback), [`stencil_reduce`] |
+//! | High-level patterns | [`high_level`] (parallel-for, map, reduce, map-reduce) |
+//!
+//! Processing components are threads; channels are lock-free
+//! single-producer single-consumer FIFO queues — the CSP/actor hybrid model
+//! of the paper. Every pattern is generated from user-provided [`node`]
+//! implementations (the white boxes of the paper's figures); dispatching,
+//! gathering, scheduling and feedback plumbing are produced by the pattern
+//! combinators (the grey boxes).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fastflow::farm::Farm;
+//! use fastflow::node::map_stage;
+//! use fastflow::pipeline::Pipeline;
+//!
+//! // pipeline(source, farm(worker × 4), collect)
+//! let mut squares: Vec<u64> = Pipeline::from_source(0..1_000u64)
+//!     .farm(Farm::new(4, |_| map_stage(|x: u64| x * x)))
+//!     .collect()
+//!     .unwrap();
+//! squares.sort_unstable();
+//! assert_eq!(squares.len(), 1_000);
+//! ```
+//!
+//! ## Relation to the paper
+//!
+//! The CWC simulator (crate `cwcsim`) composes these patterns into the
+//! paper's Fig. 2 architecture: a three-stage main pipeline whose first
+//! stage is a master–worker farm of simulation engines with a feedback
+//! channel for quantum rescheduling, and whose second stage is a farm of
+//! statistical engines over sliding windows.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backoff;
+pub mod channel;
+pub mod error;
+pub mod farm;
+pub mod high_level;
+pub mod master_worker;
+pub mod metrics;
+pub mod node;
+pub mod pipeline;
+pub mod spsc;
+pub mod stencil_reduce;
+pub mod unbounded;
+
+pub use error::{Error, Result};
+pub use farm::{Farm, SchedPolicy};
+pub use high_level::{map_reduce, parallel_for, parallel_invoke, parallel_map, parallel_reduce};
+pub use master_worker::{FeedbackWorker, Master, Scheduler};
+pub use metrics::{NodeStats, RunStats};
+pub use node::{
+    filter_stage, flat_stage, map_stage, sink_fn, source_fn, Flow, Outbox, Sink, Source, Stage,
+};
+pub use pipeline::Pipeline;
+pub use stencil_reduce::{CpuExecutor, MapExecutor, SeqExecutor, StencilOutcome, StencilReduce};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<crate::channel::Sender<u32>>();
+        assert_send::<crate::channel::Receiver<u32>>();
+        assert_send::<crate::spsc::SpscQueue<u32>>();
+        assert_send::<crate::unbounded::UnboundedSpsc<u32>>();
+    }
+
+    #[test]
+    fn queues_are_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<crate::spsc::SpscQueue<u32>>();
+        assert_sync::<crate::unbounded::UnboundedSpsc<u32>>();
+    }
+}

@@ -1,0 +1,529 @@
+//! Farm with feedback: the master–worker core pattern.
+//!
+//! The paper's simulation pipeline is a farm whose workers execute one
+//! *simulation quantum* and then "reschedule back the operation along the
+//! feedback channel". This module provides exactly that shape:
+//!
+//! ```text
+//!                ┌────────────── feedback (unbounded) ──────────────┐
+//!                ▼                                                  │
+//! upstream ─▶ master ─▶ task channels (bounded) ─▶ workers ─────────┤
+//!                                                   │ forward       │
+//!                                                   ▼               │
+//!                                              collector ─▶ downstream
+//! ```
+//!
+//! Feedback channels are **unbounded** ([`crate::unbounded`]): a bounded
+//! feedback edge could deadlock the cycle (worker blocked pushing feedback
+//! while the master is blocked pushing a task to that same worker). The
+//! master performs exact in-flight accounting — the run-time notifies it of
+//! every task completion, with or without a feedback payload — which is what
+//! enables the load-rebalancing the paper credits for GPU/CPU portability.
+
+use crate::backoff::Backoff;
+use crate::channel::{self, Receiver, Sender, TryRecvError};
+use crate::node::Outbox;
+use crate::pipeline::{spawn_named, Pipeline};
+
+/// Scheduling interface handed to [`Master`] callbacks.
+#[derive(Debug)]
+pub struct Scheduler<'a, T> {
+    workers: &'a [Sender<T>],
+    inflight: &'a mut [usize],
+    submitted: &'a mut u64,
+}
+
+impl<T: Send> Scheduler<'_, T> {
+    /// Submits `task` to the least-loaded worker (blocking if its queue is
+    /// full).
+    pub fn submit(&mut self, task: T) {
+        let w = self
+            .inflight
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .expect("scheduler has at least one worker");
+        self.submit_to(w, task);
+    }
+
+    /// Submits `task` to worker `w` (blocking if its queue is full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn submit_to(&mut self, w: usize, task: T) {
+        self.inflight[w] += 1;
+        *self.submitted += 1;
+        // A send error means the worker died (panic); accounting still
+        // records the task as in flight, and the join will surface the
+        // panic, so ignoring the error here is safe.
+        let _ = self.workers[w].send(task);
+    }
+
+    /// Number of workers in the farm.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Tasks currently executing or queued at worker `w`.
+    pub fn inflight_at(&self, w: usize) -> usize {
+        self.inflight[w]
+    }
+
+    /// Total tasks in flight across all workers.
+    pub fn inflight(&self) -> usize {
+        self.inflight.iter().sum()
+    }
+
+    /// Total tasks submitted since the farm started.
+    pub fn submitted(&self) -> u64 {
+        *self.submitted
+    }
+}
+
+/// User logic of the master (emitter-with-feedback) node.
+pub trait Master: Send + 'static {
+    /// Items arriving from upstream.
+    type In: Send + 'static;
+    /// Tasks dispatched to workers.
+    type Task: Send + 'static;
+    /// Feedback payloads returned by workers.
+    type Fb: Send + 'static;
+
+    /// Handles one upstream item, typically by submitting task(s).
+    fn on_upstream(&mut self, item: Self::In, sched: &mut Scheduler<'_, Self::Task>);
+
+    /// Handles one worker feedback payload (e.g. reschedules an incomplete
+    /// simulation task).
+    fn on_feedback(&mut self, fb: Self::Fb, sched: &mut Scheduler<'_, Self::Task>);
+
+    /// Called when upstream is exhausted and no task is in flight.
+    ///
+    /// Return `true` to terminate the farm; return `false` after submitting
+    /// more work to keep it running. The default terminates.
+    fn on_idle(&mut self, sched: &mut Scheduler<'_, Self::Task>) -> bool {
+        let _ = sched;
+        true
+    }
+}
+
+/// User logic of a worker in a feedback farm.
+pub trait FeedbackWorker: Send + 'static {
+    /// Tasks received from the master.
+    type Task: Send + 'static;
+    /// Feedback payload sent back to the master.
+    type Fb: Send + 'static;
+    /// Items forwarded to the collector (and on downstream).
+    type Out: Send + 'static;
+
+    /// Called once before the first task.
+    fn on_start(&mut self) {}
+
+    /// Executes one task; may forward items downstream via `out` and may
+    /// return a feedback payload for the master (e.g. the continuation of an
+    /// incomplete simulation).
+    fn on_task(&mut self, task: Self::Task, out: &mut Outbox<'_, Self::Out>)
+        -> Option<Self::Fb>;
+
+    /// Called once after the last task.
+    fn on_end(&mut self, out: &mut Outbox<'_, Self::Out>) {
+        let _ = out;
+    }
+}
+
+/// Completion notice sent by the worker run-time to the master.
+struct Notice<Fb> {
+    worker: usize,
+    payload: Option<Fb>,
+}
+
+impl<T: Send + 'static> Pipeline<T> {
+    /// Appends a master–worker farm with feedback to the pipeline.
+    ///
+    /// `workers` supplies one [`FeedbackWorker`] per farm worker; `master`
+    /// schedules tasks in response to upstream items and feedback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is empty.
+    pub fn master_worker_farm<M, W>(mut self, master: M, workers: Vec<W>) -> Pipeline<W::Out>
+    where
+        M: Master<In = T>,
+        W: FeedbackWorker<Task = M::Task, Fb = M::Fb>,
+    {
+        assert!(!workers.is_empty(), "a farm needs at least one worker");
+        let n = workers.len();
+        let name = "mwfarm";
+
+        // Master -> workers (bounded, 1 slot: on-demand semantics).
+        let mut task_tx = Vec::with_capacity(n);
+        let mut task_rx = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::bounded::<M::Task>(1);
+            task_tx.push(tx);
+            task_rx.push(rx);
+        }
+        // Workers -> master (unbounded feedback).
+        let mut fb_tx = Vec::with_capacity(n);
+        let mut fb_rx = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::unbounded::<Notice<M::Fb>>();
+            fb_tx.push(tx);
+            fb_rx.push(rx);
+        }
+        // Workers -> collector.
+        let mut out_tx = Vec::with_capacity(n);
+        let mut out_rx = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::bounded::<W::Out>(self.capacity);
+            out_tx.push(tx);
+            out_rx.push(rx);
+        }
+        // Collector -> downstream.
+        let (down_tx, down_rx) = channel::bounded(self.capacity);
+
+        // Master thread.
+        let upstream = self.rx;
+        let master_name = format!("{name}.master");
+        let handle = spawn_named(master_name.clone(), move || {
+            run_master(master, upstream, task_tx, fb_rx);
+        });
+        self.handles.push((master_name, handle));
+
+        // Worker threads.
+        for (i, ((worker, rx), (fb, out))) in workers
+            .into_iter()
+            .zip(task_rx)
+            .zip(fb_tx.into_iter().zip(out_tx))
+            .enumerate()
+        {
+            let wname = format!("{name}.worker.{i}");
+            let handle = spawn_named(wname.clone(), move || {
+                run_feedback_worker(i, worker, rx, fb, out);
+            });
+            self.handles.push((wname, handle));
+        }
+
+        // Collector thread (same merge as the plain farm).
+        let collector_name = format!("{name}.collector");
+        let handle = spawn_named(collector_name.clone(), move || {
+            merge_channels(out_rx, down_tx);
+        });
+        self.handles.push((collector_name, handle));
+
+        Pipeline {
+            rx: down_rx,
+            handles: self.handles,
+            stats: self.stats,
+            capacity: self.capacity,
+        }
+    }
+}
+
+fn run_master<M: Master>(
+    mut master: M,
+    upstream: Receiver<M::In>,
+    task_tx: Vec<Sender<M::Task>>,
+    fb_rx: Vec<Receiver<Notice<M::Fb>>>,
+) {
+    let n = task_tx.len();
+    let mut inflight = vec![0usize; n];
+    let mut submitted = 0u64;
+    let mut upstream_open = true;
+    let mut backoff = Backoff::new();
+    loop {
+        let mut progressed = false;
+
+        // 1. Drain feedback first: keeps workers fed with rescheduled tasks
+        //    before admitting new work (the paper's load-balancing strategy).
+        for rx in &fb_rx {
+            while let Ok(notice) = rx.try_recv() {
+                progressed = true;
+                inflight[notice.worker] = inflight[notice.worker].saturating_sub(1);
+                if let Some(fb) = notice.payload {
+                    let mut sched = Scheduler {
+                        workers: &task_tx,
+                        inflight: &mut inflight,
+                        submitted: &mut submitted,
+                    };
+                    master.on_feedback(fb, &mut sched);
+                }
+            }
+        }
+
+        // 2. Admit new upstream work.
+        if upstream_open {
+            match upstream.try_recv() {
+                Ok(item) => {
+                    progressed = true;
+                    let mut sched = Scheduler {
+                        workers: &task_tx,
+                        inflight: &mut inflight,
+                        submitted: &mut submitted,
+                    };
+                    master.on_upstream(item, &mut sched);
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => {
+                    progressed = true;
+                    upstream_open = false;
+                }
+            }
+        }
+
+        // 3. Termination check.
+        if !upstream_open && inflight.iter().all(|&c| c == 0) {
+            let mut sched = Scheduler {
+                workers: &task_tx,
+                inflight: &mut inflight,
+                submitted: &mut submitted,
+            };
+            if master.on_idle(&mut sched) {
+                break;
+            }
+            progressed = true;
+        }
+
+        if progressed {
+            backoff.reset();
+        } else {
+            backoff.wait();
+        }
+    }
+    // Dropping task senders broadcasts EOS to the workers.
+}
+
+fn run_feedback_worker<W: FeedbackWorker>(
+    index: usize,
+    mut worker: W,
+    tasks: Receiver<W::Task>,
+    feedback: Sender<Notice<W::Fb>>,
+    out: Sender<W::Out>,
+) {
+    let mut outbox = Outbox::new(&out);
+    worker.on_start();
+    while let Some(task) = tasks.recv() {
+        let payload = worker.on_task(task, &mut outbox);
+        if feedback
+            .send(Notice {
+                worker: index,
+                payload,
+            })
+            .is_err()
+        {
+            break; // master gone (only possible on panic)
+        }
+        if outbox.is_disconnected() {
+            break;
+        }
+    }
+    worker.on_end(&mut outbox);
+}
+
+/// Merges several channels into one, preserving per-channel order.
+pub(crate) fn merge_channels<T: Send>(inputs: Vec<Receiver<T>>, out: Sender<T>) {
+    let n = inputs.len();
+    let mut done = vec![false; n];
+    let mut remaining = n;
+    let mut backoff = Backoff::new();
+    while remaining > 0 {
+        let mut progressed = false;
+        for (i, rx) in inputs.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            loop {
+                match rx.try_recv() {
+                    Ok(item) => {
+                        progressed = true;
+                        if out.send(item).is_err() {
+                            return;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        done[i] = true;
+                        remaining -= 1;
+                        break;
+                    }
+                }
+            }
+        }
+        if progressed {
+            backoff.reset();
+        } else {
+            backoff.wait();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+
+    /// A task that needs `remaining` quanta; each quantum forwards one
+    /// result item and feeds the task back until done.
+    #[derive(Debug)]
+    struct QuantumTask {
+        id: usize,
+        remaining: u32,
+    }
+
+    struct QuantumMaster;
+
+    impl Master for QuantumMaster {
+        type In = QuantumTask;
+        type Task = QuantumTask;
+        type Fb = QuantumTask;
+
+        fn on_upstream(&mut self, item: QuantumTask, sched: &mut Scheduler<'_, QuantumTask>) {
+            sched.submit(item);
+        }
+
+        fn on_feedback(&mut self, fb: QuantumTask, sched: &mut Scheduler<'_, QuantumTask>) {
+            sched.submit(fb);
+        }
+    }
+
+    struct QuantumWorker;
+
+    impl FeedbackWorker for QuantumWorker {
+        type Task = QuantumTask;
+        type Fb = QuantumTask;
+        type Out = (usize, u32);
+
+        fn on_task(
+            &mut self,
+            mut task: QuantumTask,
+            out: &mut Outbox<'_, (usize, u32)>,
+        ) -> Option<QuantumTask> {
+            task.remaining -= 1;
+            out.push((task.id, task.remaining));
+            if task.remaining > 0 {
+                Some(task)
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn tasks_cycle_until_complete() {
+        let tasks: Vec<QuantumTask> = (0..20)
+            .map(|id| QuantumTask {
+                id,
+                remaining: (id as u32 % 5) + 1,
+            })
+            .collect();
+        let expected_items: usize = tasks.iter().map(|t| t.remaining as usize).sum();
+        let out: Vec<(usize, u32)> = Pipeline::from_source(tasks.into_iter())
+            .master_worker_farm(QuantumMaster, vec![QuantumWorker, QuantumWorker, QuantumWorker])
+            .collect()
+            .unwrap();
+        assert_eq!(out.len(), expected_items);
+        // Every task must emit exactly one item with remaining == 0.
+        let finished: Vec<usize> = out
+            .iter()
+            .filter(|(_, rem)| *rem == 0)
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(finished.len(), 20);
+    }
+
+    #[test]
+    fn per_task_quanta_are_in_order() {
+        let tasks = vec![QuantumTask {
+            id: 7,
+            remaining: 10,
+        }];
+        let out: Vec<(usize, u32)> = Pipeline::from_source(tasks.into_iter())
+            .master_worker_farm(QuantumMaster, vec![QuantumWorker, QuantumWorker])
+            .collect()
+            .unwrap();
+        let rems: Vec<u32> = out.iter().map(|(_, r)| *r).collect();
+        assert_eq!(rems, (0..10).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_feedback_farm_completes() {
+        let tasks: Vec<QuantumTask> = (0..5)
+            .map(|id| QuantumTask { id, remaining: 3 })
+            .collect();
+        let out: Vec<(usize, u32)> = Pipeline::from_source(tasks.into_iter())
+            .master_worker_farm(QuantumMaster, vec![QuantumWorker])
+            .collect()
+            .unwrap();
+        assert_eq!(out.len(), 15);
+    }
+
+    /// Master that generates work in `on_idle` for two extra rounds,
+    /// exercising the keep-alive return value.
+    struct RoundMaster {
+        rounds_left: u32,
+        next_id: usize,
+    }
+
+    impl Master for RoundMaster {
+        type In = QuantumTask;
+        type Task = QuantumTask;
+        type Fb = QuantumTask;
+
+        fn on_upstream(&mut self, item: QuantumTask, sched: &mut Scheduler<'_, QuantumTask>) {
+            sched.submit(item);
+        }
+
+        fn on_feedback(&mut self, fb: QuantumTask, sched: &mut Scheduler<'_, QuantumTask>) {
+            sched.submit(fb);
+        }
+
+        fn on_idle(&mut self, sched: &mut Scheduler<'_, QuantumTask>) -> bool {
+            if self.rounds_left == 0 {
+                return true;
+            }
+            self.rounds_left -= 1;
+            sched.submit(QuantumTask {
+                id: self.next_id,
+                remaining: 1,
+            });
+            self.next_id += 1;
+            false
+        }
+    }
+
+    #[test]
+    fn on_idle_can_extend_the_run() {
+        let tasks = vec![QuantumTask { id: 0, remaining: 1 }];
+        let out: Vec<(usize, u32)> = Pipeline::from_source(tasks.into_iter())
+            .master_worker_farm(
+                RoundMaster {
+                    rounds_left: 2,
+                    next_id: 100,
+                },
+                vec![QuantumWorker, QuantumWorker],
+            )
+            .collect()
+            .unwrap();
+        // 1 upstream task + 2 idle-generated tasks, 1 quantum each.
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().any(|(id, _)| *id == 100));
+        assert!(out.iter().any(|(id, _)| *id == 101));
+    }
+
+    #[test]
+    fn heavy_fan_in_many_tasks_few_workers() {
+        let tasks: Vec<QuantumTask> = (0..300)
+            .map(|id| QuantumTask {
+                id,
+                remaining: 1 + (id as u32 % 3),
+            })
+            .collect();
+        let expected: usize = tasks.iter().map(|t| t.remaining as usize).sum();
+        let out: Vec<(usize, u32)> = Pipeline::from_source(tasks.into_iter())
+            .master_worker_farm(QuantumMaster, vec![QuantumWorker, QuantumWorker])
+            .collect()
+            .unwrap();
+        assert_eq!(out.len(), expected);
+    }
+}

@@ -1,0 +1,442 @@
+//! The pipeline core pattern.
+//!
+//! `Pipeline` is a type-state builder: each combinator spawns the node's
+//! thread immediately and returns a `Pipeline` whose type parameter is the
+//! item type currently flowing out of the network's tail. Stages are
+//! connected by bounded SPSC channels ([`crate::channel`]), so backpressure
+//! propagates upstream exactly as in FastFlow's default (blocking-push)
+//! configuration.
+//!
+//! # Examples
+//!
+//! ```
+//! use fastflow::node::{map_stage, filter_stage};
+//! use fastflow::pipeline::Pipeline;
+//!
+//! let out: Vec<i64> = Pipeline::from_source((0..10i64))
+//!     .stage(map_stage(|x| x * x))
+//!     .stage(filter_stage(|x: &i64| x % 2 == 0))
+//!     .collect()
+//!     .unwrap();
+//! assert_eq!(out, vec![0, 4, 16, 36, 64]);
+//! ```
+
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::channel::{self, Receiver, Sender};
+use crate::error::{panic_message, Error, Result};
+use crate::metrics::{NodeStats, RunStats, StatsCollector};
+use crate::node::{Flow, Outbox, Sink, Source, Stage};
+
+/// Default capacity of inter-stage channels.
+///
+/// FastFlow defaults to short queues between pipeline stages; 64 slots keep
+/// stages decoupled without hiding load imbalance from the schedulers.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// A partially built stream network whose tail currently emits `T`.
+#[derive(Debug)]
+pub struct Pipeline<T: Send + 'static> {
+    pub(crate) rx: Receiver<T>,
+    pub(crate) handles: Vec<(String, JoinHandle<()>)>,
+    pub(crate) stats: StatsCollector,
+    pub(crate) capacity: usize,
+}
+
+impl<T: Send + 'static> Pipeline<T> {
+    /// Starts a network from a [`Source`] with the default channel capacity.
+    pub fn from_source<S>(source: S) -> Pipeline<T>
+    where
+        S: Source<Out = T>,
+    {
+        Pipeline::from_source_with_capacity(source, DEFAULT_CAPACITY)
+    }
+
+    /// Starts a network from a [`Source`] using `capacity` for all channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn from_source_with_capacity<S>(source: S, capacity: usize) -> Pipeline<T>
+    where
+        S: Source<Out = T>,
+    {
+        assert!(capacity > 0, "channel capacity must be non-zero");
+        let stats = StatsCollector::new();
+        let (tx, rx) = channel::bounded(capacity);
+        let name = "pipeline.source".to_owned();
+        let handle = spawn_source(name.clone(), source, tx, stats.clone());
+        Pipeline {
+            rx,
+            handles: vec![(name, handle)],
+            stats,
+            capacity,
+        }
+    }
+
+    /// Appends a named [`Stage`], spawning its thread.
+    pub fn named_stage<St, U>(mut self, name: &str, stage: St) -> Pipeline<U>
+    where
+        U: Send + 'static,
+        St: Stage<In = T, Out = U>,
+    {
+        let (tx, rx) = channel::bounded(self.capacity);
+        let name = name.to_owned();
+        let handle = spawn_stage(name.clone(), stage, self.rx, tx, self.stats.clone());
+        self.handles.push((name, handle));
+        Pipeline {
+            rx,
+            handles: self.handles,
+            stats: self.stats,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Appends a [`Stage`] with an auto-generated name.
+    pub fn stage<St, U>(self, stage: St) -> Pipeline<U>
+    where
+        U: Send + 'static,
+        St: Stage<In = T, Out = U>,
+    {
+        let name = format!("pipeline.stage.{}", self.handles.len());
+        self.named_stage(&name, stage)
+    }
+
+    /// Terminates the network with a [`Sink`] and runs it to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::StagePanicked`] if any node thread panicked.
+    pub fn run_to_sink<Sk>(mut self, sink: Sk) -> Result<RunStats>
+    where
+        Sk: Sink<In = T>,
+    {
+        let name = "pipeline.sink".to_owned();
+        let handle = spawn_sink(name.clone(), sink, self.rx, self.stats.clone());
+        self.handles.push((name, handle));
+        join_all(self.handles)?;
+        Ok(self.stats.finish())
+    }
+
+    /// Runs the network, collecting every emitted item into a `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::StagePanicked`] if any node thread panicked.
+    pub fn collect(self) -> Result<Vec<T>> {
+        let (items, _stats) = self.collect_with_stats()?;
+        Ok(items)
+    }
+
+    /// Like [`collect`](Pipeline::collect) but also returns run statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::StagePanicked`] if any node thread panicked.
+    pub fn collect_with_stats(self) -> Result<(Vec<T>, RunStats)> {
+        let mut items = Vec::new();
+        for item in self.rx.iter() {
+            items.push(item);
+        }
+        join_all(self.handles)?;
+        Ok((items, self.stats.finish()))
+    }
+
+    /// Detaches the tail channel for manual consumption.
+    ///
+    /// The returned [`PipelineHandle`] must be joined after the receiver is
+    /// drained to surface panics and obtain statistics.
+    pub fn into_receiver(self) -> (Receiver<T>, PipelineHandle) {
+        (
+            self.rx,
+            PipelineHandle {
+                handles: self.handles,
+                stats: self.stats,
+            },
+        )
+    }
+}
+
+/// Join handle for a detached pipeline; see [`Pipeline::into_receiver`].
+#[derive(Debug)]
+pub struct PipelineHandle {
+    handles: Vec<(String, JoinHandle<()>)>,
+    stats: StatsCollector,
+}
+
+impl PipelineHandle {
+    /// Waits for every node thread and returns the run statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::StagePanicked`] if any node thread panicked.
+    pub fn join(self) -> Result<RunStats> {
+        join_all(self.handles)?;
+        Ok(self.stats.finish())
+    }
+}
+
+pub(crate) fn join_all(handles: Vec<(String, JoinHandle<()>)>) -> Result<()> {
+    let mut first_panic = None;
+    for (name, handle) in handles {
+        if let Err(payload) = handle.join() {
+            let err = Error::StagePanicked {
+                stage: name,
+                message: panic_message(payload),
+            };
+            first_panic.get_or_insert(err);
+        }
+    }
+    match first_panic {
+        Some(err) => Err(err),
+        None => Ok(()),
+    }
+}
+
+pub(crate) fn spawn_source<S>(
+    name: String,
+    mut source: S,
+    tx: Sender<S::Out>,
+    stats: StatsCollector,
+) -> JoinHandle<()>
+where
+    S: Source,
+{
+    spawn_named(name.clone(), move || {
+        let start = Instant::now();
+        let mut busy = Duration::ZERO;
+        let mut produced = 0u64;
+        source.on_start();
+        loop {
+            let t0 = Instant::now();
+            let item = source.next_item();
+            busy += t0.elapsed();
+            match item {
+                Some(item) => {
+                    if tx.send(item).is_err() {
+                        break; // downstream gone: stop producing
+                    }
+                    produced += 1;
+                }
+                None => break,
+            }
+        }
+        stats.record(NodeStats {
+            name,
+            items_in: 0,
+            items_out: produced,
+            busy,
+            wall: start.elapsed(),
+        });
+    })
+}
+
+pub(crate) fn spawn_stage<St>(
+    name: String,
+    mut stage: St,
+    rx: Receiver<St::In>,
+    tx: Sender<St::Out>,
+    stats: StatsCollector,
+) -> JoinHandle<()>
+where
+    St: Stage,
+{
+    spawn_named(name.clone(), move || {
+        let start = Instant::now();
+        let mut busy = Duration::ZERO;
+        let mut items_in = 0u64;
+        let mut outbox = Outbox::new(&tx);
+        stage.on_start();
+        while let Some(item) = rx.recv() {
+            items_in += 1;
+            let t0 = Instant::now();
+            let flow = stage.on_item(item, &mut outbox);
+            busy += t0.elapsed();
+            if flow == Flow::Break || outbox.is_disconnected() {
+                break;
+            }
+        }
+        let t0 = Instant::now();
+        stage.on_end(&mut outbox);
+        busy += t0.elapsed();
+        let items_out = outbox.pushed();
+        drop(outbox);
+        stats.record(NodeStats {
+            name,
+            items_in,
+            items_out,
+            busy,
+            wall: start.elapsed(),
+        });
+    })
+}
+
+pub(crate) fn spawn_sink<Sk>(
+    name: String,
+    mut sink: Sk,
+    rx: Receiver<Sk::In>,
+    stats: StatsCollector,
+) -> JoinHandle<()>
+where
+    Sk: Sink,
+{
+    spawn_named(name.clone(), move || {
+        let start = Instant::now();
+        let mut busy = Duration::ZERO;
+        let mut items_in = 0u64;
+        sink.on_start();
+        while let Some(item) = rx.recv() {
+            items_in += 1;
+            let t0 = Instant::now();
+            let flow = sink.on_item(item);
+            busy += t0.elapsed();
+            if flow == Flow::Break {
+                break;
+            }
+        }
+        let t0 = Instant::now();
+        sink.on_end();
+        busy += t0.elapsed();
+        stats.record(NodeStats {
+            name,
+            items_in,
+            items_out: 0,
+            busy,
+            wall: start.elapsed(),
+        });
+    })
+}
+
+pub(crate) fn spawn_named<F>(name: String, f: F) -> JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(f)
+        .expect("failed to spawn node thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{flat_stage, map_stage, sink_fn};
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn identity_pipeline_preserves_order() {
+        let out: Vec<u32> = Pipeline::from_source(0..100u32).collect().unwrap();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn three_stage_pipeline_composes() {
+        let out: Vec<i64> = Pipeline::from_source(1..=5i64)
+            .stage(map_stage(|x| x * 10))
+            .stage(map_stage(|x| x + 1))
+            .collect()
+            .unwrap();
+        assert_eq!(out, vec![11, 21, 31, 41, 51]);
+    }
+
+    #[test]
+    fn sink_consumes_everything() {
+        let total = Arc::new(AtomicI64::new(0));
+        let t = Arc::clone(&total);
+        let stats = Pipeline::from_source(1..=100i64)
+            .run_to_sink(sink_fn(move |x: i64| {
+                t.fetch_add(x, Ordering::Relaxed);
+            }))
+            .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+        assert_eq!(stats.node("pipeline.sink").unwrap().items_in, 100);
+    }
+
+    #[test]
+    fn flat_stage_expands_stream() {
+        let out: Vec<u32> = Pipeline::from_source(vec![2u32, 3].into_iter())
+            .stage(flat_stage(|n: u32, out: &mut crate::node::Outbox<'_, u32>| {
+                for _ in 0..n {
+                    out.push(n);
+                }
+            }))
+            .collect()
+            .unwrap();
+        assert_eq!(out, vec![2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn stage_panic_is_reported_with_name() {
+        let result = Pipeline::from_source(0..10u32)
+            .named_stage(
+                "exploder",
+                map_stage(|x: u32| {
+                    if x == 5 {
+                        panic!("kaboom");
+                    }
+                    x
+                }),
+            )
+            .collect();
+        match result {
+            Err(Error::StagePanicked { stage, message }) => {
+                assert_eq!(stage, "exploder");
+                assert_eq!(message, "kaboom");
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_report_source_and_stage_counts() {
+        let (out, stats) = Pipeline::from_source(0..50u32)
+            .named_stage("double", map_stage(|x| x * 2))
+            .collect_with_stats()
+            .unwrap();
+        assert_eq!(out.len(), 50);
+        assert_eq!(stats.node("pipeline.source").unwrap().items_out, 50);
+        assert_eq!(stats.node("double").unwrap().items_in, 50);
+    }
+
+    #[test]
+    fn into_receiver_allows_manual_drain() {
+        let (rx, handle) = Pipeline::from_source(0..10u32).into_receiver();
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got.len(), 10);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn tiny_capacity_still_completes() {
+        let out: Vec<u32> = Pipeline::from_source_with_capacity(0..1000u32, 1)
+            .stage(map_stage(|x| x))
+            .collect()
+            .unwrap();
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn early_sink_break_stops_network() {
+        let stats = Pipeline::from_source(0..u32::MAX)
+            .run_to_sink(BreakAfter { left: 10 })
+            .unwrap();
+        assert_eq!(stats.node("pipeline.sink").unwrap().items_in, 10);
+
+        struct BreakAfter {
+            left: u32,
+        }
+        impl crate::node::Sink for BreakAfter {
+            type In = u32;
+            fn on_item(&mut self, _item: u32) -> Flow {
+                self.left -= 1;
+                if self.left == 0 {
+                    Flow::Break
+                } else {
+                    Flow::Continue
+                }
+            }
+        }
+    }
+}

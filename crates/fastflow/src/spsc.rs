@@ -1,0 +1,310 @@
+//! Bounded lock-free single-producer single-consumer FIFO queue.
+//!
+//! This is the FastFlow *building block*: a wait-free Lamport ring buffer
+//! with cache-line padded indices and cached counterpart indices, so that in
+//! the common case a `push` touches only producer-local state and a `pop`
+//! only consumer-local state. All higher-level channels (and therefore every
+//! pattern in this crate) are built from this queue, mirroring the layered
+//! design in the paper (building blocks → core patterns → high-level
+//! patterns).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// Error returned by [`SpscQueue::try_push`] when the ring is full.
+///
+/// The rejected value is handed back so the caller can retry without cloning.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+impl<T> std::fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "queue is full")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for PushError<T> {}
+
+/// A bounded wait-free SPSC FIFO ring buffer.
+///
+/// The queue stores up to `capacity` elements (rounded up to a power of two).
+/// Exactly one thread may push and exactly one thread may pop; this is not
+/// enforced by the queue itself but by the [`crate::channel`] wrappers, which
+/// own each side. Using the raw queue from more than one thread per side is
+/// a logic error that the safe wrappers make impossible.
+///
+/// # Examples
+///
+/// ```
+/// use fastflow::spsc::SpscQueue;
+///
+/// let q = SpscQueue::new(4);
+/// assert!(unsafe { q.try_push(1u32) }.is_ok());
+/// assert_eq!(unsafe { q.try_pop() }, Some(1));
+/// assert_eq!(unsafe { q.try_pop() }, None);
+/// ```
+pub struct SpscQueue<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot to write (owned by producer, read by consumer).
+    tail: CachePadded<AtomicUsize>,
+    /// Next slot to read (owned by consumer, read by producer).
+    head: CachePadded<AtomicUsize>,
+    /// Producer-local cache of `head` to avoid cross-core traffic.
+    cached_head: CachePadded<UnsafeCell<usize>>,
+    /// Consumer-local cache of `tail` to avoid cross-core traffic.
+    cached_tail: CachePadded<UnsafeCell<usize>>,
+    closed: AtomicBool,
+}
+
+// SAFETY: the queue transfers `T` values across threads; both sides may hold
+// a reference concurrently, hence `T: Send` is required for both bounds.
+unsafe impl<T: Send> Send for SpscQueue<T> {}
+unsafe impl<T: Send> Sync for SpscQueue<T> {}
+
+impl<T> SpscQueue<T> {
+    /// Creates a queue with at least `capacity` slots (power-of-two rounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "SPSC queue capacity must be non-zero");
+        let cap = capacity.next_power_of_two();
+        let buf = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SpscQueue {
+            buf,
+            mask: cap - 1,
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            head: CachePadded::new(AtomicUsize::new(0)),
+            cached_head: CachePadded::new(UnsafeCell::new(0)),
+            cached_tail: CachePadded::new(UnsafeCell::new(0)),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Snapshot of the number of queued elements.
+    ///
+    /// Exact only when called while both sides are quiescent; otherwise it is
+    /// a consistent-at-some-instant estimate, which is all the schedulers
+    /// need.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// True when no element is currently queued (same caveat as [`len`]).
+    ///
+    /// [`len`]: SpscQueue::len
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks the queue closed; consumers treat empty+closed as end-of-stream.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// True once [`close`](SpscQueue::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Attempts to enqueue `value`, failing if the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError`] carrying `value` back when the queue is full.
+    ///
+    /// # Safety
+    ///
+    /// Must be called from at most one producer thread at a time.
+    pub unsafe fn try_push(&self, value: T) -> Result<(), PushError<T>> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let cached_head = &mut *self.cached_head.get();
+        if tail.wrapping_sub(*cached_head) == self.capacity() {
+            *cached_head = self.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(*cached_head) == self.capacity() {
+                return Err(PushError(value));
+            }
+        }
+        let slot = &self.buf[tail & self.mask];
+        (*slot.get()).write(value);
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Attempts to dequeue, returning `None` if the ring is empty.
+    ///
+    /// # Safety
+    ///
+    /// Must be called from at most one consumer thread at a time.
+    pub unsafe fn try_pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let cached_tail = &mut *self.cached_tail.get();
+        if *cached_tail == head {
+            *cached_tail = self.tail.load(Ordering::Acquire);
+            if *cached_tail == head {
+                return None;
+            }
+        }
+        let slot = &self.buf[head & self.mask];
+        let value = (*slot.get()).assume_init_read();
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+}
+
+impl<T> Drop for SpscQueue<T> {
+    fn drop(&mut self) {
+        // Drain any elements left behind so their destructors run.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        let mut i = head;
+        while i != tail {
+            let slot = &self.buf[i & self.mask];
+            // SAFETY: slots in [head, tail) were written and never read.
+            unsafe { (*slot.get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SpscQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpscQueue")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let q = SpscQueue::new(8);
+        for i in 0..8 {
+            assert!(unsafe { q.try_push(i) }.is_ok());
+        }
+        assert!(unsafe { q.try_push(99) }.is_err());
+        for i in 0..8 {
+            assert_eq!(unsafe { q.try_pop() }, Some(i));
+        }
+        assert_eq!(unsafe { q.try_pop() }, None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let q = SpscQueue::<u8>::new(5);
+        assert_eq!(q.capacity(), 8);
+        let q = SpscQueue::<u8>::new(8);
+        assert_eq!(q.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = SpscQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let q = SpscQueue::new(4);
+        assert!(q.is_empty());
+        unsafe {
+            q.try_push(1).unwrap();
+            q.try_push(2).unwrap();
+        }
+        assert_eq!(q.len(), 2);
+        unsafe { q.try_pop() };
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn close_flag_is_visible() {
+        let q = SpscQueue::<u8>::new(2);
+        assert!(!q.is_closed());
+        q.close();
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn drop_runs_destructors_of_queued_elements() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q = SpscQueue::new(4);
+            unsafe {
+                q.try_push(Counted).unwrap();
+                q.try_push(Counted).unwrap();
+                // Pop one so head advances past an already-dropped slot.
+                drop(q.try_pop());
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let q = SpscQueue::new(2);
+        for round in 0..1000u32 {
+            unsafe {
+                q.try_push(round).unwrap();
+                assert_eq!(q.try_pop(), Some(round));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_fifo_order_preserved() {
+        let q = Arc::new(SpscQueue::new(16));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    loop {
+                        if unsafe { q.try_push(i) }.is_ok() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let mut expected = 0u64;
+        while expected < 50_000 {
+            if let Some(v) = unsafe { q.try_pop() } {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! Unbounded lock-free single-producer single-consumer FIFO queue.
+//!
+//! Reproduction of FastFlow's *uSPSC* design (Aldinucci et al., Euro-Par
+//! 2012, reference \[3\] in the paper): a linked list of fixed-size SPSC
+//! ring segments. The producer appends a fresh segment when the current one
+//! fills; the consumer recycles drained segments through a bounded freelist
+//! so steady-state operation performs no allocation. Feedback channels in
+//! master–worker farms use this queue because bounding them could deadlock
+//! the cycle (worker blocked pushing feedback while the master is blocked
+//! pushing a task to that worker).
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+use crate::spsc::SpscQueue;
+
+/// Number of elements per segment; large enough to amortise the pointer
+/// chase, small enough to keep latency of segment recycling low.
+const SEGMENT_CAPACITY: usize = 512;
+/// Maximum number of drained segments kept for reuse.
+const FREELIST_CAPACITY: usize = 8;
+
+struct Segment<T> {
+    ring: SpscQueue<T>,
+    next: AtomicPtr<Segment<T>>,
+}
+
+impl<T> Segment<T> {
+    fn boxed() -> Box<Self> {
+        Box::new(Segment {
+            ring: SpscQueue::new(SEGMENT_CAPACITY),
+            next: AtomicPtr::new(ptr::null_mut()),
+        })
+    }
+}
+
+/// An unbounded SPSC FIFO queue built from linked ring segments.
+///
+/// Like [`SpscQueue`], one thread pushes and one thread pops; the safe
+/// [`crate::channel`] wrappers enforce that discipline.
+///
+/// # Examples
+///
+/// ```
+/// use fastflow::unbounded::UnboundedSpsc;
+///
+/// let q = UnboundedSpsc::new();
+/// for i in 0..10_000u32 {
+///     unsafe { q.push(i) };
+/// }
+/// assert_eq!(unsafe { q.try_pop() }, Some(0));
+/// ```
+pub struct UnboundedSpsc<T> {
+    /// Segment currently written by the producer.
+    write: CachePadded<UnsafeCell<*mut Segment<T>>>,
+    /// Segment currently read by the consumer.
+    read: CachePadded<UnsafeCell<*mut Segment<T>>>,
+    /// Recycled segments; single-producer (consumer side) single-consumer
+    /// (producer side), so an SPSC ring of raw pointers fits exactly.
+    freelist: SpscQueue<*mut Segment<T>>,
+    len: CachePadded<AtomicUsize>,
+    closed: AtomicBool,
+}
+
+// SAFETY: values of `T` cross threads; raw segment pointers are owned
+// exclusively by one side at a time by construction.
+unsafe impl<T: Send> Send for UnboundedSpsc<T> {}
+unsafe impl<T: Send> Sync for UnboundedSpsc<T> {}
+
+impl<T> UnboundedSpsc<T> {
+    /// Creates an empty queue with one pre-allocated segment.
+    pub fn new() -> Self {
+        let seg = Box::into_raw(Segment::boxed());
+        UnboundedSpsc {
+            write: CachePadded::new(UnsafeCell::new(seg)),
+            read: CachePadded::new(UnsafeCell::new(seg)),
+            freelist: SpscQueue::new(FREELIST_CAPACITY),
+            len: CachePadded::new(AtomicUsize::new(0)),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of queued elements (racy snapshot, like [`SpscQueue::len`]).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when no element is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks the queue closed; empty+closed means end-of-stream.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// True once [`close`](UnboundedSpsc::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Enqueues `value`; never fails and never blocks (allocates at worst).
+    ///
+    /// # Safety
+    ///
+    /// Must be called from at most one producer thread at a time.
+    pub unsafe fn push(&self, value: T) {
+        let write = &mut *self.write.get();
+        let seg = &**write;
+        match seg.ring.try_push(value) {
+            Ok(()) => {}
+            Err(crate::spsc::PushError(value)) => {
+                // Current segment full: grab a recycled segment or allocate.
+                let fresh = match self.freelist.try_pop() {
+                    Some(p) => p,
+                    None => Box::into_raw(Segment::boxed()),
+                };
+                (*fresh)
+                    .ring
+                    .try_push(value)
+                    .unwrap_or_else(|_| unreachable!("fresh segment cannot be full"));
+                // Publish the new segment *after* it contains the element so
+                // the consumer never observes an empty successor.
+                seg.next.store(fresh, Ordering::Release);
+                *write = fresh;
+            }
+        }
+        self.len.fetch_add(1, Ordering::Release);
+    }
+
+    /// Dequeues the oldest element, or `None` when the queue is empty.
+    ///
+    /// # Safety
+    ///
+    /// Must be called from at most one consumer thread at a time.
+    pub unsafe fn try_pop(&self) -> Option<T> {
+        let read = &mut *self.read.get();
+        let seg = &**read;
+        if let Some(v) = seg.ring.try_pop() {
+            self.len.fetch_sub(1, Ordering::Release);
+            return Some(v);
+        }
+        // Current segment drained; move on only when a successor exists and
+        // re-check the ring first (producer may have raced a push into it
+        // before linking the successor).
+        let next = seg.next.load(Ordering::Acquire);
+        if next.is_null() {
+            return None;
+        }
+        if let Some(v) = seg.ring.try_pop() {
+            self.len.fetch_sub(1, Ordering::Release);
+            return Some(v);
+        }
+        let old = *read;
+        *read = next;
+        // Recycle the drained segment, or free it if the freelist is full.
+        (*old).next.store(ptr::null_mut(), Ordering::Relaxed);
+        if self.freelist.try_push(old).is_err() {
+            drop(Box::from_raw(old));
+        }
+        let v = (**read).ring.try_pop();
+        if v.is_some() {
+            self.len.fetch_sub(1, Ordering::Release);
+        }
+        v
+    }
+}
+
+impl<T> Default for UnboundedSpsc<T> {
+    fn default() -> Self {
+        UnboundedSpsc::new()
+    }
+}
+
+impl<T> Drop for UnboundedSpsc<T> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` guarantees exclusive access to both ends.
+        unsafe {
+            let mut seg = *self.read.get();
+            while !seg.is_null() {
+                let next = (*seg).next.load(Ordering::Relaxed);
+                drop(Box::from_raw(seg)); // SpscQueue::drop drains elements
+                seg = next;
+            }
+            while let Some(p) = self.freelist.try_pop() {
+                drop(Box::from_raw(p));
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for UnboundedSpsc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnboundedSpsc")
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_within_one_segment() {
+        let q = UnboundedSpsc::new();
+        unsafe {
+            q.push(1u32);
+            q.push(2);
+            assert_eq!(q.try_pop(), Some(1));
+            assert_eq!(q.try_pop(), Some(2));
+            assert_eq!(q.try_pop(), None);
+        }
+    }
+
+    #[test]
+    fn crosses_segment_boundaries_in_order() {
+        let q = UnboundedSpsc::new();
+        let n = SEGMENT_CAPACITY * 3 + 7;
+        unsafe {
+            for i in 0..n {
+                q.push(i);
+            }
+            assert_eq!(q.len(), n);
+            for i in 0..n {
+                assert_eq!(q.try_pop(), Some(i));
+            }
+            assert_eq!(q.try_pop(), None);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_recycles_segments() {
+        let q = UnboundedSpsc::new();
+        unsafe {
+            for round in 0..10 {
+                for i in 0..SEGMENT_CAPACITY + 1 {
+                    q.push(round * 10_000 + i);
+                }
+                for i in 0..SEGMENT_CAPACITY + 1 {
+                    assert_eq!(q.try_pop(), Some(round * 10_000 + i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_with_queued_elements_runs_destructors() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let n = SEGMENT_CAPACITY + 100;
+        {
+            let q = UnboundedSpsc::new();
+            unsafe {
+                for _ in 0..n {
+                    q.push(Counted);
+                }
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn concurrent_fifo_order_across_segments() {
+        let q = Arc::new(UnboundedSpsc::new());
+        let total = 100_000u64;
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..total {
+                    unsafe { q.push(i) };
+                    if i % 4096 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let mut expected = 0u64;
+        while expected < total {
+            if let Some(v) = unsafe { q.try_pop() } {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # gillespie — stochastic simulation over CWC terms
+//!
+//! The stochastic engine of the CWC simulator (Aldinucci et al., ICDCS
+//! 2014): Gillespie's exact direct method generalised to Calculus of
+//! Wrapped Compartments terms, with the quantum-based execution model the
+//! paper's farm of simulation engines relies on.
+//!
+//! - [`ssa`]: the exact engine ([`SsaEngine`]) with pending-event
+//!   preservation, so slicing a run into scheduler quanta never changes the
+//!   trajectory; plus the τ-grid [`SampleClock`];
+//! - [`trajectory`]: samples, trajectories and time-aligned [`Cut`]s;
+//! - [`first_reaction`]: Gillespie's first-reaction method, an alternative
+//!   exact sampler used as a distributional oracle (extension);
+//! - [`tau_leap`]: approximate Poisson leaping for flat models (an
+//!   extension beyond the paper, in the spirit of StochKit);
+//! - [`rng`]: deterministic per-instance seeding, making every execution
+//!   back-end (multicore, distributed, simulated GPGPU) produce identical
+//!   trajectories for identical seeds.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod first_reaction;
+pub mod rng;
+pub mod ssa;
+pub mod tau_leap;
+pub mod trajectory;
+
+pub use first_reaction::FirstReactionEngine;
+pub use rng::{instance_seed, sim_rng, SimRng};
+pub use ssa::{Reaction, SampleClock, SsaEngine, StepOutcome};
+pub use tau_leap::{TauLeapEngine, TauLeapError};
+pub use trajectory::{cuts_from_samples, Cut, Sample, Trajectory};

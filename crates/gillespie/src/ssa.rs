@@ -1,0 +1,533 @@
+//! Gillespie's direct method over CWC terms.
+//!
+//! "The Gillespie algorithm realises a Monte Carlo simulation on repeated
+//! random sampling to compute the result. Each individual simulation is
+//! called a trajectory." On CWC, one step is: enumerate the sites of the
+//! term, compute each rule's propensity at each matching site (rate × tree
+//! match count), draw the exponential waiting time and the reaction, then
+//! rewrite the term in place at the chosen site.
+//!
+//! ## Quantum-exact execution
+//!
+//! The simulator advances engines in *quanta* (the paper's simulation
+//! quantum): a worker runs an instance up to a time horizon, then the task
+//! is rescheduled. This engine keeps the drawn-but-not-yet-fired event
+//! across quantum boundaries, so a trajectory is **bit-for-bit identical**
+//! no matter how the run is sliced into quanta — the property the
+//! integration tests use to check that multicore, distributed and GPU
+//! execution paths agree exactly.
+
+use std::sync::Arc;
+
+use cwc::matching::{apply_at, choose_assignment, match_count};
+use cwc::model::Model;
+use cwc::term::{Path, Term};
+use rand::Rng;
+
+use crate::rng::{sim_rng, SimRng};
+
+/// One enabled (rule, site) pair with its propensity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reaction {
+    /// Index into the model's rule list.
+    pub rule: usize,
+    /// Site where the rule is enabled.
+    pub site: Path,
+    /// Propensity `rate * h` at this site.
+    pub propensity: f64,
+}
+
+/// Outcome of one SSA step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepOutcome {
+    /// A reaction fired after waiting `dt`.
+    Fired {
+        /// Index of the rule that fired.
+        rule: usize,
+        /// Site where it fired.
+        site: Path,
+        /// Exponential waiting time that elapsed.
+        dt: f64,
+    },
+    /// No reaction is enabled; the state is absorbing.
+    Exhausted,
+}
+
+/// A single stochastic simulation instance over a CWC term.
+///
+/// # Examples
+///
+/// ```
+/// use cwc::model::Model;
+/// use gillespie::ssa::SsaEngine;
+/// use std::sync::Arc;
+///
+/// let mut m = Model::new("decay");
+/// let a = m.species("A");
+/// m.rule("decay").consumes("A", 1).rate(1.0).build().unwrap();
+/// m.initial.add_atoms(a, 10);
+///
+/// let mut engine = SsaEngine::new(Arc::new(m), 42, 0);
+/// let steps = engine.run_until(1_000.0);
+/// assert_eq!(steps, 10); // all 10 molecules eventually decay
+/// assert_eq!(engine.term().atoms.count(a), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SsaEngine {
+    model: Arc<Model>,
+    term: Term,
+    time: f64,
+    /// Absolute time of the next event, already drawn but not yet fired.
+    /// Preserved across quantum boundaries (see module docs).
+    pending: Option<f64>,
+    rng: SimRng,
+    instance: u64,
+    steps: u64,
+}
+
+impl SsaEngine {
+    /// Creates an engine for `instance`, seeded from `base_seed`.
+    ///
+    /// The initial term is cloned from the model.
+    pub fn new(model: Arc<Model>, base_seed: u64, instance: u64) -> Self {
+        let term = model.initial.clone();
+        SsaEngine {
+            model,
+            term,
+            time: 0.0,
+            pending: None,
+            rng: sim_rng(base_seed, instance),
+            instance,
+            steps: 0,
+        }
+    }
+
+    /// The current term.
+    pub fn term(&self) -> &Term {
+        &self.term
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Instance id of this trajectory.
+    pub fn instance(&self) -> u64 {
+        self.instance
+    }
+
+    /// Total reactions fired so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The model driving this engine.
+    pub fn model(&self) -> &Arc<Model> {
+        &self.model
+    }
+
+    /// Mutable term access for sibling samplers in this crate. Clears any
+    /// pending event: external mutation invalidates the drawn waiting time.
+    pub(crate) fn term_mut(&mut self) -> &mut Term {
+        self.pending = None;
+        &mut self.term
+    }
+
+    /// Evaluates the model's observables on the current term.
+    pub fn observe(&self) -> Vec<u64> {
+        self.model.eval_observables(&self.term)
+    }
+
+    /// Enumerates every enabled reaction with its propensity.
+    pub fn reactions(&self) -> Vec<Reaction> {
+        let mut out = Vec::new();
+        // Walk sites once; check every rule whose label matches the site.
+        self.term.walk_sites(&mut |path, label, site_term| {
+            for (ri, rule) in self.model.rules.iter().enumerate() {
+                if rule.site != label || rule.rate == 0.0 {
+                    continue;
+                }
+                let h = match_count(site_term, &rule.lhs);
+                if h > 0 {
+                    let propensity = rule.law.propensity(rule.rate, h, &site_term.atoms);
+                    if propensity > 0.0 {
+                        out.push(Reaction {
+                            rule: ri,
+                            site: path.clone(),
+                            propensity,
+                        });
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Total propensity `a0` of the current state.
+    pub fn total_propensity(&self) -> f64 {
+        self.reactions().iter().map(|r| r.propensity).sum()
+    }
+
+    /// Absolute time of the next event, drawing it if necessary.
+    ///
+    /// Returns `None` when the state is absorbing (`a0 = 0`).
+    fn next_event_time(&mut self, reactions: &[Reaction]) -> Option<f64> {
+        if let Some(t) = self.pending {
+            return Some(t);
+        }
+        let a0: f64 = reactions.iter().map(|r| r.propensity).sum();
+        if a0 <= 0.0 {
+            return None;
+        }
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let t = self.time + (-u1.ln() / a0);
+        self.pending = Some(t);
+        Some(t)
+    }
+
+    /// Fires the pending event: selects a reaction proportionally to
+    /// propensity and rewrites the term.
+    fn fire(&mut self, reactions: &[Reaction], event_time: f64) -> (usize, Path) {
+        let a0: f64 = reactions.iter().map(|r| r.propensity).sum();
+        let target = self.rng.gen_range(0.0..a0);
+        let mut acc = 0.0;
+        let mut chosen = reactions.len() - 1;
+        for (i, r) in reactions.iter().enumerate() {
+            acc += r.propensity;
+            if target < acc {
+                chosen = i;
+                break;
+            }
+        }
+        let reaction = &reactions[chosen];
+        let rule = &self.model.rules[reaction.rule];
+        let site_term = self.term.site(&reaction.site).expect("site exists");
+        let u3: f64 = self.rng.gen_range(0.0..1.0);
+        let assignment =
+            choose_assignment(site_term, &rule.lhs, u3).expect("reaction was enabled");
+        apply_at(&mut self.term, rule, &reaction.site, &assignment)
+            .expect("chosen assignment applies");
+        self.time = event_time;
+        self.pending = None;
+        self.steps += 1;
+        (reaction.rule, reaction.site.clone())
+    }
+
+    /// Executes one SSA step (direct method).
+    pub fn step(&mut self) -> StepOutcome {
+        let reactions = self.reactions();
+        match self.next_event_time(&reactions) {
+            None => StepOutcome::Exhausted,
+            Some(t) => {
+                let dt = t - self.time;
+                let (rule, site) = self.fire(&reactions, t);
+                StepOutcome::Fired { rule, site, dt }
+            }
+        }
+    }
+
+    /// Runs until simulation time reaches `t_end` (or the state absorbs);
+    /// returns the number of reactions fired.
+    ///
+    /// An event drawn beyond `t_end` is kept pending and fires in a later
+    /// quantum, so slicing a run into quanta leaves the trajectory
+    /// unchanged.
+    pub fn run_until(&mut self, t_end: f64) -> u64 {
+        let mut fired = 0;
+        while self.time < t_end {
+            let reactions = self.reactions();
+            match self.next_event_time(&reactions) {
+                None => {
+                    self.time = t_end;
+                    break;
+                }
+                Some(t) if t > t_end => {
+                    self.time = t_end;
+                    break;
+                }
+                Some(t) => {
+                    self.fire(&reactions, t);
+                    fired += 1;
+                }
+            }
+        }
+        fired
+    }
+
+    /// Runs until `t_end`, invoking `on_sample(t, observables)` at every
+    /// grid time `clock` yields within the interval. Returns reactions
+    /// fired.
+    ///
+    /// Samples report the state *in force* at the sample time (the state
+    /// before the event that crosses it), which is the standard alignment
+    /// convention for piecewise-constant SSA trajectories — and exactly the
+    /// "alignment of trajectories" contract of the simulation pipeline.
+    pub fn run_sampled<F>(&mut self, t_end: f64, clock: &mut SampleClock, mut on_sample: F) -> u64
+    where
+        F: FnMut(f64, &[u64]),
+    {
+        let mut fired = 0;
+        loop {
+            let reactions = self.reactions();
+            let t_next = self
+                .next_event_time(&reactions)
+                .unwrap_or(f64::INFINITY);
+            // Emit all samples that fall before the next event and within
+            // the quantum.
+            let horizon = t_next.min(t_end);
+            while let Some(ts) = clock.peek() {
+                if ts > horizon {
+                    break;
+                }
+                let values = self.observe();
+                on_sample(ts, &values);
+                clock.advance();
+            }
+            if t_next > t_end {
+                self.time = t_end;
+                break;
+            }
+            self.fire(&reactions, t_next);
+            fired += 1;
+        }
+        fired
+    }
+}
+
+/// Fixed-step sampling clock (the τ grid of the paper's Q/τ ratio).
+///
+/// Persistent across quanta: the simulator keeps one clock per instance so
+/// samples align on a global grid regardless of quantum boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleClock {
+    next: f64,
+    period: f64,
+    emitted: u64,
+    limit: Option<u64>,
+}
+
+impl SampleClock {
+    /// Creates a clock emitting at `start`, `start+period`, ...
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not finite and positive.
+    pub fn new(start: f64, period: f64) -> Self {
+        assert!(
+            period.is_finite() && period > 0.0,
+            "sample period must be positive"
+        );
+        SampleClock {
+            next: start,
+            period,
+            emitted: 0,
+            limit: None,
+        }
+    }
+
+    /// Caps the total number of samples emitted.
+    pub fn with_limit(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Next sample time, if any.
+    pub fn peek(&self) -> Option<f64> {
+        match self.limit {
+            Some(l) if self.emitted >= l => None,
+            _ => Some(self.next),
+        }
+    }
+
+    /// Moves to the following grid point.
+    pub fn advance(&mut self) {
+        self.emitted += 1;
+        self.next += self.period;
+    }
+
+    /// Number of samples emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The sampling period τ.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwc::model::Model;
+
+    fn decay_model(n: u64, rate: f64) -> Arc<Model> {
+        let mut m = Model::new("decay");
+        let a = m.species("A");
+        m.rule("decay").consumes("A", 1).rate(rate).build().unwrap();
+        m.initial.add_atoms(a, n);
+        m.observe("A", a);
+        Arc::new(m)
+    }
+
+    #[test]
+    fn decay_fires_exactly_n_times() {
+        let mut e = SsaEngine::new(decay_model(25, 2.0), 1, 0);
+        let fired = e.run_until(1e6);
+        assert_eq!(fired, 25);
+        assert_eq!(e.steps(), 25);
+        assert_eq!(e.observe(), vec![0]);
+        assert_eq!(e.step(), StepOutcome::Exhausted);
+    }
+
+    #[test]
+    fn exhausted_state_fast_forwards_time() {
+        let mut e = SsaEngine::new(decay_model(0, 1.0), 1, 0);
+        assert_eq!(e.run_until(5.0), 0);
+        assert_eq!(e.time(), 5.0);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_trajectories() {
+        let model = decay_model(50, 0.3);
+        let mut a = SsaEngine::new(Arc::clone(&model), 9, 4);
+        let mut b = SsaEngine::new(model, 9, 4);
+        a.run_until(3.0);
+        b.run_until(3.0);
+        assert_eq!(a.term(), b.term());
+        assert_eq!(a.time(), b.time());
+        assert_eq!(a.steps(), b.steps());
+    }
+
+    #[test]
+    fn quantum_slicing_is_bit_identical() {
+        // The same trajectory, whether run in one go or in 100 quanta.
+        let model = decay_model(40, 1.0);
+        let mut whole = SsaEngine::new(Arc::clone(&model), 3, 7);
+        whole.run_until(100.0);
+        let mut sliced = SsaEngine::new(model, 3, 7);
+        for k in 1..=100 {
+            sliced.run_until(k as f64);
+        }
+        assert_eq!(whole.term(), sliced.term());
+        assert_eq!(whole.steps(), sliced.steps());
+        assert_eq!(whole.time(), sliced.time());
+    }
+
+    #[test]
+    fn mean_decay_time_is_statistically_plausible() {
+        // For A -> ∅ at rate k with n0 molecules, E[N(t)] = n0 e^{-kt}.
+        let model = decay_model(1000, 1.0);
+        let mut e = SsaEngine::new(model, 123, 0);
+        e.run_until(1.0);
+        let remaining = e.observe()[0] as f64;
+        let expected = 1000.0 * (-1.0f64).exp(); // ≈ 367.9
+        let sd = (1000.0 * (-1.0f64).exp() * (1.0 - (-1.0f64).exp())).sqrt(); // ≈ 15.2
+        assert!(
+            (remaining - expected).abs() < 5.0 * sd,
+            "remaining {remaining} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn reactions_report_propensities() {
+        let model = decay_model(10, 0.5);
+        let e = SsaEngine::new(model, 1, 0);
+        let rs = e.reactions();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].rule, 0);
+        assert!((rs[0].propensity - 5.0).abs() < 1e-12); // 0.5 * 10
+        assert!((e.total_propensity() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_clock_emits_grid() {
+        let mut c = SampleClock::new(0.0, 0.5).with_limit(3);
+        assert_eq!(c.peek(), Some(0.0));
+        c.advance();
+        assert_eq!(c.peek(), Some(0.5));
+        c.advance();
+        c.advance();
+        assert_eq!(c.peek(), None);
+        assert_eq!(c.emitted(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_clock_panics() {
+        let _ = SampleClock::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn run_sampled_emits_aligned_samples() {
+        let model = decay_model(10, 1.0);
+        let mut e = SsaEngine::new(model, 5, 0);
+        let mut clock = SampleClock::new(0.0, 1.0);
+        let mut samples = Vec::new();
+        e.run_sampled(5.0, &mut clock, |t, v| samples.push((t, v[0])));
+        // Grid points 0,1,2,3,4,5 -> 6 samples, monotone times, counts
+        // non-increasing for a pure-death process.
+        assert_eq!(samples.len(), 6);
+        assert_eq!(samples[0], (0.0, 10));
+        assert!(samples.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(samples.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn run_sampled_across_quanta_equals_single_run() {
+        let model = decay_model(30, 0.7);
+        // Single run to t=6.
+        let mut whole = SsaEngine::new(Arc::clone(&model), 11, 2);
+        let mut wc = SampleClock::new(0.0, 0.5);
+        let mut ws = Vec::new();
+        whole.run_sampled(6.0, &mut wc, |t, v| ws.push((t, v.to_vec())));
+        // Same run split into 12 quanta of 0.5.
+        let mut parts = SsaEngine::new(model, 11, 2);
+        let mut pc = SampleClock::new(0.0, 0.5);
+        let mut ps = Vec::new();
+        for k in 1..=12 {
+            parts.run_sampled(k as f64 * 0.5, &mut pc, |t, v| ps.push((t, v.to_vec())));
+        }
+        assert_eq!(ws, ps);
+        assert_eq!(whole.term(), parts.term());
+    }
+
+    #[test]
+    fn mixed_quantum_sizes_still_bit_identical() {
+        let model = decay_model(20, 0.9);
+        let mut a = SsaEngine::new(Arc::clone(&model), 21, 0);
+        a.run_until(10.0);
+        let mut b = SsaEngine::new(model, 21, 0);
+        // Irregular quanta covering the same horizon.
+        for t in [0.3, 1.7, 1.9, 4.0, 9.99, 10.0] {
+            b.run_until(t);
+        }
+        assert_eq!(a.term(), b.term());
+        assert_eq!(a.steps(), b.steps());
+    }
+
+    #[test]
+    fn birth_death_reaches_equilibrium_band() {
+        // ∅ -> A at rate kb (constant), A -> ∅ at rate kd per molecule:
+        // stationary mean kb/kd.
+        let mut m = Model::new("bd");
+        let a = m.species("A");
+        let g = m.species("G"); // constant source species
+        m.rule("birth")
+            .consumes("G", 1)
+            .produces("G", 1)
+            .produces("A", 1)
+            .rate(50.0)
+            .build()
+            .unwrap();
+        m.rule("death").consumes("A", 1).rate(1.0).build().unwrap();
+        m.initial.add_atoms(g, 1);
+        m.observe("A", a);
+        let mut e = SsaEngine::new(Arc::new(m), 77, 0);
+        e.run_until(30.0); // burn in ≫ 1/kd
+        // Stationary distribution is Poisson(50): mean 50, sd ≈ 7.1.
+        let n = e.observe()[0] as f64;
+        assert!((n - 50.0).abs() < 5.0 * 7.1, "A = {n}, expected ≈ 50");
+    }
+}

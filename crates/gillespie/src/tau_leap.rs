@@ -1,0 +1,371 @@
+//! Approximate tau-leaping for flat (compartment-free) models.
+//!
+//! **Extension beyond the paper.** The paper's simulator uses the exact
+//! Gillespie algorithm only; StochKit (its related work) ships tau-leaping
+//! as an alternative integrator, so this crate provides one too for flat
+//! models — rules that neither match nor rewrite compartments — where the
+//! state reduces to a species-count vector and Poisson leaping is sound.
+//!
+//! The implementation is the basic non-negative Poisson leap: each leap of
+//! length τ fires each reaction `k_r ~ Poisson(a_r τ)` times; if any
+//! species would go negative the leap is halved and retried (down to a
+//! floor, below which we fall back to exact stepping semantics by taking a
+//! tiny leap).
+
+use std::sync::Arc;
+
+use cwc::model::Model;
+use cwc::species::{Label, Species};
+use rand::Rng;
+
+use crate::rng::{sim_rng, SimRng};
+
+/// Error constructing a [`TauLeapEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TauLeapError {
+    /// The model has a rule with compartment patterns or productions.
+    NotFlat {
+        /// Name of the offending rule.
+        rule: String,
+    },
+    /// The model has a rule that does not apply at the top level.
+    NotTopLevel {
+        /// Name of the offending rule.
+        rule: String,
+    },
+    /// The model has a rule with a non-mass-action kinetic law.
+    NotMassAction {
+        /// Name of the offending rule.
+        rule: String,
+    },
+}
+
+impl std::fmt::Display for TauLeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TauLeapError::NotFlat { rule } => {
+                write!(f, "rule `{rule}` uses compartments; tau-leaping needs a flat model")
+            }
+            TauLeapError::NotTopLevel { rule } => {
+                write!(f, "rule `{rule}` applies inside a compartment; tau-leaping needs top-level rules")
+            }
+            TauLeapError::NotMassAction { rule } => {
+                write!(f, "rule `{rule}` has a non-mass-action law; tau-leaping supports mass action only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TauLeapError {}
+
+/// Flat-model approximate simulator using Poisson tau-leaping.
+#[derive(Debug, Clone)]
+pub struct TauLeapEngine {
+    model: Arc<Model>,
+    species: Vec<Species>,
+    /// `state[i]` = copies of `species[i]`.
+    state: Vec<i64>,
+    /// Per-rule reactant multiplicities, `(species index, count)`.
+    reactants: Vec<Vec<(usize, u64)>>,
+    /// Per-rule net stoichiometric change per firing.
+    delta: Vec<Vec<(usize, i64)>>,
+    rates: Vec<f64>,
+    time: f64,
+    rng: SimRng,
+    leaps: u64,
+    firings: u64,
+}
+
+impl TauLeapEngine {
+    /// Builds a leaping engine from a flat model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TauLeapError`] when any rule uses compartments or applies
+    /// below the top level.
+    pub fn new(model: Arc<Model>, base_seed: u64, instance: u64) -> Result<Self, TauLeapError> {
+        let species: Vec<Species> = model.alphabet.all_species().collect();
+        let index_of = |s: Species| -> usize {
+            species
+                .iter()
+                .position(|&x| x == s)
+                .expect("species interned in this model")
+        };
+        let mut reactants = Vec::new();
+        let mut delta = Vec::new();
+        let mut rates = Vec::new();
+        for rule in &model.rules {
+            if !rule.is_flat() {
+                return Err(TauLeapError::NotFlat {
+                    rule: rule.name.clone(),
+                });
+            }
+            if rule.site != Label::TOP {
+                return Err(TauLeapError::NotTopLevel {
+                    rule: rule.name.clone(),
+                });
+            }
+            if !rule.law.is_mass_action() {
+                return Err(TauLeapError::NotMassAction {
+                    rule: rule.name.clone(),
+                });
+            }
+            let r: Vec<(usize, u64)> = rule
+                .lhs
+                .atoms
+                .iter()
+                .map(|(s, n)| (index_of(s), n))
+                .collect();
+            let mut d: std::collections::BTreeMap<usize, i64> = Default::default();
+            for (s, n) in rule.lhs.atoms.iter() {
+                *d.entry(index_of(s)).or_insert(0) -= n as i64;
+            }
+            for (s, n) in rule.rhs.atoms.iter() {
+                *d.entry(index_of(s)).or_insert(0) += n as i64;
+            }
+            reactants.push(r);
+            delta.push(d.into_iter().filter(|(_, v)| *v != 0).collect());
+            rates.push(rule.rate);
+        }
+        let state = species
+            .iter()
+            .map(|&s| model.initial.atoms.count(s) as i64)
+            .collect();
+        Ok(TauLeapEngine {
+            model,
+            species,
+            state,
+            reactants,
+            delta,
+            rates,
+            time: 0.0,
+            rng: sim_rng(base_seed, instance),
+            leaps: 0,
+            firings: 0,
+        })
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Total leaps taken.
+    pub fn leaps(&self) -> u64 {
+        self.leaps
+    }
+
+    /// Total reaction firings applied (across all leaps).
+    pub fn firings(&self) -> u64 {
+        self.firings
+    }
+
+    /// Current copy number of `species`.
+    pub fn count(&self, species: Species) -> u64 {
+        self.species
+            .iter()
+            .position(|&s| s == species)
+            .map(|i| self.state[i] as u64)
+            .unwrap_or(0)
+    }
+
+    /// Evaluates the model's observables (top-level counts only, which is
+    /// exact for flat models).
+    pub fn observe(&self) -> Vec<u64> {
+        self.model
+            .observables
+            .iter()
+            .map(|o| self.count(o.species))
+            .collect()
+    }
+
+    fn propensity(&self, r: usize) -> f64 {
+        let mut h = 1.0;
+        for &(i, k) in &self.reactants[r] {
+            let n = self.state[i];
+            if n < k as i64 {
+                return 0.0;
+            }
+            h *= cwc::multiset::binomial(n as u64, k) as f64;
+        }
+        self.rates[r] * h
+    }
+
+    /// Advances by one leap of at most `tau`, shrinking on negativity.
+    ///
+    /// Returns the leap actually taken (0.0 when the state is absorbing).
+    pub fn leap(&mut self, tau: f64) -> f64 {
+        let props: Vec<f64> = (0..self.rates.len()).map(|r| self.propensity(r)).collect();
+        let a0: f64 = props.iter().sum();
+        if a0 <= 0.0 {
+            return 0.0;
+        }
+        let mut tau = tau;
+        let floor = tau / 1024.0;
+        loop {
+            let mut candidate = self.state.clone();
+            let mut firings = 0u64;
+            for (r, &a) in props.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let k = poisson(&mut self.rng, a * tau);
+                firings += k;
+                for &(i, d) in &self.delta[r] {
+                    candidate[i] += d * k as i64;
+                }
+            }
+            if candidate.iter().all(|&c| c >= 0) {
+                self.state = candidate;
+                self.time += tau;
+                self.leaps += 1;
+                self.firings += firings;
+                return tau;
+            }
+            tau /= 2.0;
+            if tau < floor {
+                // Take a deterministic micro-step: apply nothing, advance
+                // time by the floor to guarantee progress.
+                self.time += floor;
+                self.leaps += 1;
+                return floor;
+            }
+        }
+    }
+
+    /// Runs leaps of size `tau` until `t_end`.
+    pub fn run_until(&mut self, t_end: f64, tau: f64) {
+        while self.time < t_end {
+            let remaining = t_end - self.time;
+            let step = tau.min(remaining);
+            if self.leap(step) == 0.0 {
+                self.time = t_end;
+            }
+        }
+    }
+}
+
+/// Poisson sampling: Knuth's product method for small λ, normal
+/// approximation (Box–Muller) for large λ.
+fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen_range(0.0..1.0);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // N(λ, λ) approximation, clamped at zero.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = lambda + lambda.sqrt() * z;
+        if v < 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwc::model::Model;
+
+    fn decay_model(n: u64, rate: f64) -> Arc<Model> {
+        let mut m = Model::new("decay");
+        let a = m.species("A");
+        m.rule("decay").consumes("A", 1).rate(rate).build().unwrap();
+        m.initial.add_atoms(a, n);
+        m.observe("A", a);
+        Arc::new(m)
+    }
+
+    #[test]
+    fn rejects_compartment_models() {
+        let mut m = Model::new("c");
+        m.rule("r")
+            .matches_comp("cell", &[], &[])
+            .keeps(0, &[], &[("A", 1)])
+            .rate(1.0)
+            .build()
+            .unwrap();
+        let err = TauLeapEngine::new(Arc::new(m), 0, 0).unwrap_err();
+        assert!(matches!(err, TauLeapError::NotFlat { .. }));
+    }
+
+    #[test]
+    fn rejects_nested_site_rules() {
+        let mut m = Model::new("c");
+        m.rule("r").at("cell").consumes("A", 1).rate(1.0).build().unwrap();
+        let err = TauLeapEngine::new(Arc::new(m), 0, 0).unwrap_err();
+        assert!(matches!(err, TauLeapError::NotTopLevel { .. }));
+    }
+
+    #[test]
+    fn decay_mean_matches_exponential() {
+        let model = decay_model(10_000, 1.0);
+        let mut e = TauLeapEngine::new(model, 42, 0).unwrap();
+        e.run_until(1.0, 0.01);
+        let remaining = e.observe()[0] as f64;
+        let expected = 10_000.0 * (-1.0f64).exp(); // ≈ 3679
+        assert!(
+            (remaining - expected).abs() < 0.05 * expected,
+            "remaining {remaining}, expected ≈ {expected}"
+        );
+        assert!(e.leaps() >= 100);
+        assert!(e.firings() > 5_000);
+    }
+
+    #[test]
+    fn state_never_goes_negative() {
+        // Aggressive τ on a small population forces the shrink path.
+        let model = decay_model(5, 10.0);
+        let mut e = TauLeapEngine::new(model, 7, 0).unwrap();
+        e.run_until(2.0, 0.5);
+        let a = e.observe()[0];
+        assert!(a <= 5);
+    }
+
+    #[test]
+    fn absorbing_state_terminates() {
+        let model = decay_model(0, 1.0);
+        let mut e = TauLeapEngine::new(model, 7, 0).unwrap();
+        e.run_until(3.0, 0.1);
+        assert_eq!(e.time(), 3.0);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut rng = sim_rng(1, 1);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 3.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let mut rng = sim_rng(2, 1);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 200.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = sim_rng(3, 1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Functional GPU offloading: `ff_mapCUDA` re-created.
+//!
+//! "The user intervention would amount to writing the CUDA code for a CUDA
+//! kernel which runs a simulation quantum for a single instance, then
+//! wrapping it into `ff_mapCUDA` nodes". [`DeviceMap`] is that wrapper: it
+//! owns the set of resident simulation instances, advances all of them one
+//! quantum per "kernel" under the barrier semantics of the CUDA execution
+//! model (no outcome is visible until the whole kernel retires), and
+//! returns both the *real* simulation results — computed by the actual
+//! [`SsaEngine`]s, so they are bit-identical to a CPU run with the same
+//! seeds — and the *simulated* device timing from
+//! [`crate::executor::simulate_device_run`].
+
+use std::sync::Arc;
+
+use cwc::model::Model;
+use gillespie::ssa::{SampleClock, SsaEngine};
+
+use crate::device::DeviceSpec;
+use crate::executor::{simulate_device_run, GpuRunReport, WarpPacking};
+
+/// A batch of samples produced by one instance during one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelOutput {
+    /// Instance id.
+    pub instance: u64,
+    /// `(grid time, observable values)` pairs produced in the quantum.
+    pub samples: Vec<(f64, Vec<u64>)>,
+}
+
+/// The device-resident map: all instances advance in lockstep quanta.
+#[derive(Debug)]
+pub struct DeviceMap {
+    engines: Vec<SsaEngine>,
+    clocks: Vec<SampleClock>,
+    t_end: f64,
+    quantum: f64,
+    /// Event counts per executed kernel (the timing model's input).
+    events_log: Vec<Vec<u64>>,
+    time: f64,
+}
+
+impl DeviceMap {
+    /// Loads `instances` trajectories of `model` onto the device.
+    pub fn new(
+        model: Arc<Model>,
+        instances: u64,
+        base_seed: u64,
+        t_end: f64,
+        quantum: f64,
+        sample_period: f64,
+    ) -> Self {
+        let engines: Vec<SsaEngine> = (0..instances)
+            .map(|i| SsaEngine::new(Arc::clone(&model), base_seed, i))
+            .collect();
+        let clocks = (0..instances)
+            .map(|_| SampleClock::new(0.0, sample_period))
+            .collect();
+        DeviceMap {
+            engines,
+            clocks,
+            t_end,
+            quantum,
+            events_log: Vec::new(),
+            time: 0.0,
+        }
+    }
+
+    /// True when every instance reached the horizon.
+    pub fn is_done(&self) -> bool {
+        self.time >= self.t_end
+    }
+
+    /// Executes one kernel: every unfinished instance advances one quantum.
+    ///
+    /// Returns the outputs of all instances (the kernel-wide barrier:
+    /// nothing is returned until everything in the kernel finished, exactly
+    /// the "collection of outcomes could not start until all the instances
+    /// have completed the quantum" constraint).
+    pub fn run_kernel(&mut self) -> Vec<KernelOutput> {
+        let horizon = (self.time + self.quantum).min(self.t_end);
+        let mut events = vec![0u64; self.engines.len()];
+        let mut outputs = Vec::with_capacity(self.engines.len());
+        for (i, engine) in self.engines.iter_mut().enumerate() {
+            let mut samples = Vec::new();
+            let clock = &mut self.clocks[i];
+            let fired = engine.run_sampled(horizon, clock, |t, v| samples.push((t, v.to_vec())));
+            events[i] = fired;
+            if !samples.is_empty() {
+                outputs.push(KernelOutput {
+                    instance: engine.instance(),
+                    samples,
+                });
+            }
+        }
+        self.events_log.push(events);
+        self.time = horizon;
+        outputs
+    }
+
+    /// Runs kernels until the horizon, returning all outputs.
+    pub fn run_to_end(&mut self) -> Vec<KernelOutput> {
+        let mut all = Vec::new();
+        while !self.is_done() {
+            all.extend(self.run_kernel());
+        }
+        all
+    }
+
+    /// Simulated device timing of the kernels executed so far.
+    pub fn device_timing(&self, device: &DeviceSpec, packing: WarpPacking) -> GpuRunReport {
+        simulate_device_run(&self.events_log, device, packing)
+    }
+
+    /// Per-kernel event matrix (for external timing models, e.g. the CPU
+    /// side of Table I).
+    pub fn events_log(&self) -> &[Vec<u64>] {
+        &self.events_log
+    }
+
+    /// Total SSA events fired across all instances.
+    pub fn total_events(&self) -> u64 {
+        self.events_log.iter().flatten().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biomodels::simple::decay;
+
+    fn map() -> DeviceMap {
+        DeviceMap::new(Arc::new(decay(30, 1.0)), 4, 9, 2.0, 0.5, 0.25)
+    }
+
+    #[test]
+    fn kernels_advance_lockstep() {
+        let mut m = map();
+        assert!(!m.is_done());
+        m.run_kernel();
+        assert_eq!(m.events_log().len(), 1);
+        m.run_kernel();
+        m.run_kernel();
+        m.run_kernel();
+        assert!(m.is_done());
+    }
+
+    #[test]
+    fn device_results_match_cpu_results_exactly() {
+        // The same seeds on a plain engine must reproduce the device's
+        // samples bit-for-bit: offloading changes *where*, not *what*.
+        let model = Arc::new(decay(30, 1.0));
+        let mut device = DeviceMap::new(Arc::clone(&model), 4, 9, 2.0, 0.5, 0.25);
+        let outputs = device.run_to_end();
+
+        for i in 0..4u64 {
+            let mut engine = SsaEngine::new(Arc::clone(&model), 9, i);
+            let mut clock = SampleClock::new(0.0, 0.25);
+            let mut expected = Vec::new();
+            engine.run_sampled(2.0, &mut clock, |t, v| expected.push((t, v.to_vec())));
+            let got: Vec<(f64, Vec<u64>)> = outputs
+                .iter()
+                .filter(|o| o.instance == i)
+                .flat_map(|o| o.samples.clone())
+                .collect();
+            assert_eq!(got, expected, "instance {i}");
+        }
+    }
+
+    #[test]
+    fn timing_reflects_executed_kernels() {
+        let mut m = map();
+        m.run_to_end();
+        let device = DeviceSpec::tesla_k40(1e-6);
+        let t = m.device_timing(&device, WarpPacking::RebalanceEachQuantum);
+        assert!(t.total_s > 0.0);
+        assert!(t.kernels >= 1);
+        assert!(t.divergence >= 1.0);
+        assert!(m.total_events() > 0);
+    }
+}

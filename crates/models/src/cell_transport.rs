@@ -1,0 +1,210 @@
+//! A population of growing, dividing and dying cells.
+//!
+//! Exercises the full compartment machinery: transport across membranes
+//! (`Keep`), compartment creation (`New` via division), destruction
+//! (unreferenced match) and dissolution with content release (`Dissolve`
+//! via lysis). "Compartments can be dynamically created or destroyed" is a
+//! defining feature of CWC; this model makes it the workload.
+
+use cwc::model::Model;
+use cwc::multiset::Multiset;
+use cwc::term::{Compartment, Term};
+
+/// Parameters of the cell population model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellTransportParams {
+    /// Nutrient uptake rate (per nutrient–cell pair).
+    pub uptake: f64,
+    /// Nutrient-to-energy conversion rate inside a cell.
+    pub metabolise: f64,
+    /// Division rate per cell holding the energy quota.
+    pub divide: f64,
+    /// Energy units consumed by one division.
+    pub division_cost: u64,
+    /// Spontaneous cell death rate (content destroyed).
+    pub death: f64,
+    /// Lysis rate (membrane ruptures, content spills back).
+    pub lysis: f64,
+    /// Initial free nutrient molecules.
+    pub nutrient0: u64,
+    /// Initial number of cells.
+    pub cells0: usize,
+}
+
+impl Default for CellTransportParams {
+    fn default() -> Self {
+        CellTransportParams {
+            uptake: 0.01,
+            metabolise: 1.0,
+            divide: 0.5,
+            division_cost: 5,
+            death: 0.01,
+            lysis: 0.005,
+            nutrient0: 500,
+            cells0: 3,
+        }
+    }
+}
+
+/// Builds the cell population model.
+///
+/// Every cell membrane carries one `W` marker atom, so the observable
+/// `cells` (total `W` count) tracks the population size even though
+/// observables count species, not compartments.
+///
+/// # Examples
+///
+/// ```
+/// use biomodels::cell_transport::{cell_transport, CellTransportParams};
+///
+/// let m = cell_transport(CellTransportParams::default());
+/// assert_eq!(m.initial.total_compartments(), 3);
+/// ```
+pub fn cell_transport(p: CellTransportParams) -> Model {
+    let mut m = Model::new("cell-transport");
+    let nutrient = m.species("N");
+    let marker = m.species("W");
+    let cell = m.label("cell");
+
+    // Uptake: a free nutrient crosses into some cell.
+    m.rule("uptake")
+        .consumes("N", 1)
+        .matches_comp("cell", &[], &[])
+        .keeps(0, &[], &[("N", 1)])
+        .rate(p.uptake)
+        .build()
+        .expect("valid rule");
+    // Metabolism inside the cell.
+    m.rule("metabolise")
+        .at("cell")
+        .consumes("N", 1)
+        .produces("E", 1)
+        .rate(p.metabolise)
+        .build()
+        .expect("valid rule");
+    // Division: an energy quota is consumed, a new (empty) cell appears.
+    let quota: Vec<(&str, u64)> = vec![("E", p.division_cost)];
+    m.rule("divide")
+        .matches_comp("cell", &[], &quota)
+        .keeps(0, &[], &[])
+        .creates_comp("cell", &[("W", 1)], &[])
+        .rate(p.divide)
+        .build()
+        .expect("valid rule");
+    // Death: the matched cell is not referenced on the RHS -> destroyed
+    // with its whole content.
+    m.rule("death")
+        .matches_comp("cell", &[], &[])
+        .rate(p.death)
+        .build()
+        .expect("valid rule");
+    // Lysis: membrane ruptures; residual content and membrane markers
+    // spill back into the medium.
+    m.rule("lysis")
+        .matches_comp("cell", &[], &[])
+        .dissolves(0)
+        .rate(p.lysis)
+        .build()
+        .expect("valid rule");
+
+    m.initial.add_atoms(nutrient, p.nutrient0);
+    for _ in 0..p.cells0 {
+        m.initial.add_compartment(Compartment::new(
+            cell,
+            Multiset::from([(marker, 1)]),
+            Term::new(),
+        ));
+    }
+    m.observe("free_nutrient", nutrient);
+    let e = m.species("E");
+    m.observe("energy", e);
+    m.observe("cells", marker);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillespie::ssa::SsaEngine;
+    use std::sync::Arc;
+
+    #[test]
+    fn model_validates() {
+        cell_transport(CellTransportParams::default())
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn cells_observable_tracks_compartment_count() {
+        let model = Arc::new(cell_transport(CellTransportParams::default()));
+        let mut e = SsaEngine::new(Arc::clone(&model), 40, 0);
+        for _ in 0..500 {
+            if e.step() == gillespie::ssa::StepOutcome::Exhausted {
+                break;
+            }
+            let obs = e.observe();
+            let live_cells = e.term().total_compartments() as u64;
+            // W markers live on membranes of live cells, or loose in the
+            // medium after a lysis.
+            assert!(
+                obs[2] >= live_cells,
+                "markers {} < cells {live_cells}",
+                obs[2]
+            );
+        }
+    }
+
+    #[test]
+    fn population_can_grow_through_division() {
+        let p = CellTransportParams {
+            death: 0.0,
+            lysis: 0.0,
+            nutrient0: 2000,
+            ..CellTransportParams::default()
+        };
+        let model = Arc::new(cell_transport(p));
+        let mut e = SsaEngine::new(model, 11, 0);
+        e.run_until(50.0);
+        assert!(
+            e.term().total_compartments() > 3,
+            "expected divisions, still {} cells",
+            e.term().total_compartments()
+        );
+    }
+
+    #[test]
+    fn death_only_shrinks_population_to_zero() {
+        let p = CellTransportParams {
+            uptake: 0.0,
+            divide: 0.0,
+            lysis: 0.0,
+            death: 10.0,
+            ..CellTransportParams::default()
+        };
+        let model = Arc::new(cell_transport(p));
+        let mut e = SsaEngine::new(model, 2, 0);
+        e.run_until(1e4);
+        assert_eq!(e.term().total_compartments(), 0);
+    }
+
+    #[test]
+    fn lysis_returns_markers_to_medium() {
+        let p = CellTransportParams {
+            uptake: 0.0,
+            divide: 0.0,
+            death: 0.0,
+            lysis: 10.0,
+            cells0: 4,
+            nutrient0: 0,
+            ..CellTransportParams::default()
+        };
+        let model = Arc::new(cell_transport(p));
+        let mut e = SsaEngine::new(Arc::clone(&model), 6, 0);
+        e.run_until(1e4);
+        assert_eq!(e.term().total_compartments(), 0);
+        // All four membrane markers spilled into the top level.
+        let w = model.alphabet.find_species("W").unwrap();
+        assert_eq!(e.term().atoms.count(w), 4);
+    }
+}

@@ -1,0 +1,93 @@
+//! # biomodels — CWC models for the simulator's evaluation
+//!
+//! The biological systems used throughout the reproduction of Aldinucci et
+//! al. (ICDCS 2014):
+//!
+//! - [`neurospora`]: the paper's benchmark — circadian oscillations from
+//!   transcriptional regulation of the *frq* gene (Leloup–Gonze–Goldbeter),
+//!   in a flat and a compartmentalised variant;
+//! - [`mod@lotka_volterra`]: oscillatory predator–prey, heavily unbalanced
+//!   trajectories (the scheduling stress test);
+//! - [`mod@schlogl`]: bistable system — the k-means engine's showcase and the
+//!   paper's "worst case scenario" for GPGPU divergence;
+//! - [`mod@michaelis_menten`]: explicit enzyme kinetics;
+//! - [`mod@cell_transport`]: dividing/dying cell population exercising
+//!   compartment creation, destruction and dissolution;
+//! - [`simple`]: analytically solvable references (decay, birth–death,
+//!   dimerisation).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cell_transport;
+pub mod lotka_volterra;
+pub mod michaelis_menten;
+pub mod neurospora;
+pub mod schlogl;
+pub mod simple;
+
+pub use cell_transport::{cell_transport, CellTransportParams};
+pub use lotka_volterra::{lotka_volterra, LotkaVolterraParams};
+pub use michaelis_menten::{michaelis_menten, MichaelisMentenParams};
+pub use neurospora::{neurospora_compartments, neurospora_flat, NeurosporaParams};
+pub use schlogl::{schlogl, SchloglParams};
+pub use simple::{birth_death, decay, dimerisation};
+
+/// Names of all bundled models, for CLIs and examples.
+pub fn model_names() -> Vec<&'static str> {
+    vec![
+        "neurospora",
+        "neurospora-compartments",
+        "lotka-volterra",
+        "schlogl",
+        "michaelis-menten",
+        "cell-transport",
+        "decay",
+        "birth-death",
+        "dimerisation",
+    ]
+}
+
+/// Builds a bundled model by name with default parameters.
+///
+/// Returns `None` for unknown names; see [`model_names`].
+pub fn model_by_name(name: &str) -> Option<cwc::model::Model> {
+    match name {
+        "neurospora" => Some(neurospora_flat(NeurosporaParams::default())),
+        "neurospora-compartments" => {
+            Some(neurospora_compartments(NeurosporaParams::default()))
+        }
+        "lotka-volterra" => Some(lotka_volterra(LotkaVolterraParams::default())),
+        "schlogl" => Some(schlogl(SchloglParams::default())),
+        "michaelis-menten" => Some(michaelis_menten(MichaelisMentenParams::default())),
+        "cell-transport" => Some(cell_transport(CellTransportParams::default())),
+        "decay" => Some(decay(1000, 1.0)),
+        "birth-death" => Some(birth_death(50.0, 1.0, 0)),
+        "dimerisation" => Some(dimerisation(0.01, 0.1, 200)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_model_builds_and_validates() {
+        for name in model_names() {
+            let model = model_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            model
+                .validate()
+                .unwrap_or_else(|e| panic!("{name} invalid: {e}"));
+            assert!(
+                !model.observables.is_empty(),
+                "{name} must expose observables"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        assert!(model_by_name("no-such-model").is_none());
+    }
+}

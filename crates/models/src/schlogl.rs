@@ -1,0 +1,132 @@
+//! The Schlögl bistable system.
+//!
+//! The canonical example of a *multi-stable* stochastic system — the class
+//! the paper names as the worst case for GPGPU execution ("multi-stable and
+//! oscillatory systems [...] are in the worst case scenario") because
+//! trajectories in different basins do wildly different amounts of work.
+//! It is also the showcase for the k-means statistical engine, which
+//! separates the two modes across trajectories on-line.
+//!
+//! Reactions (buffered species A, B folded into the rates):
+//! `2X -> 3X`, `3X -> 2X`, `∅ -> X`, `X -> ∅`.
+
+use cwc::model::Model;
+
+/// Parameters of the Schlögl model (defaults give modes near 90 and 560).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchloglParams {
+    /// Autocatalytic birth `2X -> 3X` (already multiplied by the buffered
+    /// A population).
+    pub k1: f64,
+    /// Trimolecular decay `3X -> 2X`.
+    pub k2: f64,
+    /// Constant inflow `∅ -> X` (already multiplied by the buffered B).
+    pub k3: f64,
+    /// Linear outflow `X -> ∅`.
+    pub k4: f64,
+    /// Initial X count.
+    pub x0: u64,
+}
+
+impl Default for SchloglParams {
+    fn default() -> Self {
+        // Classic parameterisation: A = 1e5, B = 2e5, c1 = 3e-7, c2 = 1e-4,
+        // c3 = 1e-3, c4 = 3.5 (Gillespie 1977 / Vellela & Qian 2009).
+        SchloglParams {
+            k1: 3e-7 * 1e5, // 0.03
+            k2: 1e-4,
+            k3: 1e-3 * 2e5, // 200
+            k4: 3.5,
+            x0: 250,
+        }
+    }
+}
+
+/// Builds the Schlögl model.
+///
+/// # Examples
+///
+/// ```
+/// use biomodels::schlogl::{schlogl, SchloglParams};
+///
+/// let m = schlogl(SchloglParams::default());
+/// assert_eq!(m.rules.len(), 4);
+/// ```
+pub fn schlogl(p: SchloglParams) -> Model {
+    let mut m = Model::new("schlogl");
+    let x = m.species("X");
+    m.rule("autocatalysis")
+        .consumes("X", 2)
+        .produces("X", 3)
+        .rate(p.k1)
+        .build()
+        .expect("valid rule");
+    m.rule("trimolecular_decay")
+        .consumes("X", 3)
+        .produces("X", 2)
+        .rate(p.k2)
+        .build()
+        .expect("valid rule");
+    m.rule("inflow")
+        .produces("X", 1)
+        .rate(p.k3)
+        .build()
+        .expect("valid rule");
+    m.rule("outflow")
+        .consumes("X", 1)
+        .rate(p.k4)
+        .build()
+        .expect("valid rule");
+    m.initial.add_atoms(x, p.x0);
+    m.observe("X", x);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillespie::ssa::SsaEngine;
+    use std::sync::Arc;
+    use streamstat::kmeans::kmeans1d;
+
+    #[test]
+    fn model_validates() {
+        schlogl(SchloglParams::default()).validate().unwrap();
+    }
+
+    #[test]
+    fn population_ends_in_two_basins() {
+        // Run a small ensemble to a fixed time and cluster the endpoints:
+        // the two k-means centroids must be well separated (bistability).
+        let model = Arc::new(schlogl(SchloglParams::default()));
+        let endpoints: Vec<f64> = (0..24)
+            .map(|i| {
+                let mut e = SsaEngine::new(Arc::clone(&model), 99, i);
+                e.run_until(8.0);
+                e.observe()[0] as f64
+            })
+            .collect();
+        let c = kmeans1d(&endpoints, 2, 100).expect("enough points");
+        let spread = c.centroids[1] - c.centroids[0];
+        assert!(
+            spread > 150.0,
+            "modes not separated: {:?} (endpoints {endpoints:?})",
+            c.centroids
+        );
+        // Both basins should be populated.
+        assert!(c.sizes.iter().all(|&s| s >= 2), "sizes {:?}", c.sizes);
+    }
+
+    #[test]
+    fn propensity_uses_trimolecular_combinatorics() {
+        // For X = 5, the 3X reaction has h = C(5,3) = 10.
+        let model = Arc::new(schlogl(SchloglParams {
+            x0: 5,
+            ..SchloglParams::default()
+        }));
+        let e = SsaEngine::new(model, 1, 0);
+        let rs = e.reactions();
+        let trimolecular = rs.iter().find(|r| r.rule == 1).unwrap();
+        assert!((trimolecular.propensity - 1e-4 * 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Small reference models: decay, birth–death, dimerisation.
+//!
+//! Analytically tractable systems used to validate the stochastic engine
+//! (closed-form means) and as light workloads in tests and examples.
+
+use cwc::model::Model;
+
+/// Pure decay `A -> ∅` at rate `rate`, starting from `n0` molecules.
+///
+/// `E[A(t)] = n0·e^{-rate·t}`.
+pub fn decay(n0: u64, rate: f64) -> Model {
+    let mut m = Model::new("decay");
+    let a = m.species("A");
+    m.rule("decay").consumes("A", 1).rate(rate).build().expect("valid rule");
+    m.initial.add_atoms(a, n0);
+    m.observe("A", a);
+    m
+}
+
+/// Birth–death process: `∅ -> A` at `birth`, `A -> ∅` at `death` per
+/// molecule. Stationary distribution Poisson(birth/death).
+pub fn birth_death(birth: f64, death: f64, n0: u64) -> Model {
+    let mut m = Model::new("birth-death");
+    let a = m.species("A");
+    m.rule("birth").produces("A", 1).rate(birth).build().expect("valid rule");
+    m.rule("death").consumes("A", 1).rate(death).build().expect("valid rule");
+    m.initial.add_atoms(a, n0);
+    m.observe("A", a);
+    m
+}
+
+/// Reversible dimerisation `2A ⇌ D`.
+pub fn dimerisation(k_fwd: f64, k_rev: f64, a0: u64) -> Model {
+    let mut m = Model::new("dimerisation");
+    let a = m.species("A");
+    let d = m.species("D");
+    m.rule("dimerise")
+        .consumes("A", 2)
+        .produces("D", 1)
+        .rate(k_fwd)
+        .build()
+        .expect("valid rule");
+    m.rule("dissociate")
+        .consumes("D", 1)
+        .produces("A", 2)
+        .rate(k_rev)
+        .build()
+        .expect("valid rule");
+    m.initial.add_atoms(a, a0);
+    m.observe("A", a);
+    m.observe("D", d);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillespie::ssa::SsaEngine;
+    use std::sync::Arc;
+
+    #[test]
+    fn all_simple_models_validate() {
+        decay(100, 1.0).validate().unwrap();
+        birth_death(5.0, 1.0, 0).validate().unwrap();
+        dimerisation(0.01, 0.1, 100).validate().unwrap();
+    }
+
+    #[test]
+    fn dimerisation_conserves_monomer_equivalents() {
+        let model = Arc::new(dimerisation(0.02, 0.05, 100));
+        let mut e = SsaEngine::new(model, 8, 0);
+        for _ in 0..300 {
+            e.step();
+            let obs = e.observe();
+            assert_eq!(obs[0] + 2 * obs[1], 100, "A + 2D conserved");
+        }
+    }
+
+    #[test]
+    fn birth_death_from_zero_grows() {
+        let model = Arc::new(birth_death(10.0, 0.1, 0));
+        let mut e = SsaEngine::new(model, 4, 0);
+        e.run_until(5.0);
+        assert!(e.observe()[0] > 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Autocorrelation and ACF-based period estimation.
+//!
+//! A second, independent estimator for the oscillation period (the paper's
+//! Neurospora analysis): instead of detecting peaks in the (noisy) series,
+//! find the first significant maximum of the autocorrelation function. The
+//! two estimators cross-validate each other in the tests — disagreement
+//! flags either noise mis-handling or grid problems.
+
+/// Normalised autocorrelation of `xs` for lags `0..=max_lag`.
+///
+/// `acf[0]` is 1 (for non-constant series); constant or too-short series
+/// yield all-zero tails.
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag.min(n.saturating_sub(1)) {
+        if var <= f64::EPSILON {
+            acf.push(if lag == 0 { 1.0 } else { 0.0 });
+            continue;
+        }
+        let cov: f64 = (0..n - lag)
+            .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+            .sum::<f64>()
+            / n as f64;
+        acf.push(cov / var);
+    }
+    acf
+}
+
+/// Estimates the dominant period of a uniformly sampled series from the
+/// first local maximum of its ACF beyond the initial decay.
+///
+/// `dt` is the sampling period. Returns `None` when no significant
+/// (> `min_correlation`) maximum exists.
+pub fn period_from_acf(xs: &[f64], dt: f64, min_correlation: f64) -> Option<f64> {
+    if xs.len() < 8 || !(dt > 0.0) {
+        return None;
+    }
+    let max_lag = xs.len() / 2;
+    let acf = autocorrelation(xs, max_lag);
+    // Skip the initial decay: wait until the ACF first drops below zero.
+    let first_negative = acf.iter().position(|&v| v < 0.0)?;
+    // The first local maximum after that, if high enough, marks the period.
+    let mut best: Option<(usize, f64)> = None;
+    for lag in (first_negative + 1)..acf.len().saturating_sub(1) {
+        if acf[lag] >= acf[lag - 1] && acf[lag] > acf[lag + 1] && acf[lag] >= min_correlation {
+            match best {
+                Some((_, b)) if b >= acf[lag] => {}
+                _ => best = Some((lag, acf[lag])),
+            }
+            // First qualifying maximum is the fundamental; stop.
+            break;
+        }
+    }
+    best.map(|(lag, _)| lag as f64 * dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(period: f64, n: usize, dt: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 * dt / period).sin() * 10.0 + 50.0)
+            .collect()
+    }
+
+    #[test]
+    fn acf_lag0_is_one_and_bounded() {
+        let xs = sine(20.0, 400, 0.5);
+        let acf = autocorrelation(&xs, 100);
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        assert!(acf.iter().all(|&v| v <= 1.0 + 1e-9 && v >= -1.0 - 1e-9));
+    }
+
+    #[test]
+    fn acf_of_constant_series_is_degenerate() {
+        let acf = autocorrelation(&[3.0; 50], 10);
+        assert_eq!(acf[0], 1.0);
+        assert!(acf[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sine_period_recovered_from_acf() {
+        let xs = sine(22.0, 800, 0.5);
+        let p = period_from_acf(&xs, 0.5, 0.3).expect("period exists");
+        assert!((p - 22.0).abs() < 1.0, "ACF period {p}");
+    }
+
+    #[test]
+    fn acf_and_peak_methods_agree_on_noisy_data() {
+        let mut xs = sine(18.0, 900, 0.5);
+        for (i, v) in xs.iter_mut().enumerate() {
+            *v += (((i * 2_654_435_761) % 1000) as f64 / 1000.0 - 0.5) * 8.0;
+        }
+        let times: Vec<f64> = (0..xs.len()).map(|i| i as f64 * 0.5).collect();
+        let peaks = crate::period::analyse_period(&times, &xs, 5, 0.3, 10)
+            .mean_period()
+            .expect("peak period");
+        let acf = period_from_acf(&xs, 0.5, 0.2).expect("acf period");
+        assert!((peaks - acf).abs() < 2.0, "peak {peaks} vs acf {acf}");
+    }
+
+    #[test]
+    fn aperiodic_series_yields_none() {
+        // Monotone drift has a non-negative ACF tail (no zero crossing).
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        assert_eq!(period_from_acf(&xs, 1.0, 0.3), None);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert!(autocorrelation(&[], 5).is_empty());
+        assert_eq!(period_from_acf(&[1.0, 2.0], 1.0, 0.5), None);
+        assert_eq!(period_from_acf(&sine(10.0, 100, 0.5), 0.0, 0.5), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! # streamstat — on-line statistics for simulation streams
+//!
+//! The statistical engines of the CWC simulator's analysis pipeline
+//! (Aldinucci et al., ICDCS 2014, Fig. 2): every estimator here is
+//! single-pass and mergeable, so it can run *while simulations are still
+//! running*, inside a farm of statistical engines fed by sliding windows of
+//! trajectory cuts.
+//!
+//! | Engine | Module | Paper reference |
+//! |---|---|---|
+//! | mean / variance | [`welford`] | "mean, variance" boxes in Fig. 2 |
+//! | k-means | [`kmeans`] | "k-means" box in Fig. 2 |
+//! | sliding windows | [`window`] | "generation of sliding windows of trajectories" |
+//! | moving average / smoothing | [`filter`] | "moving average ... of the local period" |
+//! | peak & period detection | [`period`] | "compute the period of each oscillation" |
+//! | autocorrelation | [`autocorr`] | independent ACF-based period estimator |
+//! | histogram | [`histogram`] | StochSimGPU-style population histograms |
+//! | on-line quantiles | [`quantile`] | big-data-safe distribution summaries |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod autocorr;
+pub mod filter;
+pub mod histogram;
+pub mod kmeans;
+pub mod period;
+pub mod quantile;
+pub mod welford;
+pub mod window;
+
+pub use autocorr::{autocorrelation, period_from_acf};
+pub use filter::{savitzky_golay, Ewma, MovingAverage};
+pub use histogram::Histogram;
+pub use kmeans::{bimodality_ratio, kmeans1d, Clustering};
+pub use period::{analyse_period, find_peaks, Peak, PeriodAnalysis};
+pub use quantile::P2Quantile;
+pub use welford::Running;
+pub use window::SlidingWindow;

@@ -1,0 +1,215 @@
+//! Oscillation analysis: peak detection and local period estimation.
+//!
+//! The paper's cloud experiment "compute\[s\] the period of each oscillation
+//! and plot\[s\] the moving average of more than 200 simulations of the local
+//! period" for the Neurospora circadian model. This module provides that
+//! analysis: smooth the series, find its peaks, and report the sequence of
+//! peak-to-peak intervals (the *local periods*).
+
+use crate::filter::savitzky_golay;
+
+/// A detected local maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Index into the series.
+    pub index: usize,
+    /// Time of the peak (grid time of that index).
+    pub time: f64,
+    /// Smoothed value at the peak.
+    pub value: f64,
+}
+
+/// Finds local maxima of `values` that rise at least `min_prominence`
+/// above the lower of the two surrounding valleys and are separated by at
+/// least `min_distance` indices.
+///
+/// `times[i]` supplies the time of sample `i` (must be the same length as
+/// `values`).
+///
+/// # Panics
+///
+/// Panics when `times` and `values` lengths differ.
+pub fn find_peaks(
+    times: &[f64],
+    values: &[f64],
+    min_prominence: f64,
+    min_distance: usize,
+) -> Vec<Peak> {
+    assert_eq!(times.len(), values.len(), "times/values length mismatch");
+    let n = values.len();
+    let mut peaks: Vec<Peak> = Vec::new();
+    let mut i = 1;
+    while i + 1 < n {
+        if values[i] >= values[i - 1] && values[i] > values[i + 1] {
+            // Walk left/right to the surrounding valleys.
+            let mut left_min = values[i];
+            for j in (0..i).rev() {
+                left_min = left_min.min(values[j]);
+                if values[j] > values[i] {
+                    break;
+                }
+            }
+            let mut right_min = values[i];
+            for &vj in values.iter().skip(i + 1) {
+                right_min = right_min.min(vj);
+                if vj > values[i] {
+                    break;
+                }
+            }
+            let prominence = values[i] - left_min.max(right_min);
+            if prominence >= min_prominence {
+                let candidate = Peak {
+                    index: i,
+                    time: times[i],
+                    value: values[i],
+                };
+                match peaks.last() {
+                    Some(last) if i - last.index < min_distance => {
+                        // Too close: keep the taller of the two.
+                        if candidate.value > last.value {
+                            *peaks.last_mut().expect("non-empty") = candidate;
+                        }
+                    }
+                    _ => peaks.push(candidate),
+                }
+            }
+        }
+        i += 1;
+    }
+    peaks
+}
+
+/// Result of a period analysis on one trajectory.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PeriodAnalysis {
+    /// Detected peaks after smoothing.
+    pub peaks: Vec<Peak>,
+    /// Peak-to-peak intervals (`peaks.len() - 1` entries), the *local
+    /// periods* of the oscillation.
+    pub local_periods: Vec<f64>,
+}
+
+impl PeriodAnalysis {
+    /// Mean of the local periods (`None` with fewer than two peaks).
+    pub fn mean_period(&self) -> Option<f64> {
+        if self.local_periods.is_empty() {
+            None
+        } else {
+            Some(self.local_periods.iter().sum::<f64>() / self.local_periods.len() as f64)
+        }
+    }
+}
+
+/// Smooths `values` (Savitzky–Golay, `smooth_half_window`) then extracts
+/// peaks and local periods.
+///
+/// `min_prominence` is expressed as a fraction of the smoothed series'
+/// peak-to-trough range (e.g. 0.2), making the analysis amplitude-free.
+pub fn analyse_period(
+    times: &[f64],
+    values: &[f64],
+    smooth_half_window: usize,
+    min_prominence: f64,
+    min_distance: usize,
+) -> PeriodAnalysis {
+    if values.len() < 3 {
+        return PeriodAnalysis::default();
+    }
+    let smoothed = savitzky_golay(values, smooth_half_window);
+    let lo = smoothed.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = smoothed.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = (hi - lo).max(f64::EPSILON);
+    let peaks = find_peaks(times, &smoothed, min_prominence * range, min_distance);
+    let local_periods = peaks.windows(2).map(|w| w[1].time - w[0].time).collect();
+    PeriodAnalysis {
+        peaks,
+        local_periods,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_series(period: f64, n: usize, dt: f64) -> (Vec<f64>, Vec<f64>) {
+        let times: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|t| 100.0 + 50.0 * (2.0 * std::f64::consts::PI * t / period).sin())
+            .collect();
+        (times, values)
+    }
+
+    #[test]
+    fn clean_sine_period_is_recovered() {
+        let (times, values) = sine_series(22.0, 500, 0.5);
+        let analysis = analyse_period(&times, &values, 3, 0.2, 10);
+        assert!(analysis.peaks.len() >= 9, "found {} peaks", analysis.peaks.len());
+        let mean = analysis.mean_period().unwrap();
+        assert!((mean - 22.0).abs() < 1.0, "mean period {mean}");
+    }
+
+    #[test]
+    fn noisy_sine_period_is_recovered() {
+        let (times, mut values) = sine_series(20.0, 600, 0.5);
+        // Deterministic pseudo-noise.
+        for (i, v) in values.iter_mut().enumerate() {
+            *v += (((i * 2_654_435_761) % 1000) as f64 / 1000.0 - 0.5) * 20.0;
+        }
+        let analysis = analyse_period(&times, &values, 5, 0.3, 15);
+        let mean = analysis.mean_period().unwrap();
+        assert!((mean - 20.0).abs() < 2.0, "mean period {mean}");
+    }
+
+    #[test]
+    fn flat_series_has_no_peaks() {
+        let times: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let values = vec![5.0; 100];
+        let analysis = analyse_period(&times, &values, 3, 0.1, 5);
+        assert!(analysis.peaks.is_empty());
+        assert_eq!(analysis.mean_period(), None);
+    }
+
+    #[test]
+    fn monotone_series_has_no_peaks() {
+        let times: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let values: Vec<f64> = (0..100).map(|i| i as f64 * 2.0).collect();
+        let analysis = analyse_period(&times, &values, 2, 0.1, 5);
+        assert!(analysis.peaks.is_empty());
+    }
+
+    #[test]
+    fn min_distance_merges_twin_peaks() {
+        let times: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        //               peak   peak (taller)
+        let values = [0.0, 5.0, 1.0, 6.0, 0.0, 0.0, 0.0, 5.0, 0.0];
+        let peaks = find_peaks(&times, &values, 0.5, 4);
+        // First two peaks are 2 apart -> merged keeping the taller (6.0).
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].value, 6.0);
+        assert_eq!(peaks[1].value, 5.0);
+    }
+
+    #[test]
+    fn low_prominence_bumps_are_ignored() {
+        let times: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let values = [0.0, 10.0, 9.8, 9.9, 9.7, 10.0, 0.0];
+        // The middle 9.9 bump has prominence 0.1 only.
+        let peaks = find_peaks(&times, &values, 1.0, 1);
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].index, 1);
+        assert_eq!(peaks[1].index, 5);
+    }
+
+    #[test]
+    fn tiny_series_is_handled() {
+        let analysis = analyse_period(&[0.0, 1.0], &[1.0, 2.0], 2, 0.1, 1);
+        assert!(analysis.peaks.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        find_peaks(&[0.0], &[1.0, 2.0], 0.1, 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Sliding windows over a stream.
+//!
+//! "the incoming stream is passed through sliding windows of trajectory
+//! cuts. Each sliding window can be processed in parallel." This module
+//! provides the window generator: it consumes items one at a time and
+//! emits a full window every `slide` items once `width` items have
+//! accumulated.
+
+use std::collections::VecDeque;
+
+/// Sliding-window generator: emits overlapping windows of a stream.
+///
+/// # Examples
+///
+/// ```
+/// use streamstat::window::SlidingWindow;
+///
+/// let mut w = SlidingWindow::new(3, 1);
+/// assert!(w.push(1).is_none());
+/// assert!(w.push(2).is_none());
+/// assert_eq!(w.push(3), Some(vec![1, 2, 3]));
+/// assert_eq!(w.push(4), Some(vec![2, 3, 4]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow<T> {
+    buf: VecDeque<T>,
+    width: usize,
+    slide: usize,
+    since_emit: usize,
+    emitted_any: bool,
+}
+
+impl<T: Clone> SlidingWindow<T> {
+    /// Creates a window of `width` items advancing by `slide` per emission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `slide` is zero, or `slide > width` (gapped
+    /// windows would silently drop stream items).
+    pub fn new(width: usize, slide: usize) -> Self {
+        assert!(width > 0, "window width must be non-zero");
+        assert!(slide > 0, "window slide must be non-zero");
+        assert!(slide <= width, "slide must not exceed width");
+        SlidingWindow {
+            buf: VecDeque::with_capacity(width),
+            width,
+            slide,
+            since_emit: 0,
+            emitted_any: false,
+        }
+    }
+
+    /// Window width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Window slide.
+    pub fn slide(&self) -> usize {
+        self.slide
+    }
+
+    /// Feeds one item; returns a full window when one is due.
+    pub fn push(&mut self, item: T) -> Option<Vec<T>> {
+        self.buf.push_back(item);
+        if self.buf.len() > self.width {
+            self.buf.pop_front();
+        }
+        if self.buf.len() == self.width {
+            if !self.emitted_any {
+                self.emitted_any = true;
+                self.since_emit = 0;
+                return Some(self.buf.iter().cloned().collect());
+            }
+            self.since_emit += 1;
+            if self.since_emit == self.slide {
+                self.since_emit = 0;
+                return Some(self.buf.iter().cloned().collect());
+            }
+        }
+        None
+    }
+
+    /// Emits whatever is buffered (possibly shorter than `width`); used at
+    /// end of stream so the tail is analysed too.
+    pub fn flush(&mut self) -> Option<Vec<T>> {
+        // Only flush when the buffered tail has not just been emitted.
+        if self.buf.is_empty() || (self.emitted_any && self.since_emit == 0) {
+            return None;
+        }
+        self.since_emit = 0;
+        Some(self.buf.iter().cloned().collect())
+    }
+
+    /// Number of currently buffered items.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_windows(width: usize, slide: usize, n: usize) -> Vec<Vec<usize>> {
+        let mut w = SlidingWindow::new(width, slide);
+        let mut out = Vec::new();
+        for i in 0..n {
+            if let Some(win) = w.push(i) {
+                out.push(win);
+            }
+        }
+        if let Some(win) = w.flush() {
+            out.push(win);
+        }
+        out
+    }
+
+    #[test]
+    fn width3_slide1_is_dense() {
+        let ws = collect_windows(3, 1, 6);
+        assert_eq!(
+            ws,
+            vec![
+                vec![0, 1, 2],
+                vec![1, 2, 3],
+                vec![2, 3, 4],
+                vec![3, 4, 5],
+            ]
+        );
+    }
+
+    #[test]
+    fn width4_slide2_overlaps_by_half() {
+        let ws = collect_windows(4, 2, 8);
+        assert_eq!(ws, vec![vec![0, 1, 2, 3], vec![2, 3, 4, 5], vec![4, 5, 6, 7]]);
+    }
+
+    #[test]
+    fn tumbling_window_when_slide_equals_width() {
+        let ws = collect_windows(2, 2, 6);
+        assert_eq!(ws, vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn flush_emits_partial_tail() {
+        let ws = collect_windows(4, 4, 6);
+        assert_eq!(ws, vec![vec![0, 1, 2, 3], vec![2, 3, 4, 5]]);
+        // Short stream: flush emits the partial window.
+        let ws = collect_windows(4, 4, 2);
+        assert_eq!(ws, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn flush_is_idempotent_after_exact_emission() {
+        let mut w = SlidingWindow::new(2, 2);
+        w.push(0);
+        assert!(w.push(1).is_some());
+        assert_eq!(w.flush(), None); // window just emitted, nothing new
+    }
+
+    #[test]
+    fn every_item_appears_in_some_window() {
+        for (width, slide) in [(3usize, 1usize), (4, 2), (5, 5), (7, 3)] {
+            let ws = collect_windows(width, slide, 23);
+            let mut seen = vec![false; 23];
+            for w in &ws {
+                for &i in w {
+                    seen[i] = true;
+                }
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "width={width} slide={slide} dropped items"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slide must not exceed width")]
+    fn gapped_windows_are_rejected() {
+        let _ = SlidingWindow::<u8>::new(2, 3);
+    }
+
+    #[test]
+    fn accessors() {
+        let w = SlidingWindow::<u8>::new(5, 2);
+        assert_eq!(w.width(), 5);
+        assert_eq!(w.slide(), 2);
+        assert_eq!(w.buffered(), 0);
+    }
+}

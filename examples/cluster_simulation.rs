@@ -1,0 +1,55 @@
+//! The distributed simulator, both halves:
+//!
+//! 1. *functional*: run the real farm-of-pipelines deployment in-process,
+//!    with every sample batch wire-encoded and decoded, and check the
+//!    results equal local execution;
+//! 2. *performance*: predict the same deployment's timing on the paper's
+//!    Infiniband cluster with the calibrated DES model.
+//!
+//! Run: `cargo run --release --example cluster_simulation`
+
+use std::sync::Arc;
+
+use cwc_repro::biomodels::simple::birth_death;
+use cwc_repro::cwcsim::{run_simulation, SimConfig};
+use cwc_repro::distrt::cluster::{simulate_cluster, ClusterParams};
+use cwc_repro::distrt::emulation::run_distributed_emulation;
+use cwc_repro::distrt::platform::{HostProfile, NetworkProfile};
+use cwc_repro::distrt::workload::{CostModel, WorkloadTrace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = Arc::new(birth_death(40.0, 1.0, 0));
+    let cfg = SimConfig::new(24, 10.0)
+        .quantum(1.0)
+        .sample_period(0.25)
+        .sim_workers(2)
+        .seed(99);
+
+    // --- functional emulation -------------------------------------------
+    let local = run_simulation(Arc::clone(&model), &cfg)?;
+    let distributed = run_distributed_emulation(Arc::clone(&model), &cfg, 3)?;
+    assert_eq!(local.rows, distributed.rows, "distribution changed results!");
+    println!(
+        "functional: 3 emulated farms produced identical results to local execution"
+    );
+    println!(
+        "            {} messages, {} bytes through the wire codec",
+        distributed.messages, distributed.bytes_transferred
+    );
+
+    // --- performance model ----------------------------------------------
+    // A heavier ensemble, so per-quantum compute dominates per-message
+    // network costs (the regime the paper's cluster experiments run in).
+    let heavy = Arc::new(birth_death(400.0, 1.0, 0));
+    let trace = WorkloadTrace::record(Arc::clone(&heavy), 256, 7, 20.0, 2.0, 0.5);
+    let costs = CostModel::measure(heavy);
+    println!("\nperformance model (Infiniband cluster of 12-core Xeons):");
+    println!("hosts\tmakespan\tspeedup vs sequential");
+    for hosts in [1usize, 2, 4, 8] {
+        let mut p = ClusterParams::homogeneous(hosts, HostProfile::xeon12(), NetworkProfile::ipoib());
+        p.costs = costs;
+        let out = simulate_cluster(&trace, &p);
+        println!("{hosts}\t{:.2} ms\t{:.1}x", out.makespan_s * 1e3, out.speedup());
+    }
+    Ok(())
+}

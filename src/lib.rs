@@ -1,0 +1,15 @@
+//! Umbrella crate for the CWC/FastFlow reproduction workspace.
+//!
+//! Re-exports every member crate so the runnable examples under `examples/`
+//! and the integration tests under `tests/` can reach the whole stack through
+//! a single dependency.
+
+pub use biomodels;
+pub use cwc;
+pub use cwcsim;
+pub use desim;
+pub use distrt;
+pub use fastflow;
+pub use gillespie;
+pub use simt;
+pub use streamstat;

@@ -1,0 +1,116 @@
+//! Integration: every execution back-end — multicore pipeline, emulated
+//! distributed deployment, simulated GPGPU — must produce *identical*
+//! simulation results for identical seeds. Portability without silent
+//! numerical drift is the paper's core promise.
+
+use std::sync::Arc;
+
+use cwc_repro::biomodels;
+use cwc_repro::cwcsim::{run_simulation, SimConfig};
+use cwc_repro::distrt::run_distributed_emulation;
+use cwc_repro::gillespie::ssa::{SampleClock, SsaEngine};
+use cwc_repro::simt::DeviceMap;
+
+fn cfg() -> SimConfig {
+    SimConfig::new(10, 3.0)
+        .quantum(0.5)
+        .sample_period(0.25)
+        .sim_workers(3)
+        .stat_workers(2)
+        .window(4, 2)
+        .seed(2024)
+}
+
+#[test]
+fn distributed_emulation_matches_multicore() {
+    let model = Arc::new(biomodels::simple::decay(50, 1.0));
+    let cfg = cfg();
+    let local = run_simulation(Arc::clone(&model), &cfg).unwrap();
+    for farms in [1usize, 2, 5] {
+        let remote = run_distributed_emulation(Arc::clone(&model), &cfg, farms).unwrap();
+        assert_eq!(remote.rows, local.rows, "{farms} farms");
+    }
+}
+
+#[test]
+fn gpu_lockstep_matches_plain_engines() {
+    let model = Arc::new(biomodels::lotka_volterra(
+        biomodels::LotkaVolterraParams::default(),
+    ));
+    let cfg = cfg();
+    let mut device = DeviceMap::new(
+        Arc::clone(&model),
+        cfg.instances,
+        cfg.base_seed,
+        cfg.t_end,
+        cfg.quantum,
+        cfg.sample_period,
+    );
+    let outputs = device.run_to_end();
+
+    for i in 0..cfg.instances {
+        let mut engine = SsaEngine::new(Arc::clone(&model), cfg.base_seed, i);
+        let mut clock = SampleClock::new(0.0, cfg.sample_period);
+        let mut expected = Vec::new();
+        engine.run_sampled(cfg.t_end, &mut clock, |t, v| expected.push((t, v.to_vec())));
+        let got: Vec<(f64, Vec<u64>)> = outputs
+            .iter()
+            .filter(|o| o.instance == i)
+            .flat_map(|o| o.samples.clone())
+            .collect();
+        assert_eq!(got, expected, "instance {i} diverged on the device");
+    }
+}
+
+#[test]
+fn gpu_quantum_size_does_not_change_results() {
+    let model = Arc::new(biomodels::simple::birth_death(30.0, 1.0, 0));
+    let run = |quantum: f64| {
+        let mut device = DeviceMap::new(Arc::clone(&model), 6, 5, 2.0, quantum, 0.25);
+        let mut out = device.run_to_end();
+        out.sort_by_key(|o| o.instance);
+        out.into_iter()
+            .map(|o| (o.instance, o.samples))
+            .collect::<Vec<_>>()
+    };
+    // Different Q/τ ratios, identical trajectories (pending-event exactness).
+    let q_small: Vec<(u64, Vec<(f64, Vec<u64>)>)> = {
+        let mut per_instance: std::collections::BTreeMap<u64, Vec<(f64, Vec<u64>)>> =
+            Default::default();
+        for (i, s) in run(0.25) {
+            per_instance.entry(i).or_default().extend(s);
+        }
+        per_instance.into_iter().collect()
+    };
+    let q_large: Vec<(u64, Vec<(f64, Vec<u64>)>)> = {
+        let mut per_instance: std::collections::BTreeMap<u64, Vec<(f64, Vec<u64>)>> =
+            Default::default();
+        for (i, s) in run(2.0) {
+            per_instance.entry(i).or_default().extend(s);
+        }
+        per_instance.into_iter().collect()
+    };
+    assert_eq!(q_small, q_large);
+}
+
+#[test]
+fn wire_codec_round_trips_real_batches() {
+    use cwc_repro::distrt::{from_bytes, to_bytes};
+    use cwc_repro::cwcsim::task::{SampleBatch, SimTask};
+
+    let model = Arc::new(biomodels::simple::decay(30, 1.0));
+    let mut task = SimTask::new(model, 3, 0, 2.0, 0.5, 0.25);
+    while !task.is_done() {
+        let mut samples = Vec::new();
+        let events = task.run_quantum(&mut samples);
+        let batch = SampleBatch {
+            instance: task.instance(),
+            samples,
+            events,
+            finished: task.is_done(),
+        };
+        let bytes = to_bytes(&batch);
+        let back: SampleBatch = from_bytes(&bytes).unwrap();
+        assert_eq!(back, batch);
+    }
+}

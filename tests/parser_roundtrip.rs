@@ -1,0 +1,108 @@
+//! Property: rendering a term with `Term::display` and re-parsing it as a
+//! `term:` line yields the same tree (names permitting), and model files
+//! survive a parse → rebuild cycle.
+
+use proptest::prelude::*;
+
+use cwc_repro::cwc::multiset::Multiset;
+use cwc_repro::cwc::parse_model;
+use cwc_repro::cwc::term::{Compartment, Term};
+
+/// A small species vocabulary the parser can re-intern deterministically.
+const SPECIES: [&str; 4] = ["A", "B", "C", "D"];
+const LABELS: [&str; 2] = ["cell", "vesicle"];
+
+#[derive(Debug, Clone)]
+enum TermSpec {
+    Atoms(Vec<(usize, u64)>),
+    Nested(Vec<(usize, u64)>, usize, Box<TermSpec>),
+}
+
+fn arb_term_spec() -> impl Strategy<Value = TermSpec> {
+    let atoms = proptest::collection::vec((0usize..4, 1u64..5), 0..4);
+    atoms.clone().prop_map(TermSpec::Atoms).prop_recursive(3, 8, 2, move |inner| {
+        (
+            proptest::collection::vec((0usize..4, 1u64..5), 0..3),
+            0usize..2,
+            inner,
+        )
+            .prop_map(|(a, l, t)| TermSpec::Nested(a, l, Box::new(t)))
+    })
+}
+
+fn build(spec: &TermSpec, model: &mut cwc_repro::cwc::model::Model) -> Term {
+    match spec {
+        TermSpec::Atoms(pairs) => {
+            let ms: Multiset = pairs
+                .iter()
+                .map(|&(s, n)| (model.species(SPECIES[s]), n))
+                .collect();
+            Term::from_atoms(ms)
+        }
+        TermSpec::Nested(pairs, label, inner) => {
+            let mut t = Term::new();
+            let ms: Multiset = pairs
+                .iter()
+                .map(|&(s, n)| (model.species(SPECIES[s]), n))
+                .collect();
+            t.atoms.add_all(&ms);
+            let content = build(inner, model);
+            let label = model.label(LABELS[*label]);
+            t.add_compartment(Compartment::new(label, Multiset::new(), content));
+            t
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn display_then_parse_is_identity_modulo_interning(spec in arb_term_spec()) {
+        // Build the term in a model that interns names in a fixed order, so
+        // the parsed model assigns identical handles.
+        let mut model = cwc_repro::cwc::model::Model::new("p");
+        for s in SPECIES {
+            model.species(s);
+        }
+        for l in LABELS {
+            model.label(l);
+        }
+        let term = build(&spec, &mut model);
+        let rendered = term.display(&model.alphabet);
+        if rendered == "<empty>" {
+            return Ok(());
+        }
+        let mut src = String::from("species A B C D\nterm: ");
+        src.push_str(&rendered);
+        let parsed = parse_model(&src).expect("rendered term must parse");
+        // Labels may intern in a different order; compare structurally via
+        // a canonical re-rendering in the parsed model's alphabet.
+        let reparsed_render = parsed.initial.display(&parsed.alphabet);
+        prop_assert_eq!(reparsed_render, rendered);
+        prop_assert_eq!(parsed.initial.total_atoms(), term.total_atoms());
+        prop_assert_eq!(parsed.initial.total_compartments(), term.total_compartments());
+        prop_assert_eq!(parsed.initial.depth(), term.depth());
+    }
+}
+
+#[test]
+fn documented_example_parses_and_simulates() {
+    let src = r"
+model doc-example
+term: A*50 (cell: M | A*5)
+rule grow @ 0.4 : A => A A
+rule uptake @ 0.05 : A (cell: M |) => [1: | A]
+rule spend @ 1.0 in cell : A =>
+observe free = A at top
+observe inside = A in cell
+";
+    let model = parse_model(src).unwrap();
+    model.validate().unwrap();
+    let cfg = cwc_repro::cwcsim::SimConfig::new(4, 2.0)
+        .quantum(0.5)
+        .sample_period(0.25)
+        .sim_workers(2)
+        .seed(1);
+    let report = cwc_repro::cwcsim::run_simulation(std::sync::Arc::new(model), &cfg).unwrap();
+    assert_eq!(report.rows.len(), 9);
+    assert_eq!(report.observable_names, vec!["free", "inside"]);
+}

@@ -1,0 +1,201 @@
+//! Integration: the parallel pipeline must produce exactly the sequential
+//! reference results, for every model family and a range of configurations.
+
+use std::sync::Arc;
+
+use cwc_repro::biomodels;
+use cwc_repro::cwcsim::{run_sequential, run_simulation, SimConfig, StatEngineKind};
+
+fn configs() -> Vec<SimConfig> {
+    vec![
+        SimConfig::new(4, 2.0)
+            .quantum(0.5)
+            .sample_period(0.25)
+            .sim_workers(2)
+            .stat_workers(1)
+            .seed(1),
+        SimConfig::new(12, 3.0)
+            .quantum(0.3)
+            .sample_period(0.1)
+            .sim_workers(4)
+            .stat_workers(3)
+            .window(6, 3)
+            .seed(2),
+        // Degenerate: one instance, one worker, tiny channels.
+        SimConfig::new(1, 1.0)
+            .quantum(10.0)
+            .sample_period(0.5)
+            .sim_workers(1)
+            .stat_workers(1)
+            .channel_capacity(1)
+            .seed(3),
+    ]
+}
+
+#[test]
+fn parallel_equals_sequential_for_flat_models() {
+    for model in [
+        biomodels::simple::decay(60, 1.0),
+        biomodels::simple::birth_death(30.0, 1.0, 5),
+        biomodels::lotka_volterra(biomodels::LotkaVolterraParams::default()),
+    ] {
+        let model = Arc::new(model);
+        for cfg in configs() {
+            let par = run_simulation(Arc::clone(&model), &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", model.name));
+            let seq = run_sequential(Arc::clone(&model), &cfg).unwrap();
+            assert_eq!(par.rows, seq.rows, "model {} cfg {cfg:?}", model.name);
+            assert_eq!(par.events, seq.events, "model {}", model.name);
+        }
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_for_compartment_models() {
+    let model = Arc::new(biomodels::cell_transport(
+        biomodels::CellTransportParams::default(),
+    ));
+    let cfg = SimConfig::new(6, 2.0)
+        .quantum(0.25)
+        .sample_period(0.125)
+        .sim_workers(3)
+        .stat_workers(2)
+        .seed(9);
+    let par = run_simulation(Arc::clone(&model), &cfg).unwrap();
+    let seq = run_sequential(model, &cfg).unwrap();
+    assert_eq!(par.rows, seq.rows);
+}
+
+#[test]
+fn rows_cover_the_whole_grid_in_order() {
+    let model = Arc::new(biomodels::simple::decay(40, 2.0));
+    let cfg = SimConfig::new(8, 4.0)
+        .quantum(1.0)
+        .sample_period(0.25)
+        .sim_workers(2)
+        .seed(5);
+    let report = run_simulation(model, &cfg).unwrap();
+    assert_eq!(report.rows.len(), cfg.samples_per_instance() as usize);
+    for (k, row) in report.rows.iter().enumerate() {
+        assert!((row.time - k as f64 * 0.25).abs() < 1e-9, "row {k} at {}", row.time);
+        assert_eq!(row.instances, 8);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_results_same_seed_identical() {
+    let model = Arc::new(biomodels::simple::birth_death(20.0, 0.5, 0));
+    let base = SimConfig::new(6, 3.0)
+        .quantum(0.5)
+        .sample_period(0.5)
+        .sim_workers(2);
+    let a = run_simulation(Arc::clone(&model), &base.clone().seed(1)).unwrap();
+    let b = run_simulation(Arc::clone(&model), &base.clone().seed(1)).unwrap();
+    let c = run_simulation(model, &base.seed(2)).unwrap();
+    assert_eq!(a.rows, b.rows, "same seed must reproduce");
+    assert_ne!(a.rows, c.rows, "different seeds must differ");
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let model = Arc::new(biomodels::michaelis_menten(
+        biomodels::MichaelisMentenParams::default(),
+    ));
+    let mk = |workers: usize| {
+        SimConfig::new(8, 1.0)
+            .quantum(0.2)
+            .sample_period(0.1)
+            .sim_workers(workers)
+            .stat_workers(workers.min(3))
+            .seed(77)
+    };
+    let w1 = run_simulation(Arc::clone(&model), &mk(1)).unwrap();
+    let w4 = run_simulation(Arc::clone(&model), &mk(4)).unwrap();
+    let w8 = run_simulation(model, &mk(8)).unwrap();
+    assert_eq!(w1.rows, w4.rows);
+    assert_eq!(w1.rows, w8.rows);
+}
+
+#[test]
+fn all_engine_kinds_flow_through_the_pipeline() {
+    let model = Arc::new(biomodels::simple::birth_death(40.0, 1.0, 0));
+    let cfg = SimConfig::new(10, 2.0)
+        .quantum(0.5)
+        .sample_period(0.25)
+        .sim_workers(2)
+        .stat_workers(2)
+        .engines(vec![
+            StatEngineKind::MeanVariance,
+            StatEngineKind::KMeans { k: 2 },
+            StatEngineKind::Quantile { p: 0.9 },
+            StatEngineKind::Histogram {
+                lo: 0.0,
+                hi: 100.0,
+                bins: 10,
+            },
+        ])
+        .seed(4);
+    let report = run_simulation(model, &cfg).unwrap();
+    let last = report.rows.last().unwrap();
+    let obs = &last.observables[0];
+    assert!(obs.quantile.is_some());
+    assert!(obs.mode.is_some());
+    assert!(obs.centroids.len() <= 2);
+    assert!(obs.max >= obs.min);
+}
+
+#[test]
+fn steering_terminates_a_running_simulation_early() {
+    use cwc_repro::cwcsim::{run_simulation_steered, Steering};
+
+    // A heavy-enough run that 50 ms is early: 16 instances of a busy
+    // birth-death process.
+    let model = Arc::new(biomodels::simple::birth_death(600.0, 1.0, 0));
+    let cfg = SimConfig::new(16, 20.0)
+        .quantum(0.25)
+        .sample_period(0.25)
+        .sim_workers(2)
+        .seed(44);
+
+    // Full run for reference row count.
+    let full = run_simulation(Arc::clone(&model), &cfg).unwrap();
+    assert_eq!(full.rows.len(), cfg.samples_per_instance() as usize);
+
+    // Steered run: terminate shortly after it starts.
+    let steering = Steering::new();
+    let killer = {
+        let s = steering.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            s.terminate();
+        })
+    };
+    let partial = run_simulation_steered(model, &cfg, &steering).unwrap();
+    killer.join().unwrap();
+    assert!(
+        partial.rows.len() < full.rows.len(),
+        "terminated run produced {} of {} rows",
+        partial.rows.len(),
+        full.rows.len()
+    );
+    assert!(partial.events < full.events);
+    // Whatever completed is still correct and time-ordered.
+    assert!(partial.rows.windows(2).all(|w| w[0].time < w[1].time));
+}
+
+#[test]
+fn pre_terminated_run_produces_no_rows() {
+    use cwc_repro::cwcsim::{run_simulation_steered, Steering};
+
+    let model = Arc::new(biomodels::simple::decay(50, 1.0));
+    let cfg = SimConfig::new(4, 5.0)
+        .quantum(1.0)
+        .sample_period(0.5)
+        .sim_workers(2)
+        .seed(1);
+    let steering = Steering::new();
+    steering.terminate();
+    let report = run_simulation_steered(model, &cfg, &steering).unwrap();
+    assert!(report.rows.is_empty());
+    assert_eq!(report.events, 0);
+}
