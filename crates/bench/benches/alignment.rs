@@ -34,8 +34,7 @@ fn bench_alignment(c: &mut Criterion) {
                     for batch in batches(instances, samples) {
                         stage.on_item(batch, &mut out);
                     }
-                    drop(out);
-                    drop(tx);
+                    drop(tx); // close the channel so the drain below terminates
                     let cuts: Vec<_> = rx.iter().collect();
                     assert_eq!(cuts.len(), samples);
                 });

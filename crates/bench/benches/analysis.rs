@@ -10,7 +10,13 @@ fn cut(width: usize) -> Cut {
     Cut {
         time: 0.0,
         values: (0..width)
-            .map(|i| vec![((i * i) % 97) as u64, ((i * 7) % 131) as u64, (i % 53) as u64])
+            .map(|i| {
+                vec![
+                    ((i * i) % 97) as u64,
+                    ((i * 7) % 131) as u64,
+                    (i % 53) as u64,
+                ]
+            })
             .collect(),
     }
 }

@@ -18,7 +18,9 @@ fn work(units: u64) -> u64 {
 
 fn skewed_items() -> Vec<u64> {
     // 1 heavy item per 16 light ones: the straggler pattern.
-    (0..256u64).map(|i| if i % 16 == 0 { 64 } else { 1 }).collect()
+    (0..256u64)
+        .map(|i| if i % 16 == 0 { 64 } else { 1 })
+        .collect()
 }
 
 fn bench_policies(c: &mut Criterion) {

@@ -22,7 +22,10 @@ fn main() {
     );
     let costs = distrt::workload::CostModel::measure(model);
     println!("sec_per_stat_value     = {:.3e}", costs.sec_per_stat_value);
-    println!("sec_per_aligned_sample = {:.3e}", costs.sec_per_aligned_sample);
+    println!(
+        "sec_per_aligned_sample = {:.3e}",
+        costs.sec_per_aligned_sample
+    );
     println!(
         "stat/sim cost ratio    = {:.3}",
         costs.sec_per_stat_value / costs.sec_per_event

@@ -21,7 +21,11 @@ fn main() {
     let quick = quick_mode();
     eprintln!(
         "# FIG3: recording workload ({}) ...",
-        if quick { "synthetic" } else { "real Neurospora engines" }
+        if quick {
+            "synthetic"
+        } else {
+            "real Neurospora engines"
+        }
     );
     // Dense τ grid (800 samples over 12 h): the analysis stream carries
     // the weight it has in the paper's configuration.

@@ -32,14 +32,20 @@ fn main() {
             rows.push(vec![
                 hosts.to_string(),
                 (hosts * cores_per_host).to_string(),
-                f2(hosts as f64),                 // ideal vs hosts
-                f2(t1v / out.makespan_s),         // speedup vs 1 host
-                f2(out.speedup()),                // speedup vs sequential (aggregated cores)
+                f2(hosts as f64),         // ideal vs hosts
+                f2(t1v / out.makespan_s), // speedup vs 1 host
+                f2(out.speedup()),        // speedup vs sequential (aggregated cores)
             ]);
         }
         print_table(
             &format!("FIG4, {cores_per_host} cores per host, IPoIB, 4 stat engines"),
-            &["hosts", "agg cores", "ideal", "speedup vs 1 host", "speedup vs sequential"],
+            &[
+                "hosts",
+                "agg cores",
+                "ideal",
+                "speedup vs 1 host",
+                "speedup vs sequential",
+            ],
             &rows,
         );
     }

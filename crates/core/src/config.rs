@@ -206,12 +206,18 @@ mod tests {
         assert!(SimConfig::new(0, 10.0).validate().is_err());
         assert!(SimConfig::new(1, 0.0).validate().is_err());
         assert!(SimConfig::new(1, 10.0).quantum(0.0).validate().is_err());
-        assert!(SimConfig::new(1, 10.0).sample_period(-1.0).validate().is_err());
+        assert!(SimConfig::new(1, 10.0)
+            .sample_period(-1.0)
+            .validate()
+            .is_err());
         assert!(SimConfig::new(1, 10.0).sim_workers(0).validate().is_err());
         assert!(SimConfig::new(1, 10.0).stat_workers(0).validate().is_err());
         assert!(SimConfig::new(1, 10.0).window(0, 1).validate().is_err());
         assert!(SimConfig::new(1, 10.0).window(2, 3).validate().is_err());
         assert!(SimConfig::new(1, 10.0).engines(vec![]).validate().is_err());
-        assert!(SimConfig::new(1, 10.0).channel_capacity(0).validate().is_err());
+        assert!(SimConfig::new(1, 10.0)
+            .channel_capacity(0)
+            .validate()
+            .is_err());
     }
 }

@@ -87,12 +87,14 @@ pub fn ascii_chart(rows: &[StatRow], observable: usize, width: usize, height: us
     let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let range = (hi - lo).max(f64::EPSILON);
     let mut grid = vec![vec![b' '; width]; height];
-    for col in 0..width {
-        let idx = col * (means.len() - 1).max(1) / width.max(1);
-        let idx = idx.min(means.len() - 1);
+    let col_to_row = |col: usize| {
+        let idx = (col * (means.len() - 1).max(1) / width.max(1)).min(means.len() - 1);
         let v = (means[idx] - lo) / range;
         let r = ((1.0 - v) * (height - 1) as f64).round() as usize;
-        grid[r.min(height - 1)][col] = b'*';
+        r.min(height - 1)
+    };
+    for (col, row) in (0..width).map(col_to_row).enumerate() {
+        grid[row][col] = b'*';
     }
     let mut out = String::new();
     let _ = writeln!(out, "max {hi:.2}");

@@ -232,7 +232,11 @@ mod tests {
     #[test]
     fn analyse_covers_only_fresh_cuts() {
         let set = StatEngineSet::new(vec![StatEngineKind::MeanVariance]);
-        let mut w = window(vec![cut(0.0, vec![1]), cut(1.0, vec![2]), cut(2.0, vec![3])]);
+        let mut w = window(vec![
+            cut(0.0, vec![1]),
+            cut(1.0, vec![2]),
+            cut(2.0, vec![3]),
+        ]);
         w.fresh = 1;
         let block = set.analyse(&w);
         assert_eq!(block.rows.len(), 1);

@@ -170,17 +170,25 @@ pub fn run_simulation_steered(
                 batch
             }),
         )
-        .named_stage("alignment", Alignment::new(cfg.instances, cfg.sample_period))
-        .named_stage("window-gen", WindowGen::new(cfg.window_width, cfg.window_slide))
+        .named_stage(
+            "alignment",
+            Alignment::new(cfg.instances, cfg.sample_period),
+        )
+        .named_stage(
+            "window-gen",
+            WindowGen::new(cfg.window_width, cfg.window_slide),
+        )
         .ordered_farm(cfg.stat_workers, |_| {
             let set = engine_set.clone();
             move |w: Window| set.analyse(&w)
         })
-        .stage(flat_stage(|block: StatBlock, out: &mut fastflow::node::Outbox<'_, StatRow>| {
-            for row in block.rows {
-                out.push(row);
-            }
-        }));
+        .stage(flat_stage(
+            |block: StatBlock, out: &mut fastflow::node::Outbox<'_, StatRow>| {
+                for row in block.rows {
+                    out.push(row);
+                }
+            },
+        ));
 
     let (rx, handle) = pipeline.into_receiver();
     let mut rows: Vec<StatRow> = rx.iter().collect();
@@ -247,8 +255,7 @@ pub fn run_sequential(model: Arc<Model>, cfg: &SimConfig) -> Result<SimReport, S
         for b in batches {
             alignment.on_item(b, &mut out);
         }
-        drop(out);
-        drop(tx);
+        drop(tx); // close the channel so the drain below terminates
         cuts.extend(rx.iter());
     }
 
@@ -264,8 +271,7 @@ pub fn run_sequential(model: Arc<Model>, cfg: &SimConfig) -> Result<SimReport, S
             gen.on_item(cut, &mut out);
         }
         gen.on_end(&mut out);
-        drop(out);
-        drop(tx);
+        drop(tx); // close the channel so the drain below terminates
         for window in rx.iter() {
             rows.extend(set.analyse(&window).rows);
         }
@@ -317,10 +323,7 @@ mod tests {
         let cfg = small_cfg();
         let report = run_simulation(model, &cfg).unwrap();
         assert_eq!(report.rows.len(), cfg.samples_per_instance() as usize);
-        assert!(report
-            .rows
-            .windows(2)
-            .all(|w| w[0].time < w[1].time));
+        assert!(report.rows.windows(2).all(|w| w[0].time < w[1].time));
         assert!(report.events > 0);
         assert_eq!(report.observable_names, vec!["A"]);
     }
@@ -381,6 +384,6 @@ mod tests {
         let cfg = small_cfg();
         let report = run_simulation(model, &cfg).unwrap();
         let gm = report.grand_mean(0);
-        assert!(gm >= 0.0 && gm <= 100.0);
+        assert!((0.0..=100.0).contains(&gm));
     }
 }

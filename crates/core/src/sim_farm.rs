@@ -128,11 +128,7 @@ impl FeedbackWorker for SimWorker {
     type Fb = SimTask;
     type Out = SampleBatch;
 
-    fn on_task(
-        &mut self,
-        mut task: SimTask,
-        out: &mut Outbox<'_, SampleBatch>,
-    ) -> Option<SimTask> {
+    fn on_task(&mut self, mut task: SimTask, out: &mut Outbox<'_, SampleBatch>) -> Option<SimTask> {
         let mut samples = Vec::new();
         let events = task.run_quantum(&mut samples);
         self.quanta += 1;
@@ -192,7 +188,10 @@ mod tests {
         assert_eq!(finishes, instances);
         for (inst, times) in per_instance {
             assert_eq!(times.len(), 9, "instance {inst} sample count");
-            assert!(times.windows(2).all(|w| w[0] < w[1]), "instance {inst} order");
+            assert!(
+                times.windows(2).all(|w| w[0] < w[1]),
+                "instance {inst} order"
+            );
         }
     }
 

@@ -242,8 +242,7 @@ mod tests {
             .seed(6);
         let report = crate::runner::run_simulation(Arc::clone(&model), &cfg).unwrap();
         {
-            let mut sink =
-                CsvFileSink::create(&path, vec!["A".into()], false).unwrap();
+            let mut sink = CsvFileSink::create(&path, vec!["A".into()], false).unwrap();
             for r in &report.rows {
                 sink.on_item(r.clone());
             }
@@ -261,8 +260,11 @@ mod tests {
     #[test]
     fn load_rejects_malformed_content() {
         let path = temp_path("bad");
-        std::fs::write(&path, "time,instances,A_mean,A_var,A_min,A_max\n1.0,oops,1,1,1,1\n")
-            .unwrap();
+        std::fs::write(
+            &path,
+            "time,instances,A_mean,A_var,A_min,A_max\n1.0,oops,1,1,1,1\n",
+        )
+        .unwrap();
         assert!(matches!(load_csv(&path), Err(LoadError::Malformed(2, _))));
         std::fs::write(&path, "time,instances,odd\n").unwrap();
         assert!(matches!(load_csv(&path), Err(LoadError::Malformed(1, _))));

@@ -119,8 +119,7 @@ mod tests {
             stage.on_item(cut(k), &mut out);
         }
         stage.on_end(&mut out);
-        drop(out);
-        drop(tx);
+        drop(tx); // close the channel so the drain terminates
         rx.iter().collect()
     }
 

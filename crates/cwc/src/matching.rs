@@ -64,20 +64,20 @@ pub fn assignments(site: &Term, pattern: &Pattern) -> Vec<(Vec<usize>, u64)> {
             }
             used[i] = true;
             chosen.push(i);
-            rec(site, pats, k + 1, weight.saturating_mul(w), chosen, used, out);
+            rec(
+                site,
+                pats,
+                k + 1,
+                weight.saturating_mul(w),
+                chosen,
+                used,
+                out,
+            );
             chosen.pop();
             used[i] = false;
         }
     }
-    rec(
-        site,
-        &pattern.comps,
-        0,
-        1,
-        &mut chosen,
-        &mut used,
-        &mut out,
-    );
+    rec(site, &pattern.comps, 0, 1, &mut chosen, &mut used, &mut out);
     out
 }
 
@@ -252,7 +252,7 @@ pub fn apply_at(
             Fate::Destroy => removals.push((ci, false)),
         }
     }
-    removals.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    removals.sort_unstable_by_key(|&(ci, _)| std::cmp::Reverse(ci));
     let mut spilled_atoms = Multiset::new();
     let mut spilled_comps: Vec<Compartment> = Vec::new();
     for (ci, spill) in removals {
@@ -265,7 +265,9 @@ pub fn apply_at(
             let mut wrap = comp.wrap;
             wrap.remove_all(&pat.wrap).expect("validated above");
             let mut content_atoms = comp.content.atoms;
-            content_atoms.remove_all(&pat.atoms).expect("validated above");
+            content_atoms
+                .remove_all(&pat.atoms)
+                .expect("validated above");
             spilled_atoms.add_all(&wrap);
             spilled_atoms.add_all(&content_atoms);
             spilled_comps.extend(comp.content.comps);
@@ -509,11 +511,7 @@ mod tests {
         let mut inner = Term::from_atoms(Multiset::from([(sp(0), 1), (sp(1), 1)]));
         inner.add_compartment(Compartment::new(lb(1), Multiset::new(), Term::new()));
         let mut term = Term::new();
-        term.add_compartment(Compartment::new(
-            lb(0),
-            Multiset::from([(sp(3), 1)]),
-            inner,
-        ));
+        term.add_compartment(Compartment::new(lb(0), Multiset::from([(sp(3), 1)]), inner));
         let rule = simple_rule(
             Pattern {
                 atoms: Multiset::new(),

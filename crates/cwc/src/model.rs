@@ -251,7 +251,12 @@ impl RuleBuilder<'_> {
     }
 
     /// Keeps LHS compartment `index`, adding the given wrap/content atoms.
-    pub fn keeps(mut self, index: usize, add_wrap: &[(&str, u64)], add_atoms: &[(&str, u64)]) -> Self {
+    pub fn keeps(
+        mut self,
+        index: usize,
+        add_wrap: &[(&str, u64)],
+        add_atoms: &[(&str, u64)],
+    ) -> Self {
         let add_wrap = resolve(&mut self.model.alphabet, add_wrap);
         let add_atoms = resolve(&mut self.model.alphabet, add_atoms);
         self.rhs.comps.push(CompProduction::Keep {
@@ -278,7 +283,9 @@ impl RuleBuilder<'_> {
         let label = self.model.alphabet.label(label);
         let wrap = resolve(&mut self.model.alphabet, wrap);
         let atoms = resolve(&mut self.model.alphabet, atoms);
-        self.rhs.comps.push(CompProduction::New { label, wrap, atoms });
+        self.rhs
+            .comps
+            .push(CompProduction::New { label, wrap, atoms });
         self
     }
 

@@ -312,7 +312,9 @@ mod tests {
 
     #[test]
     fn from_iterator_merges_duplicates() {
-        let ms: Multiset = vec![(sp(1), 1), (sp(1), 2), (sp(2), 1)].into_iter().collect();
+        let ms: Multiset = vec![(sp(1), 1), (sp(1), 2), (sp(2), 1)]
+            .into_iter()
+            .collect();
         assert_eq!(ms.count(sp(1)), 3);
         assert_eq!(ms.count(sp(2)), 1);
     }

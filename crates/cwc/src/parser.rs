@@ -84,17 +84,17 @@ pub fn parse_model(source: &str) -> Result<Model, ParseError> {
                 model.species(name);
             }
         } else if let Some(rest) = line.strip_prefix("term:") {
-            let tokens = tokenize(rest).map_err(|m| err(m))?;
+            let tokens = tokenize(rest).map_err(&err)?;
             let mut cursor = Cursor::new(&tokens);
-            let term = parse_term(&mut cursor, &mut model)?.map_err(|m| err(m))?;
+            let term = parse_term(&mut cursor, &mut model)?.map_err(&err)?;
             if !cursor.at_end() {
-                return Err(err(format!("unexpected trailing input in term")));
+                return Err(err("unexpected trailing input in term".to_string()));
             }
             model.initial = term;
         } else if let Some(rest) = line.strip_prefix("rule ") {
-            parse_rule_line(rest, &mut model).map_err(|m| err(m))?;
+            parse_rule_line(rest, &mut model).map_err(&err)?;
         } else if let Some(rest) = line.strip_prefix("observe ") {
-            parse_observe_line(rest, &mut model).map_err(|m| err(m))?;
+            parse_observe_line(rest, &mut model).map_err(&err)?;
         } else {
             return Err(err(format!("unrecognised directive: `{line}`")));
         }
@@ -163,16 +163,20 @@ fn tokenize(input: &str) -> Result<Vec<Token>, String> {
             c if c.is_ascii_digit() || c == '.' => {
                 let mut num = String::new();
                 while let Some(&d) = chars.peek() {
-                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || d == '-' && num.ends_with(['e', 'E']) || d == '+' && num.ends_with(['e', 'E']) {
+                    if d.is_ascii_digit()
+                        || d == '.'
+                        || d == 'e'
+                        || d == 'E'
+                        || d == '-' && num.ends_with(['e', 'E'])
+                        || d == '+' && num.ends_with(['e', 'E'])
+                    {
                         num.push(d);
                         chars.next();
                     } else {
                         break;
                     }
                 }
-                let value: f64 = num
-                    .parse()
-                    .map_err(|_| format!("invalid number `{num}`"))?;
+                let value: f64 = num.parse().map_err(|_| format!("invalid number `{num}`"))?;
                 tokens.push(Token::Number(value));
             }
             c if is_ident_char(c) => {

@@ -114,9 +114,10 @@ impl Production {
 /// regulation, where gene-state micro-steps are abstracted into Hill
 /// kinetics). The species count `c` below is the count of the law's species
 /// in the **content atoms of the site** where the rule applies.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum RateLaw {
     /// `a = rate · h` — standard Gillespie mass action.
+    #[default]
     MassAction,
     /// `a = rate · h · kⁿ / (kⁿ + cⁿ)` — transcription repressed by
     /// `inhibitor` (Hill coefficient `n`, threshold `k` in molecules).
@@ -189,12 +190,6 @@ impl RateLaw {
             }
             RateLaw::Saturating { km, .. } => km.is_finite() && *km > 0.0,
         }
-    }
-}
-
-impl Default for RateLaw {
-    fn default() -> Self {
-        RateLaw::MassAction
     }
 }
 

@@ -135,7 +135,11 @@ impl<'a> ClusterWorld<'a> {
     fn new(trace: &'a WorkloadTrace, p: &'a ClusterParams) -> Self {
         let n = trace.instances as usize;
         // Partition instances proportionally to host capacity.
-        let capacities: Vec<f64> = p.hosts.iter().map(|h| h.cores as f64 * h.core_rate()).collect();
+        let capacities: Vec<f64> = p
+            .hosts
+            .iter()
+            .map(|h| h.cores as f64 * h.core_rate())
+            .collect();
         let total_cap: f64 = capacities.iter().sum();
         let mut owner = vec![0usize; n];
         let mut boundaries = Vec::with_capacity(p.hosts.len());
@@ -217,8 +221,7 @@ impl<'a> ClusterWorld<'a> {
         let (occupancy, latency) = if host == 0 {
             let shm = NetworkProfile::shared_memory();
             (
-                shm.per_message_s
-                    + self.trace.mean_batch_bytes / shm.bandwidth_bps,
+                shm.per_message_s + self.trace.mean_batch_bytes / shm.bandwidth_bps,
                 shm.latency_s,
             )
         } else {
@@ -241,8 +244,8 @@ impl<'a> ClusterWorld<'a> {
             return;
         }
         if let Some(&samples) = self.align_queue.front() {
-            let service = samples as f64 * self.p.costs.sec_per_aligned_sample
-                / self.p.hosts[0].core_rate();
+            let service =
+                samples as f64 * self.p.costs.sec_per_aligned_sample / self.p.hosts[0].core_rate();
             self.align_busy = true;
             self.align_busy_s += service;
             let _ = samples;
@@ -340,7 +343,10 @@ impl World for ClusterWorld<'_> {
 pub fn simulate_cluster(trace: &WorkloadTrace, params: &ClusterParams) -> ClusterOutcome {
     assert!(!params.hosts.is_empty(), "cluster needs at least one host");
     assert!(trace.instances > 0, "trace has no instances");
-    assert!(params.stat_engines > 0, "need at least one statistical engine");
+    assert!(
+        params.stat_engines > 0,
+        "need at least one statistical engine"
+    );
     let mut world = ClusterWorld::new(trace, params);
     // Bootstrap every host's cores.
     let mut seed: Vec<(f64, Ev)> = Vec::new();

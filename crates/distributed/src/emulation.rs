@@ -106,8 +106,7 @@ pub fn run_distributed_emulation(
     // its encoded batch stream.
     let mut encoded_batches: Vec<Vec<u8>> = Vec::new();
     for spec_bytes in &encoded_specs {
-        let spec: RemoteTaskSpec =
-            wire::from_bytes(spec_bytes).map_err(EmulationError::Wire)?;
+        let spec: RemoteTaskSpec = wire::from_bytes(spec_bytes).map_err(EmulationError::Wire)?;
         if spec.count == 0 {
             continue;
         }
@@ -124,7 +123,9 @@ pub fn run_distributed_emulation(
                 )
             })
             .collect();
-        let workers: Vec<SimWorker> = (0..cfg.sim_workers.max(1)).map(|_| SimWorker::new()).collect();
+        let workers: Vec<SimWorker> = (0..cfg.sim_workers.max(1))
+            .map(|_| SimWorker::new())
+            .collect();
         let farm_out: Vec<Vec<u8>> = Pipeline::from_source(tasks.into_iter())
             .master_worker_farm(SimMaster::new(), workers)
             // Serialising stage added around unchanged pipeline code.
@@ -148,8 +149,14 @@ pub fn run_distributed_emulation(
                 wire::from_bytes::<SampleBatch>(&bytes).expect("well-formed batch")
             }),
         )
-        .named_stage("alignment", Alignment::new(cfg.instances, cfg.sample_period))
-        .named_stage("window-gen", WindowGen::new(cfg.window_width, cfg.window_slide))
+        .named_stage(
+            "alignment",
+            Alignment::new(cfg.instances, cfg.sample_period),
+        )
+        .named_stage(
+            "window-gen",
+            WindowGen::new(cfg.window_width, cfg.window_slide),
+        )
         .stage(flat_stage(
             move |w: cwcsim::windows::Window, out: &mut Outbox<'_, StatRow>| {
                 for row in stat_set.analyse(&w).rows {
@@ -190,7 +197,10 @@ mod tests {
         let cfg = cfg();
         let local = cwcsim::run_simulation(Arc::clone(&model), &cfg).unwrap();
         let remote = run_distributed_emulation(model, &cfg, 3).unwrap();
-        assert_eq!(remote.rows, local.rows, "distribution must not change results");
+        assert_eq!(
+            remote.rows, local.rows,
+            "distribution must not change results"
+        );
         assert!(remote.bytes_transferred > 0);
         assert!(remote.messages >= 8); // at least one batch per instance
     }

@@ -96,11 +96,12 @@ impl PipelineOutcome {
     }
 }
 
+/// Service-completion events: each variant names the stage that finished.
 #[derive(Debug)]
 enum Ev {
-    SimDone { instance: usize },
-    AlignDone,
-    StatDone,
+    Sim { instance: usize },
+    Align,
+    Stat,
 }
 
 struct PipelineWorld<'a> {
@@ -202,7 +203,7 @@ impl<'a> PipelineWorld<'a> {
             let service = self.quantum_service(instance);
             self.sim_busy += 1;
             self.sim_busy_s += service;
-            sched.schedule_in(service, Ev::SimDone { instance });
+            sched.schedule_in(service, Ev::Sim { instance });
         }
     }
 
@@ -215,11 +216,11 @@ impl<'a> PipelineWorld<'a> {
             return;
         }
         if let Some((_instance, samples)) = self.align_queue.front().copied() {
-            let service = samples as f64 * self.p.costs.sec_per_aligned_sample
-                / self.p.host.core_rate();
+            let service =
+                samples as f64 * self.p.costs.sec_per_aligned_sample / self.p.host.core_rate();
             self.align_busy = true;
             self.align_busy_s += service;
-            sched.schedule_in(service, Ev::AlignDone);
+            sched.schedule_in(service, Ev::Align);
         }
     }
 
@@ -234,7 +235,7 @@ impl<'a> PipelineWorld<'a> {
                 / self.p.host.core_rate();
             self.stat_busy += 1;
             self.stat_busy_s += service;
-            sched.schedule_in(service, Ev::StatDone);
+            sched.schedule_in(service, Ev::Stat);
         }
     }
 }
@@ -244,7 +245,7 @@ impl World for PipelineWorld<'_> {
 
     fn handle(&mut self, _time: f64, event: Ev, sched: &mut Scheduler<Ev>) {
         match event {
-            Ev::SimDone { instance } => {
+            Ev::Sim { instance } => {
                 self.sim_busy -= 1;
                 let q = self.next_quantum[instance];
                 let samples = self.samples_in_quantum(instance, q);
@@ -256,7 +257,7 @@ impl World for PipelineWorld<'_> {
                 self.align_queue.push_back((instance, samples));
                 self.try_start_all(sched);
             }
-            Ev::AlignDone => {
+            Ev::Align => {
                 self.align_busy = false;
                 let (instance, samples) = self
                     .align_queue
@@ -279,7 +280,7 @@ impl World for PipelineWorld<'_> {
                 }
                 self.try_start_all(sched);
             }
-            Ev::StatDone => {
+            Ev::Stat => {
                 self.stat_busy -= 1;
                 self.cuts_done += 1;
                 self.try_start_all(sched);
@@ -295,8 +296,14 @@ impl World for PipelineWorld<'_> {
 /// Panics if the trace is empty or the parameters have zero workers.
 pub fn simulate_multicore(trace: &WorkloadTrace, params: &MulticoreParams) -> PipelineOutcome {
     assert!(trace.instances > 0, "trace has no instances");
-    assert!(params.sim_workers > 0, "need at least one simulation worker");
-    assert!(params.stat_engines > 0, "need at least one statistical engine");
+    assert!(
+        params.sim_workers > 0,
+        "need at least one simulation worker"
+    );
+    assert!(
+        params.stat_engines > 0,
+        "need at least one statistical engine"
+    );
     let mut world = PipelineWorld::new(trace, params);
     // Fill all simulation cores with their first quantum; the event loop
     // takes over from there.
@@ -321,7 +328,7 @@ fn bootstrap_initial_quanta(world: &mut PipelineWorld<'_>) -> Vec<(f64, Ev)> {
         let service = world.quantum_service(instance);
         world.sim_busy += 1;
         world.sim_busy_s += service;
-        seed.push((service, Ev::SimDone { instance }));
+        seed.push((service, Ev::Sim { instance }));
     }
     seed
 }

@@ -51,7 +51,15 @@ impl WorkloadTrace {
         quantum: f64,
         sample_period: f64,
     ) -> Self {
-        Self::record_with_burn_in(model, instances, base_seed, 0.0, t_end, quantum, sample_period)
+        Self::record_with_burn_in(
+            model,
+            instances,
+            base_seed,
+            0.0,
+            t_end,
+            quantum,
+            sample_period,
+        )
     }
 
     /// Like [`record`](WorkloadTrace::record), but advances every instance
@@ -139,7 +147,7 @@ impl WorkloadTrace {
             let u = ((i.wrapping_mul(2654435761)) % 1000) as f64 / 1000.0;
             let level = mean_events * (0.3 + 2.7 * u);
             for (q, row) in events.iter_mut().enumerate() {
-                let phase = (q as f64 / 7.0 + u * 6.28).sin() * 0.4 + 1.0;
+                let phase = (q as f64 / 7.0 + u * std::f64::consts::TAU).sin() * 0.4 + 1.0;
                 row[i] = (level * phase).round().max(1.0) as u64;
             }
         }
@@ -191,7 +199,10 @@ impl WorkloadTrace {
     ///
     /// Panics if `n` exceeds the recorded instance count.
     pub fn take_instances(&self, n: u64) -> WorkloadTrace {
-        assert!(n <= self.instances, "cannot take more instances than recorded");
+        assert!(
+            n <= self.instances,
+            "cannot take more instances than recorded"
+        );
         WorkloadTrace {
             events: self
                 .events
@@ -315,7 +326,9 @@ mod tests {
         let mean = total as f64 / 160.0;
         assert!((mean / 100.0 - 1.0).abs() < 0.8, "mean {mean}");
         // Imbalance across instances must exist (the whole point).
-        let i_tot: Vec<u64> = (0..16).map(|i| t.events.iter().map(|r| r[i]).sum()).collect();
+        let i_tot: Vec<u64> = (0..16)
+            .map(|i| t.events.iter().map(|r| r[i]).sum())
+            .collect();
         let min = *i_tot.iter().min().expect("non-empty");
         let max = *i_tot.iter().max().expect("non-empty");
         assert!(max > 2 * min, "no imbalance: {i_tot:?}");

@@ -47,6 +47,10 @@ impl<T> std::fmt::Display for TrySendError<T> {
 
 impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
 
+// `Flavor` only ever lives inside the `Arc<Shared<_>>` a channel hands
+// out, so the bounded variant's cache-padded bulk is heap-resident and
+// never copied; boxing it would only add a pointer chase to the hot path.
+#[allow(clippy::large_enum_variant)]
 enum Flavor<T> {
     Bounded(SpscQueue<T>),
     Unbounded(UnboundedSpsc<T>),
@@ -182,8 +186,9 @@ impl<T: Send> Sender<T> {
                 Ok(())
             }
             // SAFETY: single producer by construction.
-            Flavor::Bounded(q) => unsafe { q.try_push(value) }
-                .map_err(|PushError(v)| TrySendError::Full(v)),
+            Flavor::Bounded(q) => {
+                unsafe { q.try_push(value) }.map_err(|PushError(v)| TrySendError::Full(v))
+            }
         }
     }
 

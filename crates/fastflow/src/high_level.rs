@@ -6,8 +6,8 @@
 //! simple wrappers — the point the paper makes is that such abstractions
 //! *compose from* the core patterns rather than being bespoke run-times.
 
-use crate::farm::{Farm, SchedPolicy};
 use crate::error::Result;
+use crate::farm::{Farm, SchedPolicy};
 use crate::node::map_stage;
 use crate::pipeline::Pipeline;
 

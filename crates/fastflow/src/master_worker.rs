@@ -123,8 +123,7 @@ pub trait FeedbackWorker: Send + 'static {
     /// Executes one task; may forward items downstream via `out` and may
     /// return a feedback payload for the master (e.g. the continuation of an
     /// incomplete simulation).
-    fn on_task(&mut self, task: Self::Task, out: &mut Outbox<'_, Self::Out>)
-        -> Option<Self::Fb>;
+    fn on_task(&mut self, task: Self::Task, out: &mut Outbox<'_, Self::Out>) -> Option<Self::Fb>;
 
     /// Called once after the last task.
     fn on_end(&mut self, out: &mut Outbox<'_, Self::Out>) {
@@ -419,7 +418,10 @@ mod tests {
             .collect();
         let expected_items: usize = tasks.iter().map(|t| t.remaining as usize).sum();
         let out: Vec<(usize, u32)> = Pipeline::from_source(tasks.into_iter())
-            .master_worker_farm(QuantumMaster, vec![QuantumWorker, QuantumWorker, QuantumWorker])
+            .master_worker_farm(
+                QuantumMaster,
+                vec![QuantumWorker, QuantumWorker, QuantumWorker],
+            )
             .collect()
             .unwrap();
         assert_eq!(out.len(), expected_items);
@@ -448,9 +450,7 @@ mod tests {
 
     #[test]
     fn single_worker_feedback_farm_completes() {
-        let tasks: Vec<QuantumTask> = (0..5)
-            .map(|id| QuantumTask { id, remaining: 3 })
-            .collect();
+        let tasks: Vec<QuantumTask> = (0..5).map(|id| QuantumTask { id, remaining: 3 }).collect();
         let out: Vec<(usize, u32)> = Pipeline::from_source(tasks.into_iter())
             .master_worker_farm(QuantumMaster, vec![QuantumWorker])
             .collect()
@@ -494,7 +494,10 @@ mod tests {
 
     #[test]
     fn on_idle_can_extend_the_run() {
-        let tasks = vec![QuantumTask { id: 0, remaining: 1 }];
+        let tasks = vec![QuantumTask {
+            id: 0,
+            remaining: 1,
+        }];
         let out: Vec<(usize, u32)> = Pipeline::from_source(tasks.into_iter())
             .master_worker_farm(
                 RoundMaster {

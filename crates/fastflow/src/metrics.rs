@@ -6,8 +6,8 @@
 //! many items it consumed/produced and how long it spent busy vs. total, and
 //! the pattern run() methods return the aggregate as a [`RunStats`].
 
-use std::sync::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Statistics for one node (thread) of a stream network.
@@ -79,9 +79,8 @@ impl RunStats {
     /// Renders the per-node statistics as an aligned text table (the
     /// tuning view the paper's "knobs" need).
     pub fn to_table(&self) -> String {
-        let mut out = String::from(
-            "node                          in         out    busy(ms)    util\n",
-        );
+        let mut out =
+            String::from("node                          in         out    busy(ms)    util\n");
         for n in &self.nodes {
             out.push_str(&format!(
                 "{:<28} {:>9} {:>10} {:>10.2} {:>6.1}%\n",

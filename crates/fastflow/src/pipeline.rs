@@ -261,7 +261,6 @@ where
         stage.on_end(&mut outbox);
         busy += t0.elapsed();
         let items_out = outbox.pushed();
-        drop(outbox);
         stats.record(NodeStats {
             name,
             items_in,
@@ -357,11 +356,13 @@ mod tests {
     #[test]
     fn flat_stage_expands_stream() {
         let out: Vec<u32> = Pipeline::from_source(vec![2u32, 3].into_iter())
-            .stage(flat_stage(|n: u32, out: &mut crate::node::Outbox<'_, u32>| {
-                for _ in 0..n {
-                    out.push(n);
-                }
-            }))
+            .stage(flat_stage(
+                |n: u32, out: &mut crate::node::Outbox<'_, u32>| {
+                    for _ in 0..n {
+                        out.push(n);
+                    }
+                },
+            ))
             .collect()
             .unwrap();
         assert_eq!(out, vec![2, 2, 3, 3, 3]);

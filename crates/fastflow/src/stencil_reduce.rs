@@ -188,13 +188,19 @@ mod tests {
 
     fn heat_stencil(i: usize, buf: &[f64]) -> f64 {
         let left = if i == 0 { buf[i] } else { buf[i - 1] };
-        let right = if i + 1 == buf.len() { buf[i] } else { buf[i + 1] };
+        let right = if i + 1 == buf.len() {
+            buf[i]
+        } else {
+            buf[i + 1]
+        };
         (left + buf[i] + right) / 3.0
     }
 
     #[test]
     fn seq_and_cpu_executors_agree() {
-        let initial: Vec<f64> = (0..64).map(|i| if i == 32 { 1000.0 } else { 0.0 }).collect();
+        let initial: Vec<f64> = (0..64)
+            .map(|i| if i == 32 { 1000.0 } else { 0.0 })
+            .collect();
         let seq = StencilReduce::new(SeqExecutor)
             .max_iterations(10)
             .run(
@@ -233,12 +239,7 @@ mod tests {
     #[test]
     fn zero_iterations_when_predicate_false_initially() {
         let out = StencilReduce::new(SeqExecutor)
-            .run(
-                vec![1.0, 2.0],
-                heat_stencil,
-                |b| b.len() as f64,
-                |_| false,
-            )
+            .run(vec![1.0, 2.0], heat_stencil, |b| b.len() as f64, |_| false)
             .unwrap();
         assert_eq!(out.iterations, 0);
         assert_eq!(out.buffer, vec![1.0, 2.0]);

@@ -154,8 +154,18 @@ mod tests {
     fn two_species_model() -> Arc<Model> {
         let mut m = Model::new("race");
         let a = m.species("A");
-        m.rule("to_b").consumes("A", 1).produces("B", 1).rate(2.0).build().unwrap();
-        m.rule("to_c").consumes("A", 1).produces("C", 1).rate(1.0).build().unwrap();
+        m.rule("to_b")
+            .consumes("A", 1)
+            .produces("B", 1)
+            .rate(2.0)
+            .build()
+            .unwrap();
+        m.rule("to_c")
+            .consumes("A", 1)
+            .produces("C", 1)
+            .rate(1.0)
+            .build()
+            .unwrap();
         m.initial.add_atoms(a, 1);
         let b = m.species("B");
         let c = m.species("C");
@@ -211,7 +221,10 @@ mod tests {
         let expected = 100.0 * (-1.0f64).exp();
         assert!((d_mean - expected).abs() < 3.0, "direct {d_mean}");
         assert!((f_mean - expected).abs() < 3.0, "first-reaction {f_mean}");
-        assert!((d_mean - f_mean).abs() < 4.0, "methods disagree: {d_mean} vs {f_mean}");
+        assert!(
+            (d_mean - f_mean).abs() < 4.0,
+            "methods disagree: {d_mean} vs {f_mean}"
+        );
     }
 
     #[test]

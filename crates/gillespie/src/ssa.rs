@@ -204,8 +204,7 @@ impl SsaEngine {
         let rule = &self.model.rules[reaction.rule];
         let site_term = self.term.site(&reaction.site).expect("site exists");
         let u3: f64 = self.rng.gen_range(0.0..1.0);
-        let assignment =
-            choose_assignment(site_term, &rule.lhs, u3).expect("reaction was enabled");
+        let assignment = choose_assignment(site_term, &rule.lhs, u3).expect("reaction was enabled");
         apply_at(&mut self.term, rule, &reaction.site, &assignment)
             .expect("chosen assignment applies");
         self.time = event_time;
@@ -270,9 +269,7 @@ impl SsaEngine {
         let mut fired = 0;
         loop {
             let reactions = self.reactions();
-            let t_next = self
-                .next_event_time(&reactions)
-                .unwrap_or(f64::INFINITY);
+            let t_next = self.next_event_time(&reactions).unwrap_or(f64::INFINITY);
             // Emit all samples that fall before the next event and within
             // the quantum.
             let horizon = t_next.min(t_end);
@@ -526,7 +523,7 @@ mod tests {
         m.observe("A", a);
         let mut e = SsaEngine::new(Arc::new(m), 77, 0);
         e.run_until(30.0); // burn in ≫ 1/kd
-        // Stationary distribution is Poisson(50): mean 50, sd ≈ 7.1.
+                           // Stationary distribution is Poisson(50): mean 50, sd ≈ 7.1.
         let n = e.observe()[0] as f64;
         assert!((n - 50.0).abs() < 5.0 * 7.1, "A = {n}, expected ≈ 50");
     }

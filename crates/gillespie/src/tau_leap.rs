@@ -44,10 +44,16 @@ impl std::fmt::Display for TauLeapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TauLeapError::NotFlat { rule } => {
-                write!(f, "rule `{rule}` uses compartments; tau-leaping needs a flat model")
+                write!(
+                    f,
+                    "rule `{rule}` uses compartments; tau-leaping needs a flat model"
+                )
             }
             TauLeapError::NotTopLevel { rule } => {
-                write!(f, "rule `{rule}` applies inside a compartment; tau-leaping needs top-level rules")
+                write!(
+                    f,
+                    "rule `{rule}` applies inside a compartment; tau-leaping needs top-level rules"
+                )
             }
             TauLeapError::NotMassAction { rule } => {
                 write!(f, "rule `{rule}` has a non-mass-action law; tau-leaping supports mass action only")
@@ -306,7 +312,12 @@ mod tests {
     #[test]
     fn rejects_nested_site_rules() {
         let mut m = Model::new("c");
-        m.rule("r").at("cell").consumes("A", 1).rate(1.0).build().unwrap();
+        m.rule("r")
+            .at("cell")
+            .consumes("A", 1)
+            .rate(1.0)
+            .build()
+            .unwrap();
         let err = TauLeapEngine::new(Arc::new(m), 0, 0).unwrap_err();
         assert!(matches!(err, TauLeapError::NotTopLevel { .. }));
     }

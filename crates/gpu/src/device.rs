@@ -119,8 +119,16 @@ mod tests {
     #[test]
     fn occupancy_shrinks_with_quantum_size() {
         let d = DeviceSpec::tesla_k40(1e-6);
-        assert_eq!(d.occupancy_warp_slots(1.0), 90, "1-sample quanta keep full occupancy");
-        assert_eq!(d.occupancy_warp_slots(10.0), 30, "10-sample quanta drop to a third");
+        assert_eq!(
+            d.occupancy_warp_slots(1.0),
+            90,
+            "1-sample quanta keep full occupancy"
+        );
+        assert_eq!(
+            d.occupancy_warp_slots(10.0),
+            30,
+            "10-sample quanta drop to a third"
+        );
         assert!(d.occupancy_warp_slots(1000.0) >= 1);
     }
 

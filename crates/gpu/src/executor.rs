@@ -83,11 +83,7 @@ pub fn simulate_device_run_with_buffering(
 
     for quantum in events_per_quantum {
         // Active instances this kernel (finished ones are not shipped).
-        let active: Vec<usize> = order
-            .iter()
-            .copied()
-            .filter(|&i| quantum[i] > 0)
-            .collect();
+        let active: Vec<usize> = order.iter().copied().filter(|&i| quantum[i] > 0).collect();
         if active.is_empty() {
             continue;
         }
@@ -210,7 +206,11 @@ mod tests {
         // paper's "GPGPU succeed[s] to exploit only a fraction of its peak
         // power" effect.
         let quanta: Vec<Vec<u64>> = (0..5)
-            .map(|_| (0..256).map(|i| if i == 0 { 5000u64 } else { 10 }).collect())
+            .map(|_| {
+                (0..256)
+                    .map(|i| if i == 0 { 5000u64 } else { 10 })
+                    .collect()
+            })
             .collect();
         let stat = simulate_device_run(&quanta, &device(), WarpPacking::Static);
         let reb = simulate_device_run(&quanta, &device(), WarpPacking::RebalanceEachQuantum);
@@ -228,8 +228,7 @@ mod tests {
         assert_eq!(r.kernels, 3);
         // Overhead for kernel 1 covers 2 instances; kernels 2-3 only 1.
         let d = device();
-        let expected =
-            d.kernel_overhead_s(2, 1.0) + 2.0 * d.kernel_overhead_s(1, 1.0);
+        let expected = d.kernel_overhead_s(2, 1.0) + 2.0 * d.kernel_overhead_s(1, 1.0);
         assert!((r.overhead_s - expected).abs() < 1e-12);
     }
 

@@ -54,9 +54,7 @@ pub fn model_names() -> Vec<&'static str> {
 pub fn model_by_name(name: &str) -> Option<cwc::model::Model> {
     match name {
         "neurospora" => Some(neurospora_flat(NeurosporaParams::default())),
-        "neurospora-compartments" => {
-            Some(neurospora_compartments(NeurosporaParams::default()))
-        }
+        "neurospora-compartments" => Some(neurospora_compartments(NeurosporaParams::default())),
         "lotka-volterra" => Some(lotka_volterra(LotkaVolterraParams::default())),
         "schlogl" => Some(schlogl(SchloglParams::default())),
         "michaelis-menten" => Some(michaelis_menten(MichaelisMentenParams::default())),

@@ -119,7 +119,11 @@ mod tests {
             e.step();
             let obs = e.observe();
             assert_eq!(obs[1] + obs[2], 100, "E + ES must stay constant");
-            assert_eq!(obs[0] + obs[2] + obs[3], 1000, "S + ES + P must stay constant");
+            assert_eq!(
+                obs[0] + obs[2] + obs[3],
+                1000,
+                "S + ES + P must stay constant"
+            );
         }
     }
 }

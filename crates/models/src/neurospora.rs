@@ -285,9 +285,7 @@ mod tests {
         // Skip the 48 h transient, then ask for the oscillation period.
         let start = times.iter().position(|&t| t >= 48.0).unwrap();
         let analysis = analyse_period(&times[start..], &mrna[start..], 8, 0.3, 20);
-        let period = analysis
-            .mean_period()
-            .expect("the clock should oscillate");
+        let period = analysis.mean_period().expect("the clock should oscillate");
         assert!(
             (10.0..40.0).contains(&period),
             "period {period} h is not circadian-ish"
@@ -343,8 +341,10 @@ mod tests {
 
     #[test]
     fn omega_scales_molecule_counts() {
-        let mut p = NeurosporaParams::default();
-        p.omega = 500.0;
+        let p = NeurosporaParams {
+            omega: 500.0,
+            ..Default::default()
+        };
         let m = neurospora_flat(p);
         assert_eq!(m.initial.total_atoms(), 150); // 3 × 0.1 × 500
     }

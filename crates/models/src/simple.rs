@@ -11,7 +11,11 @@ use cwc::model::Model;
 pub fn decay(n0: u64, rate: f64) -> Model {
     let mut m = Model::new("decay");
     let a = m.species("A");
-    m.rule("decay").consumes("A", 1).rate(rate).build().expect("valid rule");
+    m.rule("decay")
+        .consumes("A", 1)
+        .rate(rate)
+        .build()
+        .expect("valid rule");
     m.initial.add_atoms(a, n0);
     m.observe("A", a);
     m
@@ -22,8 +26,16 @@ pub fn decay(n0: u64, rate: f64) -> Model {
 pub fn birth_death(birth: f64, death: f64, n0: u64) -> Model {
     let mut m = Model::new("birth-death");
     let a = m.species("A");
-    m.rule("birth").produces("A", 1).rate(birth).build().expect("valid rule");
-    m.rule("death").consumes("A", 1).rate(death).build().expect("valid rule");
+    m.rule("birth")
+        .produces("A", 1)
+        .rate(birth)
+        .build()
+        .expect("valid rule");
+    m.rule("death")
+        .consumes("A", 1)
+        .rate(death)
+        .build()
+        .expect("valid rule");
     m.initial.add_atoms(a, n0);
     m.observe("A", a);
     m

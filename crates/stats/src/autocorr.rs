@@ -38,7 +38,7 @@ pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
 /// `dt` is the sampling period. Returns `None` when no significant
 /// (> `min_correlation`) maximum exists.
 pub fn period_from_acf(xs: &[f64], dt: f64, min_correlation: f64) -> Option<f64> {
-    if xs.len() < 8 || !(dt > 0.0) {
+    if xs.len() < 8 || dt.is_nan() || dt <= 0.0 {
         return None;
     }
     let max_lag = xs.len() / 2;
@@ -75,7 +75,7 @@ mod tests {
         let xs = sine(20.0, 400, 0.5);
         let acf = autocorrelation(&xs, 100);
         assert!((acf[0] - 1.0).abs() < 1e-12);
-        assert!(acf.iter().all(|&v| v <= 1.0 + 1e-9 && v >= -1.0 - 1e-9));
+        assert!(acf.iter().all(|&v| (-1.0 - 1e-9..=1.0 + 1e-9).contains(&v)));
     }
 
     #[test]

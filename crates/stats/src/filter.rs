@@ -182,7 +182,9 @@ mod tests {
     #[test]
     fn savitzky_golay_smooths_noise() {
         // Alternating noise around zero should shrink substantially.
-        let noisy: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let noisy: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let out = savitzky_golay(&noisy, 3);
         let raw_energy: f64 = noisy.iter().map(|v| v * v).sum();
         let out_energy: f64 = out.iter().map(|v| v * v).sum();

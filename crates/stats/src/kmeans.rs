@@ -201,7 +201,13 @@ mod tests {
     #[test]
     fn bimodality_ratio_distinguishes_shapes() {
         let bimodal: Vec<f64> = (0..20)
-            .map(|i| if i % 2 == 0 { 1.0 + (i as f64) * 0.01 } else { 9.0 + (i as f64) * 0.01 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    1.0 + (i as f64) * 0.01
+                } else {
+                    9.0 + (i as f64) * 0.01
+                }
+            })
             .collect();
         let unimodal: Vec<f64> = (0..20).map(|i| 5.0 + ((i * 13) % 7) as f64 * 0.1).collect();
         let rb = bimodality_ratio(&bimodal).unwrap();

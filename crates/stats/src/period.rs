@@ -144,7 +144,11 @@ mod tests {
     fn clean_sine_period_is_recovered() {
         let (times, values) = sine_series(22.0, 500, 0.5);
         let analysis = analyse_period(&times, &values, 3, 0.2, 10);
-        assert!(analysis.peaks.len() >= 9, "found {} peaks", analysis.peaks.len());
+        assert!(
+            analysis.peaks.len() >= 9,
+            "found {} peaks",
+            analysis.peaks.len()
+        );
         let mean = analysis.mean_period().unwrap();
         assert!((mean - 22.0).abs() < 1.0, "mean period {mean}");
     }

@@ -104,12 +104,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let sign = d.signum();
                 let candidate = self.parabolic(i, sign);
-                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, sign)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, sign)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += sign;
             }
@@ -156,7 +156,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 11) as f64 / (1u64 << 53) as f64
             })
             .collect()

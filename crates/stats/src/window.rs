@@ -121,19 +121,17 @@ mod tests {
         let ws = collect_windows(3, 1, 6);
         assert_eq!(
             ws,
-            vec![
-                vec![0, 1, 2],
-                vec![1, 2, 3],
-                vec![2, 3, 4],
-                vec![3, 4, 5],
-            ]
+            vec![vec![0, 1, 2], vec![1, 2, 3], vec![2, 3, 4], vec![3, 4, 5],]
         );
     }
 
     #[test]
     fn width4_slide2_overlaps_by_half() {
         let ws = collect_windows(4, 2, 8);
-        assert_eq!(ws, vec![vec![0, 1, 2, 3], vec![2, 3, 4, 5], vec![4, 5, 6, 7]]);
+        assert_eq!(
+            ws,
+            vec![vec![0, 1, 2, 3], vec![2, 3, 4, 5], vec![4, 5, 6, 7]]
+        );
     }
 
     #[test]
@@ -163,7 +161,7 @@ mod tests {
     fn every_item_appears_in_some_window() {
         for (width, slide) in [(3usize, 1usize), (4, 2), (5, 5), (7, 3)] {
             let ws = collect_windows(width, slide, 23);
-            let mut seen = vec![false; 23];
+            let mut seen = [false; 23];
             for w in &ws {
                 for &i in w {
                     seen[i] = true;

@@ -28,10 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- functional emulation -------------------------------------------
     let local = run_simulation(Arc::clone(&model), &cfg)?;
     let distributed = run_distributed_emulation(Arc::clone(&model), &cfg, 3)?;
-    assert_eq!(local.rows, distributed.rows, "distribution changed results!");
-    println!(
-        "functional: 3 emulated farms produced identical results to local execution"
+    assert_eq!(
+        local.rows, distributed.rows,
+        "distribution changed results!"
     );
+    println!("functional: 3 emulated farms produced identical results to local execution");
     println!(
         "            {} messages, {} bytes through the wire codec",
         distributed.messages, distributed.bytes_transferred
@@ -46,10 +47,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nperformance model (Infiniband cluster of 12-core Xeons):");
     println!("hosts\tmakespan\tspeedup vs sequential");
     for hosts in [1usize, 2, 4, 8] {
-        let mut p = ClusterParams::homogeneous(hosts, HostProfile::xeon12(), NetworkProfile::ipoib());
+        let mut p =
+            ClusterParams::homogeneous(hosts, HostProfile::xeon12(), NetworkProfile::ipoib());
         p.costs = costs;
         let out = simulate_cluster(&trace, &p);
-        println!("{hosts}\t{:.2} ms\t{:.1}x", out.makespan_s * 1e3, out.speedup());
+        println!(
+            "{hosts}\t{:.2} ms\t{:.1}x",
+            out.makespan_s * 1e3,
+            out.speedup()
+        );
     }
     Ok(())
 }

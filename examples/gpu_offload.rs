@@ -40,8 +40,7 @@ fn main() {
             t.kernels
         );
     }
-    let cpu_equivalent =
-        device_map.total_events() as f64 * costs.sec_per_event / 32.0;
+    let cpu_equivalent = device_map.total_events() as f64 * costs.sec_per_event / 32.0;
     println!(
         "for comparison, 32 ideal CPU cores need ≈ {:.2} ms for the same events",
         cpu_equivalent * 1e3

@@ -27,10 +27,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ])
         .seed(7);
 
-    eprintln!("running {} trajectories of the Neurospora clock ...", cfg.instances);
+    eprintln!(
+        "running {} trajectories of the Neurospora clock ...",
+        cfg.instances
+    );
     let report = run_simulation(model, &cfg)?;
 
-    println!("frq mRNA, ensemble mean over {} trajectories:", cfg.instances);
+    println!(
+        "frq mRNA, ensemble mean over {} trajectories:",
+        cfg.instances
+    );
     println!("{}", ascii_chart(&report.rows, 0, 72, 14));
 
     // Recover the circadian period from the mean trajectory.
@@ -46,7 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         None => println!("no oscillation detected (try more trajectories)"),
     }
-    eprintln!("total reactions: {}, wall time {:?}", report.events, report.wall);
-    eprintln!("\nper-node run-time statistics:\n{}", report.run_stats.to_table());
+    eprintln!(
+        "total reactions: {}, wall time {:?}",
+        report.events, report.wall
+    );
+    eprintln!(
+        "\nper-node run-time statistics:\n{}",
+        report.run_stats.to_table()
+    );
     Ok(())
 }

@@ -74,29 +74,21 @@ fn gpu_quantum_size_does_not_change_results() {
             .collect::<Vec<_>>()
     };
     // Different Q/τ ratios, identical trajectories (pending-event exactness).
-    let q_small: Vec<(u64, Vec<(f64, Vec<u64>)>)> = {
-        let mut per_instance: std::collections::BTreeMap<u64, Vec<(f64, Vec<u64>)>> =
-            Default::default();
-        for (i, s) in run(0.25) {
+    type Samples = Vec<(f64, Vec<u64>)>;
+    fn by_instance(outputs: Vec<(u64, Samples)>) -> Vec<(u64, Samples)> {
+        let mut per_instance: std::collections::BTreeMap<u64, Samples> = Default::default();
+        for (i, s) in outputs {
             per_instance.entry(i).or_default().extend(s);
         }
         per_instance.into_iter().collect()
-    };
-    let q_large: Vec<(u64, Vec<(f64, Vec<u64>)>)> = {
-        let mut per_instance: std::collections::BTreeMap<u64, Vec<(f64, Vec<u64>)>> =
-            Default::default();
-        for (i, s) in run(2.0) {
-            per_instance.entry(i).or_default().extend(s);
-        }
-        per_instance.into_iter().collect()
-    };
-    assert_eq!(q_small, q_large);
+    }
+    assert_eq!(by_instance(run(0.25)), by_instance(run(2.0)));
 }
 
 #[test]
 fn wire_codec_round_trips_real_batches() {
-    use cwc_repro::distrt::{from_bytes, to_bytes};
     use cwc_repro::cwcsim::task::{SampleBatch, SimTask};
+    use cwc_repro::distrt::{from_bytes, to_bytes};
 
     let model = Arc::new(biomodels::simple::decay(30, 1.0));
     let mut task = SimTask::new(model, 3, 0, 2.0, 0.5, 0.25);

@@ -45,7 +45,10 @@ fn nested_farms_compose() {
             sq.into_iter().sum::<u64>()
         })
     });
-    let out: Vec<u64> = Pipeline::from_source(0..50u64).farm(farm).collect().unwrap();
+    let out: Vec<u64> = Pipeline::from_source(0..50u64)
+        .farm(farm)
+        .collect()
+        .unwrap();
     assert_eq!(out.len(), 50);
     assert_eq!(inner_done.load(Ordering::Relaxed), 50);
 }

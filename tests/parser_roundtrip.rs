@@ -20,14 +20,17 @@ enum TermSpec {
 
 fn arb_term_spec() -> impl Strategy<Value = TermSpec> {
     let atoms = proptest::collection::vec((0usize..4, 1u64..5), 0..4);
-    atoms.clone().prop_map(TermSpec::Atoms).prop_recursive(3, 8, 2, move |inner| {
-        (
-            proptest::collection::vec((0usize..4, 1u64..5), 0..3),
-            0usize..2,
-            inner,
-        )
-            .prop_map(|(a, l, t)| TermSpec::Nested(a, l, Box::new(t)))
-    })
+    atoms
+        .clone()
+        .prop_map(TermSpec::Atoms)
+        .prop_recursive(3, 8, 2, move |inner| {
+            (
+                proptest::collection::vec((0usize..4, 1u64..5), 0..3),
+                0usize..2,
+                inner,
+            )
+                .prop_map(|(a, l, t)| TermSpec::Nested(a, l, Box::new(t)))
+        })
 }
 
 fn build(spec: &TermSpec, model: &mut cwc_repro::cwc::model::Model) -> Term {

@@ -77,7 +77,11 @@ fn rows_cover_the_whole_grid_in_order() {
     let report = run_simulation(model, &cfg).unwrap();
     assert_eq!(report.rows.len(), cfg.samples_per_instance() as usize);
     for (k, row) in report.rows.iter().enumerate() {
-        assert!((row.time - k as f64 * 0.25).abs() < 1e-9, "row {k} at {}", row.time);
+        assert!(
+            (row.time - k as f64 * 0.25).abs() < 1e-9,
+            "row {k} at {}",
+            row.time
+        );
         assert_eq!(row.instances, 8);
     }
 }

@@ -10,8 +10,8 @@ use cwc_repro::cwc::multiset::{binomial, Multiset};
 use cwc_repro::cwc::rule::{Pattern, Production, RateLaw, Rule};
 use cwc_repro::cwc::species::{Label, Species};
 use cwc_repro::cwc::term::{Compartment, Path, Term};
-use cwc_repro::distrt::{from_bytes, to_bytes};
 use cwc_repro::cwcsim::task::SampleBatch;
+use cwc_repro::distrt::{from_bytes, to_bytes};
 use cwc_repro::streamstat::welford::Running;
 use cwc_repro::streamstat::window::SlidingWindow;
 

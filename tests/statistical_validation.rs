@@ -46,8 +46,7 @@ fn birth_death_stationary_mean_and_variance_are_poisson() {
     // Average the post-burn-in rows.
     let late: Vec<_> = report.rows.iter().filter(|r| r.time >= 6.0).collect();
     let mean: f64 = late.iter().map(|r| r.observables[0].mean).sum::<f64>() / late.len() as f64;
-    let var: f64 =
-        late.iter().map(|r| r.observables[0].variance).sum::<f64>() / late.len() as f64;
+    let var: f64 = late.iter().map(|r| r.observables[0].variance).sum::<f64>() / late.len() as f64;
     assert!((mean - 40.0).abs() < 3.0, "stationary mean {mean}");
     assert!((var - 40.0).abs() < 15.0, "stationary variance {var}");
 }
@@ -110,7 +109,11 @@ fn neurospora_short_run_is_alive_and_bounded() {
         .sim_workers(2)
         .seed(3);
     let report = run_simulation(model, &cfg).unwrap();
-    assert!(report.events > 1000, "the clock should tick: {}", report.events);
+    assert!(
+        report.events > 1000,
+        "the clock should tick: {}",
+        report.events
+    );
     for row in &report.rows {
         assert!(row.observables[0].max < 10_000.0, "mRNA bounded");
     }

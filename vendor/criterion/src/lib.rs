@@ -1,0 +1,195 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness. The bench sources under `crates/bench/benches/` use
+//! the real criterion surface (`criterion_group!`, `criterion_main!`,
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`Throughput`]); this
+//! crate accepts that surface and performs a simple wall-clock measurement:
+//! a short warm-up, then `sample_size` timed samples, reporting min/mean
+//! per-iteration time and derived throughput.
+//!
+//! No statistics beyond that — comparisons against saved baselines belong
+//! to the real crate, which can be swapped in at the workspace manifest.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput of one benchmark iteration, for elements/s or bytes/s rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level harness handle; one per bench binary.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group: shared throughput/sample-size settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used to derive rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set how many timed samples to take per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Measure one benchmark: `f` drives a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self
+                .sample_size
+                .unwrap_or(self._criterion.default_sample_size),
+        };
+        f(&mut bencher);
+        report(&self.name, &id, &bencher.samples, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs the payload.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        eprintln!("  {group}/{id}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty samples");
+    let rate = throughput
+        .map(|t| {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let per_sec = n as f64 / mean.as_secs_f64();
+            format!(", {} {unit}", human_rate(per_sec))
+        })
+        .unwrap_or_default();
+    eprintln!(
+        "  {group}/{id}: mean {mean:?}, min {min:?} over {} samples{rate}",
+        samples.len()
+    );
+}
+
+fn human_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2}k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2}")
+    }
+}
+
+/// Bundle benchmark functions into a single runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("self-test");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate. Only [`utils::CachePadded`] is used by this workspace (the
+//! lock-free SPSC queues pad their producer/consumer indices to defeat
+//! false sharing); it is re-implemented here so builds work without
+//! crates.io access.
+
+#![warn(missing_docs)]
+
+pub mod utils {
+    //! Utilities: cache-line padding.
+
+    use core::fmt;
+    use core::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes so two `CachePadded` fields
+    /// never share a cache line (128 covers the spatial-prefetcher pairing
+    /// on modern x86 and the 128-byte lines on some aarch64 parts).
+    #[derive(Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wrap `value` in its own cache line.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwrap, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("CachePadded").field(&self.value).finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::CachePadded;
+
+        #[test]
+        fn alignment_and_access() {
+            let padded = CachePadded::new(7u64);
+            assert_eq!(core::mem::align_of_val(&padded), 128);
+            assert_eq!(*padded, 7);
+            assert_eq!(padded.into_inner(), 7);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, accepting the API surface the workspace's property tests use:
+//! the [`proptest!`] macro, `prop_assert*`, [`strategy::Strategy`] with
+//! `prop_map`/`prop_recursive`/`boxed`, range and tuple strategies,
+//! [`collection::vec`] and [`arbitrary::any`].
+//!
+//! Semantics are simplified relative to the real crate: cases are drawn
+//! from a deterministic per-test RNG (seeded from the test's name, so
+//! failures reproduce run-to-run) and there is **no shrinking** — a
+//! failure reports the case index and seed instead of a minimised input.
+//! Swapping the real crate back in is a workspace-manifest change only.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Single import surface, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over many generated cases.
+///
+/// The body may use `prop_assert*` and `return Ok(())`; it runs inside a
+/// closure returning `Result<(), TestCaseError>`.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                let __proptest_result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                __proptest_result
+            });
+        }
+    )*};
+}
+
+/// Like `assert!`, but fails the current property case instead of
+/// panicking directly (the runner reports the case index and seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Like `assert_ne!`, for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+}

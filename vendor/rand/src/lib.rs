@@ -1,0 +1,248 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! This workspace builds on machines with no crates.io access, so the small
+//! API subset the simulator uses is re-implemented here under the same
+//! package name: [`RngCore`], [`SeedableRng`], [`Rng::gen_range`] and
+//! [`rngs::StdRng`]. Swapping in the real crate later only requires editing
+//! the workspace manifest — no `use` rewrites.
+//!
+//! [`rngs::StdRng`] is xoshiro256++ (Blackman & Vigna) seeded through a
+//! SplitMix64 stream. It does **not** reproduce the bit stream of the real
+//! `rand::rngs::StdRng` (ChaCha12); it only promises what the simulator
+//! needs: a deterministic, seedable, statistically solid generator, so
+//! identical seeds give identical trajectories on every backend.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+/// A random number generator core: uniform raw bits.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed material (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from raw seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it through a SplitMix64 stream —
+    /// nearby seeds yield decorrelated generators.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        let bytes = seed.as_mut();
+        let mut i = 0;
+        while i < bytes.len() {
+            let word = sm.next().to_le_bytes();
+            let take = (bytes.len() - i).min(8);
+            bytes[i..i + take].copy_from_slice(&word[..take]);
+            i += take;
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can produce a uniform sample. Implemented for `Range` and
+/// `RangeInclusive` over the primitive numeric types the workspace uses.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// SplitMix64: seed expander and the engine behind integer sampling.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Uniform `u64` in `[0, bound)` via Lemire's widening-multiply method
+/// with rejection, so integer sampling is exactly uniform.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let mut x = rng.next_u64();
+    let mut m = (x as u128).wrapping_mul(bound as u128);
+    let mut lo = m as u64;
+    if lo < bound {
+        let threshold = bound.wrapping_neg() % bound;
+        while lo < threshold {
+            x = rng.next_u64();
+            m = (x as u128).wrapping_mul(bound as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain: raw bits.
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + uniform_below(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = unit_f64(rng) as $t;
+                // Clamp keeps the sample inside [start, end) even when the
+                // scale arithmetic rounds up.
+                let v = self.start + (self.end - self.start) * u;
+                if v >= self.end {
+                    self.start.max(<$t>::from_bits(self.end.to_bits() - 1))
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..256).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(0.25..0.5);
+            assert!((0.25..0.5).contains(&x));
+            let n: u64 = rng.gen_range(3..10);
+            assert!((3..10).contains(&n));
+            let i: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn min_positive_range_never_zero() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn integer_sampling_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (800..1200).contains(&c),
+                "bucket count {c} outside tolerance"
+            );
+        }
+    }
+}
