@@ -62,6 +62,8 @@ fn main() {
             &rows,
         );
     }
-    println!("\nreading: CPU flat across Q/τ; GPU optimum moves to smaller quanta");
-    println!("as instance count grows (occupancy + rebalancing beat overhead).");
+    bench::note(
+        "\nreading: CPU flat across Q/τ; GPU optimum moves to smaller quanta\n\
+         as instance count grows (occupancy + rebalancing beat overhead).",
+    );
 }

@@ -3,22 +3,26 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use gillespie::engine::{EngineKind, EngineStep};
+
 fn main() {
     let model = bench::neurospora_model();
-    let mut e = gillespie::ssa::SsaEngine::new(Arc::clone(&model), 1, 0);
+    let mut e = EngineKind::Ssa
+        .build(Arc::clone(&model), 1, 0)
+        .expect("SSA drives any model");
     let t0 = Instant::now();
     let mut fired = 0u64;
     while fired < 50_000 {
         match e.step() {
-            gillespie::ssa::StepOutcome::Fired { .. } => fired += 1,
-            _ => break,
+            EngineStep::Advanced { events, .. } => fired += events,
+            EngineStep::Exhausted => break,
         }
     }
     let spe = t0.elapsed().as_secs_f64() / fired as f64;
     println!("sec_per_event          = {spe:.3e}");
     println!(
         "event rate             = {:.0} events per simulated hour",
-        e.steps() as f64 / e.time()
+        e.events() as f64 / e.time()
     );
     let costs = distrt::workload::CostModel::measure(model);
     println!("sec_per_stat_value     = {:.3e}", costs.sec_per_stat_value);

@@ -59,6 +59,8 @@ fn main() {
             &rows,
         );
     }
-    println!("\npaper reference: near-ideal up to 512 traj with 1 stat engine;");
-    println!("1024-traj curve flattens with 1 stat engine and recovers with 4.");
+    bench::note(
+        "\npaper reference: near-ideal up to 512 traj with 1 stat engine;\n\
+         1024-traj curve flattens with 1 stat engine and recovers with 4.",
+    );
 }

@@ -49,6 +49,8 @@ fn main() {
             &rows,
         );
     }
-    println!("\npaper reference: speedup grows near-linearly with hosts; per-core");
-    println!("efficiency is below the shared-memory run due to network streaming.");
+    bench::note(
+        "\npaper reference: speedup grows near-linearly with hosts; per-core\n\
+         efficiency is below the shared-memory run due to network streaming.",
+    );
 }

@@ -40,5 +40,5 @@ fn main() {
         &["cores", "ideal", "speedup", "exec time (scaled)"],
         &rows,
     );
-    println!("\npaper reference: 224' -> 123' -> 81' -> 71' (speedup 3.15 at 4 cores).");
+    bench::note("\npaper reference: 224' -> 123' -> 81' -> 71' (speedup 3.15 at 4 cores).");
 }

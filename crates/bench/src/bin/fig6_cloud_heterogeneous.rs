@@ -38,7 +38,7 @@ fn main() {
         &["virtual cores", "ideal", "speedup"],
         &rows,
     );
-    println!("paper reference: nearly ideal, max ≈ 28 at 32 virtual cores.");
+    bench::note("paper reference: nearly ideal, max ≈ 28 at 32 virtual cores.");
 
     // ---- bottom: heterogeneous platform --------------------------------
     // Cumulative deployments matching the paper's x-axis: 4, 32, 48, 64, 96.
@@ -90,5 +90,5 @@ fn main() {
         &["cores", "ideal", "speedup", "exec time (scaled)"],
         &rows,
     );
-    println!("paper reference: 71' at 4 cores down to 69.3'' at 96 cores (gain ≈ 62×).");
+    bench::note("paper reference: 71' at 4 cores down to 69.3'' at 96 cores (gain ≈ 62×).");
 }

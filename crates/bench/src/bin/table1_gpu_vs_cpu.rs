@@ -93,6 +93,8 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nshape checks: CPU insensitive to Q/τ; GPU slower than CPU at 128,");
-    println!("faster at 1024-2048; GPU prefers Q/τ=10 at small N, Q/τ=1 at large N.");
+    bench::note(
+        "\nshape checks: CPU insensitive to Q/τ; GPU slower than CPU at 128,\n\
+         faster at 1024-2048; GPU prefers Q/τ=10 at small N, Q/τ=1 at large N.",
+    );
 }

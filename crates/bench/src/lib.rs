@@ -110,12 +110,37 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
-/// Prints a markdown-ish table.
+/// True when `--csv` was passed (comma-separated tables, titles as `#`
+/// comment lines — the CI baseline-artifact format).
+pub fn csv_mode() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Prints a markdown-ish table (or CSV with `--csv`, for the recorded
+/// bench baselines CI archives per push).
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title}");
-    println!("{}", headers.join("\t"));
+    let sep = if csv_mode() { "," } else { "\t" };
+    if csv_mode() {
+        println!("# {title}");
+    } else {
+        println!("\n== {title}");
+    }
+    println!("{}", headers.join(sep));
     for row in rows {
-        println!("{}", row.join("\t"));
+        println!("{}", row.join(sep));
+    }
+}
+
+/// Prints free-form commentary (e.g. the paper-reference reading of a
+/// table). In `--csv` mode every line is `#`-prefixed so baseline
+/// artifacts stay machine-readable.
+pub fn note(text: &str) {
+    if csv_mode() {
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            println!("# {line}");
+        }
+    } else {
+        println!("{text}");
     }
 }
 

@@ -1,5 +1,7 @@
 //! Simulation run configuration.
 
+use gillespie::engine::EngineKind;
+
 use crate::engines::StatEngineKind;
 
 /// Configuration of one simulation-analysis run (the paper's knobs).
@@ -40,6 +42,10 @@ pub struct SimConfig {
     pub window_slide: usize,
     /// Base RNG seed; instance `i` uses a seed derived from it.
     pub base_seed: u64,
+    /// The stochastic integrator driving every trajectory (SSA by
+    /// default; tau-leaping is restricted to flat mass-action models and
+    /// rejected at run start otherwise).
+    pub engine: EngineKind,
     /// Statistical engines to run on every window.
     pub engines: Vec<StatEngineKind>,
     /// Capacity of inter-stage channels.
@@ -72,9 +78,16 @@ impl SimConfig {
             window_width: 5,
             window_slide: 1,
             base_seed: 1,
+            engine: EngineKind::Ssa,
             engines: vec![StatEngineKind::MeanVariance],
             channel_capacity: 64,
         }
+    }
+
+    /// Selects the stochastic integrator (see [`EngineKind`]).
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
     }
 
     /// Sets the simulation quantum Q.
@@ -156,6 +169,18 @@ impl SimConfig {
                 "sample_period must be positive and finite".into(),
             ));
         }
+        if self.sample_period > self.t_end {
+            return Err(ConfigError(format!(
+                "sample_period ({}) must not exceed t_end ({}): the τ grid would \
+                 hold a single sample at t = 0",
+                self.sample_period, self.t_end
+            )));
+        }
+        // The kind's parameter rules live with EngineKind (single owner);
+        // the model-dependent checks happen when engines are built.
+        if let Err(e) = self.engine.validate() {
+            return Err(ConfigError(e.to_string()));
+        }
         if self.sim_workers == 0 {
             return Err(ConfigError("sim_workers must be > 0".into()));
         }
@@ -199,6 +224,59 @@ mod tests {
     fn samples_per_instance_counts_grid_points() {
         let cfg = SimConfig::new(1, 10.0).sample_period(1.0);
         assert_eq!(cfg.samples_per_instance(), 11); // t = 0..=10
+    }
+
+    fn rejection_message(cfg: &SimConfig) -> String {
+        cfg.validate().unwrap_err().to_string()
+    }
+
+    #[test]
+    fn zero_or_negative_quantum_is_rejected_with_specific_message() {
+        for q in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let msg = rejection_message(&SimConfig::new(1, 10.0).quantum(q));
+            assert!(msg.contains("quantum"), "q={q}: {msg}");
+            assert!(msg.contains("positive"), "q={q}: {msg}");
+        }
+    }
+
+    #[test]
+    fn sample_period_beyond_horizon_is_rejected_with_specific_message() {
+        let msg = rejection_message(&SimConfig::new(1, 10.0).sample_period(11.0));
+        assert!(msg.contains("sample_period"), "{msg}");
+        assert!(msg.contains("t_end"), "{msg}");
+        // The boundary case τ = t_end is legal (grid {0, t_end}).
+        SimConfig::new(1, 10.0)
+            .sample_period(10.0)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn window_slide_beyond_width_is_rejected_with_specific_message() {
+        let msg = rejection_message(&SimConfig::new(1, 10.0).window(2, 3));
+        assert!(msg.contains("slide"), "{msg}");
+        assert!(msg.contains("width"), "{msg}");
+    }
+
+    #[test]
+    fn non_positive_tau_leap_length_is_rejected_with_specific_message() {
+        for tau in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            let cfg = SimConfig::new(1, 10.0).engine(EngineKind::TauLeap { tau });
+            let msg = rejection_message(&cfg);
+            assert!(msg.contains("tau-leap"), "tau={tau}: {msg}");
+        }
+        SimConfig::new(1, 10.0)
+            .engine(EngineKind::TauLeap { tau: 0.1 })
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn engine_knob_defaults_to_ssa_and_is_fluent() {
+        assert_eq!(SimConfig::new(1, 1.0).engine, EngineKind::Ssa);
+        let cfg = SimConfig::new(1, 1.0).engine(EngineKind::FirstReaction);
+        assert_eq!(cfg.engine, EngineKind::FirstReaction);
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -15,8 +15,11 @@
 //! ```
 //!
 //! - [`config`]: run parameters (instances, horizon, quantum Q, sampling
-//!   period τ, worker counts, window geometry, engine set);
-//! - [`task`]: the simulation task objects streamed through the farm;
+//!   period τ, stochastic integrator, worker counts, window geometry,
+//!   engine set);
+//! - [`task`]: the engine-agnostic simulation task objects streamed
+//!   through the farm (any [`EngineKind`]: SSA, first-reaction,
+//!   tau-leaping);
 //! - [`sim_farm`]: master/worker logic with per-quantum rescheduling;
 //! - [`alignment`]: re-groups interleaved samples into time-ordered cuts;
 //! - [`windows`]: sliding windows of cuts;
@@ -60,6 +63,7 @@ pub use alignment::Alignment;
 pub use config::{ConfigError, SimConfig};
 pub use display::{ascii_chart, CsvRenderer};
 pub use engines::{ObsStats, StatBlock, StatEngineKind, StatEngineSet, StatRow};
+pub use gillespie::engine::{Engine, EngineError, EngineKind};
 pub use runner::{run_sequential, run_simulation, run_simulation_steered, SimError, SimReport};
 pub use sim_farm::{SimMaster, SimWorker, Steering};
 pub use storage::{load_csv, CsvFileSink, StoredRun};

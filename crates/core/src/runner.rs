@@ -76,6 +76,9 @@ pub enum SimError {
     Config(ConfigError),
     /// The model failed validation.
     Model(cwc::model::ModelError),
+    /// The configured engine kind cannot drive the model (e.g.
+    /// tau-leaping on a compartment model).
+    Engine(gillespie::engine::EngineError),
     /// A pipeline node panicked.
     Pipeline(fastflow::error::Error),
 }
@@ -85,6 +88,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Config(e) => write!(f, "{e}"),
             SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::Engine(e) => write!(f, "engine error: {e}"),
             SimError::Pipeline(e) => write!(f, "pipeline error: {e}"),
         }
     }
@@ -107,6 +111,12 @@ impl From<cwc::model::ModelError> for SimError {
 impl From<fastflow::error::Error> for SimError {
     fn from(e: fastflow::error::Error) -> Self {
         SimError::Pipeline(e)
+    }
+}
+
+impl From<gillespie::engine::EngineError> for SimError {
+    fn from(e: gillespie::engine::EngineError) -> Self {
+        SimError::Engine(e)
     }
 }
 
@@ -140,10 +150,11 @@ pub fn run_simulation_steered(
     let start = Instant::now();
     let events = Arc::new(AtomicU64::new(0));
 
-    // Stage 1: generation of simulation tasks.
+    // Stage 1: generation of simulation tasks with the configured engine.
     let tasks: Vec<SimTask> = (0..cfg.instances)
         .map(|i| {
-            SimTask::new(
+            SimTask::with_engine(
+                cfg.engine,
                 Arc::clone(&model),
                 cfg.base_seed,
                 i,
@@ -152,7 +163,7 @@ pub fn run_simulation_steered(
                 cfg.sample_period,
             )
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     // Stage 2: farm of simulation engines with feedback.
     let workers: Vec<SimWorker> = (0..cfg.sim_workers).map(|_| SimWorker::new()).collect();
@@ -225,14 +236,15 @@ pub fn run_sequential(model: Arc<Model>, cfg: &SimConfig) -> Result<SimReport, S
     let mut events = 0u64;
     let mut batches: Vec<SampleBatch> = Vec::new();
     for i in 0..cfg.instances {
-        let mut task = SimTask::new(
+        let mut task = SimTask::with_engine(
+            cfg.engine,
             Arc::clone(&model),
             cfg.base_seed,
             i,
             cfg.t_end,
             cfg.quantum,
             cfg.sample_period,
-        );
+        )?;
         let mut samples = Vec::new();
         while !task.is_done() {
             events += task.run_quantum(&mut samples);
@@ -315,6 +327,40 @@ mod tests {
         let seq = run_sequential(model, &cfg).unwrap();
         assert_eq!(par.rows, seq.rows);
         assert_eq!(par.events, seq.events);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_every_engine_kind() {
+        use gillespie::engine::EngineKind;
+        let model = Arc::new(decay(40, 1.0));
+        for kind in [
+            EngineKind::Ssa,
+            EngineKind::TauLeap { tau: 0.1 },
+            EngineKind::FirstReaction,
+        ] {
+            let cfg = small_cfg().engine(kind);
+            let par = run_simulation(Arc::clone(&model), &cfg).unwrap();
+            let seq = run_sequential(Arc::clone(&model), &cfg).unwrap();
+            assert_eq!(par.rows, seq.rows, "{kind}");
+            assert_eq!(par.events, seq.events, "{kind}");
+        }
+    }
+
+    #[test]
+    fn tau_leap_on_compartment_model_is_rejected_as_engine_error() {
+        use gillespie::engine::EngineKind;
+        let model = Arc::new(biomodels::cell_transport(
+            biomodels::CellTransportParams::default(),
+        ));
+        let cfg = small_cfg().engine(EngineKind::TauLeap { tau: 0.1 });
+        assert!(matches!(
+            run_simulation(Arc::clone(&model), &cfg),
+            Err(SimError::Engine(_))
+        ));
+        assert!(matches!(
+            run_sequential(model, &cfg),
+            Err(SimError::Engine(_))
+        ));
     }
 
     #[test]

@@ -4,11 +4,18 @@
 //! each of them wrapped in a C++ object" — here, [`SimTask`]: the engine
 //! state plus its sampling clock, shipped between the master and the farm
 //! workers along the feedback cycle.
+//!
+//! A task is *engine-agnostic*: it wraps whichever [`Engine`] the run's
+//! [`EngineKind`](gillespie::engine::EngineKind) built — exact direct
+//! method, first-reaction, or tau-leaping — behind the same
+//! advance-one-quantum contract, so the farm, the distributed emulation
+//! and the GPGPU map schedule every integrator identically.
 
 use std::sync::Arc;
 
 use cwc::model::Model;
-use gillespie::ssa::{SampleClock, SsaEngine};
+use gillespie::engine::{Engine, EngineError, EngineKind};
+use gillespie::ssa::SampleClock;
 
 /// A simulation task: one trajectory's engine state and sampling clock.
 ///
@@ -16,8 +23,8 @@ use gillespie::ssa::{SampleClock, SsaEngine};
 /// engine reaches the time horizon.
 #[derive(Debug, Clone)]
 pub struct SimTask {
-    /// The stochastic engine (term, time, RNG — the whole instance state).
-    pub engine: SsaEngine,
+    /// The stochastic engine (state, time, RNG — the whole instance).
+    pub engine: Engine,
     /// Persistent τ-grid clock (survives quantum boundaries).
     pub clock: SampleClock,
     /// Time horizon of the run.
@@ -27,7 +34,8 @@ pub struct SimTask {
 }
 
 impl SimTask {
-    /// Creates the task for `instance`, sampling every `sample_period`.
+    /// Creates a direct-method (SSA) task for `instance`, sampling every
+    /// `sample_period` — the paper's default integrator.
     pub fn new(
         model: Arc<Model>,
         base_seed: u64,
@@ -36,12 +44,40 @@ impl SimTask {
         quantum: f64,
         sample_period: f64,
     ) -> Self {
-        SimTask {
-            engine: SsaEngine::new(model, base_seed, instance),
+        Self::with_engine(
+            EngineKind::Ssa,
+            model,
+            base_seed,
+            instance,
+            t_end,
+            quantum,
+            sample_period,
+        )
+        .expect("SSA engine construction is infallible")
+    }
+
+    /// Creates the task for `instance` with the configured engine kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when `kind` cannot drive `model` (e.g.
+    /// tau-leaping on a compartment model).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_engine(
+        kind: EngineKind,
+        model: Arc<Model>,
+        base_seed: u64,
+        instance: u64,
+        t_end: f64,
+        quantum: f64,
+        sample_period: f64,
+    ) -> Result<Self, EngineError> {
+        Ok(SimTask {
+            engine: kind.build(model, base_seed, instance)?,
             clock: SampleClock::new(0.0, sample_period),
             t_end,
             quantum,
-        }
+        })
     }
 
     /// Instance id of the wrapped trajectory.
@@ -64,9 +100,12 @@ impl SimTask {
     /// Returns the number of reactions fired in the quantum.
     pub fn run_quantum(&mut self, out: &mut Vec<(f64, Vec<u64>)>) -> u64 {
         let horizon = self.next_quantum_end();
-        let clock = &mut self.clock;
+        // Push straight into `out` (the farm's hottest loop) instead of
+        // collecting an intermediate QuantumOutcome.
         self.engine
-            .run_sampled(horizon, clock, |t, values| out.push((t, values.to_vec())))
+            .run_sampled(horizon, &mut self.clock, |t, values| {
+                out.push((t, values.to_vec()))
+            })
     }
 }
 
@@ -146,5 +185,47 @@ mod tests {
         whole.run_quantum(&mut whole_samples);
         assert_eq!(sliced_samples, whole_samples);
         assert_eq!(sliced.engine.term(), whole.engine.term());
+    }
+
+    #[test]
+    fn every_engine_kind_is_sliceable() {
+        // The quantum contract holds per engine kind, not just for SSA.
+        for kind in [
+            EngineKind::Ssa,
+            EngineKind::TauLeap { tau: 0.07 },
+            EngineKind::FirstReaction,
+        ] {
+            let mk = || {
+                SimTask::with_engine(kind, Arc::new(decay(20, 1.0)), 42, 0, 2.0, 0.5, 0.25).unwrap()
+            };
+            let mut sliced = mk();
+            let mut ss = Vec::new();
+            while !sliced.is_done() {
+                sliced.run_quantum(&mut ss);
+            }
+            let mut whole = mk();
+            whole.quantum = 1e9;
+            let mut ws = Vec::new();
+            whole.run_quantum(&mut ws);
+            assert_eq!(ss, ws, "{kind}");
+            assert_eq!(sliced.engine.observe(), whole.engine.observe(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn tau_leap_task_rejects_compartment_models() {
+        let model = Arc::new(biomodels::cell_transport(
+            biomodels::CellTransportParams::default(),
+        ));
+        let err = SimTask::with_engine(
+            EngineKind::TauLeap { tau: 0.1 },
+            model,
+            1,
+            0,
+            1.0,
+            0.5,
+            0.25,
+        );
+        assert!(err.is_err());
     }
 }

@@ -95,6 +95,7 @@ pub fn run_distributed_emulation(
             t_end: cfg.t_end,
             quantum: cfg.quantum,
             sample_period: cfg.sample_period,
+            engine: cfg.engine,
         });
         first += count;
     }
@@ -113,7 +114,8 @@ pub fn run_distributed_emulation(
         let model = Arc::clone(&model);
         let tasks: Vec<SimTask> = (spec.first_instance..spec.first_instance + spec.count)
             .map(|i| {
-                SimTask::new(
+                SimTask::with_engine(
+                    spec.engine,
                     Arc::clone(&model),
                     spec.base_seed,
                     i,
@@ -122,7 +124,8 @@ pub fn run_distributed_emulation(
                     spec.sample_period,
                 )
             })
-            .collect();
+            .collect::<Result<_, _>>()
+            .map_err(|e| EmulationError::Sim(cwcsim::SimError::Engine(e)))?;
         let workers: Vec<SimWorker> = (0..cfg.sim_workers.max(1))
             .map(|_| SimWorker::new())
             .collect();

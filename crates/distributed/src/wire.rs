@@ -10,11 +10,13 @@
 //! testable.
 
 use cwcsim::task::SampleBatch;
+use gillespie::engine::EngineKind;
 
 /// Magic bytes of an encoded message envelope.
 pub const MAGIC: [u8; 4] = *b"CWCS";
-/// Current wire format version.
-pub const VERSION: u16 = 1;
+/// Current wire format version. Version 2 added the engine-kind field to
+/// [`RemoteTaskSpec`] (engine-agnostic remote farms).
+pub const VERSION: u16 = 2;
 
 /// Error produced while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -197,9 +199,37 @@ impl Wire for SampleBatch {
     }
 }
 
+/// The engine selector crosses the wire as a tag byte plus the tau-leap
+/// leap length where applicable (tag 0 = SSA, 1 = tau-leap, 2 =
+/// first-reaction).
+impl Wire for EngineKind {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            EngineKind::Ssa => buf.push(0),
+            EngineKind::TauLeap { tau } => {
+                buf.push(1);
+                tau.encode(buf);
+            }
+            EngineKind::FirstReaction => buf.push(2),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(EngineKind::Ssa),
+            1 => Ok(EngineKind::TauLeap {
+                tau: f64::decode(r)?,
+            }),
+            2 => Ok(EngineKind::FirstReaction),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
 /// Parameters shipped to a remote simulation farm: which instances to run
 /// and how (the distributed version sends *parameters*, not engine state —
-/// remote farms construct their own engines from the shared model).
+/// remote farms construct their own engines from the shared model and the
+/// spec's engine kind).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RemoteTaskSpec {
     /// First instance id (inclusive).
@@ -214,6 +244,8 @@ pub struct RemoteTaskSpec {
     pub quantum: f64,
     /// Sampling period τ.
     pub sample_period: f64,
+    /// Stochastic integrator the remote farm must build.
+    pub engine: EngineKind,
 }
 
 impl Wire for RemoteTaskSpec {
@@ -224,6 +256,7 @@ impl Wire for RemoteTaskSpec {
         self.t_end.encode(buf);
         self.quantum.encode(buf);
         self.sample_period.encode(buf);
+        self.engine.encode(buf);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -234,6 +267,7 @@ impl Wire for RemoteTaskSpec {
             t_end: f64::decode(r)?,
             quantum: f64::decode(r)?,
             sample_period: f64::decode(r)?,
+            engine: EngineKind::decode(r)?,
         })
     }
 }
@@ -324,14 +358,29 @@ mod tests {
 
     #[test]
     fn remote_task_spec_roundtrips() {
-        roundtrip(RemoteTaskSpec {
-            first_instance: 128,
-            count: 64,
-            base_seed: 7,
-            t_end: 100.0,
-            quantum: 5.0,
-            sample_period: 0.5,
-        });
+        for engine in [
+            EngineKind::Ssa,
+            EngineKind::TauLeap { tau: 0.125 },
+            EngineKind::FirstReaction,
+        ] {
+            roundtrip(RemoteTaskSpec {
+                first_instance: 128,
+                count: 64,
+                base_seed: 7,
+                t_end: 100.0,
+                quantum: 5.0,
+                sample_period: 0.5,
+                engine,
+            });
+        }
+    }
+
+    #[test]
+    fn engine_kind_bad_tag_is_rejected() {
+        let mut bytes = to_bytes(&EngineKind::Ssa);
+        let last = bytes.len() - 1;
+        bytes[last] = 9;
+        assert_eq!(from_bytes::<EngineKind>(&bytes), Err(WireError::BadTag(9)));
     }
 
     #[test]

@@ -231,14 +231,18 @@ pub struct CostModel {
 impl CostModel {
     /// Measures costs by timing the real engine and analysis code.
     pub fn measure(model: Arc<Model>) -> CostModel {
-        // Simulation cost: run one instance for a fixed event budget.
-        let mut engine = gillespie::ssa::SsaEngine::new(Arc::clone(&model), 12345, 0);
+        // Simulation cost: run one instance for a fixed event budget
+        // (through the engine abstraction, one event per step on the
+        // reference SSA integrator).
+        let mut engine = gillespie::engine::EngineKind::Ssa
+            .build(Arc::clone(&model), 12345, 0)
+            .expect("SSA drives any model");
         let start = Instant::now();
         let mut fired = 0u64;
         while fired < 20_000 {
             match engine.step() {
-                gillespie::ssa::StepOutcome::Fired { .. } => fired += 1,
-                gillespie::ssa::StepOutcome::Exhausted => break,
+                gillespie::engine::EngineStep::Advanced { events, .. } => fired += events,
+                gillespie::engine::EngineStep::Exhausted => break,
             }
         }
         let sec_per_event = if fired == 0 {

@@ -1,0 +1,658 @@
+//! Engine-agnostic quantum execution: the seam between the stochastic
+//! integrators and every parallel back-end.
+//!
+//! The paper's architecture is deliberately engine-neutral — the farm of
+//! "sim eng" boxes only requires that a task advance by one simulation
+//! quantum and emit samples on the τ grid. This module captures that
+//! contract as the [`QuantumEngine`] trait and packages the three
+//! integrators of this crate behind the concrete [`Engine`] enum, so tasks
+//! stay `Clone + Send` without boxing and every downstream layer (task
+//! farm, distributed emulation, simulated GPGPU, benchmarks) is written
+//! once against the abstraction.
+//!
+//! [`EngineKind`] is the *configuration-level* selector — a small `Copy`
+//! value that travels in `SimConfig` and across the wire to remote farms —
+//! and [`EngineKind::build`] is the only place engines are constructed.
+//!
+//! ## The quantum contract
+//!
+//! An engine advanced to `t_goal` in any number of slices must produce the
+//! same trajectory, samples and event counts as one monolithic run: the
+//! exact engines keep their drawn-but-unfired event pending across
+//! boundaries, the tau-leaping engine keeps its drawn-but-uncommitted leap
+//! pending. The unit and property tests of each engine module pin this
+//! down; the pipeline's seq-vs-par bit-for-bit tests rely on it.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cwc::model::Model;
+use cwc::term::Term;
+
+use crate::first_reaction::FirstReactionEngine;
+use crate::ssa::{SampleClock, SsaEngine, StepOutcome};
+use crate::tau_leap::{TauLeapEngine, TauLeapError};
+
+/// Everything one quantum of one instance produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantumOutcome {
+    /// `(grid time, observable values)` pairs emitted in the quantum,
+    /// in time order.
+    pub samples: Vec<(f64, Vec<u64>)>,
+    /// Reaction firings committed during the quantum (for workload
+    /// accounting; a tau-leap counts every firing of its committed leaps).
+    pub events: u64,
+}
+
+/// The farm-facing contract of a stochastic simulation engine.
+///
+/// One call to [`advance_quantum`](QuantumEngine::advance_quantum) is what
+/// a farm worker, a remote farm or a GPGPU "kernel" executes per
+/// scheduling round. Implementations must be *slicing-invariant*: any
+/// partition of `[0, t_end]` into quanta yields the same trajectory and
+/// sample stream.
+pub trait QuantumEngine {
+    /// Advances the engine to `t_goal`, emitting every sample the
+    /// persistent `clock` yields within the quantum.
+    fn advance_quantum(&mut self, t_goal: f64, clock: &mut SampleClock) -> QuantumOutcome;
+
+    /// Current simulation time.
+    fn time(&self) -> f64;
+
+    /// Instance id of this trajectory.
+    fn instance(&self) -> u64;
+
+    /// Evaluates the model's observables on the current state.
+    fn observe(&self) -> Vec<u64>;
+
+    /// Total reaction firings so far.
+    fn events(&self) -> u64;
+}
+
+impl QuantumEngine for SsaEngine {
+    fn advance_quantum(&mut self, t_goal: f64, clock: &mut SampleClock) -> QuantumOutcome {
+        let mut samples = Vec::new();
+        let events = self.run_sampled(t_goal, clock, |t, v| samples.push((t, v.to_vec())));
+        QuantumOutcome { samples, events }
+    }
+
+    fn time(&self) -> f64 {
+        SsaEngine::time(self)
+    }
+
+    fn instance(&self) -> u64 {
+        SsaEngine::instance(self)
+    }
+
+    fn observe(&self) -> Vec<u64> {
+        SsaEngine::observe(self)
+    }
+
+    fn events(&self) -> u64 {
+        self.steps()
+    }
+}
+
+impl QuantumEngine for FirstReactionEngine {
+    fn advance_quantum(&mut self, t_goal: f64, clock: &mut SampleClock) -> QuantumOutcome {
+        let mut samples = Vec::new();
+        let events = self.run_sampled(t_goal, clock, |t, v| samples.push((t, v.to_vec())));
+        QuantumOutcome { samples, events }
+    }
+
+    fn time(&self) -> f64 {
+        FirstReactionEngine::time(self)
+    }
+
+    fn instance(&self) -> u64 {
+        FirstReactionEngine::instance(self)
+    }
+
+    fn observe(&self) -> Vec<u64> {
+        FirstReactionEngine::observe(self)
+    }
+
+    fn events(&self) -> u64 {
+        self.steps()
+    }
+}
+
+impl QuantumEngine for TauLeapEngine {
+    fn advance_quantum(&mut self, t_goal: f64, clock: &mut SampleClock) -> QuantumOutcome {
+        let mut samples = Vec::new();
+        let events = self.run_sampled(t_goal, clock, |t, v| samples.push((t, v.to_vec())));
+        QuantumOutcome { samples, events }
+    }
+
+    fn time(&self) -> f64 {
+        TauLeapEngine::time(self)
+    }
+
+    fn instance(&self) -> u64 {
+        TauLeapEngine::instance(self)
+    }
+
+    fn observe(&self) -> Vec<u64> {
+        TauLeapEngine::observe(self)
+    }
+
+    fn events(&self) -> u64 {
+        self.firings()
+    }
+}
+
+/// Configuration-level engine selector.
+///
+/// A plain `Copy` value: it lives in the simulation config, crosses the
+/// wire to remote farms, and is the single source of truth for which
+/// integrator a run uses. Construct engines with [`EngineKind::build`].
+///
+/// # Examples
+///
+/// ```
+/// use cwc::model::Model;
+/// use gillespie::engine::EngineKind;
+/// use std::sync::Arc;
+///
+/// let mut m = Model::new("decay");
+/// let a = m.species("A");
+/// m.rule("decay").consumes("A", 1).rate(1.0).build().unwrap();
+/// m.initial.add_atoms(a, 50);
+/// m.observe("A", a);
+///
+/// let mut engine = EngineKind::TauLeap { tau: 0.05 }
+///     .build(Arc::new(m), 42, 0)
+///     .unwrap();
+/// engine.run_until(2.0);
+/// assert!(engine.observe()[0] <= 50);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum EngineKind {
+    /// Gillespie's exact direct method (the paper's integrator). Works on
+    /// any CWC model, compartments included.
+    #[default]
+    Ssa,
+    /// Approximate Poisson tau-leaping with native leap length `tau`.
+    /// Flat, top-level, mass-action models only (StochKit's alternative
+    /// integrator, an extension beyond the paper).
+    TauLeap {
+        /// Native leap length of the integrator (*not* the sampling τ).
+        tau: f64,
+    },
+    /// Gillespie's first-reaction method: exact, same process law as the
+    /// direct method with a different randomness consumption — the
+    /// distributional oracle.
+    FirstReaction,
+}
+
+impl EngineKind {
+    /// Short stable name, for tables, CSV headers and CLIs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Ssa => "ssa",
+            EngineKind::TauLeap { .. } => "tau-leap",
+            EngineKind::FirstReaction => "first-reaction",
+        }
+    }
+
+    /// Checks the model-independent parameters of this kind — the single
+    /// owner of the leap-length rule, shared by [`EngineKind::build`] and
+    /// config-level validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidTau`] for a non-positive or
+    /// non-finite tau-leap length.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        match *self {
+            EngineKind::TauLeap { tau } if !(tau > 0.0 && tau.is_finite()) => {
+                Err(EngineError::InvalidTau { tau })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Builds the engine for `instance`, seeded from `base_seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when the kind cannot drive `model`:
+    /// tau-leaping rejects compartment rules, nested-site rules,
+    /// non-mass-action laws and non-positive `tau`.
+    pub fn build(
+        self,
+        model: Arc<Model>,
+        base_seed: u64,
+        instance: u64,
+    ) -> Result<Engine, EngineError> {
+        self.validate()?;
+        match self {
+            EngineKind::Ssa => Ok(Engine::Ssa(SsaEngine::new(model, base_seed, instance))),
+            EngineKind::FirstReaction => Ok(Engine::FirstReaction(FirstReactionEngine::new(
+                model, base_seed, instance,
+            ))),
+            EngineKind::TauLeap { tau } => {
+                let engine = TauLeapEngine::new(model, base_seed, instance)?;
+                Ok(Engine::TauLeap(engine.with_tau(tau)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::TauLeap { tau } => write!(f, "tau-leap(τ={tau})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Error building an engine from an [`EngineKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Tau-leaping cannot drive this model (compartments, nested sites or
+    /// non-mass-action laws).
+    TauLeap(TauLeapError),
+    /// The configured leap length is not positive and finite.
+    InvalidTau {
+        /// The offending value.
+        tau: f64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::TauLeap(e) => write!(f, "{e}"),
+            EngineError::InvalidTau { tau } => {
+                write!(
+                    f,
+                    "tau-leap leap length must be positive and finite, got {tau}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<TauLeapError> for EngineError {
+    fn from(e: TauLeapError) -> Self {
+        EngineError::TauLeap(e)
+    }
+}
+
+/// Outcome of one atomic engine transition ([`Engine::step`]): a reaction
+/// for the exact engines, one committed leap for tau-leaping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineStep {
+    /// The engine advanced by `dt`, firing `events` reactions.
+    Advanced {
+        /// Time that elapsed.
+        dt: f64,
+        /// Reactions fired (1 for exact engines, the leap total for
+        /// tau-leaping).
+        events: u64,
+    },
+    /// No reaction is enabled; the state is absorbing.
+    Exhausted,
+}
+
+/// A concrete simulation engine: one of the three integrators, behind one
+/// `Clone + Send` value (no boxing, no generics in the task types).
+///
+/// All methods dispatch to the wrapped engine; the [`QuantumEngine`] impl
+/// delegates to the inherent methods, so call sites need no trait import.
+#[derive(Debug, Clone)]
+pub enum Engine {
+    /// Exact direct method.
+    Ssa(SsaEngine),
+    /// Approximate Poisson tau-leaping.
+    TauLeap(TauLeapEngine),
+    /// Exact first-reaction method.
+    FirstReaction(FirstReactionEngine),
+}
+
+impl Engine {
+    /// The configuration that would rebuild this engine.
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            Engine::Ssa(_) => EngineKind::Ssa,
+            Engine::TauLeap(e) => EngineKind::TauLeap { tau: e.tau() },
+            Engine::FirstReaction(_) => EngineKind::FirstReaction,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        match self {
+            Engine::Ssa(e) => e.time(),
+            Engine::TauLeap(e) => e.time(),
+            Engine::FirstReaction(e) => e.time(),
+        }
+    }
+
+    /// Instance id of this trajectory.
+    pub fn instance(&self) -> u64 {
+        match self {
+            Engine::Ssa(e) => e.instance(),
+            Engine::TauLeap(e) => e.instance(),
+            Engine::FirstReaction(e) => e.instance(),
+        }
+    }
+
+    /// Evaluates the model's observables on the current state.
+    pub fn observe(&self) -> Vec<u64> {
+        match self {
+            Engine::Ssa(e) => e.observe(),
+            Engine::TauLeap(e) => e.observe(),
+            Engine::FirstReaction(e) => e.observe(),
+        }
+    }
+
+    /// Total reaction firings so far.
+    pub fn events(&self) -> u64 {
+        match self {
+            Engine::Ssa(e) => e.steps(),
+            Engine::TauLeap(e) => e.firings(),
+            Engine::FirstReaction(e) => e.steps(),
+        }
+    }
+
+    /// The model driving this engine.
+    pub fn model(&self) -> &Arc<Model> {
+        match self {
+            Engine::Ssa(e) => e.model(),
+            Engine::TauLeap(e) => e.model(),
+            Engine::FirstReaction(e) => e.model(),
+        }
+    }
+
+    /// The current CWC term, for the term-based engines (`None` for
+    /// tau-leaping, whose state is a species-count vector).
+    pub fn term(&self) -> Option<&Term> {
+        match self {
+            Engine::Ssa(e) => Some(e.term()),
+            Engine::FirstReaction(e) => Some(e.term()),
+            Engine::TauLeap(_) => None,
+        }
+    }
+
+    /// Executes one atomic transition: one reaction (exact engines) or
+    /// one committed leap (tau-leaping).
+    pub fn step(&mut self) -> EngineStep {
+        match self {
+            Engine::Ssa(e) => match e.step() {
+                StepOutcome::Fired { dt, .. } => EngineStep::Advanced { dt, events: 1 },
+                StepOutcome::Exhausted => EngineStep::Exhausted,
+            },
+            Engine::FirstReaction(e) => match e.step() {
+                StepOutcome::Fired { dt, .. } => EngineStep::Advanced { dt, events: 1 },
+                StepOutcome::Exhausted => EngineStep::Exhausted,
+            },
+            Engine::TauLeap(e) => {
+                // leap() first commits any leap held pending by the
+                // quantum-execution API, so measure dt and events as
+                // clock/firings deltas to keep the two consistent.
+                let (before_firings, before_time) = (e.firings(), e.time());
+                let taken = e.leap(e.tau());
+                let dt = e.time() - before_time;
+                if taken == 0.0 && dt == 0.0 {
+                    EngineStep::Exhausted
+                } else {
+                    EngineStep::Advanced {
+                        dt,
+                        events: e.firings() - before_firings,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until simulation time reaches `t_end` (or the state absorbs),
+    /// without sampling; returns the reactions fired.
+    pub fn run_until(&mut self, t_end: f64) -> u64 {
+        match self {
+            Engine::Ssa(e) => e.run_until(t_end),
+            Engine::FirstReaction(e) => e.run_until(t_end),
+            // A muted clock (zero-sample limit) turns sampled advancement
+            // into plain advancement on the same pending-leap path.
+            Engine::TauLeap(e) => {
+                let mut muted = SampleClock::new(0.0, 1.0).with_limit(0);
+                e.run_sampled(t_end, &mut muted, |_, _| {})
+            }
+        }
+    }
+
+    /// Runs until `t_end`, invoking `on_sample(t, observables)` at every
+    /// grid time `clock` yields within the interval; returns reactions
+    /// fired. Same alignment contract as [`SsaEngine::run_sampled`].
+    pub fn run_sampled<F>(&mut self, t_end: f64, clock: &mut SampleClock, on_sample: F) -> u64
+    where
+        F: FnMut(f64, &[u64]),
+    {
+        match self {
+            Engine::Ssa(e) => e.run_sampled(t_end, clock, on_sample),
+            Engine::FirstReaction(e) => e.run_sampled(t_end, clock, on_sample),
+            Engine::TauLeap(e) => e.run_sampled(t_end, clock, on_sample),
+        }
+    }
+
+    /// Advances to `t_goal`, collecting the quantum's samples and events.
+    pub fn advance_quantum(&mut self, t_goal: f64, clock: &mut SampleClock) -> QuantumOutcome {
+        let mut samples = Vec::new();
+        let events = self.run_sampled(t_goal, clock, |t, v| samples.push((t, v.to_vec())));
+        QuantumOutcome { samples, events }
+    }
+}
+
+impl QuantumEngine for Engine {
+    fn advance_quantum(&mut self, t_goal: f64, clock: &mut SampleClock) -> QuantumOutcome {
+        Engine::advance_quantum(self, t_goal, clock)
+    }
+
+    fn time(&self) -> f64 {
+        Engine::time(self)
+    }
+
+    fn instance(&self) -> u64 {
+        Engine::instance(self)
+    }
+
+    fn observe(&self) -> Vec<u64> {
+        Engine::observe(self)
+    }
+
+    fn events(&self) -> u64 {
+        Engine::events(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwc::model::Model;
+
+    fn decay_model(n: u64, rate: f64) -> Arc<Model> {
+        let mut m = Model::new("decay");
+        let a = m.species("A");
+        m.rule("decay").consumes("A", 1).rate(rate).build().unwrap();
+        m.initial.add_atoms(a, n);
+        m.observe("A", a);
+        Arc::new(m)
+    }
+
+    fn comp_model() -> Arc<Model> {
+        let mut m = Model::new("comp");
+        m.rule("r")
+            .at("cell")
+            .consumes("A", 1)
+            .rate(1.0)
+            .build()
+            .unwrap();
+        let a = m.species("A");
+        m.observe("A", a);
+        Arc::new(m)
+    }
+
+    #[test]
+    fn every_kind_builds_on_a_flat_model() {
+        let model = decay_model(10, 1.0);
+        for kind in [
+            EngineKind::Ssa,
+            EngineKind::TauLeap { tau: 0.1 },
+            EngineKind::FirstReaction,
+        ] {
+            let engine = kind.build(Arc::clone(&model), 1, 0).unwrap();
+            assert_eq!(engine.kind(), kind);
+            assert_eq!(engine.instance(), 0);
+            assert_eq!(engine.observe(), vec![10]);
+            assert_eq!(engine.time(), 0.0);
+        }
+    }
+
+    #[test]
+    fn tau_leap_rejects_compartment_models_and_bad_tau() {
+        let model = comp_model();
+        let err = EngineKind::TauLeap { tau: 0.1 }
+            .build(Arc::clone(&model), 1, 0)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::TauLeap(_)));
+        let err = EngineKind::TauLeap { tau: 0.0 }
+            .build(decay_model(1, 1.0), 1, 0)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidTau { .. }));
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn exact_kinds_drive_compartment_models() {
+        let model = comp_model();
+        for kind in [EngineKind::Ssa, EngineKind::FirstReaction] {
+            let engine = kind.build(Arc::clone(&model), 1, 0);
+            assert!(engine.is_ok(), "{kind} must accept compartment models");
+        }
+    }
+
+    #[test]
+    fn engine_enum_matches_wrapped_ssa_engine_exactly() {
+        let model = decay_model(30, 1.0);
+        let mut plain = SsaEngine::new(Arc::clone(&model), 7, 2);
+        let mut wrapped = EngineKind::Ssa.build(model, 7, 2).unwrap();
+        let mut pc = SampleClock::new(0.0, 0.25);
+        let mut ps = Vec::new();
+        plain.run_sampled(3.0, &mut pc, |t, v| ps.push((t, v.to_vec())));
+        let mut wc = SampleClock::new(0.0, 0.25);
+        let outcome = Engine::advance_quantum(&mut wrapped, 3.0, &mut wc);
+        assert_eq!(outcome.samples, ps);
+        assert_eq!(outcome.events, plain.steps());
+        assert_eq!(wrapped.time(), plain.time());
+    }
+
+    #[test]
+    fn step_advances_every_kind() {
+        let model = decay_model(20, 1.0);
+        for kind in [
+            EngineKind::Ssa,
+            EngineKind::TauLeap { tau: 0.05 },
+            EngineKind::FirstReaction,
+        ] {
+            let mut engine = kind.build(Arc::clone(&model), 3, 0).unwrap();
+            match engine.step() {
+                EngineStep::Advanced { dt, .. } => assert!(dt > 0.0, "{kind}"),
+                EngineStep::Exhausted => panic!("{kind} exhausted immediately"),
+            }
+            assert!(engine.time() > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn exhausted_engines_report_exhaustion() {
+        let model = decay_model(0, 1.0);
+        for kind in [
+            EngineKind::Ssa,
+            EngineKind::TauLeap { tau: 0.05 },
+            EngineKind::FirstReaction,
+        ] {
+            let mut engine = kind.build(Arc::clone(&model), 3, 0).unwrap();
+            assert_eq!(engine.step(), EngineStep::Exhausted, "{kind}");
+        }
+    }
+
+    #[test]
+    fn run_until_counts_events() {
+        let model = decay_model(25, 2.0);
+        for kind in [
+            EngineKind::Ssa,
+            EngineKind::TauLeap { tau: 0.05 },
+            EngineKind::FirstReaction,
+        ] {
+            let mut engine = kind.build(Arc::clone(&model), 9, 0).unwrap();
+            let fired = engine.run_until(1e3);
+            assert!(fired > 0, "{kind}");
+            assert_eq!(fired, engine.events(), "{kind}");
+            assert_eq!(engine.observe(), vec![0], "{kind}");
+        }
+    }
+
+    #[test]
+    fn trait_object_dispatch_matches_inherent_calls() {
+        // Drive every concrete engine and the enum through the
+        // QuantumEngine contract as a trait object: the impls must stay
+        // in sync with the inherent methods (this test is the generic
+        // consumer keeping them honest).
+        let model = decay_model(25, 1.0);
+        fn drive(engine: &mut dyn QuantumEngine) -> (Vec<(f64, Vec<u64>)>, u64, f64) {
+            let mut clock = SampleClock::new(0.0, 0.5);
+            let outcome = engine.advance_quantum(2.0, &mut clock);
+            assert_eq!(outcome.events, engine.events());
+            (outcome.samples, engine.events(), engine.time())
+        }
+        for kind in [
+            EngineKind::Ssa,
+            EngineKind::TauLeap { tau: 0.05 },
+            EngineKind::FirstReaction,
+        ] {
+            let mut wrapped = kind.build(Arc::clone(&model), 11, 2).unwrap();
+            let via_enum = drive(&mut wrapped);
+            let via_concrete = match kind.build(Arc::clone(&model), 11, 2).unwrap() {
+                Engine::Ssa(mut e) => drive(&mut e),
+                Engine::TauLeap(mut e) => drive(&mut e),
+                Engine::FirstReaction(mut e) => drive(&mut e),
+            };
+            assert_eq!(via_enum, via_concrete, "{kind}");
+            assert_eq!(QuantumEngine::instance(&wrapped), 2, "{kind}");
+            assert_eq!(
+                QuantumEngine::observe(&wrapped),
+                Engine::observe(&wrapped),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_kind_validate_owns_the_tau_rule() {
+        assert!(EngineKind::Ssa.validate().is_ok());
+        assert!(EngineKind::FirstReaction.validate().is_ok());
+        assert!(EngineKind::TauLeap { tau: 0.5 }.validate().is_ok());
+        for tau in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            // matches! rather than assert_eq: NaN never compares equal.
+            assert!(matches!(
+                EngineKind::TauLeap { tau }.validate(),
+                Err(EngineError::InvalidTau { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(EngineKind::Ssa.to_string(), "ssa");
+        assert_eq!(EngineKind::FirstReaction.to_string(), "first-reaction");
+        assert_eq!(
+            EngineKind::TauLeap { tau: 0.5 }.to_string(),
+            "tau-leap(τ=0.5)"
+        );
+        assert_eq!(EngineKind::default(), EngineKind::Ssa);
+    }
+}

@@ -10,16 +10,36 @@
 //! oracle against subtle propensity bugs: both methods must agree on every
 //! distributional property even though their trajectories differ
 //! draw-by-draw.
+//!
+//! ## Quantum-exact execution
+//!
+//! Like [`SsaEngine`], this engine keeps the drawn-but-not-yet-fired
+//! winning event across quantum boundaries: when a quantum ends before the
+//! event, the (reaction, absolute time) pair is preserved and fired in a
+//! later quantum instead of being re-drawn, so rescheduling cannot change
+//! a trajectory. The term is unchanged while an event is pending, so the
+//! deterministically re-enumerated reaction list is identical when the
+//! pending winner finally fires.
+//!
+//! ## Coupling to the direct method
+//!
+//! For single-channel states both methods consume randomness identically
+//! (see the draw discipline in [`crate::rng`]): one uniform for the
+//! waiting time, none for the selection, one for the assignment. An engine
+//! built with [`FirstReactionEngine::coupled`] shares the direct method's
+//! instance stream and therefore reproduces `SsaEngine` trajectories
+//! **bit-for-bit** on single-channel models — the common-random-numbers
+//! property test that pins down waiting-time and propensity formulas.
 
 use std::sync::Arc;
 
 use cwc::matching::{apply_at, choose_assignment};
 use cwc::model::Model;
-use cwc::term::Term;
+use cwc::term::{Path, Term};
 use rand::Rng;
 
 use crate::rng::{sim_rng, SimRng};
-use crate::ssa::{Reaction, SsaEngine, StepOutcome};
+use crate::ssa::{Reaction, SampleClock, SsaEngine, StepOutcome};
 
 /// Exact SSA engine using the first-reaction method.
 ///
@@ -45,6 +65,11 @@ pub struct FirstReactionEngine {
     inner: SsaEngine,
     rng: SimRng,
     time: f64,
+    /// The winning `(reaction index, absolute firing time)` already drawn
+    /// but not yet fired. Preserved across quantum boundaries (see module
+    /// docs); the index is into the deterministic re-enumeration of the
+    /// unchanged term's reactions.
+    pending: Option<(usize, f64)>,
     steps: u64,
 }
 
@@ -59,6 +84,21 @@ impl FirstReactionEngine {
             inner: SsaEngine::new(model, base_seed, instance),
             rng: sim_rng(base_seed ^ 0xF1E5_7EAC, instance),
             time: 0.0,
+            pending: None,
+            steps: 0,
+        }
+    }
+
+    /// Creates an engine sharing the direct method's instance stream
+    /// (common random numbers): on single-channel models its trajectory is
+    /// bit-for-bit identical to [`SsaEngine`]'s with the same seeds — the
+    /// coupling oracle described in the module docs and [`crate::rng`].
+    pub fn coupled(model: Arc<Model>, base_seed: u64, instance: u64) -> Self {
+        FirstReactionEngine {
+            inner: SsaEngine::new(model, base_seed, instance),
+            rng: sim_rng(base_seed, instance),
+            time: 0.0,
+            pending: None,
             steps: 0,
         }
     }
@@ -66,6 +106,11 @@ impl FirstReactionEngine {
     /// Current simulation time.
     pub fn time(&self) -> f64 {
         self.time
+    }
+
+    /// Instance id of this trajectory.
+    pub fn instance(&self) -> u64 {
+        self.inner.instance()
     }
 
     /// Reactions fired so far.
@@ -78,28 +123,41 @@ impl FirstReactionEngine {
         self.inner.term()
     }
 
+    /// The model driving this engine.
+    pub fn model(&self) -> &Arc<Model> {
+        self.inner.model()
+    }
+
     /// Evaluates the model's observables.
     pub fn observe(&self) -> Vec<u64> {
         self.inner.observe()
     }
 
-    /// Executes one first-reaction step.
-    pub fn step(&mut self) -> StepOutcome {
-        let reactions: Vec<Reaction> = self.inner.reactions();
-        if reactions.is_empty() {
-            return StepOutcome::Exhausted;
+    /// The winning event, drawing candidate times for every enabled
+    /// reaction if none is pending. Returns `None` when the state is
+    /// absorbing.
+    fn next_event(&mut self, reactions: &[Reaction]) -> Option<(usize, f64)> {
+        if let Some(p) = self.pending {
+            return Some(p);
         }
-        // Draw a candidate firing time for every enabled reaction; the
-        // minimum wins (provably equivalent to the direct method).
+        // One exponential candidate per enabled reaction; the minimum wins
+        // (provably equivalent to the direct method).
         let mut best: Option<(usize, f64)> = None;
         for (i, r) in reactions.iter().enumerate() {
             let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let dt = -u.ln() / r.propensity;
-            if best.map(|(_, b)| dt < b).unwrap_or(true) {
-                best = Some((i, dt));
+            let t = self.time + (-u.ln() / r.propensity);
+            if best.map(|(_, b)| t < b).unwrap_or(true) {
+                best = Some((i, t));
             }
         }
-        let (winner, dt) = best.expect("non-empty reactions");
+        self.pending = best;
+        best
+    }
+
+    /// Fires the pending event: chooses the assignment and rewrites the
+    /// term.
+    fn fire(&mut self, reactions: &[Reaction], event: (usize, f64)) -> (usize, Path) {
+        let (winner, event_time) = event;
         let reaction = &reactions[winner];
         let model = Arc::clone(self.inner.model());
         let rule = &model.rules[reaction.rule];
@@ -112,26 +170,86 @@ impl FirstReactionEngine {
         };
         apply_at(self.inner.term_mut(), rule, &reaction.site, &assignment)
             .expect("chosen assignment applies");
-        self.time += dt;
+        self.time = event_time;
+        self.pending = None;
         self.steps += 1;
-        StepOutcome::Fired {
-            rule: reaction.rule,
-            site: reaction.site.clone(),
-            dt,
+        (reaction.rule, reaction.site.clone())
+    }
+
+    /// Executes one first-reaction step (fires the pending event if one
+    /// was held over from a previous quantum).
+    pub fn step(&mut self) -> StepOutcome {
+        let reactions: Vec<Reaction> = self.inner.reactions();
+        match self.next_event(&reactions) {
+            None => StepOutcome::Exhausted,
+            Some(event) => {
+                let dt = event.1 - self.time;
+                let (rule, site) = self.fire(&reactions, event);
+                StepOutcome::Fired { rule, site, dt }
+            }
         }
     }
 
     /// Runs until `t_end` (or exhaustion); returns reactions fired.
+    ///
+    /// An event drawn beyond `t_end` is kept pending and fires in a later
+    /// quantum, so slicing a run into quanta leaves the trajectory
+    /// unchanged.
     pub fn run_until(&mut self, t_end: f64) -> u64 {
         let mut fired = 0;
         while self.time < t_end {
-            match self.step() {
-                StepOutcome::Fired { .. } => fired += 1,
-                StepOutcome::Exhausted => {
+            let reactions = self.inner.reactions();
+            match self.next_event(&reactions) {
+                None => {
                     self.time = t_end;
                     break;
                 }
+                Some((_, t)) if t > t_end => {
+                    self.time = t_end;
+                    break;
+                }
+                Some(event) => {
+                    self.fire(&reactions, event);
+                    fired += 1;
+                }
             }
+        }
+        fired
+    }
+
+    /// Runs until `t_end`, invoking `on_sample(t, observables)` at every
+    /// grid time `clock` yields within the interval. Returns reactions
+    /// fired. Same alignment contract as [`SsaEngine::run_sampled`]:
+    /// samples report the state in force at the sample time.
+    pub fn run_sampled<F>(&mut self, t_end: f64, clock: &mut SampleClock, mut on_sample: F) -> u64
+    where
+        F: FnMut(f64, &[u64]),
+    {
+        let mut fired = 0;
+        loop {
+            let reactions = self.inner.reactions();
+            let t_next = self
+                .next_event(&reactions)
+                .map(|(_, t)| t)
+                .unwrap_or(f64::INFINITY);
+            // Emit all samples that fall before the next event and within
+            // the quantum.
+            let horizon = t_next.min(t_end);
+            while let Some(ts) = clock.peek() {
+                if ts > horizon {
+                    break;
+                }
+                let values = self.observe();
+                on_sample(ts, &values);
+                clock.advance();
+            }
+            if t_next > t_end {
+                self.time = t_end;
+                break;
+            }
+            let event = self.pending.expect("finite t_next implies pending");
+            self.fire(&reactions, event);
+            fired += 1;
         }
         fired
     }
@@ -234,6 +352,64 @@ mod tests {
         while let StepOutcome::Fired { .. } = e.step() {
             assert!(e.time() > last);
             last = e.time();
+        }
+    }
+
+    #[test]
+    fn quantum_slicing_is_bit_identical() {
+        // The same trajectory, whether run in one go or in many quanta:
+        // the pending winner survives rescheduling (two-channel model, so
+        // the winner index actually matters).
+        let mut m = Model::new("bd");
+        let a = m.species("A");
+        m.rule("birth").produces("A", 1).rate(3.0).build().unwrap();
+        m.rule("death").consumes("A", 1).rate(1.0).build().unwrap();
+        m.initial.add_atoms(a, 5);
+        m.observe("A", a);
+        let model = Arc::new(m);
+
+        let mut whole = FirstReactionEngine::new(Arc::clone(&model), 3, 7);
+        whole.run_until(10.0);
+        let mut sliced = FirstReactionEngine::new(model, 3, 7);
+        for k in 1..=100 {
+            sliced.run_until(k as f64 * 0.1);
+        }
+        assert_eq!(whole.term(), sliced.term());
+        assert_eq!(whole.steps(), sliced.steps());
+        assert_eq!(whole.time(), sliced.time());
+    }
+
+    #[test]
+    fn run_sampled_across_quanta_equals_single_run() {
+        let model = decay_model(30, 0.7);
+        let mut whole = FirstReactionEngine::new(Arc::clone(&model), 11, 2);
+        let mut wc = SampleClock::new(0.0, 0.5);
+        let mut ws = Vec::new();
+        whole.run_sampled(6.0, &mut wc, |t, v| ws.push((t, v.to_vec())));
+        let mut parts = FirstReactionEngine::new(model, 11, 2);
+        let mut pc = SampleClock::new(0.0, 0.5);
+        let mut ps = Vec::new();
+        for k in 1..=12 {
+            parts.run_sampled(k as f64 * 0.5, &mut pc, |t, v| ps.push((t, v.to_vec())));
+        }
+        assert_eq!(ws, ps);
+        assert_eq!(whole.term(), parts.term());
+        assert_eq!(whole.time(), parts.time());
+    }
+
+    #[test]
+    fn coupled_engine_reproduces_direct_method_on_single_channel_models() {
+        // Single-channel model + shared stream ⇒ identical draw discipline
+        // ⇒ bit-for-bit identical trajectories (see crate::rng).
+        let model = decay_model(40, 0.8);
+        let mut direct = crate::ssa::SsaEngine::new(Arc::clone(&model), 21, 4);
+        let mut frm = FirstReactionEngine::coupled(model, 21, 4);
+        for t in [0.4, 1.3, 2.0, 5.0, 9.7, 20.0] {
+            direct.run_until(t);
+            frm.run_until(t);
+            assert_eq!(direct.term(), frm.term(), "term at t={t}");
+            assert_eq!(direct.time(), frm.time(), "time at t={t}");
+            assert_eq!(direct.steps(), frm.steps(), "steps at t={t}");
         }
     }
 }

@@ -5,6 +5,9 @@
 //! Wrapped Compartments terms, with the quantum-based execution model the
 //! paper's farm of simulation engines relies on.
 //!
+//! - [`engine`]: the engine-agnostic seam — the [`QuantumEngine`] contract,
+//!   the concrete [`Engine`] enum and the configuration-level
+//!   [`EngineKind`] selector every pipeline layer is written against;
 //! - [`ssa`]: the exact engine ([`SsaEngine`]) with pending-event
 //!   preservation, so slicing a run into scheduler quanta never changes the
 //!   trajectory; plus the τ-grid [`SampleClock`];
@@ -13,19 +16,21 @@
 //!   exact sampler used as a distributional oracle (extension);
 //! - [`tau_leap`]: approximate Poisson leaping for flat models (an
 //!   extension beyond the paper, in the spirit of StochKit);
-//! - [`rng`]: deterministic per-instance seeding, making every execution
-//!   back-end (multicore, distributed, simulated GPGPU) produce identical
-//!   trajectories for identical seeds.
+//! - [`rng`]: deterministic per-instance seeding *and* the per-engine draw
+//!   discipline, making every execution back-end (multicore, distributed,
+//!   simulated GPGPU) produce identical trajectories for identical seeds.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod engine;
 pub mod first_reaction;
 pub mod rng;
 pub mod ssa;
 pub mod tau_leap;
 pub mod trajectory;
 
+pub use engine::{Engine, EngineError, EngineKind, EngineStep, QuantumEngine, QuantumOutcome};
 pub use first_reaction::FirstReactionEngine;
 pub use rng::{instance_seed, sim_rng, SimRng};
 pub use ssa::{Reaction, SampleClock, SsaEngine, StepOutcome};

@@ -6,6 +6,35 @@
 //! workers, hosts or the simulated GPGPU — which is what lets the
 //! integration tests assert that the distributed and GPU execution paths
 //! produce *identical* trajectories to the multicore one.
+//!
+//! ## Draw discipline
+//!
+//! Reproducibility needs more than fixed seeds: every engine consumes its
+//! instance stream in a *documented, state-determined order*, so a
+//! trajectory is a pure function of `(model, base seed, instance)`. Per
+//! step:
+//!
+//! - **direct method** ([`crate::ssa::SsaEngine`]): one uniform in
+//!   `[ε, 1)` for the exponential waiting time (drawn once and kept
+//!   pending across quantum boundaries), one uniform in `[0, a0)` for the
+//!   reaction selection **iff more than one reaction is enabled** (a
+//!   single-channel selection is deterministic and consumes nothing), and
+//!   one uniform in `[0, 1)` for the assignment choice;
+//! - **first-reaction method** ([`crate::first_reaction::FirstReactionEngine`]):
+//!   one uniform in `[ε, 1)` per enabled reaction, in enumeration order
+//!   (drawn once per event and kept pending across quantum boundaries),
+//!   then one uniform in `[0, 1)` for the assignment choice;
+//! - **tau-leaping** ([`crate::tau_leap::TauLeapEngine`]): per drawn leap,
+//!   one Poisson variate per reaction with non-zero propensity, in rule
+//!   order, re-drawn on each negativity-halving retry.
+//!
+//! On single-channel states the first two disciplines coincide — one
+//! waiting-time uniform, no selection, one assignment uniform — so a
+//! first-reaction engine sharing the direct method's stream
+//! ([`FirstReactionEngine::coupled`](crate::first_reaction::FirstReactionEngine::coupled))
+//! reproduces its trajectories bit-for-bit on single-channel models. The
+//! property tests use this coupling as an oracle for the waiting-time and
+//! propensity formulas.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

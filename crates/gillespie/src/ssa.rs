@@ -188,18 +188,28 @@ impl SsaEngine {
 
     /// Fires the pending event: selects a reaction proportionally to
     /// propensity and rewrites the term.
+    ///
+    /// With a single enabled reaction the selection is deterministic and
+    /// no variate is consumed — part of the draw discipline documented in
+    /// [`crate::rng`] that lets the coupled first-reaction engine
+    /// reproduce single-channel trajectories bit-for-bit.
     fn fire(&mut self, reactions: &[Reaction], event_time: f64) -> (usize, Path) {
-        let a0: f64 = reactions.iter().map(|r| r.propensity).sum();
-        let target = self.rng.gen_range(0.0..a0);
-        let mut acc = 0.0;
-        let mut chosen = reactions.len() - 1;
-        for (i, r) in reactions.iter().enumerate() {
-            acc += r.propensity;
-            if target < acc {
-                chosen = i;
-                break;
+        let chosen = if reactions.len() == 1 {
+            0
+        } else {
+            let a0: f64 = reactions.iter().map(|r| r.propensity).sum();
+            let target = self.rng.gen_range(0.0..a0);
+            let mut acc = 0.0;
+            let mut chosen = reactions.len() - 1;
+            for (i, r) in reactions.iter().enumerate() {
+                acc += r.propensity;
+                if target < acc {
+                    chosen = i;
+                    break;
+                }
             }
-        }
+            chosen
+        };
         let reaction = &reactions[chosen];
         let rule = &self.model.rules[reaction.rule];
         let site_term = self.term.site(&reaction.site).expect("site exists");

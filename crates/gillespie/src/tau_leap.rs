@@ -11,6 +11,18 @@
 //! species would go negative the leap is halved and retried (down to a
 //! floor, below which we fall back to exact stepping semantics by taking a
 //! tiny leap).
+//!
+//! ## Quantum-exact execution
+//!
+//! The quantum-execution API ([`run_sampled`](TauLeapEngine::run_sampled),
+//! used by [`crate::engine::Engine`]) keeps the engine slicing-invariant:
+//! leap lengths depend only on the committed state and the RNG stream —
+//! never on where a scheduling quantum ends — and a leap whose end lies
+//! beyond the quantum horizon is drawn once, held *pending*, and committed
+//! in a later quantum instead of being re-drawn or truncated. Samples
+//! inside a leap interval report the committed state in force, matching
+//! the exact engines' alignment convention, so rescheduling cannot change
+//! a trajectory (the farm's correctness contract).
 
 use std::sync::Arc;
 
@@ -19,6 +31,7 @@ use cwc::species::{Label, Species};
 use rand::Rng;
 
 use crate::rng::{sim_rng, SimRng};
+use crate::ssa::SampleClock;
 
 /// Error constructing a [`TauLeapEngine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,20 +77,46 @@ impl std::fmt::Display for TauLeapError {
 
 impl std::error::Error for TauLeapError {}
 
+/// Default native leap length, used when none is configured via
+/// [`TauLeapEngine::with_tau`] (the `EngineKind::TauLeap` knob always sets
+/// one explicitly).
+pub const DEFAULT_TAU: f64 = 0.1;
+
+/// A drawn-but-not-yet-committed leap (see module docs).
+#[derive(Debug, Clone)]
+struct PendingLeap {
+    /// Candidate state after the leap.
+    state: Vec<i64>,
+    /// Absolute time at which the leap commits.
+    end: f64,
+    /// Firings the leap applies when committed.
+    firings: u64,
+}
+
 /// Flat-model approximate simulator using Poisson tau-leaping.
 #[derive(Debug, Clone)]
 pub struct TauLeapEngine {
     model: Arc<Model>,
     species: Vec<Species>,
-    /// `state[i]` = copies of `species[i]`.
+    /// `state[i]` = copies of `species[i]` (the last *committed* state).
     state: Vec<i64>,
     /// Per-rule reactant multiplicities, `(species index, count)`.
     reactants: Vec<Vec<(usize, u64)>>,
     /// Per-rule net stoichiometric change per firing.
     delta: Vec<Vec<(usize, i64)>>,
     rates: Vec<f64>,
+    /// Time of the last committed leap boundary.
+    committed: f64,
+    /// Reported simulation clock (advances to quantum horizons; always
+    /// ≥ `committed`).
     time: f64,
+    /// Native leap length for the quantum-execution API.
+    tau: f64,
+    /// Leap drawn past a quantum horizon, held until the horizon passes
+    /// its end (see module docs).
+    pending: Option<PendingLeap>,
     rng: SimRng,
+    instance: u64,
     leaps: u64,
     firings: u64,
 }
@@ -144,11 +183,34 @@ impl TauLeapEngine {
             reactants,
             delta,
             rates,
+            committed: 0.0,
             time: 0.0,
+            tau: DEFAULT_TAU,
+            pending: None,
             rng: sim_rng(base_seed, instance),
+            instance,
             leaps: 0,
             firings: 0,
         })
+    }
+
+    /// Sets the native leap length used by the quantum-execution API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not finite and positive.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        assert!(
+            tau.is_finite() && tau > 0.0,
+            "leap length must be positive and finite"
+        );
+        self.tau = tau;
+        self
+    }
+
+    /// The native leap length.
+    pub fn tau(&self) -> f64 {
+        self.tau
     }
 
     /// Current simulation time.
@@ -156,12 +218,22 @@ impl TauLeapEngine {
         self.time
     }
 
+    /// Instance id of this trajectory.
+    pub fn instance(&self) -> u64 {
+        self.instance
+    }
+
+    /// The model driving this engine.
+    pub fn model(&self) -> &Arc<Model> {
+        &self.model
+    }
+
     /// Total leaps taken.
     pub fn leaps(&self) -> u64 {
         self.leaps
     }
 
-    /// Total reaction firings applied (across all leaps).
+    /// Total reaction firings applied (across all committed leaps).
     pub fn firings(&self) -> u64 {
         self.firings
     }
@@ -173,6 +245,13 @@ impl TauLeapEngine {
             .position(|&s| s == species)
             .map(|i| self.state[i] as u64)
             .unwrap_or(0)
+    }
+
+    /// The committed per-species state vector, ordered like the model's
+    /// interned species. Exposed so invariant tests (e.g. non-negativity)
+    /// can inspect the raw counts.
+    pub fn counts(&self) -> &[i64] {
+        &self.state
     }
 
     /// Evaluates the model's observables (top-level counts only, which is
@@ -197,14 +276,14 @@ impl TauLeapEngine {
         self.rates[r] * h
     }
 
-    /// Advances by one leap of at most `tau`, shrinking on negativity.
-    ///
-    /// Returns the leap actually taken (0.0 when the state is absorbing).
-    pub fn leap(&mut self, tau: f64) -> f64 {
+    /// Draws one leap of at most `tau` from the committed state (halving
+    /// on negativity), without committing it. Returns `None` when the
+    /// state is absorbing.
+    fn draw_leap(&mut self, tau: f64) -> Option<PendingLeap> {
         let props: Vec<f64> = (0..self.rates.len()).map(|r| self.propensity(r)).collect();
         let a0: f64 = props.iter().sum();
         if a0 <= 0.0 {
-            return 0.0;
+            return None;
         }
         let mut tau = tau;
         let floor = tau / 1024.0;
@@ -222,19 +301,53 @@ impl TauLeapEngine {
                 }
             }
             if candidate.iter().all(|&c| c >= 0) {
-                self.state = candidate;
-                self.time += tau;
-                self.leaps += 1;
-                self.firings += firings;
-                return tau;
+                return Some(PendingLeap {
+                    state: candidate,
+                    end: self.committed + tau,
+                    firings,
+                });
             }
             tau /= 2.0;
             if tau < floor {
                 // Take a deterministic micro-step: apply nothing, advance
                 // time by the floor to guarantee progress.
-                self.time += floor;
-                self.leaps += 1;
-                return floor;
+                return Some(PendingLeap {
+                    state: self.state.clone(),
+                    end: self.committed + floor,
+                    firings: 0,
+                });
+            }
+        }
+    }
+
+    /// Applies the pending leap, returning its firings.
+    fn commit_pending(&mut self) -> u64 {
+        let p = self.pending.take().expect("pending leap to commit");
+        self.state = p.state;
+        self.committed = p.end;
+        if self.time < p.end {
+            self.time = p.end;
+        }
+        self.leaps += 1;
+        self.firings += p.firings;
+        p.firings
+    }
+
+    /// Advances by one leap of at most `tau`, shrinking on negativity.
+    ///
+    /// Returns the leap actually taken (0.0 when the state is absorbing).
+    /// Commits any leap held pending by the quantum-execution API first.
+    pub fn leap(&mut self, tau: f64) -> f64 {
+        if self.pending.is_some() {
+            self.commit_pending();
+        }
+        match self.draw_leap(tau) {
+            None => 0.0,
+            Some(p) => {
+                let taken = p.end - self.committed;
+                self.pending = Some(p);
+                self.commit_pending();
+                taken
             }
         }
     }
@@ -247,6 +360,49 @@ impl TauLeapEngine {
             if self.leap(step) == 0.0 {
                 self.time = t_end;
             }
+        }
+    }
+
+    /// Runs until `t_end` on the native leap grid, invoking
+    /// `on_sample(t, observables)` at every grid time `clock` yields
+    /// within the interval. Returns the firings *committed* during the
+    /// call.
+    ///
+    /// This is the slicing-invariant quantum-execution path (see module
+    /// docs): leaps never truncate at `t_end`; one drawn past the horizon
+    /// stays pending for a later call.
+    pub fn run_sampled<F>(&mut self, t_end: f64, clock: &mut SampleClock, mut on_sample: F) -> u64
+    where
+        F: FnMut(f64, &[u64]),
+    {
+        let mut fired = 0;
+        loop {
+            if self.pending.is_none() {
+                self.pending = self.draw_leap(self.tau);
+            }
+            let t_next = self
+                .pending
+                .as_ref()
+                .map(|p| p.end)
+                .unwrap_or(f64::INFINITY);
+            // Emit all samples that fall before the next commit and within
+            // the quantum; they report the committed state in force.
+            let horizon = t_next.min(t_end);
+            while let Some(ts) = clock.peek() {
+                if ts > horizon {
+                    break;
+                }
+                let values = self.observe();
+                on_sample(ts, &values);
+                clock.advance();
+            }
+            if t_next > t_end {
+                if self.time < t_end {
+                    self.time = t_end;
+                }
+                return fired;
+            }
+            fired += self.commit_pending();
         }
     }
 }
@@ -292,6 +448,24 @@ mod tests {
         let a = m.species("A");
         m.rule("decay").consumes("A", 1).rate(rate).build().unwrap();
         m.initial.add_atoms(a, n);
+        m.observe("A", a);
+        Arc::new(m)
+    }
+
+    fn birth_death_model(birth: f64, death: f64, n0: u64) -> Arc<Model> {
+        let mut m = Model::new("bd");
+        let a = m.species("A");
+        m.rule("birth")
+            .produces("A", 1)
+            .rate(birth)
+            .build()
+            .unwrap();
+        m.rule("death")
+            .consumes("A", 1)
+            .rate(death)
+            .build()
+            .unwrap();
+        m.initial.add_atoms(a, n0);
         m.observe("A", a);
         Arc::new(m)
     }
@@ -345,6 +519,7 @@ mod tests {
         e.run_until(2.0, 0.5);
         let a = e.observe()[0];
         assert!(a <= 5);
+        assert!(e.counts().iter().all(|&c| c >= 0));
     }
 
     #[test]
@@ -353,6 +528,48 @@ mod tests {
         let mut e = TauLeapEngine::new(model, 7, 0).unwrap();
         e.run_until(3.0, 0.1);
         assert_eq!(e.time(), 3.0);
+    }
+
+    #[test]
+    fn quantum_slicing_is_bit_identical() {
+        // The same leap schedule whether advanced in one quantum or many:
+        // pending leaps survive rescheduling instead of being re-drawn.
+        let model = birth_death_model(40.0, 1.0, 10);
+        let mut whole = TauLeapEngine::new(Arc::clone(&model), 5, 3)
+            .unwrap()
+            .with_tau(0.07);
+        let mut wc = SampleClock::new(0.0, 0.25);
+        let mut ws = Vec::new();
+        whole.run_sampled(6.0, &mut wc, |t, v| ws.push((t, v.to_vec())));
+
+        let mut sliced = TauLeapEngine::new(model, 5, 3).unwrap().with_tau(0.07);
+        let mut sc = SampleClock::new(0.0, 0.25);
+        let mut ss = Vec::new();
+        // Irregular quanta covering the same horizon.
+        for t in [0.1, 0.33, 1.0, 1.01, 2.5, 4.99, 6.0] {
+            sliced.run_sampled(t, &mut sc, |t, v| ss.push((t, v.to_vec())));
+        }
+        assert_eq!(ws, ss);
+        assert_eq!(whole.counts(), sliced.counts());
+        assert_eq!(whole.firings(), sliced.firings());
+        assert_eq!(whole.leaps(), sliced.leaps());
+        assert_eq!(whole.time(), sliced.time());
+    }
+
+    #[test]
+    fn samples_report_committed_state_in_force() {
+        // With τ = 10 (far beyond the horizon) on a pure-birth model (no
+        // negativity halving), the first leap spans the whole quantum and
+        // never commits, so every sample must report the initial state.
+        let model = birth_death_model(5.0, 0.0, 50);
+        let mut e = TauLeapEngine::new(model, 1, 0).unwrap().with_tau(10.0);
+        let mut clock = SampleClock::new(0.0, 0.5);
+        let mut samples = Vec::new();
+        e.run_sampled(2.0, &mut clock, |t, v| samples.push((t, v[0])));
+        assert_eq!(samples.len(), 5); // grid 0, 0.5, ..., 2.0
+        assert!(samples.iter().all(|&(_, a)| a == 50));
+        assert_eq!(e.time(), 2.0);
+        assert_eq!(e.firings(), 0);
     }
 
     #[test]
@@ -378,5 +595,12 @@ mod tests {
         let mut rng = sim_rng(3, 1);
         assert_eq!(poisson(&mut rng, 0.0), 0);
         assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_tau_panics() {
+        let model = decay_model(1, 1.0);
+        let _ = TauLeapEngine::new(model, 1, 0).unwrap().with_tau(0.0);
     }
 }

@@ -11,9 +11,11 @@
 //! - [`executor`]: lockstep-warp timing with list-scheduled warp slots and
 //!   optional per-quantum re-packing of instances into warps;
 //! - [`map_device`]: the functional `ff_mapCUDA` equivalent — it advances
-//!   *real* [`gillespie::ssa::SsaEngine`]s under kernel-barrier semantics,
-//!   so simulation results are bit-identical to CPU execution while the
-//!   timing comes from the SIMT model.
+//!   *real* engines behind the [`gillespie::engine::Engine`] abstraction
+//!   (any [`gillespie::engine::EngineKind`]: SSA, first-reaction,
+//!   tau-leaping) under kernel-barrier semantics, so simulation results
+//!   are bit-identical to CPU execution while the timing comes from the
+//!   SIMT model.
 //!
 //! ## Example
 //!

@@ -7,14 +7,15 @@
 //! quantum per "kernel" under the barrier semantics of the CUDA execution
 //! model (no outcome is visible until the whole kernel retires), and
 //! returns both the *real* simulation results — computed by the actual
-//! [`SsaEngine`]s, so they are bit-identical to a CPU run with the same
-//! seeds — and the *simulated* device timing from
-//! [`crate::executor::simulate_device_run`].
+//! engines behind the [`Engine`] abstraction, so they are bit-identical to
+//! a CPU run with the same seeds and engine kind — and the *simulated*
+//! device timing from [`crate::executor::simulate_device_run`].
 
 use std::sync::Arc;
 
 use cwc::model::Model;
-use gillespie::ssa::{SampleClock, SsaEngine};
+use gillespie::engine::{Engine, EngineError, EngineKind, QuantumEngine};
+use gillespie::ssa::SampleClock;
 
 use crate::device::DeviceSpec;
 use crate::executor::{simulate_device_run, GpuRunReport, WarpPacking};
@@ -31,7 +32,7 @@ pub struct KernelOutput {
 /// The device-resident map: all instances advance in lockstep quanta.
 #[derive(Debug)]
 pub struct DeviceMap {
-    engines: Vec<SsaEngine>,
+    engines: Vec<Engine>,
     clocks: Vec<SampleClock>,
     t_end: f64,
     quantum: f64,
@@ -41,7 +42,8 @@ pub struct DeviceMap {
 }
 
 impl DeviceMap {
-    /// Loads `instances` trajectories of `model` onto the device.
+    /// Loads `instances` direct-method (SSA) trajectories of `model` onto
+    /// the device — the paper's configuration.
     pub fn new(
         model: Arc<Model>,
         instances: u64,
@@ -50,20 +52,48 @@ impl DeviceMap {
         quantum: f64,
         sample_period: f64,
     ) -> Self {
-        let engines: Vec<SsaEngine> = (0..instances)
-            .map(|i| SsaEngine::new(Arc::clone(&model), base_seed, i))
-            .collect();
+        Self::with_engine(
+            EngineKind::Ssa,
+            model,
+            instances,
+            base_seed,
+            t_end,
+            quantum,
+            sample_period,
+        )
+        .expect("SSA engine construction is infallible")
+    }
+
+    /// Loads `instances` trajectories driven by the given engine kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when `kind` cannot drive `model` (e.g.
+    /// tau-leaping on a compartment model).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_engine(
+        kind: EngineKind,
+        model: Arc<Model>,
+        instances: u64,
+        base_seed: u64,
+        t_end: f64,
+        quantum: f64,
+        sample_period: f64,
+    ) -> Result<Self, EngineError> {
+        let engines: Vec<Engine> = (0..instances)
+            .map(|i| kind.build(Arc::clone(&model), base_seed, i))
+            .collect::<Result<_, _>>()?;
         let clocks = (0..instances)
             .map(|_| SampleClock::new(0.0, sample_period))
             .collect();
-        DeviceMap {
+        Ok(DeviceMap {
             engines,
             clocks,
             t_end,
             quantum,
             events_log: Vec::new(),
             time: 0.0,
-        }
+        })
     }
 
     /// True when every instance reached the horizon.
@@ -82,14 +112,14 @@ impl DeviceMap {
         let mut events = vec![0u64; self.engines.len()];
         let mut outputs = Vec::with_capacity(self.engines.len());
         for (i, engine) in self.engines.iter_mut().enumerate() {
-            let mut samples = Vec::new();
-            let clock = &mut self.clocks[i];
-            let fired = engine.run_sampled(horizon, clock, |t, v| samples.push((t, v.to_vec())));
-            events[i] = fired;
-            if !samples.is_empty() {
+            // Dispatch through the QuantumEngine contract — the "kernel"
+            // only needs advance-one-quantum, whatever the integrator.
+            let outcome = QuantumEngine::advance_quantum(engine, horizon, &mut self.clocks[i]);
+            events[i] = outcome.events;
+            if !outcome.samples.is_empty() {
                 outputs.push(KernelOutput {
                     instance: engine.instance(),
-                    samples,
+                    samples: outcome.samples,
                 });
             }
         }
@@ -148,22 +178,29 @@ mod tests {
     #[test]
     fn device_results_match_cpu_results_exactly() {
         // The same seeds on a plain engine must reproduce the device's
-        // samples bit-for-bit: offloading changes *where*, not *what*.
+        // samples bit-for-bit, for every engine kind: offloading changes
+        // *where*, not *what*.
         let model = Arc::new(decay(30, 1.0));
-        let mut device = DeviceMap::new(Arc::clone(&model), 4, 9, 2.0, 0.5, 0.25);
-        let outputs = device.run_to_end();
+        for kind in [
+            EngineKind::Ssa,
+            EngineKind::TauLeap { tau: 0.1 },
+            EngineKind::FirstReaction,
+        ] {
+            let mut device =
+                DeviceMap::with_engine(kind, Arc::clone(&model), 4, 9, 2.0, 0.5, 0.25).unwrap();
+            let outputs = device.run_to_end();
 
-        for i in 0..4u64 {
-            let mut engine = SsaEngine::new(Arc::clone(&model), 9, i);
-            let mut clock = SampleClock::new(0.0, 0.25);
-            let mut expected = Vec::new();
-            engine.run_sampled(2.0, &mut clock, |t, v| expected.push((t, v.to_vec())));
-            let got: Vec<(f64, Vec<u64>)> = outputs
-                .iter()
-                .filter(|o| o.instance == i)
-                .flat_map(|o| o.samples.clone())
-                .collect();
-            assert_eq!(got, expected, "instance {i}");
+            for i in 0..4u64 {
+                let mut engine = kind.build(Arc::clone(&model), 9, i).unwrap();
+                let mut clock = SampleClock::new(0.0, 0.25);
+                let expected = engine.advance_quantum(2.0, &mut clock).samples;
+                let got: Vec<(f64, Vec<u64>)> = outputs
+                    .iter()
+                    .filter(|o| o.instance == i)
+                    .flat_map(|o| o.samples.clone())
+                    .collect();
+                assert_eq!(got, expected, "{kind}: instance {i}");
+            }
         }
     }
 

@@ -125,7 +125,7 @@ pub fn cell_transport(p: CellTransportParams) -> Model {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gillespie::ssa::SsaEngine;
+    use gillespie::engine::{EngineKind, EngineStep};
     use std::sync::Arc;
 
     #[test]
@@ -138,13 +138,13 @@ mod tests {
     #[test]
     fn cells_observable_tracks_compartment_count() {
         let model = Arc::new(cell_transport(CellTransportParams::default()));
-        let mut e = SsaEngine::new(Arc::clone(&model), 40, 0);
+        let mut e = EngineKind::Ssa.build(Arc::clone(&model), 40, 0).unwrap();
         for _ in 0..500 {
-            if e.step() == gillespie::ssa::StepOutcome::Exhausted {
+            if e.step() == EngineStep::Exhausted {
                 break;
             }
             let obs = e.observe();
-            let live_cells = e.term().total_compartments() as u64;
+            let live_cells = e.term().unwrap().total_compartments() as u64;
             // W markers live on membranes of live cells, or loose in the
             // medium after a lysis.
             assert!(
@@ -164,12 +164,12 @@ mod tests {
             ..CellTransportParams::default()
         };
         let model = Arc::new(cell_transport(p));
-        let mut e = SsaEngine::new(model, 11, 0);
+        let mut e = EngineKind::Ssa.build(model, 11, 0).unwrap();
         e.run_until(50.0);
         assert!(
-            e.term().total_compartments() > 3,
+            e.term().unwrap().total_compartments() > 3,
             "expected divisions, still {} cells",
-            e.term().total_compartments()
+            e.term().unwrap().total_compartments()
         );
     }
 
@@ -183,9 +183,9 @@ mod tests {
             ..CellTransportParams::default()
         };
         let model = Arc::new(cell_transport(p));
-        let mut e = SsaEngine::new(model, 2, 0);
+        let mut e = EngineKind::Ssa.build(model, 2, 0).unwrap();
         e.run_until(1e4);
-        assert_eq!(e.term().total_compartments(), 0);
+        assert_eq!(e.term().unwrap().total_compartments(), 0);
     }
 
     #[test]
@@ -200,11 +200,11 @@ mod tests {
             ..CellTransportParams::default()
         };
         let model = Arc::new(cell_transport(p));
-        let mut e = SsaEngine::new(Arc::clone(&model), 6, 0);
+        let mut e = EngineKind::Ssa.build(Arc::clone(&model), 6, 0).unwrap();
         e.run_until(1e4);
-        assert_eq!(e.term().total_compartments(), 0);
+        assert_eq!(e.term().unwrap().total_compartments(), 0);
         // All four membrane markers spilled into the top level.
         let w = model.alphabet.find_species("W").unwrap();
-        assert_eq!(e.term().atoms.count(w), 4);
+        assert_eq!(e.term().unwrap().atoms.count(w), 4);
     }
 }

@@ -77,7 +77,7 @@ pub fn lotka_volterra(p: LotkaVolterraParams) -> Model {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gillespie::ssa::SsaEngine;
+    use gillespie::engine::EngineKind;
     use std::sync::Arc;
 
     #[test]
@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn populations_fluctuate() {
         let model = Arc::new(lotka_volterra(LotkaVolterraParams::default()));
-        let mut e = SsaEngine::new(model, 33, 0);
+        let mut e = EngineKind::Ssa.build(model, 33, 0).unwrap();
         let initial = e.observe();
         e.run_until(2.0);
         let later = e.observe();
@@ -106,7 +106,7 @@ mod tests {
             ..LotkaVolterraParams::default()
         };
         let model = Arc::new(lotka_volterra(p));
-        let mut e = SsaEngine::new(model, 1, 0);
+        let mut e = EngineKind::Ssa.build(model, 1, 0).unwrap();
         let fired = e.run_until(1e9);
         assert_eq!(fired, 10); // ten predator deaths, nothing else
         assert_eq!(e.observe(), vec![0, 0]);
@@ -119,9 +119,9 @@ mod tests {
         let model = Arc::new(lotka_volterra(LotkaVolterraParams::default()));
         let steps: Vec<u64> = (0..8)
             .map(|i| {
-                let mut e = SsaEngine::new(Arc::clone(&model), 50, i);
+                let mut e = EngineKind::Ssa.build(Arc::clone(&model), 50, i).unwrap();
                 e.run_until(3.0);
-                e.steps()
+                e.events()
             })
             .collect();
         let min = steps.iter().min().copied().unwrap();

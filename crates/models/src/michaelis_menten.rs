@@ -84,7 +84,7 @@ pub fn michaelis_menten(p: MichaelisMentenParams) -> Model {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gillespie::ssa::SsaEngine;
+    use gillespie::engine::EngineKind;
     use std::sync::Arc;
 
     #[test]
@@ -102,7 +102,7 @@ mod tests {
             ..MichaelisMentenParams::default()
         };
         let model = Arc::new(michaelis_menten(p));
-        let mut e = SsaEngine::new(model, 17, 0);
+        let mut e = EngineKind::Ssa.build(model, 17, 0).unwrap();
         e.run_until(1e5);
         let obs = e.observe(); // S, E, ES, P
         assert_eq!(obs[0], 0, "substrate exhausted");
@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn enzyme_is_conserved_throughout() {
         let model = Arc::new(michaelis_menten(MichaelisMentenParams::default()));
-        let mut e = SsaEngine::new(model, 3, 0);
+        let mut e = EngineKind::Ssa.build(model, 3, 0).unwrap();
         for _ in 0..200 {
             e.step();
             let obs = e.observe();

@@ -251,7 +251,8 @@ pub fn neurospora_compartments(p: NeurosporaParams) -> Model {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gillespie::ssa::{SampleClock, SsaEngine};
+    use gillespie::engine::EngineKind;
+    use gillespie::ssa::SampleClock;
     use std::sync::Arc;
     use streamstat::period::analyse_period;
 
@@ -274,7 +275,7 @@ mod tests {
     #[test]
     fn flat_model_oscillates_with_circadian_period() {
         let model = Arc::new(neurospora_flat(NeurosporaParams::default()));
-        let mut engine = SsaEngine::new(model, 2024, 0);
+        let mut engine = EngineKind::Ssa.build(model, 2024, 0).unwrap();
         let mut clock = SampleClock::new(0.0, 0.5);
         let mut times = Vec::new();
         let mut mrna = Vec::new();
@@ -300,7 +301,7 @@ mod tests {
     #[test]
     fn mrna_amplitude_is_macroscopic() {
         let model = Arc::new(neurospora_flat(NeurosporaParams::default()));
-        let mut engine = SsaEngine::new(model, 7, 1);
+        let mut engine = EngineKind::Ssa.build(model, 7, 1).unwrap();
         let mut clock = SampleClock::new(0.0, 1.0);
         let mut lo = u64::MAX;
         let mut hi = 0;
@@ -317,10 +318,10 @@ mod tests {
     fn compartment_model_total_frq_is_conserved_by_transport() {
         let p = NeurosporaParams::default();
         let model = Arc::new(neurospora_compartments(p));
-        let mut engine = SsaEngine::new(Arc::clone(&model), 5, 0);
+        let mut engine = EngineKind::Ssa.build(Arc::clone(&model), 5, 0).unwrap();
         engine.run_until(2.0);
         // Fn lives only inside the nucleus; Fc only in the cytosol.
-        let term = engine.term();
+        let term = engine.term().unwrap();
         let fn_species = model.alphabet.find_species("Fn").unwrap();
         let fc_species = model.alphabet.find_species("Fc").unwrap();
         let nucleus_term = term

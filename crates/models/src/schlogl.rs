@@ -85,7 +85,7 @@ pub fn schlogl(p: SchloglParams) -> Model {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gillespie::ssa::SsaEngine;
+    use gillespie::engine::EngineKind;
     use std::sync::Arc;
     use streamstat::kmeans::kmeans1d;
 
@@ -101,7 +101,7 @@ mod tests {
         let model = Arc::new(schlogl(SchloglParams::default()));
         let endpoints: Vec<f64> = (0..24)
             .map(|i| {
-                let mut e = SsaEngine::new(Arc::clone(&model), 99, i);
+                let mut e = EngineKind::Ssa.build(Arc::clone(&model), 99, i).unwrap();
                 e.run_until(8.0);
                 e.observe()[0] as f64
             })
@@ -119,14 +119,17 @@ mod tests {
 
     #[test]
     fn propensity_uses_trimolecular_combinatorics() {
-        // For X = 5, the 3X reaction has h = C(5,3) = 10.
-        let model = Arc::new(schlogl(SchloglParams {
+        // For X = 5, the 3X reaction has h = C(5,3) = 10 tree matches, so
+        // its mass-action propensity is rate × 10 (checked at the matching
+        // layer every engine shares).
+        let model = schlogl(SchloglParams {
             x0: 5,
             ..SchloglParams::default()
-        }));
-        let e = SsaEngine::new(model, 1, 0);
-        let rs = e.reactions();
-        let trimolecular = rs.iter().find(|r| r.rule == 1).unwrap();
-        assert!((trimolecular.propensity - 1e-4 * 10.0).abs() < 1e-12);
+        });
+        let rule = &model.rules[1];
+        let h = cwc::matching::match_count(&model.initial, &rule.lhs);
+        assert_eq!(h, 10);
+        let propensity = rule.law.propensity(rule.rate, h, &model.initial.atoms);
+        assert!((propensity - 1e-4 * 10.0).abs() < 1e-12);
     }
 }

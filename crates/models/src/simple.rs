@@ -67,7 +67,7 @@ pub fn dimerisation(k_fwd: f64, k_rev: f64, a0: u64) -> Model {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gillespie::ssa::SsaEngine;
+    use gillespie::engine::EngineKind;
     use std::sync::Arc;
 
     #[test]
@@ -80,7 +80,7 @@ mod tests {
     #[test]
     fn dimerisation_conserves_monomer_equivalents() {
         let model = Arc::new(dimerisation(0.02, 0.05, 100));
-        let mut e = SsaEngine::new(model, 8, 0);
+        let mut e = EngineKind::Ssa.build(model, 8, 0).unwrap();
         for _ in 0..300 {
             e.step();
             let obs = e.observe();
@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn birth_death_from_zero_grows() {
         let model = Arc::new(birth_death(10.0, 0.1, 0));
-        let mut e = SsaEngine::new(model, 4, 0);
+        let mut e = EngineKind::Ssa.build(model, 4, 0).unwrap();
         e.run_until(5.0);
         assert!(e.observe()[0] > 0);
     }

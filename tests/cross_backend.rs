@@ -1,14 +1,15 @@
 //! Integration: every execution back-end — multicore pipeline, emulated
 //! distributed deployment, simulated GPGPU — must produce *identical*
-//! simulation results for identical seeds. Portability without silent
-//! numerical drift is the paper's core promise.
+//! simulation results for identical seeds, under *every* engine kind.
+//! Portability without silent numerical drift is the paper's core promise;
+//! the engine abstraction must not weaken it.
 
 use std::sync::Arc;
 
 use cwc_repro::biomodels;
-use cwc_repro::cwcsim::{run_simulation, SimConfig};
+use cwc_repro::cwcsim::{run_simulation, EngineKind, SimConfig};
 use cwc_repro::distrt::run_distributed_emulation;
-use cwc_repro::gillespie::ssa::{SampleClock, SsaEngine};
+use cwc_repro::gillespie::ssa::SampleClock;
 use cwc_repro::simt::DeviceMap;
 
 fn cfg() -> SimConfig {
@@ -19,6 +20,16 @@ fn cfg() -> SimConfig {
         .stat_workers(2)
         .window(4, 2)
         .seed(2024)
+}
+
+/// The engine matrix of the correctness tests (tau-leap needs flat
+/// mass-action models; every model used here qualifies).
+fn engine_kinds() -> [EngineKind; 3] {
+    [
+        EngineKind::Ssa,
+        EngineKind::TauLeap { tau: 0.1 },
+        EngineKind::FirstReaction,
+    ]
 }
 
 #[test]
@@ -33,47 +44,54 @@ fn distributed_emulation_matches_multicore() {
 }
 
 #[test]
+fn distributed_emulation_matches_multicore_for_every_engine_kind() {
+    // The engine kind crosses the wire inside RemoteTaskSpec; remote farms
+    // must rebuild the exact same integrators.
+    let model = Arc::new(biomodels::simple::birth_death(30.0, 1.0, 10));
+    for kind in engine_kinds() {
+        let cfg = cfg().engine(kind);
+        let local = run_simulation(Arc::clone(&model), &cfg).unwrap();
+        let remote = run_distributed_emulation(Arc::clone(&model), &cfg, 3).unwrap();
+        assert_eq!(remote.rows, local.rows, "{kind}");
+    }
+}
+
+#[test]
 fn gpu_lockstep_matches_plain_engines() {
     let model = Arc::new(biomodels::lotka_volterra(
         biomodels::LotkaVolterraParams::default(),
     ));
     let cfg = cfg();
-    let mut device = DeviceMap::new(
-        Arc::clone(&model),
-        cfg.instances,
-        cfg.base_seed,
-        cfg.t_end,
-        cfg.quantum,
-        cfg.sample_period,
-    );
-    let outputs = device.run_to_end();
+    for kind in engine_kinds() {
+        let mut device = DeviceMap::with_engine(
+            kind,
+            Arc::clone(&model),
+            cfg.instances,
+            cfg.base_seed,
+            cfg.t_end,
+            cfg.quantum,
+            cfg.sample_period,
+        )
+        .unwrap();
+        let outputs = device.run_to_end();
 
-    for i in 0..cfg.instances {
-        let mut engine = SsaEngine::new(Arc::clone(&model), cfg.base_seed, i);
-        let mut clock = SampleClock::new(0.0, cfg.sample_period);
-        let mut expected = Vec::new();
-        engine.run_sampled(cfg.t_end, &mut clock, |t, v| expected.push((t, v.to_vec())));
-        let got: Vec<(f64, Vec<u64>)> = outputs
-            .iter()
-            .filter(|o| o.instance == i)
-            .flat_map(|o| o.samples.clone())
-            .collect();
-        assert_eq!(got, expected, "instance {i} diverged on the device");
+        for i in 0..cfg.instances {
+            let mut engine = kind.build(Arc::clone(&model), cfg.base_seed, i).unwrap();
+            let mut clock = SampleClock::new(0.0, cfg.sample_period);
+            let expected = engine.advance_quantum(cfg.t_end, &mut clock).samples;
+            let got: Vec<(f64, Vec<u64>)> = outputs
+                .iter()
+                .filter(|o| o.instance == i)
+                .flat_map(|o| o.samples.clone())
+                .collect();
+            assert_eq!(got, expected, "{kind}: instance {i} diverged on the device");
+        }
     }
 }
 
 #[test]
 fn gpu_quantum_size_does_not_change_results() {
     let model = Arc::new(biomodels::simple::birth_death(30.0, 1.0, 0));
-    let run = |quantum: f64| {
-        let mut device = DeviceMap::new(Arc::clone(&model), 6, 5, 2.0, quantum, 0.25);
-        let mut out = device.run_to_end();
-        out.sort_by_key(|o| o.instance);
-        out.into_iter()
-            .map(|o| (o.instance, o.samples))
-            .collect::<Vec<_>>()
-    };
-    // Different Q/τ ratios, identical trajectories (pending-event exactness).
     type Samples = Vec<(f64, Vec<u64>)>;
     fn by_instance(outputs: Vec<(u64, Samples)>) -> Vec<(u64, Samples)> {
         let mut per_instance: std::collections::BTreeMap<u64, Samples> = Default::default();
@@ -82,7 +100,20 @@ fn gpu_quantum_size_does_not_change_results() {
         }
         per_instance.into_iter().collect()
     }
-    assert_eq!(by_instance(run(0.25)), by_instance(run(2.0)));
+    for kind in engine_kinds() {
+        let run = |quantum: f64| {
+            let mut device =
+                DeviceMap::with_engine(kind, Arc::clone(&model), 6, 5, 2.0, quantum, 0.25).unwrap();
+            let mut out = device.run_to_end();
+            out.sort_by_key(|o| o.instance);
+            out.into_iter()
+                .map(|o| (o.instance, o.samples))
+                .collect::<Vec<_>>()
+        };
+        // Different Q/τ ratios, identical trajectories (pending-event /
+        // pending-leap exactness).
+        assert_eq!(by_instance(run(0.25)), by_instance(run(2.0)), "{kind}");
+    }
 }
 
 #[test]
@@ -91,18 +122,21 @@ fn wire_codec_round_trips_real_batches() {
     use cwc_repro::distrt::{from_bytes, to_bytes};
 
     let model = Arc::new(biomodels::simple::decay(30, 1.0));
-    let mut task = SimTask::new(model, 3, 0, 2.0, 0.5, 0.25);
-    while !task.is_done() {
-        let mut samples = Vec::new();
-        let events = task.run_quantum(&mut samples);
-        let batch = SampleBatch {
-            instance: task.instance(),
-            samples,
-            events,
-            finished: task.is_done(),
-        };
-        let bytes = to_bytes(&batch);
-        let back: SampleBatch = from_bytes(&bytes).unwrap();
-        assert_eq!(back, batch);
+    for kind in engine_kinds() {
+        let mut task =
+            SimTask::with_engine(kind, Arc::clone(&model), 3, 0, 2.0, 0.5, 0.25).unwrap();
+        while !task.is_done() {
+            let mut samples = Vec::new();
+            let events = task.run_quantum(&mut samples);
+            let batch = SampleBatch {
+                instance: task.instance(),
+                samples,
+                events,
+                finished: task.is_done(),
+            };
+            let bytes = to_bytes(&batch);
+            let back: SampleBatch = from_bytes(&bytes).unwrap();
+            assert_eq!(back, batch, "{kind}");
+        }
     }
 }

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use cwc_repro::biomodels;
-use cwc_repro::cwcsim::{run_sequential, run_simulation, SimConfig, StatEngineKind};
+use cwc_repro::cwcsim::{run_sequential, run_simulation, EngineKind, SimConfig, StatEngineKind};
 
 fn configs() -> Vec<SimConfig> {
     vec![
@@ -48,6 +48,56 @@ fn parallel_equals_sequential_for_flat_models() {
             assert_eq!(par.events, seq.events, "model {}", model.name);
         }
     }
+}
+
+#[test]
+fn parallel_equals_sequential_for_every_engine_kind() {
+    // The seq-vs-par agreement matrix over all three integrators: the
+    // engine abstraction must not leak scheduling into trajectories.
+    for model in [
+        biomodels::simple::decay(60, 1.0),
+        biomodels::simple::birth_death(30.0, 1.0, 5),
+        biomodels::lotka_volterra(biomodels::LotkaVolterraParams::default()),
+    ] {
+        let model = Arc::new(model);
+        for kind in [
+            EngineKind::Ssa,
+            EngineKind::TauLeap { tau: 0.07 },
+            EngineKind::FirstReaction,
+        ] {
+            for cfg in configs() {
+                let cfg = cfg.engine(kind);
+                let par = run_simulation(Arc::clone(&model), &cfg)
+                    .unwrap_or_else(|e| panic!("{} under {kind}: {e}", model.name));
+                let seq = run_sequential(Arc::clone(&model), &cfg).unwrap();
+                assert_eq!(
+                    par.rows, seq.rows,
+                    "model {} engine {kind} cfg {cfg:?}",
+                    model.name
+                );
+                assert_eq!(par.events, seq.events, "model {} engine {kind}", model.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn first_reaction_drives_compartment_models_in_the_pipeline() {
+    // The exact engines both handle compartments; the seq-vs-par contract
+    // holds for the first-reaction integrator too.
+    let model = Arc::new(biomodels::cell_transport(
+        biomodels::CellTransportParams::default(),
+    ));
+    let cfg = SimConfig::new(6, 2.0)
+        .quantum(0.25)
+        .sample_period(0.125)
+        .sim_workers(3)
+        .stat_workers(2)
+        .seed(9)
+        .engine(EngineKind::FirstReaction);
+    let par = run_simulation(Arc::clone(&model), &cfg).unwrap();
+    let seq = run_sequential(model, &cfg).unwrap();
+    assert_eq!(par.rows, seq.rows);
 }
 
 #[test]

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use cwc_repro::biomodels;
-use cwc_repro::cwcsim::{run_simulation, SimConfig, StatEngineKind};
+use cwc_repro::cwcsim::{run_simulation, EngineKind, SimConfig, StatEngineKind};
 
 #[test]
 fn decay_ensemble_mean_follows_exponential() {
@@ -72,6 +72,69 @@ fn schlogl_bimodality_is_visible_to_kmeans_engine() {
         centroids[1] - centroids[0] > 150.0,
         "k-means should separate the Schlögl basins: {centroids:?}"
     );
+}
+
+#[test]
+fn tau_leap_means_track_exact_ssa_on_schlogl() {
+    // The approximate integrator must track the exact one's ensemble mean
+    // on the bistable Schlögl system: same per-row comparison through the
+    // full pipeline, tolerance set by the ensemble spread (the two basins
+    // make the per-row sd large, so the bound is on the standard error of
+    // the difference of two 48-trajectory ensemble means).
+    let model = Arc::new(biomodels::schlogl(biomodels::SchloglParams::default()));
+    let cfg = SimConfig::new(48, 6.0)
+        .quantum(0.5)
+        .sample_period(0.5)
+        .sim_workers(4)
+        .stat_workers(2)
+        .seed(7);
+    let exact = run_simulation(Arc::clone(&model), &cfg).unwrap();
+    let leap = run_simulation(
+        Arc::clone(&model),
+        &cfg.clone().engine(EngineKind::TauLeap { tau: 0.01 }),
+    )
+    .unwrap();
+    assert_eq!(exact.rows.len(), leap.rows.len());
+    for (e, l) in exact.rows.iter().zip(&leap.rows) {
+        assert_eq!(e.time, l.time);
+        let se = ((e.observables[0].variance + l.observables[0].variance) / 48.0)
+            .sqrt()
+            .max(1.0);
+        let diff = (e.observables[0].mean - l.observables[0].mean).abs();
+        assert!(
+            diff < 6.0 * se,
+            "t = {}: tau-leap mean {} vs exact {} (se {se})",
+            e.time,
+            l.observables[0].mean,
+            e.observables[0].mean
+        );
+    }
+}
+
+#[test]
+fn first_reaction_means_track_exact_ssa_on_decay() {
+    // Both exact integrators must agree with the closed form through the
+    // full pipeline.
+    let n0 = 200u64;
+    let model = Arc::new(biomodels::simple::decay(n0, 1.0));
+    let cfg = SimConfig::new(64, 2.0)
+        .quantum(0.5)
+        .sample_period(0.5)
+        .sim_workers(4)
+        .seed(31)
+        .engine(EngineKind::FirstReaction);
+    let report = run_simulation(model, &cfg).unwrap();
+    for row in &report.rows {
+        let p = (-row.time).exp();
+        let expected = n0 as f64 * p;
+        let se = (n0 as f64 * p * (1.0 - p) / 64.0).sqrt().max(0.5);
+        assert!(
+            (row.observables[0].mean - expected).abs() < 6.0 * se,
+            "t = {}: mean {} vs expected {expected}",
+            row.time,
+            row.observables[0].mean
+        );
+    }
 }
 
 #[test]
