@@ -1,0 +1,461 @@
+//! Step-throughput benchmark: the incremental reaction table vs the naive
+//! full re-enumeration it replaced.
+//!
+//! Measures raw `step()` throughput (steps/second) per model × engine
+//! kind, flat and compartmentalised, in two modes:
+//!
+//! - `incremental` — the real engines, driven by the dependency-graph
+//!   reaction table (`gillespie::table`);
+//! - `full_reenum` — a faithful replica of the pre-table step loop (walk
+//!   every site, re-match every rule, collect a fresh reaction list per
+//!   step), kept here as the recorded *before* number. Both modes produce
+//!   bit-for-bit identical trajectories; only the bookkeeping differs.
+//!
+//! Output: a human table on stdout plus `BENCH_ssa_step.json` (override
+//! with `--out PATH`). Flags:
+//!
+//! - `--quick`    fewer averaged instances (the CI smoke configuration);
+//! - `--check F`  after measuring, compare the incremental/full speedup
+//!   ratio per configuration against the committed baseline `F` and exit
+//!   non-zero on a >25 % regression (ratios, not absolute steps/sec, so
+//!   the gate is hardware-independent). Only configurations whose
+//!   committed speedup is ≥ [`GATE_MIN_RATIO`] are gated; near-1.0 ratios
+//!   are noise-dominated and reported informationally.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use biomodels::{
+    lotka_volterra, neurospora_compartments, neurospora_flat, schlogl, LotkaVolterraParams,
+    NeurosporaParams, SchloglParams,
+};
+use cwc::matching::{apply_at, choose_assignment, match_count};
+use cwc::model::Model;
+use cwc::term::{Path, Term};
+use gillespie::engine::{EngineKind, EngineStep};
+use gillespie::rng::{sim_rng, SimRng};
+use rand::Rng;
+
+/// Tolerated regression of the incremental/full speedup ratio vs the
+/// committed baseline (CI noise headroom).
+const RATIO_TOLERANCE: f64 = 0.25;
+
+/// `--check` only gates configurations whose committed speedup is at
+/// least this much: where the two modes are near-equivalent (ratio ≈ 1,
+/// e.g. tiny flat models whose enumeration is already cheap) the ratio is
+/// dominated by measurement noise and a hard gate would flake; those rows
+/// are reported informationally instead.
+const GATE_MIN_RATIO: f64 = 1.3;
+
+struct Measurement {
+    model: &'static str,
+    engine: &'static str,
+    mode: &'static str,
+    steps: u64,
+    steps_per_sec: f64,
+}
+
+/// The pre-table direct-method step loop: enumerate every (site, rule)
+/// afresh, sum `a0` twice, clone paths — the per-step cost profile of the
+/// old engine (minus quantum bookkeeping, which a free-running loop never
+/// exercises).
+struct NaiveSsa {
+    model: Arc<Model>,
+    term: Term,
+    time: f64,
+    rng: SimRng,
+}
+
+struct NaiveReaction {
+    rule: usize,
+    site: Path,
+    propensity: f64,
+}
+
+impl NaiveSsa {
+    fn new(model: Arc<Model>, base_seed: u64, instance: u64) -> Self {
+        let term = model.initial.clone();
+        NaiveSsa {
+            model,
+            term,
+            time: 0.0,
+            rng: sim_rng(base_seed, instance),
+        }
+    }
+
+    fn reactions(&self) -> Vec<NaiveReaction> {
+        let mut out = Vec::new();
+        self.term.walk_sites(&mut |path, label, site_term| {
+            for (ri, rule) in self.model.rules.iter().enumerate() {
+                if rule.site != label || rule.rate == 0.0 {
+                    continue;
+                }
+                let h = match_count(site_term, &rule.lhs);
+                if h > 0 {
+                    let propensity = rule.law.propensity(rule.rate, h, &site_term.atoms);
+                    if propensity > 0.0 {
+                        out.push(NaiveReaction {
+                            rule: ri,
+                            site: path.clone(),
+                            propensity,
+                        });
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    fn step(&mut self) -> bool {
+        // One free-running step of the pre-table loop (no quantum horizon,
+        // so no pending-event bookkeeping): enumerate, sum `a0` for the
+        // waiting time, sum it again for the selection, clone paths.
+        let reactions = self.reactions();
+        let t = {
+            let a0: f64 = reactions.iter().map(|r| r.propensity).sum();
+            if a0 <= 0.0 {
+                return false;
+            }
+            let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            self.time + (-u1.ln() / a0)
+        };
+        let chosen = if reactions.len() == 1 {
+            0
+        } else {
+            let a0: f64 = reactions.iter().map(|r| r.propensity).sum();
+            let target = self.rng.gen_range(0.0..a0);
+            let mut acc = 0.0;
+            let mut chosen = reactions.len() - 1;
+            for (i, r) in reactions.iter().enumerate() {
+                acc += r.propensity;
+                if target < acc {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        let reaction = &reactions[chosen];
+        let rule = &self.model.rules[reaction.rule];
+        let site_term = self.term.site(&reaction.site).expect("site exists");
+        let u3: f64 = self.rng.gen_range(0.0..1.0);
+        let assignment = choose_assignment(site_term, &rule.lhs, u3).expect("enabled");
+        apply_at(&mut self.term, rule, &reaction.site, &assignment).expect("applies");
+        self.time = t;
+        true
+    }
+}
+
+/// The pre-table first-reaction step loop: full re-enumeration plus one
+/// exponential candidate per enabled reaction.
+struct NaiveFrm {
+    inner: NaiveSsa,
+    rng: SimRng,
+    time: f64,
+}
+
+impl NaiveFrm {
+    fn new(model: Arc<Model>, base_seed: u64, instance: u64) -> Self {
+        NaiveFrm {
+            inner: NaiveSsa::new(model, base_seed, instance),
+            rng: sim_rng(base_seed ^ 0xF1E5_7EAC, instance),
+            time: 0.0,
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        let reactions = self.inner.reactions();
+        let mut best: Option<(usize, f64)> = None;
+        for (i, r) in reactions.iter().enumerate() {
+            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let t = self.time + (-u.ln() / r.propensity);
+            if best.map(|(_, b)| t < b).unwrap_or(true) {
+                best = Some((i, t));
+            }
+        }
+        let Some((winner, t)) = best else {
+            return false;
+        };
+        let reaction = &reactions[winner];
+        let model = Arc::clone(&self.inner.model);
+        let rule = &model.rules[reaction.rule];
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let assignment = {
+            let site_term = self.inner.term.site(&reaction.site).expect("site exists");
+            choose_assignment(site_term, &rule.lhs, u).expect("enabled")
+        };
+        apply_at(&mut self.inner.term, rule, &reaction.site, &assignment).expect("applies");
+        self.time = t;
+        true
+    }
+}
+
+/// Measures `instances` independent trajectories, each warmed up and then
+/// timed for a *fixed-length* segment from its initial state.
+///
+/// Fixed segments keep every run — quick CI runs and the committed full
+/// baseline alike — in the same trajectory regime, so their speedup ratios
+/// are comparable (long free-running measurements drift into different
+/// states, e.g. post-extinction Lotka–Volterra, and change the per-step
+/// cost profile).
+fn time_steps<F: FnMut(u64) -> Box<dyn FnMut() -> bool>>(
+    instances: u64,
+    warmup: u64,
+    measured: u64,
+    mut make_stepper: F,
+) -> (u64, f64) {
+    let mut done = 0u64;
+    let mut secs = 0.0;
+    for instance in 0..instances {
+        let mut step = make_stepper(instance);
+        for _ in 0..warmup {
+            step();
+        }
+        let start = Instant::now();
+        for _ in 0..measured {
+            if step() {
+                done += 1;
+            }
+        }
+        secs += start.elapsed().as_secs_f64();
+    }
+    (done, done as f64 / secs)
+}
+
+/// Steps measured per instance (identical in quick and full mode — see
+/// [`time_steps`]); modes differ only in how many instances they average.
+/// Quick mode still averages several instances so one scheduler blip on a
+/// shared CI runner cannot dominate a configuration's measurement.
+const WARMUP: u64 = 2_000;
+const SEGMENT: u64 = 25_000;
+
+fn measure_all(quick: bool) -> Vec<Measurement> {
+    let instances = if quick { 4 } else { 8 };
+    let models: Vec<(&'static str, Arc<Model>)> = vec![
+        ("schlogl", Arc::new(schlogl(SchloglParams::default()))),
+        (
+            "lotka_volterra",
+            Arc::new(lotka_volterra(LotkaVolterraParams::default())),
+        ),
+        (
+            "neurospora_flat",
+            Arc::new(neurospora_flat(NeurosporaParams::default())),
+        ),
+        (
+            "neurospora_compartments",
+            Arc::new(neurospora_compartments(NeurosporaParams::default())),
+        ),
+    ];
+    let mut out = Vec::new();
+    for (name, model) in &models {
+        // Exact engines: incremental vs the naive replica.
+        for (engine_name, kind) in [
+            ("ssa", EngineKind::Ssa),
+            ("first-reaction", EngineKind::FirstReaction),
+        ] {
+            let m = Arc::clone(model);
+            let (steps, rate) = time_steps(instances, WARMUP, SEGMENT, |i| {
+                let mut engine = kind
+                    .build(Arc::clone(&m), 1, i)
+                    .expect("exact engines build");
+                Box::new(move || !matches!(engine.step(), EngineStep::Exhausted))
+            });
+            out.push(Measurement {
+                model: name,
+                engine: engine_name,
+                mode: "incremental",
+                steps,
+                steps_per_sec: rate,
+            });
+            let m = Arc::clone(model);
+            let (steps, rate) = if engine_name == "ssa" {
+                time_steps(instances, WARMUP, SEGMENT, |i| {
+                    let mut naive = NaiveSsa::new(Arc::clone(&m), 1, i);
+                    Box::new(move || naive.step())
+                })
+            } else {
+                time_steps(instances, WARMUP, SEGMENT, |i| {
+                    let mut naive = NaiveFrm::new(Arc::clone(&m), 1, i);
+                    Box::new(move || naive.step())
+                })
+            };
+            out.push(Measurement {
+                model: name,
+                engine: engine_name,
+                mode: "full_reenum",
+                steps,
+                steps_per_sec: rate,
+            });
+        }
+        // Tau-leaping (flat models only): table-free, reported for the
+        // engine × model matrix; its construction shares the compiled
+        // stoichiometry, the leap loop is unchanged.
+        if (EngineKind::TauLeap { tau: 0.01 })
+            .build(Arc::clone(model), 1, 0)
+            .is_ok()
+        {
+            let m = Arc::clone(model);
+            let (steps, rate) = time_steps(instances, WARMUP / 10, SEGMENT / 10, |i| {
+                let mut engine = EngineKind::TauLeap { tau: 0.01 }
+                    .build(Arc::clone(&m), 1, i)
+                    .expect("checked above");
+                Box::new(move || !matches!(engine.step(), EngineStep::Exhausted))
+            });
+            out.push(Measurement {
+                model: name,
+                engine: "tau-leap",
+                mode: "incremental",
+                steps,
+                steps_per_sec: rate,
+            });
+        }
+    }
+    out
+}
+
+fn to_json(results: &[Measurement], quick: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"cwc-repro/step-throughput/v1\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"model\": \"{}\", \"engine\": \"{}\", \"mode\": \"{}\", \"steps\": {}, \"steps_per_sec\": {:.1}}}{comma}\n",
+            m.model, m.engine, m.mode, m.steps, m.steps_per_sec
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn str_field(chunk: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = chunk.find(&tag)? + tag.len();
+    let end = chunk[start..].find('"')? + start;
+    Some(chunk[start..end].to_string())
+}
+
+fn num_field(chunk: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = chunk.find(&tag)? + tag.len();
+    let rest = &chunk[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `(model, engine) -> steps/sec` per mode, parsed from the emitted JSON.
+fn parse_rates(json: &str, mode: &str) -> Vec<((String, String), f64)> {
+    json.split('}')
+        .filter_map(|chunk| {
+            let m = str_field(chunk, "model")?;
+            let e = str_field(chunk, "engine")?;
+            let md = str_field(chunk, "mode")?;
+            let r = num_field(chunk, "steps_per_sec")?;
+            (md == mode).then_some(((m, e), r))
+        })
+        .collect()
+}
+
+/// Speedup ratios incremental/full_reenum per configuration.
+fn ratios(json: &str) -> Vec<((String, String), f64)> {
+    let inc = parse_rates(json, "incremental");
+    let full = parse_rates(json, "full_reenum");
+    inc.into_iter()
+        .filter_map(|(key, i)| {
+            let f = full.iter().find(|(k, _)| *k == key)?.1;
+            (f > 0.0).then_some((key, i / f))
+        })
+        .collect()
+}
+
+fn check(committed_path: &str, fresh_json: &str) -> Result<(), String> {
+    let committed = std::fs::read_to_string(committed_path)
+        .map_err(|e| format!("cannot read baseline {committed_path}: {e}"))?;
+    let baseline = ratios(&committed);
+    let current = ratios(fresh_json);
+    if baseline.is_empty() {
+        return Err(format!("no speedup ratios in baseline {committed_path}"));
+    }
+    let mut failures = Vec::new();
+    for ((model, engine), committed_ratio) in &baseline {
+        let Some((_, now)) = current.iter().find(|((m, e), _)| m == model && e == engine) else {
+            failures.push(format!("{model}/{engine}: missing from fresh run"));
+            continue;
+        };
+        if *committed_ratio < GATE_MIN_RATIO {
+            println!(
+                "info {model}/{engine}: ratio {now:.2} (committed {committed_ratio:.2} \
+                 < {GATE_MIN_RATIO} — informational, not gated)"
+            );
+            continue;
+        }
+        let floor = committed_ratio * (1.0 - RATIO_TOLERANCE);
+        if *now < floor {
+            failures.push(format!(
+                "{model}/{engine}: speedup ratio {now:.2} fell below {floor:.2} \
+                 (committed {committed_ratio:.2}, tolerance {}%)",
+                RATIO_TOLERANCE * 100.0
+            ));
+        } else {
+            println!("ok {model}/{engine}: ratio {now:.2} (committed {committed_ratio:.2})");
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let quick = bench::quick_mode();
+    let results = measure_all(quick);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|m| {
+            vec![
+                m.model.to_string(),
+                m.engine.to_string(),
+                m.mode.to_string(),
+                format!("{:.0}", m.steps_per_sec),
+            ]
+        })
+        .collect();
+    bench::print_table(
+        "step_throughput (steps/sec)",
+        &["model", "engine", "mode", "steps_per_sec"],
+        &rows,
+    );
+    for ((model, engine), r) in ratios(&to_json(&results, quick)) {
+        bench::note(&format!(
+            "{model}/{engine}: incremental is {r:.2}x full re-enumeration"
+        ));
+    }
+
+    let json = to_json(&results, quick);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_ssa_step.json".to_string());
+    std::fs::write(&out, &json).expect("write bench json");
+    bench::note(&format!("wrote {out}"));
+
+    if let Some(baseline) = arg_value("--check") {
+        match check(&baseline, &json) {
+            Ok(()) => bench::note("step-throughput gate: ok"),
+            Err(msg) => {
+                eprintln!("step-throughput gate FAILED:\n{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -151,11 +151,15 @@ pub fn run_simulation_steered(
     let events = Arc::new(AtomicU64::new(0));
 
     // Stage 1: generation of simulation tasks with the configured engine.
+    // The model is "compiled" (dependency graph + read/write sets) once
+    // here and shared by every instance's incremental reaction table.
+    let deps = Arc::new(gillespie::deps::ModelDeps::compile(&model));
     let tasks: Vec<SimTask> = (0..cfg.instances)
         .map(|i| {
-            SimTask::with_engine(
+            SimTask::with_engine_deps(
                 cfg.engine,
                 Arc::clone(&model),
+                Arc::clone(&deps),
                 cfg.base_seed,
                 i,
                 cfg.t_end,
@@ -232,13 +236,16 @@ pub fn run_sequential(model: Arc<Model>, cfg: &SimConfig) -> Result<SimReport, S
     model.validate()?;
     let start = Instant::now();
 
-    // Run every instance to completion, collecting samples.
+    // Run every instance to completion, collecting samples. Same
+    // compile-once sharing as the parallel path.
+    let deps = Arc::new(gillespie::deps::ModelDeps::compile(&model));
     let mut events = 0u64;
     let mut batches: Vec<SampleBatch> = Vec::new();
     for i in 0..cfg.instances {
-        let mut task = SimTask::with_engine(
+        let mut task = SimTask::with_engine_deps(
             cfg.engine,
             Arc::clone(&model),
+            Arc::clone(&deps),
             cfg.base_seed,
             i,
             cfg.t_end,

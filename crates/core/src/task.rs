@@ -14,6 +14,7 @@
 use std::sync::Arc;
 
 use cwc::model::Model;
+use gillespie::deps::ModelDeps;
 use gillespie::engine::{Engine, EngineError, EngineKind};
 use gillespie::ssa::SampleClock;
 
@@ -56,7 +57,10 @@ impl SimTask {
         .expect("SSA engine construction is infallible")
     }
 
-    /// Creates the task for `instance` with the configured engine kind.
+    /// Creates the task for `instance` with the configured engine kind,
+    /// compiling the model's dependency graph locally. The task generation
+    /// stage uses [`SimTask::with_engine_deps`] to compile once per run
+    /// instead.
     ///
     /// # Errors
     ///
@@ -72,8 +76,40 @@ impl SimTask {
         quantum: f64,
         sample_period: f64,
     ) -> Result<Self, EngineError> {
+        let deps = Arc::new(ModelDeps::compile(&model));
+        Self::with_engine_deps(
+            kind,
+            model,
+            deps,
+            base_seed,
+            instance,
+            t_end,
+            quantum,
+            sample_period,
+        )
+    }
+
+    /// Creates the task for `instance`, sharing an already-compiled
+    /// dependency graph across the run's instances (the model is compiled
+    /// once per run, not once per trajectory — see
+    /// [`ModelDeps::compile`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when `kind` cannot drive `model`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_engine_deps(
+        kind: EngineKind,
+        model: Arc<Model>,
+        deps: Arc<ModelDeps>,
+        base_seed: u64,
+        instance: u64,
+        t_end: f64,
+        quantum: f64,
+        sample_period: f64,
+    ) -> Result<Self, EngineError> {
         Ok(SimTask {
-            engine: kind.build(model, base_seed, instance)?,
+            engine: kind.build_with_deps(model, deps, base_seed, instance)?,
             clock: SampleClock::new(0.0, sample_period),
             t_end,
             quantum,

@@ -52,10 +52,13 @@ pub mod rule;
 pub mod species;
 pub mod term;
 
-pub use matching::{apply_at, assignments, choose_assignment, match_count, ApplyError};
+pub use matching::{
+    apply_at, assignments, choose_assignment, choose_assignment_with, match_count,
+    match_count_with, ApplyError, MatchScratch,
+};
 pub use model::{Model, ModelError, Observable, ObservableSite, RuleBuilder};
 pub use multiset::Multiset;
 pub use parser::{parse_model, ParseError};
 pub use rule::{CompPattern, CompProduction, Pattern, Production, Rule, RuleError};
 pub use species::{Alphabet, Label, Species};
-pub use term::{Compartment, Path, Term};
+pub use term::{Compartment, Path, SiteId, SiteRegistry, Term};

@@ -85,8 +85,62 @@ pub fn assignments(site: &Term, pattern: &Pattern) -> Vec<(Vec<usize>, u64)> {
 /// selection count times the total weight of all compartment assignments.
 ///
 /// This is the factor `h` such that the rule's propensity at this site is
-/// `rate * h`.
+/// `rate * h`. Allocates a fresh scratch; the hot-loop variant is
+/// [`match_count_with`].
 pub fn match_count(site: &Term, pattern: &Pattern) -> u64 {
+    match_count_with(site, pattern, &mut MatchScratch::default())
+}
+
+/// Reusable buffers for the allocation-free matching entry points
+/// ([`match_count_with`], [`choose_assignment_with`]).
+///
+/// One scratch per simulation engine: after warm-up (once its buffers have
+/// grown to the widest site seen) the matching paths perform no heap
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    used: Vec<bool>,
+}
+
+/// Total weight of all injective assignments, streamed without collecting
+/// them. Enumeration order and saturation behaviour match [`assignments`]:
+/// saturating adds of saturating products, so the sum equals the collected
+/// fold bit-for-bit.
+fn assignment_weight_sum(
+    site: &Term,
+    pats: &[CompPattern],
+    k: usize,
+    w: u64,
+    used: &mut [bool],
+) -> u64 {
+    if k == pats.len() {
+        return w;
+    }
+    let mut acc = 0u64;
+    for (i, comp) in site.comps.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let cw = comp_binding_weight(comp, &pats[k]);
+        if cw == 0 {
+            continue;
+        }
+        used[i] = true;
+        acc = acc.saturating_add(assignment_weight_sum(
+            site,
+            pats,
+            k + 1,
+            w.saturating_mul(cw),
+            used,
+        ));
+        used[i] = false;
+    }
+    acc
+}
+
+/// [`match_count`] with caller-provided scratch buffers: no heap
+/// allocation once `scratch` has warmed up to the site's width.
+pub fn match_count_with(site: &Term, pattern: &Pattern, scratch: &mut MatchScratch) -> u64 {
     let atom_factor = site.atoms.selection_count(&pattern.atoms);
     if atom_factor == 0 {
         return 0;
@@ -94,9 +148,9 @@ pub fn match_count(site: &Term, pattern: &Pattern) -> u64 {
     if pattern.comps.is_empty() {
         return atom_factor;
     }
-    let total: u64 = assignments(site, pattern)
-        .iter()
-        .fold(0u64, |acc, (_, w)| acc.saturating_add(*w));
+    scratch.used.clear();
+    scratch.used.resize(site.comps.len(), false);
+    let total = assignment_weight_sum(site, &pattern.comps, 0, 1, &mut scratch.used);
     atom_factor.saturating_mul(total)
 }
 
@@ -106,30 +160,98 @@ pub fn match_count(site: &Term, pattern: &Pattern) -> u64 {
 /// supplies it so this crate stays RNG-free. Returns `None` when the
 /// pattern has no match at the site.
 pub fn choose_assignment(site: &Term, pattern: &Pattern, u: f64) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    choose_assignment_with(site, pattern, u, &mut MatchScratch::default(), &mut out).then_some(out)
+}
+
+/// [`choose_assignment`] streaming into caller-provided buffers: the chosen
+/// assignment lands in `out` (cleared first) and no assignment list is
+/// materialised. Returns `false` (with `out` empty) when the pattern has no
+/// match at the site.
+///
+/// The selection is identical to [`choose_assignment`]: assignments are
+/// visited in the same enumeration order and the one whose cumulative
+/// weight first exceeds `u * total` wins.
+pub fn choose_assignment_with(
+    site: &Term,
+    pattern: &Pattern,
+    u: f64,
+    scratch: &mut MatchScratch,
+    out: &mut Vec<usize>,
+) -> bool {
+    out.clear();
     if pattern.comps.is_empty() {
-        return if site.atoms.contains(&pattern.atoms) {
-            Some(Vec::new())
-        } else {
-            None
-        };
+        return site.atoms.contains(&pattern.atoms);
     }
-    let all = assignments(site, pattern);
-    let total: u64 = all.iter().map(|(_, w)| *w).sum();
+    scratch.used.clear();
+    scratch.used.resize(site.comps.len(), false);
+    let total = assignment_weight_sum(site, &pattern.comps, 0, 1, &mut scratch.used);
     if total == 0 {
-        return None;
+        return false;
     }
     let mut target = (u * total as f64) as u64;
     if target >= total {
         target = total - 1; // guard against u ~ 1.0 rounding
     }
     let mut acc = 0u64;
-    for (assignment, w) in all {
-        acc += w;
-        if target < acc {
-            return Some(assignment);
-        }
+    let found = pick_assignment(
+        site,
+        &pattern.comps,
+        0,
+        1,
+        &mut scratch.used,
+        &mut acc,
+        target,
+        out,
+    );
+    debug_assert!(found, "weights sum to total");
+    found
+}
+
+/// Walks assignments in enumeration order, accumulating weights until the
+/// cumulative sum exceeds `target`; the winning assignment is left in
+/// `out`.
+#[allow(clippy::too_many_arguments)]
+fn pick_assignment(
+    site: &Term,
+    pats: &[CompPattern],
+    k: usize,
+    w: u64,
+    used: &mut [bool],
+    acc: &mut u64,
+    target: u64,
+    out: &mut Vec<usize>,
+) -> bool {
+    if k == pats.len() {
+        *acc = acc.saturating_add(w);
+        return target < *acc;
     }
-    unreachable!("weights sum to total")
+    for (i, comp) in site.comps.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let cw = comp_binding_weight(comp, &pats[k]);
+        if cw == 0 {
+            continue;
+        }
+        used[i] = true;
+        out.push(i);
+        if pick_assignment(
+            site,
+            pats,
+            k + 1,
+            w.saturating_mul(cw),
+            used,
+            acc,
+            target,
+            out,
+        ) {
+            return true;
+        }
+        out.pop();
+        used[i] = false;
+    }
+    false
 }
 
 /// Error returned by [`apply_at`] when the rewrite cannot be performed.
@@ -186,11 +308,11 @@ pub fn apply_at(
                 return Err(ApplyError::StaleAssignment);
             }
         }
-        let mut sorted = assignment.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        if sorted.len() != assignment.len() {
-            return Err(ApplyError::StaleAssignment);
+        // Injectivity check without allocating (assignments are tiny).
+        for (i, &a) in assignment.iter().enumerate() {
+            if assignment[..i].contains(&a) {
+                return Err(ApplyError::StaleAssignment);
+            }
         }
     }
 
@@ -211,7 +333,16 @@ pub fn apply_at(
             add_atoms: &'a Multiset,
         },
     }
-    let mut fates: Vec<Fate<'_>> = vec![Fate::Destroy; rule.lhs.comps.len()];
+    // Small rules (the overwhelmingly common case) keep the fate table on
+    // the stack so a steady-state firing performs no heap allocation.
+    let mut fates_inline = [Fate::Destroy; 8];
+    let mut fates_spill: Vec<Fate<'_>>;
+    let fates: &mut [Fate<'_>] = if rule.lhs.comps.len() <= fates_inline.len() {
+        &mut fates_inline[..rule.lhs.comps.len()]
+    } else {
+        fates_spill = vec![Fate::Destroy; rule.lhs.comps.len()];
+        &mut fates_spill
+    };
     for cp in &rule.rhs.comps {
         match cp {
             CompProduction::Keep {
@@ -232,7 +363,7 @@ pub fn apply_at(
     // Keep-rewrites happen in place; dissolve/destroy removals are done in
     // descending index order so earlier indices stay valid.
     let mut removals: Vec<(usize, bool)> = Vec::new(); // (site index, spill?)
-    for (pi, (&ci, fate)) in assignment.iter().zip(&fates).enumerate() {
+    for (pi, (&ci, fate)) in assignment.iter().zip(fates.iter()).enumerate() {
         let pat = &rule.lhs.comps[pi];
         match fate {
             Fate::Keep {
@@ -385,6 +516,73 @@ mod tests {
         };
         // Ordered injective assignments of 2 patterns to 2 compartments: 2.
         assert_eq!(match_count(&site, &pat), 2);
+    }
+
+    #[test]
+    fn streaming_match_count_equals_collected() {
+        // Two identical patterns over three distinguishable cells: the
+        // streamed weight sum must agree with the materialised one.
+        let mut site = Term::new();
+        site.add_compartment(cell(Multiset::from([(sp(0), 3)]), Multiset::new()));
+        site.add_compartment(cell(Multiset::from([(sp(0), 1)]), Multiset::new()));
+        site.add_compartment(cell(Multiset::new(), Multiset::from([(sp(5), 2)])));
+        let cp = CompPattern {
+            label: lb(0),
+            wrap: Multiset::new(),
+            atoms: Multiset::from([(sp(0), 1)]),
+        };
+        let pat = Pattern {
+            atoms: Multiset::new(),
+            comps: vec![cp.clone(), cp],
+        };
+        let collected: u64 = assignments(&site, &pat).iter().map(|(_, w)| *w).sum();
+        let mut scratch = MatchScratch::default();
+        assert_eq!(match_count_with(&site, &pat, &mut scratch), collected);
+        assert_eq!(match_count(&site, &pat), collected);
+        // Scratch is reusable across differently-sized sites.
+        let empty = Term::new();
+        assert_eq!(match_count_with(&empty, &pat, &mut scratch), 0);
+    }
+
+    #[test]
+    fn streaming_choice_matches_collecting_choice() {
+        let mut site = Term::new();
+        site.add_compartment(cell(Multiset::from([(sp(0), 3)]), Multiset::new()));
+        site.add_compartment(cell(Multiset::from([(sp(0), 2)]), Multiset::new()));
+        site.add_compartment(cell(Multiset::from([(sp(0), 1)]), Multiset::new()));
+        let cp = CompPattern {
+            label: lb(0),
+            wrap: Multiset::new(),
+            atoms: Multiset::from([(sp(0), 1)]),
+        };
+        let pat = Pattern {
+            atoms: Multiset::new(),
+            comps: vec![cp.clone(), cp],
+        };
+        let mut scratch = MatchScratch::default();
+        let mut out = Vec::new();
+        for k in 0..100 {
+            let u = k as f64 / 100.0;
+            let expected = choose_assignment(&site, &pat, u);
+            let ok = choose_assignment_with(&site, &pat, u, &mut scratch, &mut out);
+            assert_eq!(ok, expected.is_some(), "u={u}");
+            if let Some(exp) = expected {
+                assert_eq!(out, exp, "u={u}");
+            }
+        }
+        // No match: streaming variant reports false with a cleared buffer.
+        let pat_absent = Pattern {
+            atoms: Multiset::from([(sp(9), 1)]),
+            comps: Vec::new(),
+        };
+        assert!(!choose_assignment_with(
+            &site,
+            &pat_absent,
+            0.5,
+            &mut scratch,
+            &mut out
+        ));
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -246,6 +246,148 @@ impl From<Multiset> for Term {
     }
 }
 
+/// Dense handle for one site of a term.
+///
+/// Site ids are indices into a [`SiteRegistry`] in *walk order* (the
+/// pre-order of [`Term::walk_sites`]): the root is always [`SiteId::ROOT`],
+/// and children follow their parent in compartment order. Hot simulation
+/// paths pass these `Copy` ids around instead of cloning [`Path`]s; a
+/// registry maps back to paths when the term must actually be navigated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(u32);
+
+impl SiteId {
+    /// The root site (top level of the term), walk index 0.
+    pub const ROOT: SiteId = SiteId(0);
+
+    /// The walk-order index of this site.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a site id from a walk-order index.
+    ///
+    /// Only meaningful against the registry that produced the index.
+    pub fn from_index(index: usize) -> Self {
+        SiteId(index as u32)
+    }
+}
+
+/// Interning registry for the sites of one term: dense [`SiteId`]s in walk
+/// order, with per-site label, path, parent and children.
+///
+/// The registry is a *snapshot* of the term's compartment tree. Rewrites
+/// that only change multisets (atoms, membranes) keep it valid; rewrites
+/// that create, destroy or dissolve compartments invalidate it — callers
+/// must [`rebuild`](SiteRegistry::rebuild) after such structural changes.
+///
+/// # Examples
+///
+/// ```
+/// use cwc::multiset::Multiset;
+/// use cwc::species::Label;
+/// use cwc::term::{Compartment, SiteId, SiteRegistry, Term};
+///
+/// let mut t = Term::new();
+/// t.add_compartment(Compartment::new(Label::from_raw(0), Multiset::new(), Term::new()));
+/// let reg = SiteRegistry::from_term(&t);
+/// assert_eq!(reg.len(), 2);
+/// let cell = reg.child(SiteId::ROOT, 0).unwrap();
+/// assert_eq!(reg.parent(cell), Some(SiteId::ROOT));
+/// assert_eq!(reg.path(cell).0, vec![0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SiteRegistry {
+    paths: Vec<Path>,
+    labels: Vec<Label>,
+    /// `parents[i]` is the walk index of site `i`'s parent; unused for the
+    /// root (index 0).
+    parents: Vec<u32>,
+    children: Vec<Vec<SiteId>>,
+}
+
+impl SiteRegistry {
+    /// Builds the registry of `term`'s sites.
+    pub fn from_term(term: &Term) -> Self {
+        let mut reg = SiteRegistry::default();
+        reg.rebuild(term);
+        reg
+    }
+
+    /// Re-snapshots `term`, reusing the registry's allocations where
+    /// possible. Must be called after any structural rewrite.
+    pub fn rebuild(&mut self, term: &Term) {
+        self.paths.clear();
+        self.labels.clear();
+        self.parents.clear();
+        self.children.clear();
+        self.push_site(Path::root(), Label::TOP, 0);
+        self.walk(term, 0);
+    }
+
+    fn push_site(&mut self, path: Path, label: Label, parent: u32) -> usize {
+        let id = self.paths.len();
+        self.paths.push(path);
+        self.labels.push(label);
+        self.parents.push(parent);
+        self.children.push(Vec::new());
+        id
+    }
+
+    fn walk(&mut self, term: &Term, me: usize) {
+        for (i, c) in term.comps.iter().enumerate() {
+            let child_path = self.paths[me].child(i);
+            let id = self.push_site(child_path, c.label, me as u32);
+            self.children[me].push(SiteId(id as u32));
+            self.walk(&c.content, id);
+        }
+    }
+
+    /// Number of sites (≥ 1: the root always exists).
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Always false — a registry holds at least the root site.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Iterates every site id in walk order.
+    pub fn ids(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.paths.len() as u32).map(SiteId)
+    }
+
+    /// The path of `id` (borrowed — no clone on the hot path).
+    pub fn path(&self, id: SiteId) -> &Path {
+        &self.paths[id.index()]
+    }
+
+    /// The label of site `id` ([`Label::TOP`] for the root).
+    pub fn label(&self, id: SiteId) -> Label {
+        self.labels[id.index()]
+    }
+
+    /// The parent of `id`, or `None` for the root.
+    pub fn parent(&self, id: SiteId) -> Option<SiteId> {
+        if id == SiteId::ROOT {
+            None
+        } else {
+            Some(SiteId(self.parents[id.index()]))
+        }
+    }
+
+    /// The site of the `comp_index`-th compartment of `id`, if present.
+    pub fn child(&self, id: SiteId, comp_index: usize) -> Option<SiteId> {
+        self.children[id.index()].get(comp_index).copied()
+    }
+
+    /// The sites of `id`'s compartments, in compartment order.
+    pub fn children(&self, id: SiteId) -> &[SiteId] {
+        &self.children[id.index()]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +498,50 @@ mod tests {
         ));
         assert_eq!(t.display(&ab), "A*2 (cell: B | A)");
         assert_eq!(Term::new().display(&ab), "<empty>");
+    }
+
+    #[test]
+    fn site_registry_matches_walk_order() {
+        let t = nested_term();
+        let reg = SiteRegistry::from_term(&t);
+        let mut walked = Vec::new();
+        t.walk_sites(&mut |path, label, _| walked.push((path.clone(), label)));
+        assert_eq!(reg.len(), walked.len());
+        for (i, id) in reg.ids().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!((reg.path(id).clone(), reg.label(id)), walked[i]);
+        }
+    }
+
+    #[test]
+    fn site_registry_links_parents_and_children() {
+        let t = nested_term();
+        let reg = SiteRegistry::from_term(&t);
+        let cell = reg.child(SiteId::ROOT, 0).unwrap();
+        let nucleus = reg.child(cell, 0).unwrap();
+        assert_eq!(reg.parent(SiteId::ROOT), None);
+        assert_eq!(reg.parent(cell), Some(SiteId::ROOT));
+        assert_eq!(reg.parent(nucleus), Some(cell));
+        assert_eq!(reg.children(SiteId::ROOT), &[cell]);
+        assert_eq!(reg.children(nucleus), &[] as &[SiteId]);
+        assert_eq!(reg.child(SiteId::ROOT, 1), None);
+        assert_eq!(reg.label(nucleus), lb(1));
+        assert_eq!(reg.path(nucleus), &Path(vec![0, 0]));
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn site_registry_rebuild_tracks_structural_change() {
+        let mut t = nested_term();
+        let mut reg = SiteRegistry::from_term(&t);
+        assert_eq!(reg.len(), 3);
+        t.add_compartment(Compartment::new(lb(2), Multiset::new(), Term::new()));
+        reg.rebuild(&t);
+        assert_eq!(reg.len(), 4);
+        // New top-level compartment comes last in walk order.
+        let extra = reg.child(SiteId::ROOT, 1).unwrap();
+        assert_eq!(extra.index(), 3);
+        assert_eq!(reg.label(extra), lb(2));
     }
 
     #[test]

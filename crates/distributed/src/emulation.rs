@@ -112,11 +112,16 @@ pub fn run_distributed_emulation(
             continue;
         }
         let model = Arc::clone(&model);
+        // One model compilation per remote farm, shared by its instances
+        // (in the real deployment each host compiles the shipped model
+        // once, not once per trajectory).
+        let deps = Arc::new(gillespie::deps::ModelDeps::compile(&model));
         let tasks: Vec<SimTask> = (spec.first_instance..spec.first_instance + spec.count)
             .map(|i| {
-                SimTask::with_engine(
+                SimTask::with_engine_deps(
                     spec.engine,
                     Arc::clone(&model),
+                    Arc::clone(&deps),
                     spec.base_seed,
                     i,
                     spec.t_end,

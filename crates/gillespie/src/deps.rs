@@ -1,0 +1,486 @@
+//! One-time model "compilation": per-rule read/write sets and the reaction
+//! dependency graph.
+//!
+//! The CWC stochastic step is "significantly more complex than a plain
+//! Gillespie algorithm" because every propensity is a tree-matching count.
+//! Re-running every match after every firing is what makes the naive step
+//! loop slow; but one firing perturbs a single site (plus, for transport
+//! rules, the compartments it moves atoms across), so only the rules that
+//! *read* what the fired rule *wrote* can change propensity. This module
+//! derives that information once per model — the optimized-direct-method
+//! dependency graph of StochKit lineage, generalised to compartment trees:
+//!
+//! - per rule, the species it reads at its site (pattern atoms + kinetic
+//!   law inputs) and inside matched compartments (wrap / content pattern
+//!   atoms);
+//! - per rule, the net species it writes: at its own site
+//!   ([`RuleDeps::site_delta`], also the stoichiometry vector tau-leaping
+//!   uses) and inside each compartment it keeps ([`KeptChild`]);
+//! - whether the rule is *structural* — it creates, destroys or dissolves
+//!   compartments, changing the site tree itself. Structural firings
+//!   invalidate every cached match (the reaction table does a full
+//!   rebuild); non-structural firings re-match only the affected lists
+//!   below.
+//!
+//! The affected lists answer "rule `r` just fired at site `S`; which
+//! `(site, rule)` propensities may have changed?":
+//!
+//! - [`same_site_affected`](ModelDeps::same_site_affected): rules at `S`
+//!   whose reads intersect `r`'s writes (at the site or inside kept
+//!   compartments);
+//! - [`child_affected`](ModelDeps::child_affected): rules *inside* each
+//!   compartment `r` keeps, when `r` moves atoms across that membrane;
+//! - [`parent_affected`](ModelDeps::parent_affected): rules at the parent
+//!   of `S` whose compartment patterns read `S`'s content changes from the
+//!   outside.
+//!
+//! Compilation is `O(rules² · pattern size)` — paid once per model, shared
+//! by every simulation instance via `Arc` (see
+//! [`EngineKind::build_with_deps`](crate::engine::EngineKind::build_with_deps)).
+
+use std::collections::BTreeMap;
+
+use cwc::model::Model;
+use cwc::multiset::Multiset;
+use cwc::rule::{CompProduction, RateLaw, Rule};
+use cwc::species::{Label, Species};
+
+/// Net effect of a rule on one compartment it keeps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeptChild {
+    /// Index of the LHS compartment pattern this rewrites.
+    pub pattern: usize,
+    /// Label of the kept compartment.
+    pub label: Label,
+    /// Net membrane change `(species, delta)`, ascending species order.
+    pub wrap_delta: Vec<(Species, i64)>,
+    /// Net content-atom change `(species, delta)`, ascending species order.
+    pub content_delta: Vec<(Species, i64)>,
+}
+
+/// Compiled read/write summary of one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleDeps {
+    /// Site label the rule applies at.
+    pub site: Label,
+    /// True when the rule changes the compartment tree itself (creates,
+    /// destroys or dissolves a compartment): its write set cannot be known
+    /// statically and a firing forces a full table rebuild.
+    pub structural: bool,
+    /// Species read from the site's own content atoms: pattern atoms plus
+    /// kinetic-law inputs. Ascending species order.
+    pub site_reads: Vec<Species>,
+    /// Species read from matched compartments' membranes.
+    pub child_wrap_reads: Vec<Species>,
+    /// Species read from matched compartments' content atoms.
+    pub child_content_reads: Vec<Species>,
+    /// Net species change at the site `(species, delta)`, ascending
+    /// species order — exactly the stoichiometry vector of the reaction
+    /// for flat rules. Meaningful only when `!structural`.
+    pub site_delta: Vec<(Species, i64)>,
+    /// Net changes inside each kept compartment (empty for flat rules).
+    pub kept: Vec<KeptChild>,
+}
+
+impl RuleDeps {
+    fn compile(rule: &Rule) -> Self {
+        let mut site_reads: Vec<Species> = rule.lhs.atoms.iter().map(|(s, _)| s).collect();
+        match rule.law {
+            RateLaw::MassAction => {}
+            RateLaw::HillRepression { inhibitor, .. } => site_reads.push(inhibitor),
+            RateLaw::HillActivation { activator, .. } => site_reads.push(activator),
+            RateLaw::Saturating { substrate, .. } => site_reads.push(substrate),
+        }
+        site_reads.sort_unstable();
+        site_reads.dedup();
+
+        let mut child_wrap_reads = Vec::new();
+        let mut child_content_reads = Vec::new();
+        for cp in &rule.lhs.comps {
+            child_wrap_reads.extend(cp.wrap.iter().map(|(s, _)| s));
+            child_content_reads.extend(cp.atoms.iter().map(|(s, _)| s));
+        }
+        child_wrap_reads.sort_unstable();
+        child_wrap_reads.dedup();
+        child_content_reads.sort_unstable();
+        child_content_reads.dedup();
+
+        let mut kept = Vec::new();
+        let mut kept_count = 0usize;
+        let mut has_new_or_dissolve = false;
+        for cp in &rule.rhs.comps {
+            match cp {
+                CompProduction::Keep {
+                    index,
+                    add_wrap,
+                    add_atoms,
+                } => {
+                    kept_count += 1;
+                    let pat = &rule.lhs.comps[*index];
+                    kept.push(KeptChild {
+                        pattern: *index,
+                        label: pat.label,
+                        wrap_delta: multiset_delta(add_wrap, &pat.wrap),
+                        content_delta: multiset_delta(add_atoms, &pat.atoms),
+                    });
+                }
+                CompProduction::New { .. } | CompProduction::Dissolve { .. } => {
+                    has_new_or_dissolve = true;
+                }
+            }
+        }
+        kept.sort_by_key(|k| k.pattern);
+        // Any matched compartment not kept is destroyed — also structural.
+        let structural = has_new_or_dissolve || kept_count != rule.lhs.comps.len();
+
+        RuleDeps {
+            site: rule.site,
+            structural,
+            site_reads,
+            child_wrap_reads,
+            child_content_reads,
+            site_delta: multiset_delta(&rule.rhs.atoms, &rule.lhs.atoms),
+            kept,
+        }
+    }
+
+    /// True when the rule matches compartments (has LHS compartment
+    /// patterns).
+    pub fn reads_children(&self) -> bool {
+        !self.child_wrap_reads.is_empty() || !self.child_content_reads.is_empty()
+    }
+}
+
+/// `plus − minus` as a sparse signed delta, ascending species order,
+/// zero entries dropped.
+fn multiset_delta(plus: &Multiset, minus: &Multiset) -> Vec<(Species, i64)> {
+    let mut d: BTreeMap<Species, i64> = BTreeMap::new();
+    for (s, n) in plus.iter() {
+        *d.entry(s).or_insert(0) += n as i64;
+    }
+    for (s, n) in minus.iter() {
+        *d.entry(s).or_insert(0) -= n as i64;
+    }
+    d.into_iter().filter(|&(_, v)| v != 0).collect()
+}
+
+/// True when the sorted species list intersects the delta's species.
+fn reads_hit(reads: &[Species], delta: &[(Species, i64)]) -> bool {
+    // Both sides are sorted; merge-walk.
+    let mut i = 0;
+    let mut j = 0;
+    while i < reads.len() && j < delta.len() {
+        match reads[i].cmp(&delta[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Compiled model: per-rule summaries plus the reaction dependency graph.
+///
+/// Compile once per model ([`ModelDeps::compile`]) and share across
+/// instances; construction is the only non-trivial cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDeps {
+    rules: Vec<RuleDeps>,
+    /// `same_site[r]`: rules (with `r`'s site label) to re-match at the
+    /// fired site.
+    same_site: Vec<Vec<u32>>,
+    /// `child_rules[r][k]`: rules (at `rules[r].kept[k]`'s label) to
+    /// re-match inside that kept compartment.
+    child_rules: Vec<Vec<Vec<u32>>>,
+    /// `parent_rules[r]`: candidate rules to re-match at the fired site's
+    /// parent (filter by the parent's actual label at run time).
+    parent_rules: Vec<Vec<u32>>,
+}
+
+impl ModelDeps {
+    /// Compiles `model`'s rules into read/write sets and affected-rule
+    /// lists.
+    pub fn compile(model: &Model) -> Self {
+        let rules: Vec<RuleDeps> = model.rules.iter().map(RuleDeps::compile).collect();
+        let n = rules.len();
+        let mut same_site = vec![Vec::new(); n];
+        let mut child_rules = vec![Vec::new(); n];
+        let mut parent_rules = vec![Vec::new(); n];
+
+        for (r, rd) in rules.iter().enumerate() {
+            if rd.structural {
+                // Structural firings rebuild the whole table; no lists.
+                continue;
+            }
+            for (q, qd) in rules.iter().enumerate() {
+                // Rules with zero rate never enter the table.
+                if model.rules[q].rate == 0.0 {
+                    continue;
+                }
+                // (a) q at the fired site itself.
+                if qd.site == rd.site && same_site_hit(&model.rules[q], qd, rd) {
+                    same_site[r].push(q as u32);
+                }
+                // (c) q at the fired site's parent, reading the site's
+                // content from the outside through a compartment pattern.
+                if !rd.site_delta.is_empty()
+                    && model.rules[q].lhs.comps.iter().any(|p| {
+                        p.label == rd.site
+                            && rd.site_delta.iter().any(|&(s, _)| p.atoms.count(s) > 0)
+                    })
+                {
+                    parent_rules[r].push(q as u32);
+                }
+            }
+            // (b) q inside each compartment r keeps and writes into.
+            for k in &rd.kept {
+                let mut qs = Vec::new();
+                if !k.content_delta.is_empty() {
+                    for (q, qd) in rules.iter().enumerate() {
+                        if model.rules[q].rate == 0.0 {
+                            continue;
+                        }
+                        if qd.site == k.label && reads_hit(&qd.site_reads, &k.content_delta) {
+                            qs.push(q as u32);
+                        }
+                    }
+                }
+                child_rules[r].push(qs);
+            }
+        }
+
+        ModelDeps {
+            rules,
+            same_site,
+            child_rules,
+            parent_rules,
+        }
+    }
+
+    /// Number of compiled rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True for a rule-less model.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The compiled summary of rule `r`.
+    pub fn rule(&self, r: usize) -> &RuleDeps {
+        &self.rules[r]
+    }
+
+    /// True when firing rule `r` changes the compartment tree (forces a
+    /// full table rebuild).
+    pub fn is_structural(&self, r: usize) -> bool {
+        self.rules[r].structural
+    }
+
+    /// Rules to re-match at the site where `r` fired.
+    pub fn same_site_affected(&self, r: usize) -> &[u32] {
+        &self.same_site[r]
+    }
+
+    /// Rules to re-match inside `r`'s `k`-th kept compartment (indexed
+    /// like [`RuleDeps::kept`]).
+    pub fn child_affected(&self, r: usize, k: usize) -> &[u32] {
+        &self.child_rules[r][k]
+    }
+
+    /// Candidate rules to re-match at the fired site's parent; callers
+    /// filter by the parent site's actual label.
+    pub fn parent_affected(&self, r: usize) -> &[u32] {
+        &self.parent_rules[r]
+    }
+}
+
+/// Does firing `r` (non-structural) change `q`'s propensity at the same
+/// site? `q` reads the site's atoms, or reads compartments `r` wrote into.
+fn same_site_hit(q_rule: &Rule, qd: &RuleDeps, rd: &RuleDeps) -> bool {
+    if reads_hit(&qd.site_reads, &rd.site_delta) {
+        return true;
+    }
+    // Compartment patterns of q read the wrap/content of children that r
+    // (a transport rule) wrote into — label-aware for precision.
+    q_rule.lhs.comps.iter().any(|p| {
+        rd.kept.iter().any(|k| {
+            k.label == p.label
+                && (k.wrap_delta.iter().any(|&(s, _)| p.wrap.count(s) > 0)
+                    || k.content_delta.iter().any(|&(s, _)| p.atoms.count(s) > 0))
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biomodels_free::*;
+
+    /// Local model builders (the models crate depends on this one).
+    mod biomodels_free {
+        use cwc::model::Model;
+
+        pub fn birth_death() -> Model {
+            let mut m = Model::new("bd");
+            let _ = m.species("A");
+            let g = m.species("G");
+            m.rule("birth")
+                .consumes("G", 1)
+                .produces("G", 1)
+                .produces("A", 1)
+                .rate(2.0)
+                .build()
+                .unwrap();
+            m.rule("death").consumes("A", 1).rate(1.0).build().unwrap();
+            m.initial.add_atoms(g, 1);
+            m
+        }
+
+        pub fn transport() -> Model {
+            // in:  A (cell: |)  -> (cell: | A')      [keep, content write]
+            // out: (cell: | A') -> A                 [keep, content read]
+            // decay inside cell: A' -> ∅             [at cell]
+            // make: B -> (cell: |)                   [structural: New]
+            // burst: (cell: |) -> ∅ spilled          [structural: Dissolve]
+            let mut m = Model::new("transport");
+            m.rule("in")
+                .consumes("A", 1)
+                .matches_comp("cell", &[], &[])
+                .keeps(0, &[], &[("Ain", 1)])
+                .rate(1.0)
+                .build()
+                .unwrap();
+            m.rule("out")
+                .matches_comp("cell", &[], &[("Ain", 1)])
+                .keeps(0, &[], &[])
+                .produces("A", 1)
+                .rate(1.0)
+                .build()
+                .unwrap();
+            m.rule("decay")
+                .at("cell")
+                .consumes("Ain", 1)
+                .rate(1.0)
+                .build()
+                .unwrap();
+            m.rule("make")
+                .consumes("B", 1)
+                .creates_comp("cell", &[], &[])
+                .rate(1.0)
+                .build()
+                .unwrap();
+            m.rule("burst")
+                .matches_comp("cell", &[], &[])
+                .dissolves(0)
+                .rate(1.0)
+                .build()
+                .unwrap();
+            m
+        }
+    }
+
+    #[test]
+    fn flat_rule_reads_and_delta() {
+        let m = birth_death();
+        let deps = ModelDeps::compile(&m);
+        assert_eq!(deps.len(), 2);
+        let birth = deps.rule(0);
+        assert!(!birth.structural);
+        let a = m.alphabet.find_species("A").unwrap();
+        let g = m.alphabet.find_species("G").unwrap();
+        assert_eq!(birth.site_reads, vec![g]);
+        assert_eq!(birth.site_delta, vec![(a, 1)]); // G nets out
+        let death = deps.rule(1);
+        assert_eq!(death.site_reads, vec![a]);
+        assert_eq!(death.site_delta, vec![(a, -1)]);
+    }
+
+    #[test]
+    fn dependency_graph_is_sparse() {
+        let m = birth_death();
+        let deps = ModelDeps::compile(&m);
+        // birth writes A: only death reads A — birth itself reads G only.
+        assert_eq!(deps.same_site_affected(0), &[1]);
+        // death writes A(-1): death reads A (itself); birth does not.
+        assert_eq!(deps.same_site_affected(1), &[1]);
+        assert!(deps.parent_affected(0).is_empty());
+        assert!(!deps.is_empty());
+    }
+
+    #[test]
+    fn structural_rules_are_flagged() {
+        let m = transport();
+        let deps = ModelDeps::compile(&m);
+        assert!(!deps.is_structural(0)); // keep-only transport
+        assert!(!deps.is_structural(1));
+        assert!(!deps.is_structural(2)); // flat at label
+        assert!(deps.is_structural(3)); // creates_comp
+        assert!(deps.is_structural(4)); // dissolves
+                                        // Structural rules carry no affected lists.
+        assert!(deps.same_site_affected(3).is_empty());
+        assert!(deps.parent_affected(4).is_empty());
+    }
+
+    #[test]
+    fn transport_rules_link_across_the_membrane() {
+        let m = transport();
+        let deps = ModelDeps::compile(&m);
+        let ain = m.alphabet.find_species("Ain").unwrap();
+
+        // "in" keeps the cell and writes Ain into it.
+        let ind = deps.rule(0);
+        assert_eq!(ind.kept.len(), 1);
+        assert_eq!(ind.kept[0].content_delta, vec![(ain, 1)]);
+        // Inside the cell, "decay" reads Ain → re-matched after "in".
+        assert_eq!(deps.child_affected(0, 0), &[2]);
+        // At the same (top) site, "in" consumed an A it also reads, and
+        // "out" reads the cell's Ain through its compartment pattern.
+        assert_eq!(deps.same_site_affected(0), &[0, 1]);
+
+        // "decay" (inside the cell) changes the cell content seen from the
+        // top: "out" pattern reads Ain → parent-affected.
+        assert_eq!(deps.parent_affected(2), &[1]);
+
+        // "out" consumes the cell's Ain and produces top-level A: at top,
+        // "in" reads A → affected; "out" reads cell Ain → affected.
+        let out_affected = deps.same_site_affected(1);
+        assert_eq!(out_affected, &[0, 1]);
+        // And inside the cell, "decay" loses a reactant.
+        assert_eq!(deps.child_affected(1, 0), &[2]);
+    }
+
+    #[test]
+    fn law_inputs_count_as_reads() {
+        let mut m = Model::new("hill");
+        let _ = m.species("P");
+        m.rule("expr")
+            .produces("P", 1)
+            .rate(1.0)
+            .repressed_by("R", 10.0, 2.0)
+            .build()
+            .unwrap();
+        m.rule("repress")
+            .produces("R", 1)
+            .rate(1.0)
+            .build()
+            .unwrap();
+        let deps = ModelDeps::compile(&m);
+        let r = m.alphabet.find_species("R").unwrap();
+        assert!(deps.rule(0).site_reads.contains(&r));
+        // Producing R re-matches the repressed rule.
+        assert_eq!(deps.same_site_affected(1), &[0]);
+    }
+
+    #[test]
+    fn zero_rate_rules_stay_out_of_affected_lists() {
+        let mut m = Model::new("z");
+        let a = m.species("A");
+        m.rule("live").consumes("A", 1).rate(1.0).build().unwrap();
+        m.rule("dead").consumes("A", 1).rate(0.0).build().unwrap();
+        m.initial.add_atoms(a, 5);
+        let deps = ModelDeps::compile(&m);
+        assert_eq!(deps.same_site_affected(0), &[0]);
+    }
+}

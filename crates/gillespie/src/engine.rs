@@ -29,6 +29,7 @@ use std::sync::Arc;
 use cwc::model::Model;
 use cwc::term::Term;
 
+use crate::deps::ModelDeps;
 use crate::first_reaction::FirstReactionEngine;
 use crate::ssa::{SampleClock, SsaEngine, StepOutcome};
 use crate::tau_leap::{TauLeapEngine, TauLeapError};
@@ -212,7 +213,11 @@ impl EngineKind {
         }
     }
 
-    /// Builds the engine for `instance`, seeded from `base_seed`.
+    /// Builds the engine for `instance`, seeded from `base_seed`,
+    /// compiling the model's dependency graph locally. When building many
+    /// instances of one model (a farm), compile once with
+    /// [`ModelDeps::compile`] and use
+    /// [`build_with_deps`](EngineKind::build_with_deps).
     ///
     /// # Errors
     ///
@@ -225,14 +230,36 @@ impl EngineKind {
         base_seed: u64,
         instance: u64,
     ) -> Result<Engine, EngineError> {
+        let deps = Arc::new(ModelDeps::compile(&model));
+        self.build_with_deps(model, deps, base_seed, instance)
+    }
+
+    /// Builds the engine for `instance`, sharing an already-compiled
+    /// dependency graph across instances. All three integrators consume
+    /// the compilation: the exact engines drive their incremental reaction
+    /// tables with it, tau-leaping takes its stoichiometry vectors from
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EngineKind::build`].
+    pub fn build_with_deps(
+        self,
+        model: Arc<Model>,
+        deps: Arc<ModelDeps>,
+        base_seed: u64,
+        instance: u64,
+    ) -> Result<Engine, EngineError> {
         self.validate()?;
         match self {
-            EngineKind::Ssa => Ok(Engine::Ssa(SsaEngine::new(model, base_seed, instance))),
-            EngineKind::FirstReaction => Ok(Engine::FirstReaction(FirstReactionEngine::new(
-                model, base_seed, instance,
+            EngineKind::Ssa => Ok(Engine::Ssa(SsaEngine::with_deps(
+                model, deps, base_seed, instance,
+            ))),
+            EngineKind::FirstReaction => Ok(Engine::FirstReaction(FirstReactionEngine::with_deps(
+                model, deps, base_seed, instance,
             ))),
             EngineKind::TauLeap { tau } => {
-                let engine = TauLeapEngine::new(model, base_seed, instance)?;
+                let engine = TauLeapEngine::with_deps(model, deps, base_seed, instance)?;
                 Ok(Engine::TauLeap(engine.with_tau(tau)))
             }
         }

@@ -33,13 +33,13 @@
 
 use std::sync::Arc;
 
-use cwc::matching::{apply_at, choose_assignment};
 use cwc::model::Model;
-use cwc::term::{Path, Term};
+use cwc::term::{SiteId, Term};
 use rand::Rng;
 
+use crate::deps::ModelDeps;
 use crate::rng::{sim_rng, SimRng};
-use crate::ssa::{Reaction, SampleClock, SsaEngine, StepOutcome};
+use crate::ssa::{SampleClock, SsaEngine, StepOutcome};
 
 /// Exact SSA engine using the first-reaction method.
 ///
@@ -60,15 +60,15 @@ use crate::ssa::{Reaction, SampleClock, SsaEngine, StepOutcome};
 /// ```
 #[derive(Debug, Clone)]
 pub struct FirstReactionEngine {
-    /// Reuses the direct engine's state and reaction enumeration; only the
-    /// sampling loop differs.
+    /// Reuses the direct engine's state and incremental reaction table;
+    /// only the sampling loop differs.
     inner: SsaEngine,
     rng: SimRng,
     time: f64,
-    /// The winning `(reaction index, absolute firing time)` already drawn
-    /// but not yet fired. Preserved across quantum boundaries (see module
-    /// docs); the index is into the deterministic re-enumeration of the
-    /// unchanged term's reactions.
+    /// The winning `(table entry index, absolute firing time)` already
+    /// drawn but not yet fired. Preserved across quantum boundaries (see
+    /// module docs); the term — and therefore the table — is unchanged
+    /// while an event is pending, so the entry index stays valid.
     pending: Option<(usize, f64)>,
     steps: u64,
 }
@@ -82,6 +82,23 @@ impl FirstReactionEngine {
     pub fn new(model: Arc<Model>, base_seed: u64, instance: u64) -> Self {
         FirstReactionEngine {
             inner: SsaEngine::new(model, base_seed, instance),
+            rng: sim_rng(base_seed ^ 0xF1E5_7EAC, instance),
+            time: 0.0,
+            pending: None,
+            steps: 0,
+        }
+    }
+
+    /// Like [`FirstReactionEngine::new`], reusing an already-compiled
+    /// dependency graph (see [`ModelDeps::compile`]).
+    pub fn with_deps(
+        model: Arc<Model>,
+        deps: Arc<ModelDeps>,
+        base_seed: u64,
+        instance: u64,
+    ) -> Self {
+        FirstReactionEngine {
+            inner: SsaEngine::with_deps(model, deps, base_seed, instance),
             rng: sim_rng(base_seed ^ 0xF1E5_7EAC, instance),
             time: 0.0,
             pending: None,
@@ -136,55 +153,51 @@ impl FirstReactionEngine {
     /// The winning event, drawing candidate times for every enabled
     /// reaction if none is pending. Returns `None` when the state is
     /// absorbing.
-    fn next_event(&mut self, reactions: &[Reaction]) -> Option<(usize, f64)> {
+    ///
+    /// Enabled reactions come straight off the shared incremental table,
+    /// in table order — the same enumeration order (and so the same draw
+    /// order) as the naive re-enumeration it replaced.
+    fn next_event(&mut self) -> Option<(usize, f64)> {
         if let Some(p) = self.pending {
             return Some(p);
         }
         // One exponential candidate per enabled reaction; the minimum wins
         // (provably equivalent to the direct method).
         let mut best: Option<(usize, f64)> = None;
-        for (i, r) in reactions.iter().enumerate() {
+        let table = self.inner.table();
+        for (entry, propensity) in table.active_entries() {
             let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let t = self.time + (-u.ln() / r.propensity);
+            let t = self.time + (-u.ln() / propensity);
             if best.map(|(_, b)| t < b).unwrap_or(true) {
-                best = Some((i, t));
+                best = Some((entry, t));
             }
         }
         self.pending = best;
         best
     }
 
-    /// Fires the pending event: chooses the assignment and rewrites the
-    /// term.
-    fn fire(&mut self, reactions: &[Reaction], event: (usize, f64)) -> (usize, Path) {
+    /// Fires the pending event: chooses the assignment, rewrites the term
+    /// and updates the shared reaction table (via the direct engine's
+    /// firing path, with this engine's RNG supplying the draws).
+    fn fire(&mut self, event: (usize, f64)) -> (usize, SiteId) {
         let (winner, event_time) = event;
-        let reaction = &reactions[winner];
-        let model = Arc::clone(self.inner.model());
-        let rule = &model.rules[reaction.rule];
+        let (site, rule) = self.inner.table().site_rule(winner);
         let u: f64 = self.rng.gen_range(0.0..1.0);
-        // Apply on the inner engine's term through its public API surface:
-        // clone the site lookup locally.
-        let assignment = {
-            let site_term = self.inner.term().site(&reaction.site).expect("site exists");
-            choose_assignment(site_term, &rule.lhs, u).expect("reaction enabled")
-        };
-        apply_at(self.inner.term_mut(), rule, &reaction.site, &assignment)
-            .expect("chosen assignment applies");
+        self.inner.apply_fire(site, rule, u);
         self.time = event_time;
         self.pending = None;
         self.steps += 1;
-        (reaction.rule, reaction.site.clone())
+        (rule, site)
     }
 
     /// Executes one first-reaction step (fires the pending event if one
     /// was held over from a previous quantum).
     pub fn step(&mut self) -> StepOutcome {
-        let reactions: Vec<Reaction> = self.inner.reactions();
-        match self.next_event(&reactions) {
+        match self.next_event() {
             None => StepOutcome::Exhausted,
             Some(event) => {
                 let dt = event.1 - self.time;
-                let (rule, site) = self.fire(&reactions, event);
+                let (rule, site) = self.fire(event);
                 StepOutcome::Fired { rule, site, dt }
             }
         }
@@ -198,8 +211,7 @@ impl FirstReactionEngine {
     pub fn run_until(&mut self, t_end: f64) -> u64 {
         let mut fired = 0;
         while self.time < t_end {
-            let reactions = self.inner.reactions();
-            match self.next_event(&reactions) {
+            match self.next_event() {
                 None => {
                     self.time = t_end;
                     break;
@@ -209,7 +221,7 @@ impl FirstReactionEngine {
                     break;
                 }
                 Some(event) => {
-                    self.fire(&reactions, event);
+                    self.fire(event);
                     fired += 1;
                 }
             }
@@ -227,11 +239,7 @@ impl FirstReactionEngine {
     {
         let mut fired = 0;
         loop {
-            let reactions = self.inner.reactions();
-            let t_next = self
-                .next_event(&reactions)
-                .map(|(_, t)| t)
-                .unwrap_or(f64::INFINITY);
+            let t_next = self.next_event().map(|(_, t)| t).unwrap_or(f64::INFINITY);
             // Emit all samples that fall before the next event and within
             // the quantum.
             let horizon = t_next.min(t_end);
@@ -248,7 +256,7 @@ impl FirstReactionEngine {
                 break;
             }
             let event = self.pending.expect("finite t_next implies pending");
-            self.fire(&reactions, event);
+            self.fire(event);
             fired += 1;
         }
         fired

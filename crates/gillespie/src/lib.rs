@@ -8,6 +8,12 @@
 //! - [`engine`]: the engine-agnostic seam — the [`QuantumEngine`] contract,
 //!   the concrete [`Engine`] enum and the configuration-level
 //!   [`EngineKind`] selector every pipeline layer is written against;
+//! - [`deps`]: one-time model compilation — per-rule read/write sets and
+//!   the reaction dependency graph, shared across instances;
+//! - [`table`]: the persistent [`ReactionTable`] of (site, rule)
+//!   propensities, updated incrementally after each firing instead of
+//!   re-enumerated per step (the step-throughput lever for CWC's
+//!   tree-matching propensities);
 //! - [`ssa`]: the exact engine ([`SsaEngine`]) with pending-event
 //!   preservation, so slicing a run into scheduler quanta never changes the
 //!   trajectory; plus the τ-grid [`SampleClock`];
@@ -23,16 +29,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod deps;
 pub mod engine;
 pub mod first_reaction;
 pub mod rng;
 pub mod ssa;
+pub mod table;
 pub mod tau_leap;
 pub mod trajectory;
 
+pub use deps::{KeptChild, ModelDeps, RuleDeps};
 pub use engine::{Engine, EngineError, EngineKind, EngineStep, QuantumEngine, QuantumOutcome};
 pub use first_reaction::FirstReactionEngine;
 pub use rng::{instance_seed, sim_rng, SimRng};
 pub use ssa::{Reaction, SampleClock, SsaEngine, StepOutcome};
+pub use table::ReactionTable;
 pub use tau_leap::{TauLeapEngine, TauLeapError};
 pub use trajectory::{cuts_from_samples, Cut, Sample, Trajectory};

@@ -2,10 +2,15 @@
 //!
 //! "The Gillespie algorithm realises a Monte Carlo simulation on repeated
 //! random sampling to compute the result. Each individual simulation is
-//! called a trajectory." On CWC, one step is: enumerate the sites of the
-//! term, compute each rule's propensity at each matching site (rate × tree
-//! match count), draw the exponential waiting time and the reaction, then
-//! rewrite the term in place at the chosen site.
+//! called a trajectory." On CWC, one step is: read each rule's propensity
+//! at each matching site (rate × tree match count) off the incrementally
+//! maintained [`ReactionTable`](crate::table::ReactionTable), draw the
+//! exponential waiting time and the reaction, rewrite the term in place at
+//! the chosen site, then re-match only the (site, rule) pairs the firing
+//! could have affected (see [`crate::deps`]). The steady-state step loop
+//! allocates nothing: sites travel as dense ids, the assignment choice
+//! streams through reused buffers, and `a0` is one ordered summation per
+//! step.
 //!
 //! ## Quantum-exact execution
 //!
@@ -19,12 +24,14 @@
 
 use std::sync::Arc;
 
-use cwc::matching::{apply_at, choose_assignment, match_count};
+use cwc::matching::{apply_at, choose_assignment_with, match_count, MatchScratch};
 use cwc::model::Model;
-use cwc::term::{Path, Term};
+use cwc::term::{Path, SiteId, Term};
 use rand::Rng;
 
+use crate::deps::ModelDeps;
 use crate::rng::{sim_rng, SimRng};
+use crate::table::ReactionTable;
 
 /// One enabled (rule, site) pair with its propensity.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,14 +45,18 @@ pub struct Reaction {
 }
 
 /// Outcome of one SSA step.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StepOutcome {
     /// A reaction fired after waiting `dt`.
     Fired {
         /// Index of the rule that fired.
         rule: usize,
-        /// Site where it fired.
-        site: Path,
+        /// Site where it fired — a dense id into the engine's
+        /// [`ReactionTable`](crate::table::ReactionTable) registry, valid
+        /// until the next structural rewrite (resolve with
+        /// `engine.site_path(site)` if needed). Returned instead of a
+        /// cloned `Path` so the hot step loop stays allocation-free.
+        site: SiteId,
         /// Exponential waiting time that elapsed.
         dt: f64,
     },
@@ -75,6 +86,9 @@ pub enum StepOutcome {
 #[derive(Debug, Clone)]
 pub struct SsaEngine {
     model: Arc<Model>,
+    /// Compiled read/write sets + dependency graph, shared across
+    /// instances of the same model.
+    deps: Arc<ModelDeps>,
     term: Term,
     time: f64,
     /// Absolute time of the next event, already drawn but not yet fired.
@@ -83,23 +97,58 @@ pub struct SsaEngine {
     rng: SimRng,
     instance: u64,
     steps: u64,
+    /// Incrementally maintained propensities of every (site, rule) pair.
+    /// Built at construction and kept current by every firing — the term
+    /// is only ever mutated through [`apply_fire`](SsaEngine::apply_fire).
+    table: ReactionTable,
+    scratch: MatchScratch,
+    /// Chosen-assignment buffer, reused across firings.
+    assignment_buf: Vec<usize>,
+    /// Diagnostic: number of `a0` summations performed (exactly one per
+    /// step-loop iteration — the redundant per-phase re-summations of the
+    /// naive implementation are gone; a unit test pins this).
+    a0_sums: u64,
 }
 
 impl SsaEngine {
-    /// Creates an engine for `instance`, seeded from `base_seed`.
+    /// Creates an engine for `instance`, seeded from `base_seed`,
+    /// compiling the model's dependency graph locally.
     ///
-    /// The initial term is cloned from the model.
+    /// The initial term is cloned from the model. When constructing many
+    /// instances of one model, compile once and share via
+    /// [`SsaEngine::with_deps`].
     pub fn new(model: Arc<Model>, base_seed: u64, instance: u64) -> Self {
+        let deps = Arc::new(ModelDeps::compile(&model));
+        Self::with_deps(model, deps, base_seed, instance)
+    }
+
+    /// Creates an engine reusing an already-compiled dependency graph
+    /// (see [`ModelDeps::compile`]).
+    pub fn with_deps(
+        model: Arc<Model>,
+        deps: Arc<ModelDeps>,
+        base_seed: u64,
+        instance: u64,
+    ) -> Self {
         let term = model.initial.clone();
-        SsaEngine {
+        let mut engine = SsaEngine {
             model,
+            deps,
             term,
             time: 0.0,
             pending: None,
             rng: sim_rng(base_seed, instance),
             instance,
             steps: 0,
-        }
+            table: ReactionTable::default(),
+            scratch: MatchScratch::default(),
+            assignment_buf: Vec::new(),
+            a0_sums: 0,
+        };
+        engine
+            .table
+            .build(&engine.model, &engine.term, &mut engine.scratch);
+        engine
     }
 
     /// The current term.
@@ -127,11 +176,9 @@ impl SsaEngine {
         &self.model
     }
 
-    /// Mutable term access for sibling samplers in this crate. Clears any
-    /// pending event: external mutation invalidates the drawn waiting time.
-    pub(crate) fn term_mut(&mut self) -> &mut Term {
-        self.pending = None;
-        &mut self.term
+    /// The compiled dependency graph driving incremental updates.
+    pub fn deps(&self) -> &Arc<ModelDeps> {
+        &self.deps
     }
 
     /// Evaluates the model's observables on the current term.
@@ -139,7 +186,14 @@ impl SsaEngine {
         self.model.eval_observables(&self.term)
     }
 
-    /// Enumerates every enabled reaction with its propensity.
+    /// Enumerates every enabled reaction with its propensity, from
+    /// scratch.
+    ///
+    /// This is the naive full walk the incremental table replaced in the
+    /// step loop; it is kept as the reference oracle (tests assert the
+    /// table equals it after arbitrary firing sequences) and for one-off
+    /// inspection. Prefer [`cached_reactions`](SsaEngine::cached_reactions)
+    /// when the engine is hot.
     pub fn reactions(&self) -> Vec<Reaction> {
         let mut out = Vec::new();
         // Walk sites once; check every rule whose label matches the site.
@@ -164,19 +218,65 @@ impl SsaEngine {
         out
     }
 
+    /// The enabled reactions as maintained by the incremental table.
+    /// Same set, order and propensities as
+    /// [`reactions`](SsaEngine::reactions) — that equality is the table's
+    /// correctness contract.
+    pub fn cached_reactions(&self) -> Vec<Reaction> {
+        self.table
+            .active_entries()
+            .map(|(i, propensity)| {
+                let (site, rule) = self.table.site_rule(i);
+                Reaction {
+                    rule,
+                    site: self.table.registry().path(site).clone(),
+                    propensity,
+                }
+            })
+            .collect()
+    }
+
     /// Total propensity `a0` of the current state.
     pub fn total_propensity(&self) -> f64 {
-        self.reactions().iter().map(|r| r.propensity).sum()
+        self.table.total()
+    }
+
+    /// Resolves a dense site id (as reported by
+    /// [`StepOutcome::Fired`]) to its path, while the id is current.
+    pub fn site_path(&self, site: SiteId) -> &Path {
+        self.table.registry().path(site)
+    }
+
+    /// Diagnostic: total `a0` summations performed so far. The step loop
+    /// performs exactly one per iteration (see the satellite regression
+    /// test `one_a0_sum_per_step`).
+    pub fn a0_sums(&self) -> u64 {
+        self.a0_sums
+    }
+
+    /// The always-current reaction table (see the field docs: every term
+    /// mutation goes through [`apply_fire`](SsaEngine::apply_fire), which
+    /// updates it).
+    pub(crate) fn table(&self) -> &ReactionTable {
+        &self.table
+    }
+
+    /// `a0` for this step-loop iteration: one ordered summation over the
+    /// table — shared by the waiting-time draw and the selection scan,
+    /// replacing the naive implementation's two re-summations plus full
+    /// re-enumeration.
+    fn current_a0(&mut self) -> f64 {
+        self.a0_sums += 1;
+        self.table.total()
     }
 
     /// Absolute time of the next event, drawing it if necessary.
     ///
     /// Returns `None` when the state is absorbing (`a0 = 0`).
-    fn next_event_time(&mut self, reactions: &[Reaction]) -> Option<f64> {
+    fn next_event_time(&mut self, a0: f64) -> Option<f64> {
         if let Some(t) = self.pending {
             return Some(t);
         }
-        let a0: f64 = reactions.iter().map(|r| r.propensity).sum();
         if a0 <= 0.0 {
             return None;
         }
@@ -186,6 +286,36 @@ impl SsaEngine {
         Some(t)
     }
 
+    /// Chooses the assignment, rewrites the term at `site` and updates the
+    /// reaction table incrementally. Shared with the first-reaction engine
+    /// (which supplies its own selection and RNG draws).
+    pub(crate) fn apply_fire(&mut self, site: SiteId, rule_idx: usize, u_assign: f64) {
+        let rule = &self.model.rules[rule_idx];
+        let path = self.table.registry().path(site);
+        let ok = {
+            let site_term = self.term.site(path).expect("fired site exists");
+            choose_assignment_with(
+                site_term,
+                &rule.lhs,
+                u_assign,
+                &mut self.scratch,
+                &mut self.assignment_buf,
+            )
+        };
+        debug_assert!(ok, "reaction was enabled");
+        apply_at(&mut self.term, rule, path, &self.assignment_buf)
+            .expect("chosen assignment applies");
+        self.table.post_fire(
+            &self.model,
+            &self.deps,
+            &self.term,
+            rule_idx,
+            site,
+            &self.assignment_buf,
+            &mut self.scratch,
+        );
+    }
+
     /// Fires the pending event: selects a reaction proportionally to
     /// propensity and rewrites the term.
     ///
@@ -193,44 +323,30 @@ impl SsaEngine {
     /// no variate is consumed — part of the draw discipline documented in
     /// [`crate::rng`] that lets the coupled first-reaction engine
     /// reproduce single-channel trajectories bit-for-bit.
-    fn fire(&mut self, reactions: &[Reaction], event_time: f64) -> (usize, Path) {
-        let chosen = if reactions.len() == 1 {
-            0
+    fn fire(&mut self, a0: f64, event_time: f64) -> (usize, SiteId) {
+        let entry = if self.table.active_count() == 1 {
+            self.table.first_active().expect("one enabled reaction")
         } else {
-            let a0: f64 = reactions.iter().map(|r| r.propensity).sum();
             let target = self.rng.gen_range(0.0..a0);
-            let mut acc = 0.0;
-            let mut chosen = reactions.len() - 1;
-            for (i, r) in reactions.iter().enumerate() {
-                acc += r.propensity;
-                if target < acc {
-                    chosen = i;
-                    break;
-                }
-            }
-            chosen
+            self.table.select(target)
         };
-        let reaction = &reactions[chosen];
-        let rule = &self.model.rules[reaction.rule];
-        let site_term = self.term.site(&reaction.site).expect("site exists");
+        let (site, rule) = self.table.site_rule(entry);
         let u3: f64 = self.rng.gen_range(0.0..1.0);
-        let assignment = choose_assignment(site_term, &rule.lhs, u3).expect("reaction was enabled");
-        apply_at(&mut self.term, rule, &reaction.site, &assignment)
-            .expect("chosen assignment applies");
+        self.apply_fire(site, rule, u3);
         self.time = event_time;
         self.pending = None;
         self.steps += 1;
-        (reaction.rule, reaction.site.clone())
+        (rule, site)
     }
 
     /// Executes one SSA step (direct method).
     pub fn step(&mut self) -> StepOutcome {
-        let reactions = self.reactions();
-        match self.next_event_time(&reactions) {
+        let a0 = self.current_a0();
+        match self.next_event_time(a0) {
             None => StepOutcome::Exhausted,
             Some(t) => {
                 let dt = t - self.time;
-                let (rule, site) = self.fire(&reactions, t);
+                let (rule, site) = self.fire(a0, t);
                 StepOutcome::Fired { rule, site, dt }
             }
         }
@@ -245,8 +361,8 @@ impl SsaEngine {
     pub fn run_until(&mut self, t_end: f64) -> u64 {
         let mut fired = 0;
         while self.time < t_end {
-            let reactions = self.reactions();
-            match self.next_event_time(&reactions) {
+            let a0 = self.current_a0();
+            match self.next_event_time(a0) {
                 None => {
                     self.time = t_end;
                     break;
@@ -256,7 +372,7 @@ impl SsaEngine {
                     break;
                 }
                 Some(t) => {
-                    self.fire(&reactions, t);
+                    self.fire(a0, t);
                     fired += 1;
                 }
             }
@@ -278,8 +394,8 @@ impl SsaEngine {
     {
         let mut fired = 0;
         loop {
-            let reactions = self.reactions();
-            let t_next = self.next_event_time(&reactions).unwrap_or(f64::INFINITY);
+            let a0 = self.current_a0();
+            let t_next = self.next_event_time(a0).unwrap_or(f64::INFINITY);
             // Emit all samples that fall before the next event and within
             // the quantum.
             let horizon = t_next.min(t_end);
@@ -295,7 +411,7 @@ impl SsaEngine {
                 self.time = t_end;
                 break;
             }
-            self.fire(&reactions, t_next);
+            self.fire(a0, t_next);
             fired += 1;
         }
         fired

@@ -1,0 +1,426 @@
+//! The persistent reaction table: every `(site, rule)` propensity of the
+//! current term, kept up to date *incrementally*.
+//!
+//! The naive CWC step enumerates the term's sites, re-runs tree matching
+//! for every rule at every site and collects the enabled reactions into a
+//! fresh `Vec` — per step. This module replaces that with a table built
+//! once ([`ReactionTable::build`]) and then *updated* after each firing
+//! ([`ReactionTable::post_fire`]): only the propensities the fired rule
+//! could have changed — per the compiled dependency graph of
+//! [`crate::deps`] — are re-matched. Firings of *structural* rules
+//! (compartment creation/destruction/dissolution) rebuild the table, since
+//! they change the site tree itself.
+//!
+//! ## Bit-for-bit compatibility
+//!
+//! The table is a drop-in replacement for the naive enumeration, preserving
+//! the exact floating-point behaviour of the engines that consume it:
+//!
+//! - entries are ordered site-walk-order × rule-index-order — the same
+//!   order the naive walk produced;
+//! - [`total`](ReactionTable::total) replays the naive `a0` summation
+//!   exactly — the enabled entries, in that order, folded from the same
+//!   additive identity — so the waiting-time divisor is bit-identical;
+//! - [`select`](ReactionTable::select) scans enabled entries in the same
+//!   order with the same cumulative comparison, falling back to the last
+//!   enabled entry on floating-point shortfall.
+//!
+//! Sites are addressed by dense [`SiteId`]s from the embedded
+//! [`SiteRegistry`] — the hot loop never clones a `Path`.
+
+use cwc::matching::{match_count_with, MatchScratch};
+use cwc::model::Model;
+use cwc::term::{SiteId, SiteRegistry, Term};
+
+use crate::deps::ModelDeps;
+
+/// One `(site, rule)` slot. `propensity == 0.0` means "not currently
+/// enabled"; the slot stays in the table so updates are in-place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    site: SiteId,
+    rule: u32,
+    propensity: f64,
+}
+
+/// Persistent propensity table over a term's sites (see module docs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReactionTable {
+    registry: SiteRegistry,
+    /// `entries[site_start[s] .. site_start[s + 1]]` are site `s`'s slots.
+    site_start: Vec<u32>,
+    entries: Vec<Entry>,
+    /// Number of entries with positive propensity.
+    active: usize,
+}
+
+impl ReactionTable {
+    /// Rebuilds the whole table from `term`: re-interns the sites and
+    /// re-matches every rule everywhere. Needed initially and after any
+    /// structural rewrite; [`post_fire`](ReactionTable::post_fire) calls
+    /// it automatically for structural rules.
+    pub fn build(&mut self, model: &Model, term: &Term, scratch: &mut MatchScratch) {
+        self.registry.rebuild(term);
+        self.entries.clear();
+        self.site_start.clear();
+        self.active = 0;
+        for index in 0..self.registry.len() {
+            let id = SiteId::from_index(index);
+            self.site_start.push(self.entries.len() as u32);
+            let label = self.registry.label(id);
+            let site_term = term.site(self.registry.path(id)).expect("registry path");
+            for (ri, rule) in model.rules.iter().enumerate() {
+                if rule.site != label || rule.rate == 0.0 {
+                    continue;
+                }
+                let p = propensity_of(model, ri, site_term, scratch);
+                if p > 0.0 {
+                    self.active += 1;
+                }
+                self.entries.push(Entry {
+                    site: id,
+                    rule: ri as u32,
+                    propensity: p,
+                });
+            }
+        }
+        self.site_start.push(self.entries.len() as u32);
+    }
+
+    /// Updates the table after `rule` fired at `site` with the given
+    /// compartment `assignment`: re-matches exactly the `(site, rule)`
+    /// pairs the dependency graph marks as affected, or rebuilds wholesale
+    /// for structural rules.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_fire(
+        &mut self,
+        model: &Model,
+        deps: &ModelDeps,
+        term: &Term,
+        rule: usize,
+        site: SiteId,
+        assignment: &[usize],
+        scratch: &mut MatchScratch,
+    ) {
+        if deps.is_structural(rule) {
+            self.build(model, term, scratch);
+            return;
+        }
+        for &q in deps.same_site_affected(rule) {
+            self.rematch(model, term, site, q, scratch);
+        }
+        let rd = deps.rule(rule);
+        for (k, kept) in rd.kept.iter().enumerate() {
+            let affected = deps.child_affected(rule, k);
+            if affected.is_empty() {
+                continue;
+            }
+            let child = self
+                .registry
+                .child(site, assignment[kept.pattern])
+                .expect("kept compartment still exists");
+            for &q in affected {
+                self.rematch(model, term, child, q, scratch);
+            }
+        }
+        let parents = deps.parent_affected(rule);
+        if !parents.is_empty() {
+            if let Some(parent) = self.registry.parent(site) {
+                let parent_label = self.registry.label(parent);
+                for &q in parents {
+                    if model.rules[q as usize].site == parent_label {
+                        self.rematch(model, term, parent, q, scratch);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recomputes one `(site, rule)` slot in place (no-op when the slot is
+    /// absent, e.g. a parent candidate whose label does not host the rule).
+    fn rematch(
+        &mut self,
+        model: &Model,
+        term: &Term,
+        site: SiteId,
+        rule: u32,
+        scratch: &mut MatchScratch,
+    ) {
+        let start = self.site_start[site.index()] as usize;
+        let end = self.site_start[site.index() + 1] as usize;
+        for i in start..end {
+            if self.entries[i].rule == rule {
+                let site_term = term.site(self.registry.path(site)).expect("registry path");
+                let p = propensity_of(model, rule as usize, site_term, scratch);
+                let was_active = self.entries[i].propensity > 0.0;
+                self.entries[i].propensity = p;
+                self.active = self.active + (p > 0.0) as usize - was_active as usize;
+                return;
+            }
+        }
+    }
+
+    /// Total propensity `a0`: the enabled slots summed in table order —
+    /// the exact `Iterator::sum` the naive enumeration performed over its
+    /// reaction list, identity (`-0.0`) included, so the result is
+    /// bit-identical (see module docs).
+    pub fn total(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.propensity > 0.0)
+            .map(|e| e.propensity)
+            .sum()
+    }
+
+    /// Number of currently enabled reactions (positive propensity).
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// Entry index of the first enabled reaction, if any.
+    pub fn first_active(&self) -> Option<usize> {
+        self.entries.iter().position(|e| e.propensity > 0.0)
+    }
+
+    /// Direct-method selection: the first enabled entry whose cumulative
+    /// propensity exceeds `target`, scanning in table order; the last
+    /// enabled entry on floating-point shortfall.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no reaction is enabled (callers check `a0 > 0` first).
+    pub fn select(&self, target: f64) -> usize {
+        let mut acc = 0.0;
+        let mut last_active = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.propensity <= 0.0 {
+                continue;
+            }
+            last_active = Some(i);
+            acc += e.propensity;
+            if target < acc {
+                return i;
+            }
+        }
+        last_active.expect("select called with no enabled reaction")
+    }
+
+    /// The `(site, rule)` key of entry `i`.
+    pub fn site_rule(&self, i: usize) -> (SiteId, usize) {
+        let e = &self.entries[i];
+        (e.site, e.rule as usize)
+    }
+
+    /// The propensity stored in entry `i`.
+    pub fn propensity(&self, i: usize) -> f64 {
+        self.entries[i].propensity
+    }
+
+    /// Iterates `(entry index, propensity)` over enabled entries in table
+    /// order — the first-reaction method's draw order.
+    pub fn active_entries(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.propensity > 0.0)
+            .map(|(i, e)| (i, e.propensity))
+    }
+
+    /// Total number of slots (enabled or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table has no slots (unbuilt, or a rule-less model).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The site registry backing this table.
+    pub fn registry(&self) -> &SiteRegistry {
+        &self.registry
+    }
+}
+
+/// Propensity of `rule` at `site_term`: `law(rate, h, atoms)` when the
+/// tree-match count `h` is positive, else exactly `0.0`.
+fn propensity_of(model: &Model, rule: usize, site_term: &Term, scratch: &mut MatchScratch) -> f64 {
+    let rule = &model.rules[rule];
+    let h = match_count_with(site_term, &rule.lhs, scratch);
+    if h == 0 {
+        return 0.0;
+    }
+    let p = rule.law.propensity(rule.rate, h, &site_term.atoms);
+    if p > 0.0 {
+        p
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::ModelDeps;
+    use cwc::model::Model;
+    use cwc::term::Path;
+
+    fn build_all(model: &Model) -> (ReactionTable, ModelDeps, Term, MatchScratch) {
+        let deps = ModelDeps::compile(model);
+        let term = model.initial.clone();
+        let mut scratch = MatchScratch::default();
+        let mut table = ReactionTable::default();
+        table.build(model, &term, &mut scratch);
+        (table, deps, term, scratch)
+    }
+
+    /// The oracle: the naive full enumeration, as `(site path, rule,
+    /// propensity)` of enabled reactions in walk × rule order.
+    fn naive(model: &Model, term: &Term) -> Vec<(Path, usize, f64)> {
+        let mut out = Vec::new();
+        term.walk_sites(&mut |path, label, site_term| {
+            for (ri, rule) in model.rules.iter().enumerate() {
+                if rule.site != label || rule.rate == 0.0 {
+                    continue;
+                }
+                let h = cwc::matching::match_count(site_term, &rule.lhs);
+                if h > 0 {
+                    let p = rule.law.propensity(rule.rate, h, &site_term.atoms);
+                    if p > 0.0 {
+                        out.push((path.clone(), ri, p));
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    fn table_view(table: &ReactionTable) -> Vec<(Path, usize, f64)> {
+        table
+            .active_entries()
+            .map(|(i, p)| {
+                let (site, rule) = table.site_rule(i);
+                (table.registry().path(site).clone(), rule, p)
+            })
+            .collect()
+    }
+
+    fn transport_model() -> Model {
+        let mut m = Model::new("transport");
+        let a = m.species("A");
+        m.rule("in")
+            .consumes("A", 1)
+            .matches_comp("cell", &[], &[])
+            .keeps(0, &[], &[("Ain", 1)])
+            .rate(1.0)
+            .build()
+            .unwrap();
+        m.rule("out")
+            .matches_comp("cell", &[], &[("Ain", 1)])
+            .keeps(0, &[], &[])
+            .produces("A", 1)
+            .rate(0.5)
+            .build()
+            .unwrap();
+        m.rule("decay")
+            .at("cell")
+            .consumes("Ain", 1)
+            .rate(0.25)
+            .build()
+            .unwrap();
+        m.initial.add_atoms(a, 4);
+        m.initial.add_compartment(cwc::term::Compartment::new(
+            m.alphabet.find_label("cell").unwrap(),
+            cwc::multiset::Multiset::new(),
+            Term::new(),
+        ));
+        m
+    }
+
+    #[test]
+    fn build_matches_naive_enumeration() {
+        let m = transport_model();
+        let (table, _, term, _) = build_all(&m);
+        assert_eq!(table_view(&table), naive(&m, &term));
+        assert_eq!(table.active_count(), 1); // only "in" enabled initially
+        assert_eq!(table.len(), 3); // in + out at top-ish… (in, out at root; decay at cell)
+    }
+
+    #[test]
+    fn post_fire_keeps_table_equal_to_recompute() {
+        let m = transport_model();
+        let (mut table, deps, mut term, mut scratch) = build_all(&m);
+        // Fire "in" at the root: A moves into the cell.
+        let root = SiteId::ROOT;
+        cwc::matching::apply_at(&mut term, &m.rules[0], &Path::root(), &[0]).unwrap();
+        table.post_fire(&m, &deps, &term, 0, root, &[0], &mut scratch);
+        assert_eq!(table_view(&table), naive(&m, &term));
+        assert_eq!(table.active_count(), 3); // in, out, decay all enabled
+
+        // Fire "decay" inside the cell.
+        let cell = table.registry().child(root, 0).unwrap();
+        let cell_path = table.registry().path(cell).clone();
+        cwc::matching::apply_at(&mut term, &m.rules[2], &cell_path, &[]).unwrap();
+        table.post_fire(&m, &deps, &term, 2, cell, &[], &mut scratch);
+        assert_eq!(table_view(&table), naive(&m, &term));
+
+        // Fire "in" three more times, then "out" until the cell drains.
+        for _ in 0..3 {
+            cwc::matching::apply_at(&mut term, &m.rules[0], &Path::root(), &[0]).unwrap();
+            table.post_fire(&m, &deps, &term, 0, root, &[0], &mut scratch);
+            assert_eq!(table_view(&table), naive(&m, &term));
+        }
+        while table
+            .active_entries()
+            .any(|(i, _)| table.site_rule(i).1 == 1)
+        {
+            cwc::matching::apply_at(&mut term, &m.rules[1], &Path::root(), &[0]).unwrap();
+            table.post_fire(&m, &deps, &term, 1, root, &[0], &mut scratch);
+            assert_eq!(table_view(&table), naive(&m, &term));
+        }
+    }
+
+    #[test]
+    fn structural_fire_rebuilds() {
+        let mut m = Model::new("s");
+        let b = m.species("B");
+        m.rule("make")
+            .consumes("B", 1)
+            .creates_comp("cell", &[], &[("C", 1)])
+            .rate(1.0)
+            .build()
+            .unwrap();
+        m.rule("inner")
+            .at("cell")
+            .consumes("C", 1)
+            .rate(1.0)
+            .build()
+            .unwrap();
+        m.initial.add_atoms(b, 2);
+        let (mut table, deps, mut term, mut scratch) = build_all(&m);
+        assert_eq!(table.registry().len(), 1);
+        cwc::matching::apply_at(&mut term, &m.rules[0], &Path::root(), &[]).unwrap();
+        table.post_fire(&m, &deps, &term, 0, SiteId::ROOT, &[], &mut scratch);
+        assert_eq!(table.registry().len(), 2); // registry re-interned
+        assert_eq!(table_view(&table), naive(&m, &term));
+    }
+
+    #[test]
+    fn total_and_select_follow_table_order() {
+        let mut m = Model::new("two");
+        let a = m.species("A");
+        m.rule("r0").consumes("A", 1).rate(2.0).build().unwrap();
+        m.rule("r1").consumes("A", 1).rate(3.0).build().unwrap();
+        m.initial.add_atoms(a, 2);
+        let (table, _, _, _) = build_all(&m);
+        assert_eq!(table.total(), 4.0 + 6.0);
+        assert_eq!(table.active_count(), 2);
+        assert_eq!(table.first_active(), Some(0));
+        assert_eq!(table.select(0.0), 0);
+        assert_eq!(table.select(3.999), 0);
+        assert_eq!(table.select(4.0), 1);
+        assert_eq!(table.select(1e9), 1); // shortfall → last enabled
+        assert_eq!(table.site_rule(1), (SiteId::ROOT, 1));
+        assert!(table.propensity(1) == 6.0 && !table.is_empty());
+    }
+}

@@ -30,6 +30,7 @@ use cwc::model::Model;
 use cwc::species::{Label, Species};
 use rand::Rng;
 
+use crate::deps::ModelDeps;
 use crate::rng::{sim_rng, SimRng};
 use crate::ssa::SampleClock;
 
@@ -122,13 +123,32 @@ pub struct TauLeapEngine {
 }
 
 impl TauLeapEngine {
-    /// Builds a leaping engine from a flat model.
+    /// Builds a leaping engine from a flat model, compiling its
+    /// stoichiometry locally.
     ///
     /// # Errors
     ///
     /// Returns [`TauLeapError`] when any rule uses compartments or applies
     /// below the top level.
     pub fn new(model: Arc<Model>, base_seed: u64, instance: u64) -> Result<Self, TauLeapError> {
+        let deps = Arc::new(ModelDeps::compile(&model));
+        Self::with_deps(model, deps, base_seed, instance)
+    }
+
+    /// Like [`TauLeapEngine::new`], reusing an already-compiled
+    /// [`ModelDeps`]: the per-rule net species deltas of the compilation
+    /// pass *are* the stoichiometry vectors Poisson leaping needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TauLeapError`] when any rule uses compartments or applies
+    /// below the top level.
+    pub fn with_deps(
+        model: Arc<Model>,
+        deps: Arc<ModelDeps>,
+        base_seed: u64,
+        instance: u64,
+    ) -> Result<Self, TauLeapError> {
         let species: Vec<Species> = model.alphabet.all_species().collect();
         let index_of = |s: Species| -> usize {
             species
@@ -139,7 +159,7 @@ impl TauLeapEngine {
         let mut reactants = Vec::new();
         let mut delta = Vec::new();
         let mut rates = Vec::new();
-        for rule in &model.rules {
+        for (ri, rule) in model.rules.iter().enumerate() {
             if !rule.is_flat() {
                 return Err(TauLeapError::NotFlat {
                     rule: rule.name.clone(),
@@ -161,15 +181,16 @@ impl TauLeapEngine {
                 .iter()
                 .map(|(s, n)| (index_of(s), n))
                 .collect();
-            let mut d: std::collections::BTreeMap<usize, i64> = Default::default();
-            for (s, n) in rule.lhs.atoms.iter() {
-                *d.entry(index_of(s)).or_insert(0) -= n as i64;
-            }
-            for (s, n) in rule.rhs.atoms.iter() {
-                *d.entry(index_of(s)).or_insert(0) += n as i64;
-            }
+            // Net stoichiometry straight from the compiled dependency
+            // info (ascending species order, like the interned indices).
+            let d: Vec<(usize, i64)> = deps
+                .rule(ri)
+                .site_delta
+                .iter()
+                .map(|&(s, v)| (index_of(s), v))
+                .collect();
             reactants.push(r);
-            delta.push(d.into_iter().filter(|(_, v)| *v != 0).collect());
+            delta.push(d);
             rates.push(rule.rate);
         }
         let state = species

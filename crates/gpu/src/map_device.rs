@@ -80,8 +80,11 @@ impl DeviceMap {
         quantum: f64,
         sample_period: f64,
     ) -> Result<Self, EngineError> {
+        // Compile the model once for the whole device load; every lane's
+        // engine shares the dependency graph.
+        let deps = Arc::new(gillespie::deps::ModelDeps::compile(&model));
         let engines: Vec<Engine> = (0..instances)
-            .map(|i| kind.build(Arc::clone(&model), base_seed, i))
+            .map(|i| kind.build_with_deps(Arc::clone(&model), Arc::clone(&deps), base_seed, i))
             .collect::<Result<_, _>>()?;
         let clocks = (0..instances)
             .map(|_| SampleClock::new(0.0, sample_period))

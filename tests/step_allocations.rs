@@ -1,0 +1,118 @@
+//! Steady-state `step()` is allocation-free (PR 3 acceptance).
+//!
+//! A counting global allocator (thread-local counters, so parallel test
+//! threads don't interfere) wraps the system allocator; after a warm-up
+//! that grows every reusable buffer to its steady-state capacity, a long
+//! run of exact-engine steps must perform zero heap allocations — on the
+//! flat *and* the compartmentalised Neurospora model, for both the direct
+//! and the first-reaction method.
+//!
+//! What makes this hold: propensities live in the incrementally-updated
+//! reaction table (no per-step `Vec<Reaction>`), sites travel as dense
+//! `SiteId`s (no `Path` clones), the assignment choice streams through
+//! reused scratch buffers, and `apply_at` keeps its fate table on the
+//! stack. Multiset updates mutate existing B-tree nodes in place; a node
+//! allocation could only occur if a species' count crossed zero in a way
+//! that empties or splits a node, which does not happen in these
+//! steady-state regimes (the assertion would catch it).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use cwc_repro::biomodels::{
+    neurospora_compartments, neurospora_flat, schlogl, NeurosporaParams, SchloglParams,
+};
+use cwc_repro::gillespie::engine::{EngineKind, EngineStep};
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn assert_alloc_free_steps(
+    kind: EngineKind,
+    model: Arc<cwc_repro::cwc::model::Model>,
+    label: &str,
+) {
+    let mut engine = kind.build(model, 7, 0).expect("engine builds");
+    // Warm up: reach the steady-state regime and grow every buffer.
+    for _ in 0..20_000 {
+        engine.step();
+    }
+    let before = allocations();
+    let mut fired = 0u64;
+    for _ in 0..5_000 {
+        match engine.step() {
+            EngineStep::Advanced { .. } => fired += 1,
+            EngineStep::Exhausted => break,
+        }
+    }
+    let after = allocations();
+    assert!(fired > 0, "{label}: no steps fired");
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: {} heap allocations in {fired} steady-state steps",
+        after - before
+    );
+}
+
+#[test]
+fn ssa_step_is_allocation_free_on_compartment_model() {
+    let model = Arc::new(neurospora_compartments(NeurosporaParams::default()));
+    assert_alloc_free_steps(EngineKind::Ssa, model, "neurospora_compartments/ssa");
+}
+
+#[test]
+fn first_reaction_step_is_allocation_free_on_compartment_model() {
+    let model = Arc::new(neurospora_compartments(NeurosporaParams::default()));
+    assert_alloc_free_steps(
+        EngineKind::FirstReaction,
+        model,
+        "neurospora_compartments/first-reaction",
+    );
+}
+
+#[test]
+fn ssa_step_is_allocation_free_on_flat_models() {
+    assert_alloc_free_steps(
+        EngineKind::Ssa,
+        Arc::new(neurospora_flat(NeurosporaParams::default())),
+        "neurospora_flat/ssa",
+    );
+    assert_alloc_free_steps(
+        EngineKind::Ssa,
+        Arc::new(schlogl(SchloglParams::default())),
+        "schlogl/ssa",
+    );
+}
