@@ -1,5 +1,6 @@
 //! Ablation (beyond the paper): sweep the stochastic integrator under the
-//! unchanged parallel harness. StochKit-FF ships tau-leaping as a
+//! unchanged parallel harness — the two exact engines, fixed-step
+//! tau-leaping, adaptive (CGP) tau-leaping and the hybrid SSA/tau engine. StochKit-FF ships tau-leaping as a
 //! first-class alternative to the exact SSA; the multicore-aware-simulators
 //! report argues the simulation kernel must be swappable under the same
 //! farm. This harness runs the *same* pipeline (farm → alignment → windows
@@ -22,6 +23,11 @@ fn sweep(name: &str, model: Arc<Model>, cfg: &SimConfig, tau: f64) {
         EngineKind::Ssa,
         EngineKind::FirstReaction,
         EngineKind::TauLeap { tau },
+        EngineKind::AdaptiveTau { epsilon: 0.03 },
+        EngineKind::Hybrid {
+            epsilon: 0.03,
+            threshold: 8.0,
+        },
     ];
     let mut rows = Vec::new();
     let mut ssa_mean = None;
@@ -96,7 +102,10 @@ fn main() {
 
     bench::note(
         "\nreading: the exact engines agree in distribution (drift within\n\
-         Monte Carlo noise); tau-leaping trades a bounded mean drift for\n\
-         firing many reactions per Poisson draw under the same harness.",
+         Monte Carlo noise); the leaping engines trade a bounded mean drift\n\
+         for firing many reactions per Poisson draw; adaptive-tau sizes its\n\
+         leaps from the state (epsilon), the hybrid falls back to the exact\n\
+         table whenever leaps stop paying. BENCH_adaptive_tau.json records\n\
+         the dedicated speed/accuracy sweep (bin adaptive_tau).",
     );
 }

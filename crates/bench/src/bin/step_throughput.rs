@@ -287,23 +287,34 @@ fn measure_all(quick: bool) -> Vec<Measurement> {
                 steps_per_sec: rate,
             });
         }
-        // Tau-leaping (flat models only): table-free, reported for the
-        // engine × model matrix; its construction shares the compiled
-        // stoichiometry, the leap loop is unchanged.
-        if (EngineKind::TauLeap { tau: 0.01 })
-            .build(Arc::clone(model), 1, 0)
-            .is_ok()
-        {
+        // The leaping kinds (flat models only), reported for the
+        // engine × model matrix: fixed tau-leap is table-free; adaptive
+        // and hybrid share the compiled stoichiometry (the hybrid's exact
+        // phase drives the incremental table). A transition here is one
+        // `Engine::step` (a leap may fire many reactions).
+        let leaping: [(&'static str, EngineKind); 3] = [
+            ("tau-leap", EngineKind::TauLeap { tau: 0.01 }),
+            ("adaptive-tau", EngineKind::AdaptiveTau { epsilon: 0.03 }),
+            (
+                "hybrid",
+                EngineKind::Hybrid {
+                    epsilon: 0.03,
+                    threshold: 8.0,
+                },
+            ),
+        ];
+        for (engine_name, kind) in leaping {
+            if kind.build(Arc::clone(model), 1, 0).is_err() {
+                continue;
+            }
             let m = Arc::clone(model);
             let (steps, rate) = time_steps(instances, WARMUP / 10, SEGMENT / 10, |i| {
-                let mut engine = EngineKind::TauLeap { tau: 0.01 }
-                    .build(Arc::clone(&m), 1, i)
-                    .expect("checked above");
+                let mut engine = kind.build(Arc::clone(&m), 1, i).expect("checked above");
                 Box::new(move || !matches!(engine.step(), EngineStep::Exhausted))
             });
             out.push(Measurement {
                 model: name,
-                engine: "tau-leap",
+                engine: engine_name,
                 mode: "incremental",
                 steps,
                 steps_per_sec: rate,

@@ -43,8 +43,9 @@ pub struct SimConfig {
     /// Base RNG seed; instance `i` uses a seed derived from it.
     pub base_seed: u64,
     /// The stochastic integrator driving every trajectory (SSA by
-    /// default; tau-leaping is restricted to flat mass-action models and
-    /// rejected at run start otherwise).
+    /// default; the leaping kinds — tau-leap, adaptive-tau, hybrid — are
+    /// restricted to flat mass-action models and rejected at run start
+    /// otherwise, with an error naming the offending rule).
     pub engine: EngineKind,
     /// Statistical engines to run on every window.
     pub engines: Vec<StatEngineKind>,
@@ -267,6 +268,46 @@ mod tests {
         }
         SimConfig::new(1, 10.0)
             .engine(EngineKind::TauLeap { tau: 0.1 })
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn out_of_range_adaptive_epsilon_is_rejected_with_specific_message() {
+        for epsilon in [0.0, -0.1, 1.0, 2.0, f64::NAN] {
+            let cfg = SimConfig::new(1, 10.0).engine(EngineKind::AdaptiveTau { epsilon });
+            let msg = rejection_message(&cfg);
+            assert!(msg.contains("epsilon"), "epsilon={epsilon}: {msg}");
+            assert!(msg.contains("(0, 1)"), "epsilon={epsilon}: {msg}");
+        }
+        SimConfig::new(1, 10.0)
+            .engine(EngineKind::AdaptiveTau { epsilon: 0.03 })
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn bad_hybrid_knobs_are_rejected_with_specific_messages() {
+        // The epsilon rule is shared with the adaptive kind…
+        let cfg = SimConfig::new(1, 10.0).engine(EngineKind::Hybrid {
+            epsilon: 1.5,
+            threshold: 8.0,
+        });
+        assert!(rejection_message(&cfg).contains("epsilon"));
+        // …and the switch threshold has its own.
+        for threshold in [0.0, 0.99, -1.0, f64::NAN, f64::INFINITY] {
+            let cfg = SimConfig::new(1, 10.0).engine(EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold,
+            });
+            let msg = rejection_message(&cfg);
+            assert!(msg.contains("threshold"), "threshold={threshold}: {msg}");
+        }
+        SimConfig::new(1, 10.0)
+            .engine(EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 16.0,
+            })
             .validate()
             .unwrap();
     }

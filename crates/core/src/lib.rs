@@ -18,8 +18,8 @@
 //!   period τ, stochastic integrator, worker counts, window geometry,
 //!   engine set);
 //! - [`task`]: the engine-agnostic simulation task objects streamed
-//!   through the farm (any [`EngineKind`]: SSA, first-reaction,
-//!   tau-leaping);
+//!   through the farm (any [`EngineKind`]: SSA, first-reaction, fixed or
+//!   adaptive tau-leaping, hybrid SSA/tau);
 //! - [`sim_farm`]: master/worker logic with per-quantum rescheduling;
 //! - [`alignment`]: re-groups interleaved samples into time-ordered cuts;
 //! - [`windows`]: sliding windows of cuts;

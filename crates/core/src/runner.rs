@@ -344,6 +344,11 @@ mod tests {
             EngineKind::Ssa,
             EngineKind::TauLeap { tau: 0.1 },
             EngineKind::FirstReaction,
+            EngineKind::AdaptiveTau { epsilon: 0.05 },
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 8.0,
+            },
         ] {
             let cfg = small_cfg().engine(kind);
             let par = run_simulation(Arc::clone(&model), &cfg).unwrap();
@@ -354,20 +359,33 @@ mod tests {
     }
 
     #[test]
-    fn tau_leap_on_compartment_model_is_rejected_as_engine_error() {
+    fn flat_only_kinds_on_compartment_model_are_rejected_as_engine_errors() {
         use gillespie::engine::EngineKind;
         let model = Arc::new(biomodels::cell_transport(
             biomodels::CellTransportParams::default(),
         ));
-        let cfg = small_cfg().engine(EngineKind::TauLeap { tau: 0.1 });
-        assert!(matches!(
-            run_simulation(Arc::clone(&model), &cfg),
-            Err(SimError::Engine(_))
-        ));
-        assert!(matches!(
-            run_sequential(model, &cfg),
-            Err(SimError::Engine(_))
-        ));
+        for kind in [
+            EngineKind::TauLeap { tau: 0.1 },
+            EngineKind::AdaptiveTau { epsilon: 0.05 },
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 8.0,
+            },
+        ] {
+            let cfg = small_cfg().engine(kind);
+            let err = run_simulation(Arc::clone(&model), &cfg).unwrap_err();
+            assert!(matches!(err, SimError::Engine(_)), "{kind}");
+            // The surfaced message names the offending rule, consistently
+            // across every flat-only engine.
+            assert!(
+                err.to_string().contains('`'),
+                "{kind}: {err} should name the offending rule"
+            );
+            assert!(matches!(
+                run_sequential(Arc::clone(&model), &cfg),
+                Err(SimError::Engine(_))
+            ));
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! workers along the feedback cycle.
 //!
 //! A task is *engine-agnostic*: it wraps whichever [`Engine`] the run's
-//! [`EngineKind`](gillespie::engine::EngineKind) built — exact direct
-//! method, first-reaction, or tau-leaping — behind the same
+//! [`EngineKind`] built — exact direct method, first-reaction, fixed or
+//! adaptive tau-leaping, or the hybrid SSA/tau engine — behind the same
 //! advance-one-quantum contract, so the farm, the distributed emulation
 //! and the GPGPU map schedule every integrator identically.
 
@@ -230,6 +230,11 @@ mod tests {
             EngineKind::Ssa,
             EngineKind::TauLeap { tau: 0.07 },
             EngineKind::FirstReaction,
+            EngineKind::AdaptiveTau { epsilon: 0.05 },
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 8.0,
+            },
         ] {
             let mk = || {
                 SimTask::with_engine(kind, Arc::new(decay(20, 1.0)), 42, 0, 2.0, 0.5, 0.25).unwrap()

@@ -15,8 +15,9 @@ use gillespie::engine::EngineKind;
 /// Magic bytes of an encoded message envelope.
 pub const MAGIC: [u8; 4] = *b"CWCS";
 /// Current wire format version. Version 2 added the engine-kind field to
-/// [`RemoteTaskSpec`] (engine-agnostic remote farms).
-pub const VERSION: u16 = 2;
+/// [`RemoteTaskSpec`] (engine-agnostic remote farms); version 3 added the
+/// adaptive-tau and hybrid engine kinds (tags 3 and 4).
+pub const VERSION: u16 = 3;
 
 /// Error produced while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -199,9 +200,10 @@ impl Wire for SampleBatch {
     }
 }
 
-/// The engine selector crosses the wire as a tag byte plus the tau-leap
-/// leap length where applicable (tag 0 = SSA, 1 = tau-leap, 2 =
-/// first-reaction).
+/// The engine selector crosses the wire as a tag byte plus the kind's
+/// knobs where applicable (tag 0 = SSA, 1 = tau-leap + leap length,
+/// 2 = first-reaction, 3 = adaptive-tau + epsilon, 4 = hybrid + epsilon
+/// and switch threshold).
 impl Wire for EngineKind {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
@@ -211,6 +213,15 @@ impl Wire for EngineKind {
                 tau.encode(buf);
             }
             EngineKind::FirstReaction => buf.push(2),
+            EngineKind::AdaptiveTau { epsilon } => {
+                buf.push(3);
+                epsilon.encode(buf);
+            }
+            EngineKind::Hybrid { epsilon, threshold } => {
+                buf.push(4);
+                epsilon.encode(buf);
+                threshold.encode(buf);
+            }
         }
     }
 
@@ -221,6 +232,13 @@ impl Wire for EngineKind {
                 tau: f64::decode(r)?,
             }),
             2 => Ok(EngineKind::FirstReaction),
+            3 => Ok(EngineKind::AdaptiveTau {
+                epsilon: f64::decode(r)?,
+            }),
+            4 => Ok(EngineKind::Hybrid {
+                epsilon: f64::decode(r)?,
+                threshold: f64::decode(r)?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -362,6 +380,11 @@ mod tests {
             EngineKind::Ssa,
             EngineKind::TauLeap { tau: 0.125 },
             EngineKind::FirstReaction,
+            EngineKind::AdaptiveTau { epsilon: 0.03 },
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 16.0,
+            },
         ] {
             roundtrip(RemoteTaskSpec {
                 first_instance: 128,

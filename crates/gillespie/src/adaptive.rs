@@ -1,0 +1,639 @@
+//! Adaptive tau-leaping: Cao–Gillespie–Petzold step-size selection with
+//! critical-reaction partitioning and an exact-SSA fallback.
+//!
+//! Fixed-step leaping ([`crate::tau_leap`]) makes the user pick τ; pick it
+//! too large and the approximation degrades (or the leap thrashes in
+//! negativity halving), too small and every leap fires less than one
+//! reaction and the method is slower than exact SSA. This engine picks τ
+//! from the *state* instead, the design StochKit popularised (Cao,
+//! Gillespie & Petzold, "Efficient step size selection for the tau-leaping
+//! simulation method", J. Chem. Phys. 124, 2006):
+//!
+//! 1. **Critical reactions.** A reaction within [`N_CRITICAL`] firings of
+//!    exhausting one of its reactants is *critical*: it never leaps.
+//!    Critical reactions fire one at a time, exactly, via an exponential
+//!    clock over their summed propensity — so near-exhausted species are
+//!    handled at SSA resolution while the abundant bulk still leaps.
+//! 2. **The CGP bound.** Over the non-critical reactions, τ is the largest
+//!    step for which the expected relative change of every propensity
+//!    stays within the `epsilon` knob (per-species mean/variance bounds
+//!    from the compiled [`ModelDeps`] stoichiometry
+//!    — the `cgp_tau` bound of [`crate::flat`]).
+//! 3. **SSA fallback.** When the bound collapses below
+//!    [`SSA_FALLBACK_MULT`] expected firings' worth of time (τ < mult/a0),
+//!    leaping cannot beat exact stepping, so the engine takes one exact
+//!    direct-method step on the species-count vector instead.
+//!
+//! ## Quantum-exact execution
+//!
+//! Identical contract to the fixed-step engine: every transition (leap,
+//! critical firing or fallback step) is drawn from the committed state
+//! only, held *pending* when it ends beyond the quantum horizon, and
+//! committed in a later quantum — never re-drawn or truncated. The RNG
+//! draw discipline per transition is documented in [`crate::rng`].
+
+use std::sync::Arc;
+
+use cwc::model::Model;
+use cwc::species::Species;
+use rand::Rng;
+
+use crate::deps::ModelDeps;
+use crate::flat::{poisson, CgpScratch, FlatModel, FlatModelError};
+use crate::rng::{sim_rng, SimRng};
+use crate::ssa::SampleClock;
+
+/// Default relative-propensity-change bound ε (Cao et al. recommend
+/// 0.03–0.05).
+pub const DEFAULT_EPSILON: f64 = 0.03;
+
+/// A reaction within this many firings of exhausting a reactant is
+/// *critical* and fires exactly, never inside a Poisson leap.
+pub const N_CRITICAL: u64 = 10;
+
+/// When the CGP bound drops below `SSA_FALLBACK_MULT / a0` — fewer than
+/// this many expected firings per leap — the engine takes an exact step
+/// instead of leaping.
+pub const SSA_FALLBACK_MULT: f64 = 10.0;
+
+/// A drawn-but-not-yet-committed transition: one leap, one critical
+/// firing riding on a truncated leap, or one exact fallback step.
+#[derive(Debug, Clone)]
+struct PendingTransition {
+    /// Candidate state after the transition.
+    state: Vec<i64>,
+    /// Absolute time at which the transition commits.
+    end: f64,
+    /// Firings the transition applies when committed.
+    firings: u64,
+    /// True when this transition was an exact (fallback or critical)
+    /// single firing rather than a Poisson leap.
+    exact: bool,
+}
+
+/// Flat-model approximate simulator with adaptive (CGP) step-size
+/// selection.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTauEngine {
+    model: Arc<Model>,
+    flat: FlatModel,
+    /// `state[i]` = copies of `flat.species[i]` (last *committed* state).
+    state: Vec<i64>,
+    /// Time of the last committed transition boundary.
+    committed: f64,
+    /// Reported simulation clock (advances to quantum horizons; always
+    /// ≥ `committed`).
+    time: f64,
+    /// The CGP relative-change bound ε.
+    epsilon: f64,
+    /// Transition drawn past a quantum horizon, held until the horizon
+    /// passes its end.
+    pending: Option<PendingTransition>,
+    rng: SimRng,
+    instance: u64,
+    /// Committed Poisson leaps.
+    leaps: u64,
+    /// Committed exact transitions (critical firings + SSA fallbacks).
+    exact_steps: u64,
+    firings: u64,
+    /// Reusable per-transition buffers (the fallback regime takes one
+    /// transition per firing; these keep that path allocation-light).
+    props_buf: Vec<f64>,
+    crit_buf: Vec<bool>,
+    cgp_scratch: CgpScratch,
+}
+
+impl AdaptiveTauEngine {
+    /// Builds an adaptive leaping engine from a flat model, compiling its
+    /// stoichiometry locally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlatModelError`] when any rule uses compartments, applies
+    /// below the top level or has a non-mass-action law.
+    pub fn new(model: Arc<Model>, base_seed: u64, instance: u64) -> Result<Self, FlatModelError> {
+        let deps = Arc::new(ModelDeps::compile(&model));
+        Self::with_deps(model, deps, base_seed, instance)
+    }
+
+    /// Like [`AdaptiveTauEngine::new`], reusing an already-compiled
+    /// [`ModelDeps`] (one compilation per run, shared across instances).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlatModelError`] when the model is not flat mass-action.
+    pub fn with_deps(
+        model: Arc<Model>,
+        deps: Arc<ModelDeps>,
+        base_seed: u64,
+        instance: u64,
+    ) -> Result<Self, FlatModelError> {
+        let flat = FlatModel::compile(&model, &deps, "adaptive tau-leaping")?;
+        let state = flat.initial_state(&model);
+        Ok(AdaptiveTauEngine {
+            model,
+            flat,
+            state,
+            committed: 0.0,
+            time: 0.0,
+            epsilon: DEFAULT_EPSILON,
+            pending: None,
+            rng: sim_rng(base_seed, instance),
+            instance,
+            leaps: 0,
+            exact_steps: 0,
+            firings: 0,
+            props_buf: Vec::new(),
+            crit_buf: Vec::new(),
+            cgp_scratch: CgpScratch::default(),
+        })
+    }
+
+    /// Sets the CGP relative-change bound ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1)"
+        );
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// The CGP relative-change bound ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Instance id of this trajectory.
+    pub fn instance(&self) -> u64 {
+        self.instance
+    }
+
+    /// The model driving this engine.
+    pub fn model(&self) -> &Arc<Model> {
+        &self.model
+    }
+
+    /// Committed Poisson leaps so far.
+    pub fn leaps(&self) -> u64 {
+        self.leaps
+    }
+
+    /// Committed exact transitions so far (critical firings and SSA
+    /// fallback steps) — the partitioning diagnostic.
+    pub fn exact_steps(&self) -> u64 {
+        self.exact_steps
+    }
+
+    /// Total reaction firings applied.
+    pub fn firings(&self) -> u64 {
+        self.firings
+    }
+
+    /// Current copy number of `species`.
+    pub fn count(&self, species: Species) -> u64 {
+        self.flat.count(&self.state, species)
+    }
+
+    /// The committed per-species state vector (ascending interned
+    /// species order), for invariant tests.
+    pub fn counts(&self) -> &[i64] {
+        &self.state
+    }
+
+    /// Evaluates the model's observables on the committed state.
+    pub fn observe(&self) -> Vec<u64> {
+        self.flat.observe(&self.model, &self.state)
+    }
+
+    /// True when firing rule `r` could exhaust a reactant within
+    /// [`N_CRITICAL`] firings from `state`.
+    fn is_critical(&self, r: usize) -> bool {
+        self.flat.delta[r].iter().any(|&(i, d)| {
+            if d >= 0 {
+                return false;
+            }
+            (self.state[i] / -d) < N_CRITICAL as i64
+        })
+    }
+
+    /// One exact direct-method step on the count vector (the SSA
+    /// fallback). Draw discipline: one waiting-time uniform, one
+    /// selection uniform in `[0, a0)` (always consumed, even
+    /// single-channel — see [`crate::rng`]).
+    fn draw_exact_step(&mut self, props: &[f64], a0: f64) -> PendingTransition {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let dt = -u1.ln() / a0;
+        let target = self.rng.gen_range(0.0..a0);
+        let mut acc = 0.0;
+        let mut chosen = props.len() - 1;
+        for (r, &a) in props.iter().enumerate() {
+            acc += a;
+            if target < acc {
+                chosen = r;
+                break;
+            }
+        }
+        let mut state = self.state.clone();
+        for &(i, d) in &self.flat.delta[chosen] {
+            state[i] += d;
+        }
+        PendingTransition {
+            state,
+            end: self.committed + dt,
+            firings: 1,
+            exact: true,
+        }
+    }
+
+    /// Draws one transition from the committed state without committing
+    /// it. Returns `None` when the state is absorbing. (Thin shell that
+    /// loans out the reusable buffers.)
+    fn draw_transition(&mut self) -> Option<PendingTransition> {
+        let mut props = std::mem::take(&mut self.props_buf);
+        let mut critical = std::mem::take(&mut self.crit_buf);
+        let out = self.draw_transition_with(&mut props, &mut critical);
+        self.props_buf = props;
+        self.crit_buf = critical;
+        out
+    }
+
+    fn draw_transition_with(
+        &mut self,
+        props: &mut Vec<f64>,
+        critical: &mut Vec<bool>,
+    ) -> Option<PendingTransition> {
+        self.flat.propensities_into(&self.state, props);
+        let a0: f64 = props.iter().sum();
+        if a0 <= 0.0 {
+            return None;
+        }
+        // Partition: critical reactions fire exactly, the rest leap.
+        critical.clear();
+        for (r, &a) in props.iter().enumerate() {
+            let c = a > 0.0 && self.is_critical(r);
+            critical.push(c);
+        }
+        let a0_crit: f64 = props
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| critical[r])
+            .map(|(_, &a)| a)
+            .sum();
+        let mut tau1 = self.flat.cgp_tau_with(
+            &mut self.cgp_scratch,
+            &self.state,
+            props,
+            self.epsilon,
+            |r| !critical[r],
+        );
+        loop {
+            // Leaping cannot pay for itself below the fallback bound; and
+            // when *nothing* bounds the leap with no critical clock to cap
+            // it (every enabled reaction has net-zero stoichiometry, e.g.
+            // a catalytic no-op), leaping is meaningless — both cases take
+            // one exact step.
+            if tau1 < SSA_FALLBACK_MULT / a0 || (!tau1.is_finite() && a0_crit <= 0.0) {
+                return Some(self.draw_exact_step(props, a0));
+            }
+            // Exponential clock of the critical block (∞ when none
+            // enabled; tau1 is then finite, per the guard above).
+            let tau2 = if a0_crit > 0.0 {
+                let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -u.ln() / a0_crit
+            } else {
+                f64::INFINITY
+            };
+            let (leap_len, fire_critical) = if tau2 <= tau1 {
+                (tau2, true)
+            } else {
+                (tau1, false)
+            };
+            let mut candidate = self.state.clone();
+            let mut firings = 0u64;
+            for (r, &a) in props.iter().enumerate() {
+                if a == 0.0 || critical[r] {
+                    continue;
+                }
+                let k = poisson(&mut self.rng, a * leap_len);
+                firings += k;
+                for &(i, d) in &self.flat.delta[r] {
+                    candidate[i] += d * k as i64;
+                }
+            }
+            if fire_critical {
+                let target = self.rng.gen_range(0.0..a0_crit);
+                let mut acc = 0.0;
+                let mut chosen = None;
+                for (r, &a) in props.iter().enumerate() {
+                    if !critical[r] {
+                        continue;
+                    }
+                    acc += a;
+                    if target < acc {
+                        chosen = Some(r);
+                        break;
+                    }
+                    chosen = Some(r); // last critical wins on fp slack
+                }
+                let chosen = chosen.expect("a0_crit > 0 implies a critical reaction");
+                for &(i, d) in &self.flat.delta[chosen] {
+                    candidate[i] += d;
+                }
+                firings += 1;
+            }
+            if candidate.iter().all(|&c| c >= 0) {
+                return Some(PendingTransition {
+                    state: candidate,
+                    end: self.committed + leap_len,
+                    firings,
+                    exact: fire_critical && firings == 1,
+                });
+            }
+            // Rare overshoot (criticality is a 10-firing heuristic, not a
+            // guarantee): halve the bound and redraw the whole transition
+            // from the committed state — still a pure function of
+            // (state, stream), so slicing invariance is preserved.
+            tau1 /= 2.0;
+        }
+    }
+
+    /// Applies the pending transition, returning its firings.
+    fn commit_pending(&mut self) -> u64 {
+        let p = self.pending.take().expect("pending transition to commit");
+        self.state = p.state;
+        self.committed = p.end;
+        if self.time < p.end {
+            self.time = p.end;
+        }
+        if p.exact {
+            self.exact_steps += 1;
+        } else {
+            self.leaps += 1;
+        }
+        self.firings += p.firings;
+        p.firings
+    }
+
+    /// Advances by one adaptive transition (leap, critical firing or
+    /// fallback step). Returns the time advanced (0.0 when absorbing).
+    /// Commits any transition held pending by the quantum-execution API
+    /// first.
+    pub fn advance(&mut self) -> f64 {
+        if self.pending.is_some() {
+            self.commit_pending();
+        }
+        match self.draw_transition() {
+            None => 0.0,
+            Some(p) => {
+                let taken = p.end - self.committed;
+                self.pending = Some(p);
+                self.commit_pending();
+                taken
+            }
+        }
+    }
+
+    /// Runs until simulation time reaches `t_end` (or the state absorbs),
+    /// without sampling; returns the reactions fired. A transition drawn
+    /// past `t_end` stays pending for a later call, so this never
+    /// overshoots the horizon (same contract as the exact engines).
+    pub fn run_until(&mut self, t_end: f64) -> u64 {
+        // A muted clock (zero-sample limit) turns sampled advancement into
+        // plain advancement on the same pending-transition path.
+        let mut muted = SampleClock::new(0.0, 1.0).with_limit(0);
+        self.run_sampled(t_end, &mut muted, |_, _| {})
+    }
+
+    /// Runs until `t_end`, invoking `on_sample(t, observables)` at every
+    /// grid time `clock` yields within the interval. Returns the firings
+    /// *committed* during the call.
+    ///
+    /// The slicing-invariant quantum-execution path: transitions never
+    /// truncate at `t_end`; one drawn past the horizon stays pending for
+    /// a later call, and samples report the committed state in force.
+    pub fn run_sampled<F>(&mut self, t_end: f64, clock: &mut SampleClock, mut on_sample: F) -> u64
+    where
+        F: FnMut(f64, &[u64]),
+    {
+        let mut fired = 0;
+        loop {
+            if self.pending.is_none() {
+                self.pending = self.draw_transition();
+            }
+            let t_next = self
+                .pending
+                .as_ref()
+                .map(|p| p.end)
+                .unwrap_or(f64::INFINITY);
+            let horizon = t_next.min(t_end);
+            while let Some(ts) = clock.peek() {
+                if ts > horizon {
+                    break;
+                }
+                let values = self.observe();
+                on_sample(ts, &values);
+                clock.advance();
+            }
+            if t_next > t_end {
+                if self.time < t_end {
+                    self.time = t_end;
+                }
+                return fired;
+            }
+            fired += self.commit_pending();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwc::model::Model;
+
+    fn decay_model(n: u64, rate: f64) -> Arc<Model> {
+        let mut m = Model::new("decay");
+        let a = m.species("A");
+        m.rule("decay").consumes("A", 1).rate(rate).build().unwrap();
+        m.initial.add_atoms(a, n);
+        m.observe("A", a);
+        Arc::new(m)
+    }
+
+    fn birth_death_model(birth: f64, death: f64, n0: u64) -> Arc<Model> {
+        let mut m = Model::new("bd");
+        let a = m.species("A");
+        m.rule("birth")
+            .produces("A", 1)
+            .rate(birth)
+            .build()
+            .unwrap();
+        m.rule("death")
+            .consumes("A", 1)
+            .rate(death)
+            .build()
+            .unwrap();
+        m.initial.add_atoms(a, n0);
+        m.observe("A", a);
+        Arc::new(m)
+    }
+
+    #[test]
+    fn rejects_compartment_models_naming_rule_and_engine() {
+        let mut m = Model::new("c");
+        m.rule("shuttle")
+            .at("cell")
+            .consumes("A", 1)
+            .rate(1.0)
+            .build()
+            .unwrap();
+        let err = AdaptiveTauEngine::new(Arc::new(m), 0, 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("`shuttle`"), "{msg}");
+        assert!(msg.contains("adaptive tau-leaping"), "{msg}");
+    }
+
+    #[test]
+    fn decay_mean_matches_exponential() {
+        let model = decay_model(10_000, 1.0);
+        let mut e = AdaptiveTauEngine::new(model, 42, 0).unwrap();
+        e.run_until(1.0);
+        assert_eq!(e.time(), 1.0, "run_until must stop at the horizon");
+        let remaining = e.observe()[0] as f64;
+        let expected = 10_000.0 * (-1.0f64).exp(); // ≈ 3679
+        assert!(
+            (remaining - expected).abs() < 0.05 * expected,
+            "remaining {remaining}, expected ≈ {expected}"
+        );
+        // On a 10k population the engine must actually leap, not fall
+        // back to per-reaction stepping.
+        assert!(e.leaps() > 0);
+        assert!(
+            e.firings() > 20 * (e.leaps() + e.exact_steps()),
+            "{} firings in {} leaps + {} exact steps",
+            e.firings(),
+            e.leaps(),
+            e.exact_steps()
+        );
+    }
+
+    #[test]
+    fn small_populations_fall_back_to_exact_stepping() {
+        // 5 molecules: every reaction is critical / the CGP bound is tiny,
+        // so the engine must take exact transitions and stay non-negative.
+        let model = decay_model(5, 2.0);
+        let mut e = AdaptiveTauEngine::new(model, 7, 0).unwrap();
+        e.run_until(50.0);
+        assert_eq!(e.observe(), vec![0]);
+        assert_eq!(e.firings(), 5);
+        assert_eq!(e.leaps(), 0, "no Poisson leap on a critical-only state");
+        assert_eq!(e.exact_steps(), 5);
+        assert!(e.counts().iter().all(|&c| c >= 0));
+    }
+
+    #[test]
+    fn state_never_goes_negative_under_pressure() {
+        let model = birth_death_model(3.0, 9.0, 15);
+        let mut e = AdaptiveTauEngine::new(model, 11, 0)
+            .unwrap()
+            .with_epsilon(0.3);
+        e.run_until(5.0);
+        assert!(e.counts().iter().all(|&c| c >= 0));
+    }
+
+    #[test]
+    fn absorbing_state_terminates() {
+        let model = decay_model(0, 1.0);
+        let mut e = AdaptiveTauEngine::new(model, 7, 0).unwrap();
+        e.run_until(3.0);
+        assert_eq!(e.time(), 3.0);
+        assert_eq!(e.firings(), 0);
+    }
+
+    #[test]
+    fn quantum_slicing_is_bit_identical() {
+        let model = birth_death_model(500.0, 1.0, 400);
+        let mk = || {
+            AdaptiveTauEngine::new(Arc::clone(&model), 5, 3)
+                .unwrap()
+                .with_epsilon(0.05)
+        };
+        let mut whole = mk();
+        let mut wc = SampleClock::new(0.0, 0.25);
+        let mut ws = Vec::new();
+        whole.run_sampled(6.0, &mut wc, |t, v| ws.push((t, v.to_vec())));
+
+        let mut sliced = mk();
+        let mut sc = SampleClock::new(0.0, 0.25);
+        let mut ss = Vec::new();
+        for t in [0.1, 0.33, 1.0, 1.01, 2.5, 4.99, 6.0] {
+            sliced.run_sampled(t, &mut sc, |t, v| ss.push((t, v.to_vec())));
+        }
+        assert_eq!(ws, ss);
+        assert_eq!(whole.counts(), sliced.counts());
+        assert_eq!(whole.firings(), sliced.firings());
+        assert_eq!(whole.leaps(), sliced.leaps());
+        assert_eq!(whole.exact_steps(), sliced.exact_steps());
+        assert_eq!(whole.time(), sliced.time());
+    }
+
+    #[test]
+    fn epsilon_trades_accuracy_for_leap_size() {
+        // Larger ε ⇒ larger leaps ⇒ fewer transitions to the horizon.
+        let model = birth_death_model(2000.0, 1.0, 2000);
+        let run = |eps: f64| {
+            let mut e = AdaptiveTauEngine::new(Arc::clone(&model), 3, 0)
+                .unwrap()
+                .with_epsilon(eps);
+            e.run_until(4.0);
+            e.leaps() + e.exact_steps()
+        };
+        let tight = run(0.01);
+        let loose = run(0.1);
+        assert!(
+            loose * 3 < tight,
+            "ε=0.1 used {loose} transitions, ε=0.01 used {tight}"
+        );
+    }
+
+    #[test]
+    fn catalytic_no_op_rules_do_not_panic() {
+        // Regression: a model whose only enabled reaction has net-zero
+        // stoichiometry leaves the CGP bound unbounded with an empty
+        // critical block; the engine must take exact steps (like SSA on
+        // the same model) instead of sampling an empty range.
+        let mut m = Model::new("noop");
+        let a = m.species("A");
+        m.rule("touch")
+            .consumes("A", 1)
+            .produces("A", 1)
+            .rate(1.0)
+            .build()
+            .unwrap();
+        m.initial.add_atoms(a, 100);
+        m.observe("A", a);
+        let mut e = AdaptiveTauEngine::new(Arc::new(m), 9, 0).unwrap();
+        e.run_until(1.0);
+        assert_eq!(e.observe(), vec![100], "no-ops change nothing");
+        assert!(e.firings() > 0, "but they do fire, like under SSA");
+        assert_eq!(e.leaps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn out_of_range_epsilon_panics() {
+        let model = decay_model(1, 1.0);
+        let _ = AdaptiveTauEngine::new(model, 1, 0)
+            .unwrap()
+            .with_epsilon(1.5);
+    }
+}

@@ -4,7 +4,7 @@
 //! The paper's architecture is deliberately engine-neutral — the farm of
 //! "sim eng" boxes only requires that a task advance by one simulation
 //! quantum and emit samples on the τ grid. This module captures that
-//! contract as the [`QuantumEngine`] trait and packages the three
+//! contract as the [`QuantumEngine`] trait and packages the five
 //! integrators of this crate behind the concrete [`Engine`] enum, so tasks
 //! stay `Clone + Send` without boxing and every downstream layer (task
 //! farm, distributed emulation, simulated GPGPU, benchmarks) is written
@@ -19,9 +19,11 @@
 //! An engine advanced to `t_goal` in any number of slices must produce the
 //! same trajectory, samples and event counts as one monolithic run: the
 //! exact engines keep their drawn-but-unfired event pending across
-//! boundaries, the tau-leaping engine keeps its drawn-but-uncommitted leap
-//! pending. The unit and property tests of each engine module pin this
-//! down; the pipeline's seq-vs-par bit-for-bit tests rely on it.
+//! boundaries, the leaping engines keep their drawn-but-uncommitted
+//! leap/transition pending, and the hybrid engine additionally pins its
+//! phase-switch points to reaction counts rather than horizons. The unit
+//! and property tests of each engine module pin this down; the pipeline's
+//! seq-vs-par bit-for-bit tests rely on it.
 
 use std::fmt;
 use std::sync::Arc;
@@ -29,10 +31,13 @@ use std::sync::Arc;
 use cwc::model::Model;
 use cwc::term::Term;
 
+use crate::adaptive::AdaptiveTauEngine;
 use crate::deps::ModelDeps;
 use crate::first_reaction::FirstReactionEngine;
+use crate::flat::FlatModelError;
+use crate::hybrid::HybridEngine;
 use crate::ssa::{SampleClock, SsaEngine, StepOutcome};
-use crate::tau_leap::{TauLeapEngine, TauLeapError};
+use crate::tau_leap::TauLeapEngine;
 
 /// Everything one quantum of one instance produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +147,54 @@ impl QuantumEngine for TauLeapEngine {
     }
 }
 
+impl QuantumEngine for AdaptiveTauEngine {
+    fn advance_quantum(&mut self, t_goal: f64, clock: &mut SampleClock) -> QuantumOutcome {
+        let mut samples = Vec::new();
+        let events = self.run_sampled(t_goal, clock, |t, v| samples.push((t, v.to_vec())));
+        QuantumOutcome { samples, events }
+    }
+
+    fn time(&self) -> f64 {
+        AdaptiveTauEngine::time(self)
+    }
+
+    fn instance(&self) -> u64 {
+        AdaptiveTauEngine::instance(self)
+    }
+
+    fn observe(&self) -> Vec<u64> {
+        AdaptiveTauEngine::observe(self)
+    }
+
+    fn events(&self) -> u64 {
+        self.firings()
+    }
+}
+
+impl QuantumEngine for HybridEngine {
+    fn advance_quantum(&mut self, t_goal: f64, clock: &mut SampleClock) -> QuantumOutcome {
+        let mut samples = Vec::new();
+        let events = self.run_sampled(t_goal, clock, |t, v| samples.push((t, v.to_vec())));
+        QuantumOutcome { samples, events }
+    }
+
+    fn time(&self) -> f64 {
+        HybridEngine::time(self)
+    }
+
+    fn instance(&self) -> u64 {
+        HybridEngine::instance(self)
+    }
+
+    fn observe(&self) -> Vec<u64> {
+        HybridEngine::observe(self)
+    }
+
+    fn events(&self) -> u64 {
+        self.firings()
+    }
+}
+
 /// Configuration-level engine selector.
 ///
 /// A plain `Copy` value: it lives in the simulation config, crosses the
@@ -184,6 +237,24 @@ pub enum EngineKind {
     /// direct method with a different randomness consumption — the
     /// distributional oracle.
     FirstReaction,
+    /// Adaptive tau-leaping: Cao–Gillespie–Petzold step-size selection
+    /// with critical-reaction partitioning and an exact-SSA fallback.
+    /// Flat, top-level, mass-action models only.
+    AdaptiveTau {
+        /// Relative-propensity-change bound ε (Cao et al. recommend
+        /// 0.03–0.05; must be in `(0, 1)`).
+        epsilon: f64,
+    },
+    /// Hybrid exact/approximate: incremental-table SSA segments with
+    /// CGP-sized Poisson leaps when propensities stratify. Flat,
+    /// top-level, mass-action models only.
+    Hybrid {
+        /// Relative-propensity-change bound ε of the leap phase.
+        epsilon: f64,
+        /// Expected firings per candidate leap above which the engine
+        /// leaves the exact phase (must be finite and ≥ 1).
+        threshold: f64,
+    },
 }
 
 impl EngineKind {
@@ -193,21 +264,35 @@ impl EngineKind {
             EngineKind::Ssa => "ssa",
             EngineKind::TauLeap { .. } => "tau-leap",
             EngineKind::FirstReaction => "first-reaction",
+            EngineKind::AdaptiveTau { .. } => "adaptive-tau",
+            EngineKind::Hybrid { .. } => "hybrid",
         }
     }
 
     /// Checks the model-independent parameters of this kind — the single
-    /// owner of the leap-length rule, shared by [`EngineKind::build`] and
-    /// config-level validation.
+    /// owner of the leap-length/epsilon/threshold rules, shared by
+    /// [`EngineKind::build`] and config-level validation.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::InvalidTau`] for a non-positive or
-    /// non-finite tau-leap length.
+    /// non-finite tau-leap length, [`EngineError::InvalidEpsilon`] for a
+    /// CGP bound outside `(0, 1)` and [`EngineError::InvalidThreshold`]
+    /// for a hybrid switch threshold below 1 or non-finite.
     pub fn validate(&self) -> Result<(), EngineError> {
         match *self {
             EngineKind::TauLeap { tau } if !(tau > 0.0 && tau.is_finite()) => {
                 Err(EngineError::InvalidTau { tau })
+            }
+            EngineKind::AdaptiveTau { epsilon } | EngineKind::Hybrid { epsilon, .. }
+                if !(epsilon > 0.0 && epsilon < 1.0) =>
+            {
+                Err(EngineError::InvalidEpsilon { epsilon })
+            }
+            EngineKind::Hybrid { threshold, .. }
+                if !(threshold >= 1.0 && threshold.is_finite()) =>
+            {
+                Err(EngineError::InvalidThreshold { threshold })
             }
             _ => Ok(()),
         }
@@ -235,10 +320,10 @@ impl EngineKind {
     }
 
     /// Builds the engine for `instance`, sharing an already-compiled
-    /// dependency graph across instances. All three integrators consume
-    /// the compilation: the exact engines drive their incremental reaction
-    /// tables with it, tau-leaping takes its stoichiometry vectors from
-    /// it.
+    /// dependency graph across instances. Every integrator consumes the
+    /// compilation: the exact engines drive their incremental reaction
+    /// tables with it (the hybrid's exact phase included), and the leaping
+    /// engines take their stoichiometry vectors from it.
     ///
     /// # Errors
     ///
@@ -262,6 +347,16 @@ impl EngineKind {
                 let engine = TauLeapEngine::with_deps(model, deps, base_seed, instance)?;
                 Ok(Engine::TauLeap(engine.with_tau(tau)))
             }
+            EngineKind::AdaptiveTau { epsilon } => {
+                let engine = AdaptiveTauEngine::with_deps(model, deps, base_seed, instance)?;
+                Ok(Engine::AdaptiveTau(engine.with_epsilon(epsilon)))
+            }
+            EngineKind::Hybrid { epsilon, threshold } => {
+                let engine = HybridEngine::with_deps(model, deps, base_seed, instance)?;
+                Ok(Engine::Hybrid(Box::new(
+                    engine.with_epsilon(epsilon).with_threshold(threshold),
+                )))
+            }
         }
     }
 }
@@ -270,6 +365,10 @@ impl fmt::Display for EngineKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineKind::TauLeap { tau } => write!(f, "tau-leap(τ={tau})"),
+            EngineKind::AdaptiveTau { epsilon } => write!(f, "adaptive-tau(ε={epsilon})"),
+            EngineKind::Hybrid { epsilon, threshold } => {
+                write!(f, "hybrid(ε={epsilon}, θ={threshold})")
+            }
             other => f.write_str(other.name()),
         }
     }
@@ -278,24 +377,48 @@ impl fmt::Display for EngineKind {
 /// Error building an engine from an [`EngineKind`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
-    /// Tau-leaping cannot drive this model (compartments, nested sites or
-    /// non-mass-action laws).
-    TauLeap(TauLeapError),
+    /// A flat-only engine (tau-leaping, adaptive tau-leaping, the hybrid
+    /// SSA/tau engine) cannot drive this model (compartments, nested
+    /// sites or non-mass-action laws); the inner error names the engine
+    /// and the offending rule.
+    FlatModel(FlatModelError),
     /// The configured leap length is not positive and finite.
     InvalidTau {
         /// The offending value.
         tau: f64,
+    },
+    /// The configured CGP bound ε is outside `(0, 1)`.
+    InvalidEpsilon {
+        /// The offending value.
+        epsilon: f64,
+    },
+    /// The configured hybrid switch threshold is below 1 or non-finite.
+    InvalidThreshold {
+        /// The offending value.
+        threshold: f64,
     },
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::TauLeap(e) => write!(f, "{e}"),
+            EngineError::FlatModel(e) => write!(f, "{e}"),
             EngineError::InvalidTau { tau } => {
                 write!(
                     f,
                     "tau-leap leap length must be positive and finite, got {tau}"
+                )
+            }
+            EngineError::InvalidEpsilon { epsilon } => {
+                write!(
+                    f,
+                    "adaptive/hybrid epsilon must be in (0, 1), got {epsilon}"
+                )
+            }
+            EngineError::InvalidThreshold { threshold } => {
+                write!(
+                    f,
+                    "hybrid switch threshold must be finite and >= 1, got {threshold}"
                 )
             }
         }
@@ -304,9 +427,9 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-impl From<TauLeapError> for EngineError {
-    fn from(e: TauLeapError) -> Self {
-        EngineError::TauLeap(e)
+impl From<FlatModelError> for EngineError {
+    fn from(e: FlatModelError) -> Self {
+        EngineError::FlatModel(e)
     }
 }
 
@@ -326,7 +449,7 @@ pub enum EngineStep {
     Exhausted,
 }
 
-/// A concrete simulation engine: one of the three integrators, behind one
+/// A concrete simulation engine: one of the five integrators, behind one
 /// `Clone + Send` value (no boxing, no generics in the task types).
 ///
 /// All methods dispatch to the wrapped engine; the [`QuantumEngine`] impl
@@ -335,10 +458,16 @@ pub enum EngineStep {
 pub enum Engine {
     /// Exact direct method.
     Ssa(SsaEngine),
-    /// Approximate Poisson tau-leaping.
+    /// Approximate fixed-step Poisson tau-leaping.
     TauLeap(TauLeapEngine),
     /// Exact first-reaction method.
     FirstReaction(FirstReactionEngine),
+    /// Approximate adaptive (CGP) tau-leaping.
+    AdaptiveTau(AdaptiveTauEngine),
+    /// Hybrid exact/approximate engine (boxed: it embeds a full exact
+    /// engine plus the flat reduction, and would otherwise dominate the
+    /// size of every task that carries this enum).
+    Hybrid(Box<HybridEngine>),
 }
 
 impl Engine {
@@ -348,6 +477,13 @@ impl Engine {
             Engine::Ssa(_) => EngineKind::Ssa,
             Engine::TauLeap(e) => EngineKind::TauLeap { tau: e.tau() },
             Engine::FirstReaction(_) => EngineKind::FirstReaction,
+            Engine::AdaptiveTau(e) => EngineKind::AdaptiveTau {
+                epsilon: e.epsilon(),
+            },
+            Engine::Hybrid(e) => EngineKind::Hybrid {
+                epsilon: e.epsilon(),
+                threshold: e.threshold(),
+            },
         }
     }
 
@@ -357,6 +493,8 @@ impl Engine {
             Engine::Ssa(e) => e.time(),
             Engine::TauLeap(e) => e.time(),
             Engine::FirstReaction(e) => e.time(),
+            Engine::AdaptiveTau(e) => e.time(),
+            Engine::Hybrid(e) => e.time(),
         }
     }
 
@@ -366,6 +504,8 @@ impl Engine {
             Engine::Ssa(e) => e.instance(),
             Engine::TauLeap(e) => e.instance(),
             Engine::FirstReaction(e) => e.instance(),
+            Engine::AdaptiveTau(e) => e.instance(),
+            Engine::Hybrid(e) => e.instance(),
         }
     }
 
@@ -375,6 +515,8 @@ impl Engine {
             Engine::Ssa(e) => e.observe(),
             Engine::TauLeap(e) => e.observe(),
             Engine::FirstReaction(e) => e.observe(),
+            Engine::AdaptiveTau(e) => e.observe(),
+            Engine::Hybrid(e) => e.observe(),
         }
     }
 
@@ -384,6 +526,8 @@ impl Engine {
             Engine::Ssa(e) => e.steps(),
             Engine::TauLeap(e) => e.firings(),
             Engine::FirstReaction(e) => e.steps(),
+            Engine::AdaptiveTau(e) => e.firings(),
+            Engine::Hybrid(e) => e.firings(),
         }
     }
 
@@ -393,21 +537,24 @@ impl Engine {
             Engine::Ssa(e) => e.model(),
             Engine::TauLeap(e) => e.model(),
             Engine::FirstReaction(e) => e.model(),
+            Engine::AdaptiveTau(e) => e.model(),
+            Engine::Hybrid(e) => e.model(),
         }
     }
 
-    /// The current CWC term, for the term-based engines (`None` for
-    /// tau-leaping, whose state is a species-count vector).
+    /// The current CWC term, for the term-based engines (`None` for the
+    /// leaping and hybrid engines, whose committed state is a
+    /// species-count vector).
     pub fn term(&self) -> Option<&Term> {
         match self {
             Engine::Ssa(e) => Some(e.term()),
             Engine::FirstReaction(e) => Some(e.term()),
-            Engine::TauLeap(_) => None,
+            Engine::TauLeap(_) | Engine::AdaptiveTau(_) | Engine::Hybrid(_) => None,
         }
     }
 
     /// Executes one atomic transition: one reaction (exact engines) or
-    /// one committed leap (tau-leaping).
+    /// one committed leap/transition (the leaping and hybrid engines).
     pub fn step(&mut self) -> EngineStep {
         match self {
             Engine::Ssa(e) => match e.step() {
@@ -434,6 +581,27 @@ impl Engine {
                     }
                 }
             }
+            Engine::AdaptiveTau(e) => {
+                let (before_firings, before_time) = (e.firings(), e.time());
+                let taken = e.advance();
+                let dt = e.time() - before_time;
+                if taken == 0.0 && dt == 0.0 {
+                    EngineStep::Exhausted
+                } else {
+                    EngineStep::Advanced {
+                        dt,
+                        events: e.firings() - before_firings,
+                    }
+                }
+            }
+            Engine::Hybrid(e) => {
+                let (dt, events) = e.step_transition();
+                if dt == 0.0 && events == 0 {
+                    EngineStep::Exhausted
+                } else {
+                    EngineStep::Advanced { dt, events }
+                }
+            }
         }
     }
 
@@ -449,6 +617,8 @@ impl Engine {
                 let mut muted = SampleClock::new(0.0, 1.0).with_limit(0);
                 e.run_sampled(t_end, &mut muted, |_, _| {})
             }
+            Engine::AdaptiveTau(e) => e.run_until(t_end),
+            Engine::Hybrid(e) => e.run_until(t_end),
         }
     }
 
@@ -463,6 +633,8 @@ impl Engine {
             Engine::Ssa(e) => e.run_sampled(t_end, clock, on_sample),
             Engine::FirstReaction(e) => e.run_sampled(t_end, clock, on_sample),
             Engine::TauLeap(e) => e.run_sampled(t_end, clock, on_sample),
+            Engine::AdaptiveTau(e) => e.run_sampled(t_end, clock, on_sample),
+            Engine::Hybrid(e) => e.run_sampled(t_end, clock, on_sample),
         }
     }
 
@@ -530,6 +702,11 @@ mod tests {
             EngineKind::Ssa,
             EngineKind::TauLeap { tau: 0.1 },
             EngineKind::FirstReaction,
+            EngineKind::AdaptiveTau { epsilon: 0.05 },
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 8.0,
+            },
         ] {
             let engine = kind.build(Arc::clone(&model), 1, 0).unwrap();
             assert_eq!(engine.kind(), kind);
@@ -545,7 +722,7 @@ mod tests {
         let err = EngineKind::TauLeap { tau: 0.1 }
             .build(Arc::clone(&model), 1, 0)
             .unwrap_err();
-        assert!(matches!(err, EngineError::TauLeap(_)));
+        assert!(matches!(err, EngineError::FlatModel(_)));
         let err = EngineKind::TauLeap { tau: 0.0 }
             .build(decay_model(1, 1.0), 1, 0)
             .unwrap_err();
@@ -584,6 +761,11 @@ mod tests {
             EngineKind::Ssa,
             EngineKind::TauLeap { tau: 0.05 },
             EngineKind::FirstReaction,
+            EngineKind::AdaptiveTau { epsilon: 0.05 },
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 8.0,
+            },
         ] {
             let mut engine = kind.build(Arc::clone(&model), 3, 0).unwrap();
             match engine.step() {
@@ -601,6 +783,11 @@ mod tests {
             EngineKind::Ssa,
             EngineKind::TauLeap { tau: 0.05 },
             EngineKind::FirstReaction,
+            EngineKind::AdaptiveTau { epsilon: 0.05 },
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 8.0,
+            },
         ] {
             let mut engine = kind.build(Arc::clone(&model), 3, 0).unwrap();
             assert_eq!(engine.step(), EngineStep::Exhausted, "{kind}");
@@ -614,6 +801,11 @@ mod tests {
             EngineKind::Ssa,
             EngineKind::TauLeap { tau: 0.05 },
             EngineKind::FirstReaction,
+            EngineKind::AdaptiveTau { epsilon: 0.05 },
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 8.0,
+            },
         ] {
             let mut engine = kind.build(Arc::clone(&model), 9, 0).unwrap();
             let fired = engine.run_until(1e3);
@@ -640,6 +832,11 @@ mod tests {
             EngineKind::Ssa,
             EngineKind::TauLeap { tau: 0.05 },
             EngineKind::FirstReaction,
+            EngineKind::AdaptiveTau { epsilon: 0.05 },
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 8.0,
+            },
         ] {
             let mut wrapped = kind.build(Arc::clone(&model), 11, 2).unwrap();
             let via_enum = drive(&mut wrapped);
@@ -647,6 +844,8 @@ mod tests {
                 Engine::Ssa(mut e) => drive(&mut e),
                 Engine::TauLeap(mut e) => drive(&mut e),
                 Engine::FirstReaction(mut e) => drive(&mut e),
+                Engine::AdaptiveTau(mut e) => drive(&mut e),
+                Engine::Hybrid(mut e) => drive(&mut *e),
             };
             assert_eq!(via_enum, via_concrete, "{kind}");
             assert_eq!(QuantumEngine::instance(&wrapped), 2, "{kind}");
@@ -673,12 +872,97 @@ mod tests {
     }
 
     #[test]
+    fn engine_kind_validate_owns_the_epsilon_and_threshold_rules() {
+        assert!(EngineKind::AdaptiveTau { epsilon: 0.05 }.validate().is_ok());
+        assert!(EngineKind::Hybrid {
+            epsilon: 0.05,
+            threshold: 8.0
+        }
+        .validate()
+        .is_ok());
+        for epsilon in [0.0, -0.1, 1.0, 2.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                EngineKind::AdaptiveTau { epsilon }.validate(),
+                Err(EngineError::InvalidEpsilon { .. })
+            ));
+            assert!(matches!(
+                EngineKind::Hybrid {
+                    epsilon,
+                    threshold: 8.0
+                }
+                .validate(),
+                Err(EngineError::InvalidEpsilon { .. })
+            ));
+        }
+        for threshold in [0.0, 0.5, -3.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                EngineKind::Hybrid {
+                    epsilon: 0.05,
+                    threshold
+                }
+                .validate(),
+                Err(EngineError::InvalidThreshold { .. })
+            ));
+        }
+        let msg = EngineKind::AdaptiveTau { epsilon: 1.5 }
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("epsilon"), "{msg}");
+        let msg = EngineKind::Hybrid {
+            epsilon: 0.05,
+            threshold: 0.0,
+        }
+        .validate()
+        .unwrap_err()
+        .to_string();
+        assert!(msg.contains("threshold"), "{msg}");
+    }
+
+    #[test]
+    fn flat_only_kinds_reject_compartment_models_naming_rule_and_engine() {
+        let model = comp_model();
+        for (kind, engine_name) in [
+            (EngineKind::TauLeap { tau: 0.1 }, "tau-leaping"),
+            (
+                EngineKind::AdaptiveTau { epsilon: 0.05 },
+                "adaptive tau-leaping",
+            ),
+            (
+                EngineKind::Hybrid {
+                    epsilon: 0.05,
+                    threshold: 8.0,
+                },
+                "the hybrid SSA/tau engine",
+            ),
+        ] {
+            let err = kind.build(Arc::clone(&model), 1, 0).unwrap_err();
+            let msg = err.to_string();
+            assert!(matches!(err, EngineError::FlatModel(_)), "{kind}");
+            assert!(msg.contains("`r`"), "{kind}: {msg}");
+            assert!(msg.contains(engine_name), "{kind}: {msg}");
+        }
+    }
+
+    #[test]
     fn display_names_are_stable() {
         assert_eq!(EngineKind::Ssa.to_string(), "ssa");
         assert_eq!(EngineKind::FirstReaction.to_string(), "first-reaction");
         assert_eq!(
             EngineKind::TauLeap { tau: 0.5 }.to_string(),
             "tau-leap(τ=0.5)"
+        );
+        assert_eq!(
+            EngineKind::AdaptiveTau { epsilon: 0.05 }.to_string(),
+            "adaptive-tau(ε=0.05)"
+        );
+        assert_eq!(
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 8.0
+            }
+            .to_string(),
+            "hybrid(ε=0.05, θ=8)"
         );
         assert_eq!(EngineKind::default(), EngineKind::Ssa);
     }

@@ -1,7 +1,7 @@
 //! The first-reaction method: an alternative exact SSA sampler.
 //!
 //! **Extension beyond the paper** (the CWC simulator uses the direct
-//! method only; StochKit, its related work, "remain[s] open to extension
+//! method only; StochKit, its related work, "remain\[s\] open to extension
 //! via new stochastic [...] algorithms"). Gillespie's first-reaction
 //! method draws one exponential waiting time *per enabled reaction* and
 //! fires the earliest. It samples exactly the same process law as the

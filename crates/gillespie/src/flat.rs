@@ -1,0 +1,488 @@
+//! Shared flat-model machinery of the leaping engines.
+//!
+//! Three integrators in this crate — fixed-step tau-leaping
+//! ([`crate::tau_leap`]), adaptive tau-leaping ([`crate::adaptive`]) and
+//! the leap phase of the hybrid engine ([`crate::hybrid`]) — operate on
+//! the same reduced state: a *flat* model (no compartment patterns or
+//! productions, every rule at the top level, mass-action laws only) whose
+//! term collapses to a species-count vector. This module owns that
+//! reduction:
+//!
+//! - [`FlatModelError`], the shared rejection type (each variant names the
+//!   offending rule and the engine that refused it — the config layer
+//!   surfaces these messages verbatim);
+//! - `FlatModel` (crate-private), the compiled reactant/stoichiometry/rate
+//!   vectors, derived from the same [`ModelDeps`] compilation the exact
+//!   engines use for their reaction tables;
+//! - the Cao–Gillespie–Petzold step-size bound (`FlatModel::cgp_tau_with`)
+//!   with its highest-order-reaction `g_i` factors;
+//! - the crate-private `poisson` sampler every leap draw consumes.
+
+use cwc::model::Model;
+use cwc::species::{Label, Species};
+use rand::Rng;
+
+use crate::deps::ModelDeps;
+
+/// Error constructing a flat-model engine (fixed tau-leaping, adaptive
+/// tau-leaping, or the hybrid SSA/tau engine).
+///
+/// Every variant names the offending rule *and* the engine that rejected
+/// it, so a config-level failure pinpoints the model line to fix. The
+/// exact engines (direct method, first-reaction) accept all of these
+/// models; only the leaping state reduction requires flatness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatModelError {
+    /// The model has a rule with compartment patterns or productions.
+    NotFlat {
+        /// Engine that rejected the model.
+        engine: &'static str,
+        /// Name of the offending rule.
+        rule: String,
+    },
+    /// The model has a rule that does not apply at the top level.
+    NotTopLevel {
+        /// Engine that rejected the model.
+        engine: &'static str,
+        /// Name of the offending rule.
+        rule: String,
+    },
+    /// The model has a rule with a non-mass-action kinetic law.
+    NotMassAction {
+        /// Engine that rejected the model.
+        engine: &'static str,
+        /// Name of the offending rule.
+        rule: String,
+    },
+}
+
+impl FlatModelError {
+    /// Name of the rule the engine refused.
+    pub fn rule(&self) -> &str {
+        match self {
+            FlatModelError::NotFlat { rule, .. }
+            | FlatModelError::NotTopLevel { rule, .. }
+            | FlatModelError::NotMassAction { rule, .. } => rule,
+        }
+    }
+}
+
+impl std::fmt::Display for FlatModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlatModelError::NotFlat { engine, rule } => {
+                write!(
+                    f,
+                    "rule `{rule}` uses compartments; {engine} needs a flat model"
+                )
+            }
+            FlatModelError::NotTopLevel { engine, rule } => {
+                write!(
+                    f,
+                    "rule `{rule}` applies inside a compartment; {engine} needs top-level rules"
+                )
+            }
+            FlatModelError::NotMassAction { engine, rule } => {
+                write!(
+                    f,
+                    "rule `{rule}` has a non-mass-action law; {engine} supports mass action only"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlatModelError {}
+
+/// A flat mass-action model compiled to dense index space: the state is
+/// `Vec<i64>` over [`FlatModel::species`], and every leaping engine reads
+/// its reactants, net stoichiometry and rates from here.
+#[derive(Debug, Clone)]
+pub(crate) struct FlatModel {
+    /// Interned species, ascending — index space of the state vector.
+    pub species: Vec<Species>,
+    /// Per-rule reactant multiplicities, `(species index, count)`.
+    pub reactants: Vec<Vec<(usize, u64)>>,
+    /// Per-rule net stoichiometric change per firing.
+    pub delta: Vec<Vec<(usize, i64)>>,
+    /// Per-rule mass-action rate constants.
+    pub rates: Vec<f64>,
+    /// Per-species `(reaction order, copies required)` pairs over the
+    /// rules consuming that species — the static inputs of the CGP
+    /// `g_i` factor, precomputed so the tau-selection hot path avoids an
+    /// O(rules × reactants) rescan per species.
+    g_pairs: Vec<Vec<(u64, u64)>>,
+}
+
+impl FlatModel {
+    /// Compiles `model` for `engine` (the name appears in rejection
+    /// messages), taking net stoichiometry from the shared [`ModelDeps`]
+    /// compilation.
+    pub fn compile(
+        model: &Model,
+        deps: &ModelDeps,
+        engine: &'static str,
+    ) -> Result<Self, FlatModelError> {
+        let species: Vec<Species> = model.alphabet.all_species().collect();
+        let index_of = |s: Species| -> usize {
+            species
+                .iter()
+                .position(|&x| x == s)
+                .expect("species interned in this model")
+        };
+        let mut reactants = Vec::new();
+        let mut delta = Vec::new();
+        let mut rates = Vec::new();
+        for (ri, rule) in model.rules.iter().enumerate() {
+            if !rule.is_flat() {
+                return Err(FlatModelError::NotFlat {
+                    engine,
+                    rule: rule.name.clone(),
+                });
+            }
+            if rule.site != Label::TOP {
+                return Err(FlatModelError::NotTopLevel {
+                    engine,
+                    rule: rule.name.clone(),
+                });
+            }
+            if !rule.law.is_mass_action() {
+                return Err(FlatModelError::NotMassAction {
+                    engine,
+                    rule: rule.name.clone(),
+                });
+            }
+            let r: Vec<(usize, u64)> = rule
+                .lhs
+                .atoms
+                .iter()
+                .map(|(s, n)| (index_of(s), n))
+                .collect();
+            // Net stoichiometry straight from the compiled dependency
+            // info (ascending species order, like the interned indices).
+            let d: Vec<(usize, i64)> = deps
+                .rule(ri)
+                .site_delta
+                .iter()
+                .map(|&(s, v)| (index_of(s), v))
+                .collect();
+            reactants.push(r);
+            delta.push(d);
+            rates.push(rule.rate);
+        }
+        let mut g_pairs = vec![Vec::new(); species.len()];
+        for r in &reactants {
+            let order: u64 = r.iter().map(|&(_, n)| n).sum();
+            for &(i, k) in r {
+                g_pairs[i].push((order, k));
+            }
+        }
+        Ok(FlatModel {
+            species,
+            reactants,
+            delta,
+            rates,
+            g_pairs,
+        })
+    }
+
+    /// Number of rules.
+    pub fn rules(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The initial species-count vector of `model`.
+    pub fn initial_state(&self, model: &Model) -> Vec<i64> {
+        self.species
+            .iter()
+            .map(|&s| model.initial.atoms.count(s) as i64)
+            .collect()
+    }
+
+    /// Mass-action propensity of rule `r` in `state`: rate times the
+    /// product of per-reactant binomial selection counts (the same `h`
+    /// the tree-matching engines compute on flat terms).
+    pub fn propensity(&self, state: &[i64], r: usize) -> f64 {
+        let mut h = 1.0;
+        for &(i, k) in &self.reactants[r] {
+            let n = state[i];
+            if n < k as i64 {
+                return 0.0;
+            }
+            h *= cwc::multiset::binomial(n as u64, k) as f64;
+        }
+        self.rates[r] * h
+    }
+
+    /// All propensities of `state`, in rule order.
+    pub fn propensities(&self, state: &[i64]) -> Vec<f64> {
+        (0..self.rules())
+            .map(|r| self.propensity(state, r))
+            .collect()
+    }
+
+    /// Like [`FlatModel::propensities`], writing into a reusable buffer
+    /// (the adaptive engine's per-transition path).
+    pub fn propensities_into(&self, state: &[i64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.rules()).map(|r| self.propensity(state, r)));
+    }
+
+    /// Current copy number of `species` in `state` (0 for species not in
+    /// this model's alphabet).
+    pub fn count(&self, state: &[i64], species: Species) -> u64 {
+        self.species
+            .iter()
+            .position(|&s| s == species)
+            .map(|i| state[i] as u64)
+            .unwrap_or(0)
+    }
+
+    /// Evaluates `model`'s observables on `state` (top-level counts only,
+    /// which is exact for flat models) — shared by every leaping engine's
+    /// `observe`.
+    pub fn observe(&self, model: &Model, state: &[i64]) -> Vec<u64> {
+        model
+            .observables
+            .iter()
+            .map(|o| self.count(state, o.species))
+            .collect()
+    }
+
+    /// The Cao–Gillespie–Petzold highest-order factor `g_i` for species
+    /// `i`: the largest correction over reactions consuming `i`, so that
+    /// a relative change `epsilon / g_i` in `x_i` bounds the relative
+    /// change of every propensity (Cao, Gillespie & Petzold 2006, eq. 27).
+    fn g_factor(&self, i: usize, x: i64) -> f64 {
+        let xf = x as f64;
+        let mut g: f64 = 1.0;
+        for &(order, k) in &self.g_pairs[i] {
+            let gr = match (order, k) {
+                (1, _) => 1.0,
+                (2, 1) => 2.0,
+                (2, 2) if x > 1 => 2.0 + 1.0 / (xf - 1.0),
+                (2, 2) => 3.0,
+                (3, 1) => 3.0,
+                (3, 2) if x > 1 => 1.5 * (2.0 + 1.0 / (xf - 1.0)),
+                (3, 2) => 4.5,
+                (3, 3) if x > 2 => 3.0 + 1.0 / (xf - 1.0) + 2.0 / (xf - 2.0),
+                (3, 3) => 6.0,
+                // Higher orders: the coarse bound g = order is standard.
+                (o, _) => o as f64,
+            };
+            g = g.max(gr);
+        }
+        g
+    }
+
+    /// The CGP adaptive leap bound: the largest `tau` such that the
+    /// expected relative change of every propensity over the reactions
+    /// selected by `include` stays within `epsilon`, accumulating into a
+    /// reusable [`CgpScratch`] (the adaptive engine computes the bound on
+    /// every transition draw; this keeps that path allocation-light).
+    /// Returns `f64::INFINITY` when no included reaction moves any
+    /// species (nothing bounds the leap).
+    ///
+    /// Per species `i` touched by an included reaction, with
+    /// `mu_i = Σ_r d_ri a_r` and `sigma2_i = Σ_r d_ri² a_r`:
+    /// `tau ≤ min(max(εx_i/g_i, 1)/|mu_i|, max(εx_i/g_i, 1)²/sigma2_i)`.
+    pub fn cgp_tau_with<F>(
+        &self,
+        scratch: &mut CgpScratch,
+        state: &[i64],
+        props: &[f64],
+        epsilon: f64,
+        include: F,
+    ) -> f64
+    where
+        F: Fn(usize) -> bool,
+    {
+        let n = self.species.len();
+        let mu = &mut scratch.mu;
+        let sigma2 = &mut scratch.sigma2;
+        mu.clear();
+        mu.resize(n, 0.0);
+        sigma2.clear();
+        sigma2.resize(n, 0.0);
+        for (r, &a) in props.iter().enumerate() {
+            if a <= 0.0 || !include(r) {
+                continue;
+            }
+            for &(i, d) in &self.delta[r] {
+                let df = d as f64;
+                mu[i] += df * a;
+                sigma2[i] += df * df * a;
+            }
+        }
+        let mut tau = f64::INFINITY;
+        for i in 0..n {
+            if mu[i] == 0.0 && sigma2[i] == 0.0 {
+                continue;
+            }
+            let bound = (epsilon * state[i] as f64 / self.g_factor(i, state[i])).max(1.0);
+            if mu[i] != 0.0 {
+                tau = tau.min(bound / mu[i].abs());
+            }
+            if sigma2[i] > 0.0 {
+                tau = tau.min(bound * bound / sigma2[i]);
+            }
+        }
+        tau
+    }
+}
+
+/// Reusable per-species accumulators for [`FlatModel::cgp_tau_with`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CgpScratch {
+    mu: Vec<f64>,
+    sigma2: Vec<f64>,
+}
+
+/// Poisson sampling: Knuth's product method for small λ, normal
+/// approximation (Box–Muller) for large λ.
+pub(crate) fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen_range(0.0..1.0);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // N(λ, λ) approximation, clamped at zero.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = lambda + lambda.sqrt() * z;
+        if v < 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::sim_rng;
+    use cwc::model::Model;
+    use std::sync::Arc;
+
+    fn schlogl_like() -> (Model, Arc<ModelDeps>) {
+        let mut m = Model::new("s");
+        let x = m.species("X");
+        m.rule("auto")
+            .consumes("X", 2)
+            .produces("X", 3)
+            .rate(0.03)
+            .build()
+            .unwrap();
+        m.rule("tri")
+            .consumes("X", 3)
+            .produces("X", 2)
+            .rate(1e-4)
+            .build()
+            .unwrap();
+        m.rule("in").produces("X", 1).rate(200.0).build().unwrap();
+        m.rule("out").consumes("X", 1).rate(3.5).build().unwrap();
+        m.initial.add_atoms(x, 250);
+        m.observe("X", x);
+        let deps = Arc::new(ModelDeps::compile(&m));
+        (m, deps)
+    }
+
+    #[test]
+    fn compile_matches_model_shape() {
+        let (m, deps) = schlogl_like();
+        let flat = FlatModel::compile(&m, &deps, "test").unwrap();
+        assert_eq!(flat.rules(), 4);
+        assert_eq!(flat.species.len(), 1);
+        let state = flat.initial_state(&m);
+        assert_eq!(state, vec![250]);
+        // Trimolecular propensity is rate * C(250, 3).
+        let expected = 1e-4 * cwc::multiset::binomial(250, 3) as f64;
+        assert!((flat.propensity(&state, 1) - expected).abs() < 1e-9 * expected);
+    }
+
+    #[test]
+    fn rejection_names_rule_and_engine() {
+        let mut m = Model::new("c");
+        m.rule("transport")
+            .at("cell")
+            .consumes("A", 1)
+            .rate(1.0)
+            .build()
+            .unwrap();
+        let deps = Arc::new(ModelDeps::compile(&m));
+        let err = FlatModel::compile(&m, &deps, "adaptive tau-leaping").unwrap_err();
+        assert_eq!(err.rule(), "transport");
+        let msg = err.to_string();
+        assert!(msg.contains("`transport`"), "{msg}");
+        assert!(msg.contains("adaptive tau-leaping"), "{msg}");
+    }
+
+    #[test]
+    fn g_factor_covers_the_cgp_table() {
+        let (m, deps) = schlogl_like();
+        let flat = FlatModel::compile(&m, &deps, "test").unwrap();
+        // X appears as reactant of order 1 (out), order 2 k=2 (auto) and
+        // order 3 k=3 (tri): the trimolecular term dominates.
+        let g = flat.g_factor(0, 250);
+        let expected = 3.0 + 1.0 / 249.0 + 2.0 / 248.0;
+        assert!((g - expected).abs() < 1e-12, "g = {g}");
+        // Tiny populations use the capped constants, no division by zero.
+        assert!(flat.g_factor(0, 1).is_finite());
+        assert!(flat.g_factor(0, 2).is_finite());
+    }
+
+    #[test]
+    fn cgp_tau_scales_with_epsilon_and_excludes_reactions() {
+        let (m, deps) = schlogl_like();
+        let flat = FlatModel::compile(&m, &deps, "test").unwrap();
+        let state = flat.initial_state(&m);
+        let props = flat.propensities(&state);
+        let mut scratch = CgpScratch::default();
+        let t1 = flat.cgp_tau_with(&mut scratch, &state, &props, 0.01, |_| true);
+        let t5 = flat.cgp_tau_with(&mut scratch, &state, &props, 0.05, |_| true);
+        assert!(t1 > 0.0 && t1.is_finite());
+        assert!(t5 > t1, "larger epsilon must allow larger leaps");
+        // Excluding every reaction leaves the leap unbounded.
+        assert_eq!(
+            flat.cgp_tau_with(&mut scratch, &state, &props, 0.05, |_| false),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut rng = sim_rng(1, 1);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 3.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let mut rng = sim_rng(2, 1);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 200.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = sim_rng(3, 1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+}

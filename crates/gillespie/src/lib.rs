@@ -20,27 +20,40 @@
 //! - [`trajectory`]: samples, trajectories and time-aligned [`Cut`]s;
 //! - [`first_reaction`]: Gillespie's first-reaction method, an alternative
 //!   exact sampler used as a distributional oracle (extension);
-//! - [`tau_leap`]: approximate Poisson leaping for flat models (an
-//!   extension beyond the paper, in the spirit of StochKit);
+//! - [`flat`]: the shared flat-model reduction (species-count state,
+//!   stoichiometry, the Cao–Gillespie–Petzold step bound) behind every
+//!   leaping engine, plus their common rejection error;
+//! - [`tau_leap`]: approximate fixed-step Poisson leaping for flat models
+//!   (an extension beyond the paper, in the spirit of StochKit);
+//! - [`adaptive`]: adaptive tau-leaping — CGP step-size selection with
+//!   critical-reaction partitioning and an exact-SSA fallback;
+//! - [`hybrid`]: the hybrid exact/approximate engine — incremental-table
+//!   SSA segments with CGP-sized leaps when propensities stratify;
 //! - [`rng`]: deterministic per-instance seeding *and* the per-engine draw
 //!   discipline, making every execution back-end (multicore, distributed,
 //!   simulated GPGPU) produce identical trajectories for identical seeds.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adaptive;
 pub mod deps;
 pub mod engine;
 pub mod first_reaction;
+pub mod flat;
+pub mod hybrid;
 pub mod rng;
 pub mod ssa;
 pub mod table;
 pub mod tau_leap;
 pub mod trajectory;
 
+pub use adaptive::AdaptiveTauEngine;
 pub use deps::{KeptChild, ModelDeps, RuleDeps};
 pub use engine::{Engine, EngineError, EngineKind, EngineStep, QuantumEngine, QuantumOutcome};
 pub use first_reaction::FirstReactionEngine;
+pub use flat::FlatModelError;
+pub use hybrid::HybridEngine;
 pub use rng::{instance_seed, sim_rng, SimRng};
 pub use ssa::{Reaction, SampleClock, SsaEngine, StepOutcome};
 pub use table::ReactionTable;

@@ -26,7 +26,35 @@
 //!   then one uniform in `[0, 1)` for the assignment choice;
 //! - **tau-leaping** ([`crate::tau_leap::TauLeapEngine`]): per drawn leap,
 //!   one Poisson variate per reaction with non-zero propensity, in rule
-//!   order, re-drawn on each negativity-halving retry.
+//!   order, re-drawn on each negativity-halving retry;
+//! - **adaptive tau-leaping** ([`crate::adaptive::AdaptiveTauEngine`]):
+//!   per drawn transition, in this order — (a) when the CGP bound falls
+//!   below the SSA-fallback threshold, one uniform in `[ε, 1)` for the
+//!   waiting time and one uniform in `[0, a0)` for the selection (the
+//!   selection uniform is *always* consumed, single-channel states
+//!   included — unlike the direct method, so the two streams are not
+//!   interchangeable); otherwise (b) one uniform in `[ε, 1)` for the
+//!   critical block's exponential clock **iff any critical reaction is
+//!   enabled**, then one Poisson variate per enabled *non-critical*
+//!   reaction in rule order, then one uniform in `[0, a0_crit)` for the
+//!   critical selection **iff the critical clock fired first**. A
+//!   negativity overshoot halves the bound and re-runs (b) from the top —
+//!   every draw remains a pure function of the committed state and the
+//!   stream position, so slicing cannot perturb it;
+//! - **hybrid SSA/tau** ([`crate::hybrid::HybridEngine`]): *two* streams.
+//!   The exact phase consumes the instance's primary stream through an
+//!   embedded direct-method engine, with exactly the direct-method
+//!   discipline above — a hybrid trajectory is bit-for-bit identical to
+//!   plain SSA until the first phase switch. The leap phase consumes a
+//!   dedicated stream seeded from `base_seed ^ LEAP_STREAM_SALT` (same
+//!   instance mixing), drawing one Poisson variate per enabled reaction
+//!   in rule order per *candidate* leap — including candidates that
+//!   negativity-halving shrinks or abandons entirely (an abandoned
+//!   candidate still advanced the leap stream by one draw set). The
+//!   switch test itself (`τ·a0` vs the threshold) is a pure function of
+//!   the committed state and consumes nothing, and the primary stream is
+//!   never touched outside exact segments — so the exact stream's
+//!   alignment is independent of how often leaping engages.
 //!
 //! On single-channel states the first two disciplines coincide — one
 //! waiting-time uniform, no selection, one assignment uniform — so a

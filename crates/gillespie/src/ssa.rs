@@ -4,7 +4,7 @@
 //! random sampling to compute the result. Each individual simulation is
 //! called a trajectory." On CWC, one step is: read each rule's propensity
 //! at each matching site (rate × tree match count) off the incrementally
-//! maintained [`ReactionTable`](crate::table::ReactionTable), draw the
+//! maintained [`ReactionTable`], draw the
 //! exponential waiting time and the reaction, rewrite the term in place at
 //! the chosen site, then re-match only the (site, rule) pairs the firing
 //! could have affected (see [`crate::deps`]). The steady-state step loop
@@ -52,7 +52,7 @@ pub enum StepOutcome {
         /// Index of the rule that fired.
         rule: usize,
         /// Site where it fired — a dense id into the engine's
-        /// [`ReactionTable`](crate::table::ReactionTable) registry, valid
+        /// [`ReactionTable`] registry, valid
         /// until the next structural rewrite (resolve with
         /// `engine.site_path(site)` if needed). Returned instead of a
         /// cloned `Path` so the hot step loop stays allocation-free.
@@ -388,12 +388,31 @@ impl SsaEngine {
     /// before the event that crosses it), which is the standard alignment
     /// convention for piecewise-constant SSA trajectories — and exactly the
     /// "alignment of trajectories" contract of the simulation pipeline.
-    pub fn run_sampled<F>(&mut self, t_end: f64, clock: &mut SampleClock, mut on_sample: F) -> u64
+    pub fn run_sampled<F>(&mut self, t_end: f64, clock: &mut SampleClock, on_sample: F) -> u64
+    where
+        F: FnMut(f64, &[u64]),
+    {
+        self.run_sampled_bounded(t_end, clock, u64::MAX, on_sample)
+    }
+
+    /// Like [`run_sampled`](SsaEngine::run_sampled), but stops after at
+    /// most `max_steps` firings, leaving the clock mid-quantum. The hybrid
+    /// engine drives its exact segments through this: stopping on a step
+    /// count (a pure function of committed state) rather than a time keeps
+    /// the phase-switch schedule independent of quantum slicing. With
+    /// `max_steps = u64::MAX` this *is* `run_sampled`.
+    pub(crate) fn run_sampled_bounded<F>(
+        &mut self,
+        t_end: f64,
+        clock: &mut SampleClock,
+        max_steps: u64,
+        mut on_sample: F,
+    ) -> u64
     where
         F: FnMut(f64, &[u64]),
     {
         let mut fired = 0;
-        loop {
+        while fired < max_steps {
             let a0 = self.current_a0();
             let t_next = self.next_event_time(a0).unwrap_or(f64::INFINITY);
             // Emit all samples that fall before the next event and within
@@ -415,6 +434,19 @@ impl SsaEngine {
             fired += 1;
         }
         fired
+    }
+
+    /// Replaces the engine's state with a flat term built from `atoms` at
+    /// simulation time `time`, dropping any pending event and rebuilding
+    /// the reaction table. The hybrid engine uses this to hand a
+    /// leap-phase state back to its exact phase; the rebuilt table is
+    /// bit-compatible with an incrementally maintained one (the table's
+    /// build-equals-recompute contract).
+    pub(crate) fn reset_flat_state(&mut self, atoms: cwc::multiset::Multiset, time: f64) {
+        self.term = Term::from_atoms(atoms);
+        self.time = time;
+        self.pending = None;
+        self.table.build(&self.model, &self.term, &mut self.scratch);
     }
 }
 

@@ -1,16 +1,19 @@
-//! Approximate tau-leaping for flat (compartment-free) models.
+//! Approximate fixed-step tau-leaping for flat (compartment-free) models.
 //!
 //! **Extension beyond the paper.** The paper's simulator uses the exact
 //! Gillespie algorithm only; StochKit (its related work) ships tau-leaping
 //! as an alternative integrator, so this crate provides one too for flat
 //! models — rules that neither match nor rewrite compartments — where the
-//! state reduces to a species-count vector and Poisson leaping is sound.
+//! state reduces to a species-count vector and Poisson leaping is sound
+//! (the reduction lives in [`crate::flat`], shared with the adaptive and
+//! hybrid engines).
 //!
 //! The implementation is the basic non-negative Poisson leap: each leap of
 //! length τ fires each reaction `k_r ~ Poisson(a_r τ)` times; if any
 //! species would go negative the leap is halved and retried (down to a
 //! floor, below which we fall back to exact stepping semantics by taking a
-//! tiny leap).
+//! tiny leap). For the *adaptive* step-size selection that picks τ from
+//! the state instead of a fixed knob, see [`crate::adaptive`].
 //!
 //! ## Quantum-exact execution
 //!
@@ -27,56 +30,16 @@
 use std::sync::Arc;
 
 use cwc::model::Model;
-use cwc::species::{Label, Species};
-use rand::Rng;
+use cwc::species::Species;
 
 use crate::deps::ModelDeps;
+use crate::flat::{poisson, FlatModel, FlatModelError};
 use crate::rng::{sim_rng, SimRng};
 use crate::ssa::SampleClock;
 
-/// Error constructing a [`TauLeapEngine`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TauLeapError {
-    /// The model has a rule with compartment patterns or productions.
-    NotFlat {
-        /// Name of the offending rule.
-        rule: String,
-    },
-    /// The model has a rule that does not apply at the top level.
-    NotTopLevel {
-        /// Name of the offending rule.
-        rule: String,
-    },
-    /// The model has a rule with a non-mass-action kinetic law.
-    NotMassAction {
-        /// Name of the offending rule.
-        rule: String,
-    },
-}
-
-impl std::fmt::Display for TauLeapError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TauLeapError::NotFlat { rule } => {
-                write!(
-                    f,
-                    "rule `{rule}` uses compartments; tau-leaping needs a flat model"
-                )
-            }
-            TauLeapError::NotTopLevel { rule } => {
-                write!(
-                    f,
-                    "rule `{rule}` applies inside a compartment; tau-leaping needs top-level rules"
-                )
-            }
-            TauLeapError::NotMassAction { rule } => {
-                write!(f, "rule `{rule}` has a non-mass-action law; tau-leaping supports mass action only")
-            }
-        }
-    }
-}
-
-impl std::error::Error for TauLeapError {}
+/// Error constructing a [`TauLeapEngine`] — the shared flat-model
+/// rejection type (see [`FlatModelError`]).
+pub type TauLeapError = FlatModelError;
 
 /// Default native leap length, used when none is configured via
 /// [`TauLeapEngine::with_tau`] (the `EngineKind::TauLeap` knob always sets
@@ -94,18 +57,16 @@ struct PendingLeap {
     firings: u64,
 }
 
-/// Flat-model approximate simulator using Poisson tau-leaping.
+/// Flat-model approximate simulator using fixed-step Poisson tau-leaping.
 #[derive(Debug, Clone)]
 pub struct TauLeapEngine {
     model: Arc<Model>,
-    species: Vec<Species>,
-    /// `state[i]` = copies of `species[i]` (the last *committed* state).
+    /// Compiled flat reduction: species index space, reactants, net
+    /// stoichiometry, rates.
+    flat: FlatModel,
+    /// `state[i]` = copies of `flat.species[i]` (the last *committed*
+    /// state).
     state: Vec<i64>,
-    /// Per-rule reactant multiplicities, `(species index, count)`.
-    reactants: Vec<Vec<(usize, u64)>>,
-    /// Per-rule net stoichiometric change per firing.
-    delta: Vec<Vec<(usize, i64)>>,
-    rates: Vec<f64>,
     /// Time of the last committed leap boundary.
     committed: f64,
     /// Reported simulation clock (advances to quantum horizons; always
@@ -149,61 +110,12 @@ impl TauLeapEngine {
         base_seed: u64,
         instance: u64,
     ) -> Result<Self, TauLeapError> {
-        let species: Vec<Species> = model.alphabet.all_species().collect();
-        let index_of = |s: Species| -> usize {
-            species
-                .iter()
-                .position(|&x| x == s)
-                .expect("species interned in this model")
-        };
-        let mut reactants = Vec::new();
-        let mut delta = Vec::new();
-        let mut rates = Vec::new();
-        for (ri, rule) in model.rules.iter().enumerate() {
-            if !rule.is_flat() {
-                return Err(TauLeapError::NotFlat {
-                    rule: rule.name.clone(),
-                });
-            }
-            if rule.site != Label::TOP {
-                return Err(TauLeapError::NotTopLevel {
-                    rule: rule.name.clone(),
-                });
-            }
-            if !rule.law.is_mass_action() {
-                return Err(TauLeapError::NotMassAction {
-                    rule: rule.name.clone(),
-                });
-            }
-            let r: Vec<(usize, u64)> = rule
-                .lhs
-                .atoms
-                .iter()
-                .map(|(s, n)| (index_of(s), n))
-                .collect();
-            // Net stoichiometry straight from the compiled dependency
-            // info (ascending species order, like the interned indices).
-            let d: Vec<(usize, i64)> = deps
-                .rule(ri)
-                .site_delta
-                .iter()
-                .map(|&(s, v)| (index_of(s), v))
-                .collect();
-            reactants.push(r);
-            delta.push(d);
-            rates.push(rule.rate);
-        }
-        let state = species
-            .iter()
-            .map(|&s| model.initial.atoms.count(s) as i64)
-            .collect();
+        let flat = FlatModel::compile(&model, &deps, "tau-leaping")?;
+        let state = flat.initial_state(&model);
         Ok(TauLeapEngine {
             model,
-            species,
+            flat,
             state,
-            reactants,
-            delta,
-            rates,
             committed: 0.0,
             time: 0.0,
             tau: DEFAULT_TAU,
@@ -261,11 +173,7 @@ impl TauLeapEngine {
 
     /// Current copy number of `species`.
     pub fn count(&self, species: Species) -> u64 {
-        self.species
-            .iter()
-            .position(|&s| s == species)
-            .map(|i| self.state[i] as u64)
-            .unwrap_or(0)
+        self.flat.count(&self.state, species)
     }
 
     /// The committed per-species state vector, ordered like the model's
@@ -278,30 +186,14 @@ impl TauLeapEngine {
     /// Evaluates the model's observables (top-level counts only, which is
     /// exact for flat models).
     pub fn observe(&self) -> Vec<u64> {
-        self.model
-            .observables
-            .iter()
-            .map(|o| self.count(o.species))
-            .collect()
-    }
-
-    fn propensity(&self, r: usize) -> f64 {
-        let mut h = 1.0;
-        for &(i, k) in &self.reactants[r] {
-            let n = self.state[i];
-            if n < k as i64 {
-                return 0.0;
-            }
-            h *= cwc::multiset::binomial(n as u64, k) as f64;
-        }
-        self.rates[r] * h
+        self.flat.observe(&self.model, &self.state)
     }
 
     /// Draws one leap of at most `tau` from the committed state (halving
     /// on negativity), without committing it. Returns `None` when the
     /// state is absorbing.
     fn draw_leap(&mut self, tau: f64) -> Option<PendingLeap> {
-        let props: Vec<f64> = (0..self.rates.len()).map(|r| self.propensity(r)).collect();
+        let props = self.flat.propensities(&self.state);
         let a0: f64 = props.iter().sum();
         if a0 <= 0.0 {
             return None;
@@ -317,7 +209,7 @@ impl TauLeapEngine {
                 }
                 let k = poisson(&mut self.rng, a * tau);
                 firings += k;
-                for &(i, d) in &self.delta[r] {
+                for &(i, d) in &self.flat.delta[r] {
                     candidate[i] += d * k as i64;
                 }
             }
@@ -428,37 +320,6 @@ impl TauLeapEngine {
     }
 }
 
-/// Poisson sampling: Knuth's product method for small λ, normal
-/// approximation (Box–Muller) for large λ.
-fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
-    if lambda <= 0.0 {
-        return 0;
-    }
-    if lambda < 30.0 {
-        let l = (-lambda).exp();
-        let mut k = 0u64;
-        let mut p = 1.0;
-        loop {
-            p *= rng.gen_range(0.0..1.0);
-            if p <= l {
-                return k;
-            }
-            k += 1;
-        }
-    } else {
-        // N(λ, λ) approximation, clamped at zero.
-        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        let v = lambda + lambda.sqrt() * z;
-        if v < 0.0 {
-            0
-        } else {
-            v.round() as u64
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +363,8 @@ mod tests {
             .unwrap();
         let err = TauLeapEngine::new(Arc::new(m), 0, 0).unwrap_err();
         assert!(matches!(err, TauLeapError::NotFlat { .. }));
+        assert!(err.to_string().contains("tau-leaping"));
+        assert!(err.to_string().contains("`r`"));
     }
 
     #[test]
@@ -591,31 +454,6 @@ mod tests {
         assert!(samples.iter().all(|&(_, a)| a == 50));
         assert_eq!(e.time(), 2.0);
         assert_eq!(e.firings(), 0);
-    }
-
-    #[test]
-    fn poisson_small_lambda_mean() {
-        let mut rng = sim_rng(1, 1);
-        let n = 20_000;
-        let total: u64 = (0..n).map(|_| poisson(&mut rng, 3.0)).sum();
-        let mean = total as f64 / n as f64;
-        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
-    }
-
-    #[test]
-    fn poisson_large_lambda_mean() {
-        let mut rng = sim_rng(2, 1);
-        let n = 20_000;
-        let total: u64 = (0..n).map(|_| poisson(&mut rng, 200.0)).sum();
-        let mean = total as f64 / n as f64;
-        assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
-    }
-
-    #[test]
-    fn poisson_zero_lambda_is_zero() {
-        let mut rng = sim_rng(3, 1);
-        assert_eq!(poisson(&mut rng, 0.0), 0);
-        assert_eq!(poisson(&mut rng, -1.0), 0);
     }
 
     #[test]

@@ -188,6 +188,11 @@ mod tests {
             EngineKind::Ssa,
             EngineKind::TauLeap { tau: 0.1 },
             EngineKind::FirstReaction,
+            EngineKind::AdaptiveTau { epsilon: 0.05 },
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 8.0,
+            },
         ] {
             let mut device =
                 DeviceMap::with_engine(kind, Arc::clone(&model), 4, 9, 2.0, 0.5, 0.25).unwrap();

@@ -1,7 +1,8 @@
 //! Quickstart: build a CWC model, run the parallel simulation-analysis
 //! pipeline with the exact (SSA) integrator, print the resulting
-//! statistics as CSV — then re-run the *same* pipeline under approximate
-//! tau-leaping with one config knob (`SimConfig::engine`) and compare.
+//! statistics as CSV — then re-run the *same* pipeline under fixed-step
+//! tau-leaping and adaptive (CGP) tau-leaping with one config knob
+//! (`SimConfig::engine`) and compare.
 //!
 //! Run: `cargo run --release --example quickstart`
 
@@ -54,13 +55,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Engine selection: the dimerisation model is flat mass-action, so the
     // approximate tau-leaping integrator may drive the identical pipeline
     // (compartment models would be rejected here with an engine error).
-    let leap_cfg = cfg.engine(EngineKind::TauLeap { tau: 0.05 });
-    let leap = run_simulation(model, &leap_cfg)?;
+    let leap_cfg = cfg.clone().engine(EngineKind::TauLeap { tau: 0.05 });
+    let leap = run_simulation(Arc::clone(&model), &leap_cfg)?;
     eprintln!(
         "tau-leap re-run: {} firings in {:?}; grand mean of A {:.2} vs exact {:.2}",
         leap.events,
         leap.wall,
         leap.grand_mean(0),
+        report.grand_mean(0),
+    );
+
+    // Adaptive tau-leaping: no leap length to pick — every leap is sized
+    // from the state so propensities change by at most epsilon per leap
+    // (critical reactions near exhaustion still fire exactly).
+    let adaptive_cfg = cfg.engine(EngineKind::AdaptiveTau { epsilon: 0.03 });
+    let adaptive = run_simulation(model, &adaptive_cfg)?;
+    eprintln!(
+        "adaptive-tau re-run: {} firings in {:?}; grand mean of A {:.2} vs exact {:.2}",
+        adaptive.events,
+        adaptive.wall,
+        adaptive.grand_mean(0),
         report.grand_mean(0),
     );
     Ok(())

@@ -22,13 +22,18 @@ fn cfg() -> SimConfig {
         .seed(2024)
 }
 
-/// The engine matrix of the correctness tests (tau-leap needs flat
-/// mass-action models; every model used here qualifies).
-fn engine_kinds() -> [EngineKind; 3] {
+/// The engine matrix of the correctness tests (the leaping kinds need
+/// flat mass-action models; every model used here qualifies).
+fn engine_kinds() -> [EngineKind; 5] {
     [
         EngineKind::Ssa,
         EngineKind::TauLeap { tau: 0.1 },
         EngineKind::FirstReaction,
+        EngineKind::AdaptiveTau { epsilon: 0.05 },
+        EngineKind::Hybrid {
+            epsilon: 0.05,
+            threshold: 8.0,
+        },
     ]
 }
 

@@ -7,7 +7,7 @@
 //!    implementation, seed commit `1b63989`). The rewritten engines must
 //!    reproduce every stream bit-for-bit: same sample values at the same
 //!    grid times, same event counts, same final state, across irregular
-//!    quantum slicings, for all three integrators on flat and
+//!    quantum slicings, for the three seed integrators on flat and
 //!    compartmentalised models.
 //!
 //! 2. **Table = recompute** — after an arbitrary prefix of firings

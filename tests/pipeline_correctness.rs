@@ -52,7 +52,7 @@ fn parallel_equals_sequential_for_flat_models() {
 
 #[test]
 fn parallel_equals_sequential_for_every_engine_kind() {
-    // The seq-vs-par agreement matrix over all three integrators: the
+    // The seq-vs-par agreement matrix over all five integrators: the
     // engine abstraction must not leak scheduling into trajectories.
     for model in [
         biomodels::simple::decay(60, 1.0),
@@ -64,6 +64,11 @@ fn parallel_equals_sequential_for_every_engine_kind() {
             EngineKind::Ssa,
             EngineKind::TauLeap { tau: 0.07 },
             EngineKind::FirstReaction,
+            EngineKind::AdaptiveTau { epsilon: 0.05 },
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 8.0,
+            },
         ] {
             for cfg in configs() {
                 let cfg = cfg.engine(kind);

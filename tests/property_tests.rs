@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 use cwc_repro::gillespie::engine::EngineKind;
-use cwc_repro::gillespie::{FirstReactionEngine, SampleClock, TauLeapEngine};
+use cwc_repro::gillespie::{AdaptiveTauEngine, FirstReactionEngine, SampleClock, TauLeapEngine};
 
 use cwc_repro::cwc::matching::{apply_at, assignments, match_count};
 use cwc_repro::cwc::multiset::{binomial, Multiset};
@@ -278,6 +278,70 @@ proptest! {
         prop_assert_eq!(whole.counts(), sliced.counts());
         prop_assert_eq!(whole.firings(), sliced.firings());
         prop_assert_eq!(whole.time(), sliced.time());
+    }
+
+    #[test]
+    fn adaptive_tau_trajectories_are_slicing_invariant(
+        n0 in 1u64..400,
+        birth in 5.0f64..300.0,
+        epsilon in 0.01f64..0.2,
+        cut in 0.05f64..3.95,
+        seed in any::<u64>(),
+    ) {
+        // The adaptive engine's transition schedule (leaps, critical
+        // firings and SSA fallbacks alike) must not move when a quantum
+        // boundary lands at an arbitrary point: pending transitions are
+        // held, never re-drawn.
+        let model = Arc::new(cwc_repro::biomodels::simple::birth_death(birth, 1.0, n0));
+        let mut whole = AdaptiveTauEngine::new(Arc::clone(&model), seed, 1)
+            .expect("flat model")
+            .with_epsilon(epsilon);
+        let mut wc = SampleClock::new(0.0, 0.25);
+        let mut ws = Vec::new();
+        whole.run_sampled(4.0, &mut wc, |t, v| ws.push((t, v.to_vec())));
+
+        let mut sliced = AdaptiveTauEngine::new(model, seed, 1)
+            .expect("flat model")
+            .with_epsilon(epsilon);
+        let mut sc = SampleClock::new(0.0, 0.25);
+        let mut ss = Vec::new();
+        sliced.run_sampled(cut, &mut sc, |t, v| ss.push((t, v.to_vec())));
+        sliced.run_sampled(4.0, &mut sc, |t, v| ss.push((t, v.to_vec())));
+
+        prop_assert_eq!(ws, ss);
+        prop_assert_eq!(whole.counts(), sliced.counts());
+        prop_assert_eq!(whole.firings(), sliced.firings());
+        prop_assert_eq!(whole.leaps(), sliced.leaps());
+        prop_assert_eq!(whole.exact_steps(), sliced.exact_steps());
+        prop_assert_eq!(whole.time(), sliced.time());
+    }
+
+    #[test]
+    fn adaptive_tau_never_produces_negative_species_counts(
+        n0 in 0u64..60,
+        birth in 0.5f64..50.0,
+        death in 0.1f64..10.0,
+        epsilon in 0.01f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        // Small populations hammer the critical-reaction partition and
+        // the negativity-halving redraw; the committed state must stay a
+        // valid species-count vector at every quantum boundary.
+        let model = Arc::new(cwc_repro::biomodels::simple::birth_death(birth, death, n0));
+        let mut e = AdaptiveTauEngine::new(model, seed, 0)
+            .expect("flat model")
+            .with_epsilon(epsilon);
+        let mut clock = SampleClock::new(0.0, 0.5);
+        for k in 1..=8 {
+            e.run_sampled(k as f64 * 0.5, &mut clock, |_, values| {
+                assert!(values[0] < u64::MAX / 2);
+            });
+            prop_assert!(
+                e.counts().iter().all(|&c| c >= 0),
+                "negative state {:?} (epsilon {epsilon})",
+                e.counts()
+            );
+        }
     }
 
     #[test]

@@ -112,6 +112,48 @@ fn tau_leap_means_track_exact_ssa_on_schlogl() {
 }
 
 #[test]
+fn adaptive_tau_and_hybrid_means_track_exact_ssa_on_schlogl() {
+    // The adaptive and hybrid integrators must track the exact ensemble
+    // mean on the bistable Schlögl system — the hard case, where a leap
+    // that disturbs the basin balance shows up immediately as mean drift.
+    // Same per-row comparison as the fixed-tau test, with the bound on the
+    // standard error of the difference of the two 48-trajectory ensemble
+    // means.
+    let model = Arc::new(biomodels::schlogl(biomodels::SchloglParams::default()));
+    let cfg = SimConfig::new(48, 6.0)
+        .quantum(0.5)
+        .sample_period(0.5)
+        .sim_workers(4)
+        .stat_workers(2)
+        .seed(7);
+    let exact = run_simulation(Arc::clone(&model), &cfg).unwrap();
+    for kind in [
+        EngineKind::AdaptiveTau { epsilon: 0.03 },
+        EngineKind::Hybrid {
+            epsilon: 0.03,
+            threshold: 8.0,
+        },
+    ] {
+        let approx = run_simulation(Arc::clone(&model), &cfg.clone().engine(kind)).unwrap();
+        assert_eq!(exact.rows.len(), approx.rows.len(), "{kind}");
+        for (e, a) in exact.rows.iter().zip(&approx.rows) {
+            assert_eq!(e.time, a.time, "{kind}");
+            let se = ((e.observables[0].variance + a.observables[0].variance) / 48.0)
+                .sqrt()
+                .max(1.0);
+            let diff = (e.observables[0].mean - a.observables[0].mean).abs();
+            assert!(
+                diff < 6.0 * se,
+                "{kind} t = {}: mean {} vs exact {} (se {se})",
+                e.time,
+                a.observables[0].mean,
+                e.observables[0].mean
+            );
+        }
+    }
+}
+
+#[test]
 fn first_reaction_means_track_exact_ssa_on_decay() {
     // Both exact integrators must agree with the closed form through the
     // full pipeline.
