@@ -12,7 +12,10 @@
 //!   physical work);
 //! - **accuracy** — ensemble mean of the first observable at the horizon
 //!   vs exact SSA, with the standard error of the difference (Schlögl is
-//!   bistable, Lotka–Volterra oscillatory: the two hard cases).
+//!   bistable, Lotka–Volterra oscillatory: the two hard cases; the wide
+//!   conversion cycle — 200 rules, 2 species touched per transition —
+//!   isolates per-transition propensity-refresh cost, which is where the
+//!   incidence list beats the full-recompute replica).
 //!
 //! Output: a human table on stdout plus `BENCH_adaptive_tau.json`
 //! (override with `--out PATH`). Flags:
@@ -29,8 +32,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use biomodels::{lotka_volterra, schlogl, LotkaVolterraParams, SchloglParams};
+use biomodels::{conversion_cycle, lotka_volterra, schlogl, LotkaVolterraParams, SchloglParams};
 use cwc::model::Model;
+use gillespie::adaptive::AdaptiveTauEngine;
 use gillespie::deps::ModelDeps;
 use gillespie::engine::EngineKind;
 
@@ -49,6 +53,20 @@ const ACCURACY_SIGMA: f64 = 6.0;
 /// The engine whose speedup over `fixed-tau` is gated.
 const GATED_ENGINE: &str = "adaptive-0.05";
 
+/// The full-recompute replica of the gated engine: identical draws, but
+/// every transition rescans all propensities instead of refreshing only
+/// the rules incident to changed species. Its firings/sec vs the gated
+/// engine's is what the incidence list buys (reported per model; the
+/// effect grows with rule count — see the `wide_flat_cycle` case).
+const FULL_RECOMPUTE_ENGINE: &str = "adaptive-0.05-fullrecompute";
+
+/// How a measured engine is built (the full-recompute replica is not an
+/// `EngineKind` — it is a diagnostic knob on the adaptive engine).
+enum EngineSpec {
+    Kind(EngineKind),
+    AdaptiveFullRecompute { epsilon: f64 },
+}
+
 struct Measurement {
     model: &'static str,
     engine: String,
@@ -65,7 +83,7 @@ struct Measurement {
 fn measure(
     model: &Arc<Model>,
     deps: &Arc<ModelDeps>,
-    kind: EngineKind,
+    spec: &EngineSpec,
     instances: u64,
     t_end: f64,
 ) -> (u64, f64, f64, f64, f64) {
@@ -73,11 +91,24 @@ fn measure(
     let mut endpoints = Vec::with_capacity(instances as usize);
     let start = Instant::now();
     for i in 0..instances {
-        let mut engine = kind
-            .build_with_deps(Arc::clone(model), Arc::clone(deps), 1, i)
-            .expect("flat benchmark models");
-        firings += engine.run_until(t_end);
-        endpoints.push(engine.observe()[0] as f64);
+        match spec {
+            EngineSpec::Kind(kind) => {
+                let mut engine = kind
+                    .build_with_deps(Arc::clone(model), Arc::clone(deps), 1, i)
+                    .expect("flat benchmark models");
+                firings += engine.run_until(t_end);
+                endpoints.push(engine.observe()[0] as f64);
+            }
+            EngineSpec::AdaptiveFullRecompute { epsilon } => {
+                let mut engine =
+                    AdaptiveTauEngine::with_deps(Arc::clone(model), Arc::clone(deps), 1, i)
+                        .expect("flat benchmark models")
+                        .with_epsilon(*epsilon)
+                        .with_full_recompute();
+                firings += engine.run_until(t_end);
+                endpoints.push(engine.observe()[0] as f64);
+            }
+        }
     }
     let wall = start.elapsed().as_secs_f64();
     let n = endpoints.len() as f64;
@@ -87,28 +118,35 @@ fn measure(
     (firings, firings as f64 / wall, wall, mean, se)
 }
 
-fn engines_for(fixed_tau: f64) -> Vec<(String, EngineKind)> {
+fn engines_for(fixed_tau: f64) -> Vec<(String, EngineSpec)> {
     vec![
-        ("ssa".into(), EngineKind::Ssa),
-        ("fixed-tau".into(), EngineKind::TauLeap { tau: fixed_tau }),
+        ("ssa".into(), EngineSpec::Kind(EngineKind::Ssa)),
+        (
+            "fixed-tau".into(),
+            EngineSpec::Kind(EngineKind::TauLeap { tau: fixed_tau }),
+        ),
         (
             "adaptive-0.01".into(),
-            EngineKind::AdaptiveTau { epsilon: 0.01 },
+            EngineSpec::Kind(EngineKind::AdaptiveTau { epsilon: 0.01 }),
         ),
         (
             "adaptive-0.03".into(),
-            EngineKind::AdaptiveTau { epsilon: 0.03 },
+            EngineSpec::Kind(EngineKind::AdaptiveTau { epsilon: 0.03 }),
         ),
         (
             "adaptive-0.05".into(),
-            EngineKind::AdaptiveTau { epsilon: 0.05 },
+            EngineSpec::Kind(EngineKind::AdaptiveTau { epsilon: 0.05 }),
+        ),
+        (
+            FULL_RECOMPUTE_ENGINE.into(),
+            EngineSpec::AdaptiveFullRecompute { epsilon: 0.05 },
         ),
         (
             "hybrid".into(),
-            EngineKind::Hybrid {
+            EngineSpec::Kind(EngineKind::Hybrid {
                 epsilon: 0.03,
                 threshold: 8.0,
-            },
+            }),
         ),
     ]
 }
@@ -132,12 +170,24 @@ fn measure_all(quick: bool) -> Vec<Measurement> {
             1e-3,
             4.0,
         ),
+        // The wide flat case: 300 rules at ~5 molecules per species, so
+        // every reaction is critical and the adaptive engine fires them
+        // one at a time (exactly). Each firing touches 2 species = 2
+        // incident rules; the full-recompute replica rescans all 300
+        // propensities per transition. This is the regime the incidence
+        // list exists for — compare adaptive-0.05 with its replica here.
+        (
+            "wide_flat_cycle",
+            Arc::new(conversion_cycle(300, 1_500, 1.0)),
+            1e-3,
+            2.0,
+        ),
     ];
     let mut out = Vec::new();
     for (name, model, fixed_tau, t_end) in &cases {
         let deps = Arc::new(ModelDeps::compile(model));
         for (engine, kind) in engines_for(*fixed_tau) {
-            let (firings, rate, wall, mean, se) = measure(model, &deps, kind, instances, *t_end);
+            let (firings, rate, wall, mean, se) = measure(model, &deps, &kind, instances, *t_end);
             out.push(Measurement {
                 model: name,
                 engine,
@@ -194,6 +244,29 @@ fn parse_rates(json: &str) -> Vec<((String, String), f64)> {
             let e = str_field(chunk, "engine")?;
             let r = num_field(chunk, "firings_per_sec")?;
             Some(((m, e), r))
+        })
+        .collect()
+}
+
+/// Incidence-cache gain per model: the gated adaptive engine's
+/// firings/sec over its full-recompute replica (same draws, same
+/// results — pure propensity-refresh cost).
+fn incidence_gains(json: &str) -> Vec<(String, f64)> {
+    let rates = parse_rates(json);
+    let rate_of = |model: &str, engine: &str| -> Option<f64> {
+        rates
+            .iter()
+            .find(|((m, e), _)| m == model && e == engine)
+            .map(|(_, r)| *r)
+    };
+    let mut models: Vec<String> = rates.iter().map(|((m, _), _)| m.clone()).collect();
+    models.dedup();
+    models
+        .into_iter()
+        .filter_map(|m| {
+            let fast = rate_of(&m, GATED_ENGINE)?;
+            let slow = rate_of(&m, FULL_RECOMPUTE_ENGINE)?;
+            (slow > 0.0).then_some((m, fast / slow))
         })
         .collect()
 }
@@ -341,6 +414,12 @@ fn main() {
     for (model, s) in speedups(&json) {
         bench::note(&format!(
             "{model}: {GATED_ENGINE} is {s:.2}x fixed-tau (firings/sec)"
+        ));
+    }
+    for (model, g) in incidence_gains(&json) {
+        bench::note(&format!(
+            "{model}: incidence-list refresh is {g:.2}x full recompute \
+             (same draws, bit-identical results)"
         ));
     }
 

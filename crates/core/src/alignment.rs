@@ -23,6 +23,9 @@ use crate::task::SampleBatch;
 pub struct Alignment {
     instances: u64,
     sample_period: f64,
+    /// First instance id of the aligned range (non-zero in shard
+    /// workers, which align only their slice of the instances).
+    base: u64,
     /// Partially filled cuts: grid index → (per-instance slot, filled count).
     pending: BTreeMap<u64, PendingCut>,
     /// Next grid index to emit.
@@ -46,6 +49,18 @@ impl Alignment {
     ///
     /// Panics if `instances` is zero or the period is not positive.
     pub fn new(instances: u64, sample_period: f64) -> Self {
+        Self::with_base(instances, sample_period, 0)
+    }
+
+    /// Creates an aligner for the instance range
+    /// `base..base + instances` — the shard worker's slice. Slot `i` of
+    /// every emitted cut holds instance `base + i`, so concatenating
+    /// shard cuts in shard order reproduces the full-range cut exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is zero or the period is not positive.
+    pub fn with_base(instances: u64, sample_period: f64, base: u64) -> Self {
         assert!(instances > 0, "alignment needs at least one instance");
         assert!(
             sample_period > 0.0 && sample_period.is_finite(),
@@ -54,6 +69,7 @@ impl Alignment {
         Alignment {
             instances,
             sample_period,
+            base,
             pending: BTreeMap::new(),
             next_emit: 0,
             emitted: 0,
@@ -76,7 +92,14 @@ impl Alignment {
     }
 
     fn ingest(&mut self, batch: SampleBatch, out: &mut Vec<Cut>) {
-        let instance = batch.instance as usize;
+        assert!(
+            batch.instance >= self.base && batch.instance < self.base + self.instances,
+            "instance {} outside aligned range {}..{}",
+            batch.instance,
+            self.base,
+            self.base + self.instances
+        );
+        let instance = (batch.instance - self.base) as usize;
         for (t, values) in batch.samples {
             let k = self.grid_index(t);
             if k < self.next_emit {
@@ -198,6 +221,23 @@ mod tests {
         let cuts = drain(&mut a, batch(0, &[(0.1 + 0.1 + 0.1, 7)]));
         assert!(cuts.is_empty()); // indices 0..2 missing, held back
         assert_eq!(a.buffered(), 1);
+    }
+
+    #[test]
+    fn offset_alignment_maps_shard_instances_to_slots() {
+        // A shard aligning instances 4..6: slot 0 is instance 4.
+        let mut a = Alignment::with_base(2, 1.0, 4);
+        assert!(drain(&mut a, batch(5, &[(0.0, 50)])).is_empty());
+        let cuts = drain(&mut a, batch(4, &[(0.0, 40)]));
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].values, vec![vec![40], vec![50]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside aligned range")]
+    fn out_of_range_instance_panics() {
+        let mut a = Alignment::with_base(2, 1.0, 4);
+        drain(&mut a, batch(1, &[(0.0, 1)]));
     }
 
     #[test]

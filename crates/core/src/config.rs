@@ -51,6 +51,13 @@ pub struct SimConfig {
     pub engines: Vec<StatEngineKind>,
     /// Capacity of inter-stage channels.
     pub channel_capacity: usize,
+    /// Number of shards the instance range is partitioned into. With 1
+    /// (the default) the run stays a single in-process pipeline; with
+    /// more, each shard runs its slice of the instances in a separate
+    /// worker (the sharded runners spawn one `cwc-shard` child process
+    /// per shard) and streams partial cuts back for merging. Per-instance
+    /// seeding makes the results identical for every shard count.
+    pub shards: usize,
 }
 
 /// Error returned by [`SimConfig::validate`].
@@ -82,6 +89,7 @@ impl SimConfig {
             engine: EngineKind::Ssa,
             engines: vec![StatEngineKind::MeanVariance],
             channel_capacity: 64,
+            shards: 1,
         }
     }
 
@@ -137,6 +145,14 @@ impl SimConfig {
     /// Sets the channel capacity between stages.
     pub fn channel_capacity(mut self, cap: usize) -> Self {
         self.channel_capacity = cap;
+        self
+    }
+
+    /// Sets the number of shards for the sharded runners (see
+    /// [`SimConfig::shards`]; ignored by the single-process
+    /// `run_simulation`).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
         self
     }
 
@@ -201,6 +217,11 @@ impl SimConfig {
         }
         if self.channel_capacity == 0 {
             return Err(ConfigError("channel_capacity must be > 0".into()));
+        }
+        if self.shards == 0 {
+            return Err(ConfigError(
+                "shards must be > 0 (1 = single in-process shard)".into(),
+            ));
         }
         Ok(())
     }
@@ -338,5 +359,16 @@ mod tests {
             .channel_capacity(0)
             .validate()
             .is_err());
+        assert!(SimConfig::new(1, 10.0).shards(0).validate().is_err());
+    }
+
+    #[test]
+    fn shards_knob_defaults_to_one_and_is_fluent() {
+        assert_eq!(SimConfig::new(1, 1.0).shards, 1);
+        let cfg = SimConfig::new(1, 1.0).shards(4);
+        assert_eq!(cfg.shards, 4);
+        cfg.validate().unwrap();
+        let msg = rejection_message(&SimConfig::new(1, 1.0).shards(0));
+        assert!(msg.contains("shards"), "{msg}");
     }
 }

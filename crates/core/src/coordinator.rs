@@ -1,0 +1,619 @@
+//! The sharded simulation farm: coordinator, shard body and transport
+//! seam.
+//!
+//! The paper's cluster deployment (Fig. 4/5) runs the simulation farm as
+//! a *farm of pipelines* across machines; this module is the
+//! process-level analogue. A run is split by a
+//! [`ShardPlan`] into contiguous instance
+//! slices; each shard executes the standard farm + alignment pipeline on
+//! its slice ([`run_shard`] — the same code the single-process runner
+//! uses) and streams back *aligned partial cuts* plus one end-of-stream
+//! *partial statistics state*. The coordinator
+//! ([`run_simulation_sharded_with`]) zips the partial-cut streams with
+//! [`CutMerger`], folds the partial statistics with
+//! `streamstat::Mergeable`, and feeds the merged cut stream through the
+//! unchanged window/analysis stages.
+//!
+//! *Where* shards run is the [`ShardTransport`] seam: this crate
+//! provides [`InProcessTransport`] (one thread per shard — also the
+//! degenerate `shards = 1` path, which spawns no child process); the
+//! `distrt` crate adds the real multi-process transport that spawns one
+//! `cwc-shard` child per shard and speaks length-prefixed wire-v4
+//! frames over stdio.
+//!
+//! ## Determinism
+//!
+//! Every trajectory's RNG stream is a pure function of
+//! `(base_seed, instance)`, alignment emits cuts in grid order, and the
+//! plan is contiguous in instance order — so the merged cut stream is
+//! bit-for-bit the single-process cut stream for *any* shard count, and
+//! therefore so are the [`StatRow`]s (the integration matrix in
+//! `tests/sharded_agreement.rs` pins this).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cwc::model::Model;
+use fastflow::node::{flat_stage, map_stage};
+use fastflow::pipeline::Pipeline;
+use gillespie::engine::EngineKind;
+use gillespie::trajectory::Cut;
+use streamstat::merge::Mergeable;
+
+use crate::alignment::Alignment;
+use crate::config::SimConfig;
+use crate::engines::{StatBlock, StatEngineKind, StatEngineSet, StatRow};
+use crate::merge::{CutMerger, RunSummary};
+use crate::plan::{ShardPlan, ShardRange};
+use crate::runner::{SimError, SimReport};
+use crate::sim_farm::{SimMaster, SimWorker, Steering};
+use crate::task::{SampleBatch, SimTask};
+use crate::windows::WindowGen;
+
+/// Everything a shard worker needs to run its slice of a simulation —
+/// the run parameters plus the shard's [`ShardRange`]. The multi-process
+/// transport ships this (together with the model) to the `cwc-shard`
+/// child; the in-process transport hands it to a thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSpec {
+    /// The instance slice this shard simulates.
+    pub range: ShardRange,
+    /// Stochastic integrator for every trajectory.
+    pub engine: EngineKind,
+    /// Base RNG seed (instance seeds derive from it, not from the shard).
+    pub base_seed: u64,
+    /// Time horizon.
+    pub t_end: f64,
+    /// Simulation quantum Q.
+    pub quantum: f64,
+    /// Sampling period τ.
+    pub sample_period: f64,
+    /// Workers in the shard's simulation farm.
+    pub sim_workers: usize,
+    /// Capacity of the shard's inter-stage channels.
+    pub channel_capacity: usize,
+    /// Statistical engine configuration (determines which accumulators
+    /// the shard's partial [`RunSummary`] carries).
+    pub engines: Vec<StatEngineKind>,
+}
+
+impl ShardSpec {
+    /// Extracts the spec for one planned shard of a run.
+    pub fn from_config(cfg: &SimConfig, range: ShardRange) -> Self {
+        ShardSpec {
+            range,
+            engine: cfg.engine,
+            base_seed: cfg.base_seed,
+            t_end: cfg.t_end,
+            quantum: cfg.quantum,
+            sample_period: cfg.sample_period,
+            sim_workers: cfg.sim_workers,
+            channel_capacity: cfg.channel_capacity,
+            engines: cfg.engines.clone(),
+        }
+    }
+}
+
+/// One message from a shard to the coordinator.
+#[derive(Debug, Clone)]
+pub enum ShardMsg {
+    /// An aligned partial cut over the shard's instance slice, in grid
+    /// order.
+    Cut(Cut),
+    /// End of the shard's stream.
+    End(ShardEnd),
+}
+
+/// A shard's end-of-stream report.
+#[derive(Debug, Clone)]
+pub struct ShardEnd {
+    /// Reactions fired across the shard's trajectories.
+    pub events: u64,
+    /// The shard's partial whole-run statistics, ready to merge.
+    pub summary: RunSummary,
+}
+
+/// What went wrong in one shard of a sharded run.
+#[derive(Debug)]
+pub struct ShardError {
+    /// The shard that failed.
+    pub shard: usize,
+    /// The failure.
+    pub kind: ShardErrorKind,
+}
+
+/// Failure modes of a shard.
+#[derive(Debug)]
+pub enum ShardErrorKind {
+    /// The shard worker could not be launched at all.
+    Spawn(String),
+    /// The shard's stream was malformed or ended before its
+    /// end-of-stream report (e.g. the child process crashed mid-run).
+    Crashed(String),
+    /// The shard reported a simulation error (bad model/engine pairing
+    /// discovered worker-side, pipeline failure, …).
+    Sim(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ShardErrorKind::Spawn(m) => write!(f, "shard {}: spawn failed: {m}", self.shard),
+            ShardErrorKind::Crashed(m) => write!(f, "shard {}: crashed: {m}", self.shard),
+            ShardErrorKind::Sim(m) => write!(f, "shard {}: {m}", self.shard),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Launches the shards of a plan somewhere — threads, child processes,
+/// or anything else that can stream [`ShardMsg`]s back.
+pub trait ShardTransport {
+    /// Launches every shard of `plan`, delivering each shard's messages
+    /// into `sink` tagged with its shard index. Each launched shard must
+    /// eventually either send [`ShardMsg::End`] or surface a
+    /// [`ShardError`] through its returned handle; shards observe
+    /// `steering` and drain early when it is terminated.
+    ///
+    /// The sink is *bounded* (the run's `channel_capacity`): a slow
+    /// coordinator back-pressures shard drivers instead of buffering an
+    /// unbounded cut backlog, matching every other pipeline channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first launch failure (no handles to join in that
+    /// case: implementations tear down anything already launched).
+    fn launch(
+        &mut self,
+        model: Arc<Model>,
+        cfg: &SimConfig,
+        plan: &ShardPlan,
+        steering: &Steering,
+        sink: mpsc::SyncSender<(usize, ShardMsg)>,
+    ) -> Result<Vec<ShardHandle>, ShardError>;
+}
+
+/// A launched shard: join it after the message stream drains to learn
+/// how the shard ended.
+#[derive(Debug)]
+pub struct ShardHandle {
+    /// The shard this handle belongs to.
+    pub shard: usize,
+    /// The shard's driver thread (the shard itself in the in-process
+    /// transport; the child's stdout reader in the process transport).
+    pub join: std::thread::JoinHandle<Result<(), ShardError>>,
+}
+
+/// Runs one shard's slice through the standard farm + alignment
+/// pipeline, invoking `on_msg` with every aligned partial cut (in grid
+/// order) and finally with the end-of-stream report. This is the shard
+/// *body*: the in-process transport calls it on a thread, the
+/// `cwc-shard` worker binary calls it with a frame-writing sink.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the engine kind cannot drive the model or
+/// a pipeline node panics.
+pub fn run_shard(
+    model: Arc<Model>,
+    spec: &ShardSpec,
+    steering: &Steering,
+    mut on_msg: impl FnMut(ShardMsg),
+) -> Result<(), SimError> {
+    let deps = Arc::new(gillespie::deps::ModelDeps::compile(&model));
+    let tasks: Vec<SimTask> = (spec.range.first_instance..spec.range.end())
+        .map(|i| {
+            SimTask::with_engine_deps(
+                spec.engine,
+                Arc::clone(&model),
+                Arc::clone(&deps),
+                spec.base_seed,
+                i,
+                spec.t_end,
+                spec.quantum,
+                spec.sample_period,
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let workers: Vec<SimWorker> = (0..spec.sim_workers.max(1))
+        .map(|_| SimWorker::new())
+        .collect();
+    let events = Arc::new(AtomicU64::new(0));
+    let events_in_stage = Arc::clone(&events);
+
+    let pipeline = Pipeline::from_source_with_capacity(tasks.into_iter(), spec.channel_capacity)
+        .master_worker_farm(SimMaster::with_steering(steering.clone()), workers)
+        .named_stage(
+            "shard-events",
+            map_stage(move |batch: SampleBatch| {
+                events_in_stage.fetch_add(batch.events, Ordering::Relaxed);
+                batch
+            }),
+        )
+        .named_stage(
+            "shard-alignment",
+            Alignment::with_base(
+                spec.range.count,
+                spec.sample_period,
+                spec.range.first_instance,
+            ),
+        );
+
+    let (rx, handle) = pipeline.into_receiver();
+    let mut summary = RunSummary::new(spec.engines.clone());
+    for cut in rx.iter() {
+        summary.push_cut(&cut);
+        on_msg(ShardMsg::Cut(cut));
+    }
+    handle.join()?;
+    on_msg(ShardMsg::End(ShardEnd {
+        events: events.load(Ordering::Relaxed),
+        summary,
+    }));
+    Ok(())
+}
+
+/// The in-process transport: one thread per shard, no serialisation.
+/// This is also what `shards = 1` degenerates to — a sharded run with a
+/// single in-process shard and no child spawn.
+#[derive(Debug, Default)]
+pub struct InProcessTransport;
+
+impl ShardTransport for InProcessTransport {
+    fn launch(
+        &mut self,
+        model: Arc<Model>,
+        cfg: &SimConfig,
+        plan: &ShardPlan,
+        steering: &Steering,
+        sink: mpsc::SyncSender<(usize, ShardMsg)>,
+    ) -> Result<Vec<ShardHandle>, ShardError> {
+        Ok(plan
+            .ranges()
+            .iter()
+            .map(|&range| {
+                let model = Arc::clone(&model);
+                let spec = ShardSpec::from_config(cfg, range);
+                let steering = steering.clone();
+                let sink = sink.clone();
+                let join = std::thread::spawn(move || {
+                    run_shard(model, &spec, &steering, |msg| {
+                        // A dropped receiver means the coordinator already
+                        // failed; finishing quietly is fine.
+                        let _ = sink.send((range.shard, msg));
+                    })
+                    .map_err(|e| ShardError {
+                        shard: range.shard,
+                        kind: ShardErrorKind::Sim(e.to_string()),
+                    })
+                });
+                ShardHandle {
+                    shard: range.shard,
+                    join,
+                }
+            })
+            .collect())
+    }
+}
+
+/// Runs a sharded simulation over the given transport, merging the
+/// shards' partial cuts and partial statistics and feeding the same
+/// window/analysis stages as [`run_simulation`]. Produces bit-for-bit
+/// the same [`StatRow`]s as the single-process runner for any shard
+/// count (see the module docs for the argument).
+///
+/// [`run_simulation`]: crate::runner::run_simulation
+///
+/// # Errors
+///
+/// Returns [`SimError`] on invalid configuration/model, engine/model
+/// mismatch, a failed shard (typed [`SimError::Shard`] — a crashed shard
+/// process surfaces here, never as a hang) or a node panic.
+pub fn run_simulation_sharded_with<T: ShardTransport>(
+    model: Arc<Model>,
+    cfg: &SimConfig,
+    steering: &Steering,
+    transport: &mut T,
+) -> Result<SimReport, SimError> {
+    cfg.validate()?;
+    model.validate()?;
+    // Pre-flight the engine/model pairing on the coordinator so a bad
+    // combination fails with the same typed error as the single-process
+    // runner, before anything is launched.
+    let deps = Arc::new(gillespie::deps::ModelDeps::compile(&model));
+    cfg.engine
+        .build_with_deps(Arc::clone(&model), deps, cfg.base_seed, 0)?;
+
+    let start = Instant::now();
+    let plan = ShardPlan::new(cfg.instances, cfg.shards);
+    // Bounded like every other inter-stage channel: shard drivers block
+    // (and children feel the stdio pipe fill) instead of the coordinator
+    // buffering an unbounded cut backlog.
+    let (msg_tx, msg_rx) = mpsc::sync_channel(cfg.channel_capacity);
+    let handles = transport
+        .launch(Arc::clone(&model), cfg, &plan, steering, msg_tx)
+        .map_err(SimError::Shard)?;
+
+    // The unchanged downstream half of the Fig. 2 network, fed by the
+    // merged cut stream.
+    let (cut_tx, cut_rx) = mpsc::sync_channel::<Cut>(cfg.channel_capacity);
+    let engine_set = StatEngineSet::new(cfg.engines.clone());
+    let pipeline = Pipeline::from_source_with_capacity(cut_rx.into_iter(), cfg.channel_capacity)
+        .named_stage(
+            "window-gen",
+            WindowGen::new(cfg.window_width, cfg.window_slide),
+        )
+        .ordered_farm(cfg.stat_workers, |_| {
+            let set = engine_set.clone();
+            move |w: crate::windows::Window| set.analyse(&w)
+        })
+        .stage(flat_stage(
+            |block: StatBlock, out: &mut fastflow::node::Outbox<'_, StatRow>| {
+                for row in block.rows {
+                    out.push(row);
+                }
+            },
+        ));
+    let (rows_rx, handle) = pipeline.into_receiver();
+    // Rows are drained concurrently so the bounded channels above can
+    // never deadlock behind a full output buffer.
+    let collector = std::thread::spawn(move || rows_rx.iter().collect::<Vec<StatRow>>());
+
+    // Merge loop: ends when every shard's sender is gone (End frame or
+    // failure — never a hang, the failure is joined below either way).
+    // A malformed End frame (summary not matching this run's engine
+    // config — possible only through a corrupt wire stream) is recorded
+    // and the loop keeps draining, so shard drivers never block forever
+    // on a sink nobody reads.
+    let mut merger = CutMerger::new(plan.len());
+    let mut summary = RunSummary::new(cfg.engines.clone());
+    let mut events = 0u64;
+    let mut ended = vec![false; plan.len()];
+    let mut malformed: Option<ShardError> = None;
+    let mut full_cuts = Vec::new();
+    for (shard, msg) in msg_rx {
+        match msg {
+            ShardMsg::Cut(cut) => {
+                merger.push(shard, cut, &mut full_cuts);
+                for cut in full_cuts.drain(..) {
+                    if cut_tx.send(cut).is_err() {
+                        break; // downstream failed; surfaced via join below
+                    }
+                }
+            }
+            ShardMsg::End(end) => {
+                let n_obs = end.summary.observables().len();
+                if end.summary.engines() != cfg.engines.as_slice()
+                    || !end.summary.conforms()
+                    || (n_obs != 0 && n_obs != model.observables.len())
+                {
+                    malformed.get_or_insert(ShardError {
+                        shard,
+                        kind: ShardErrorKind::Crashed(
+                            "end-of-stream summary does not match the run's engine \
+                             configuration"
+                                .into(),
+                        ),
+                    });
+                    continue;
+                }
+                events += end.events;
+                summary.merge_from(&end.summary);
+                ended[shard] = true;
+            }
+        }
+    }
+    drop(cut_tx);
+    let rows: Vec<StatRow> = collector
+        .join()
+        .expect("row collector only reads from a channel");
+    let run_stats = handle.join()?;
+    if let Some(e) = malformed {
+        return Err(SimError::Shard(e));
+    }
+
+    for h in handles {
+        match h.join.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(SimError::Shard(e)),
+            Err(_) => {
+                return Err(SimError::Shard(ShardError {
+                    shard: h.shard,
+                    kind: ShardErrorKind::Crashed("shard driver thread panicked".into()),
+                }))
+            }
+        }
+    }
+    if let Some(shard) = ended.iter().position(|&e| !e) {
+        return Err(SimError::Shard(ShardError {
+            shard,
+            kind: ShardErrorKind::Crashed(
+                "stream ended before the shard's end-of-stream report".into(),
+            ),
+        }));
+    }
+
+    // Same invariant as the single-process runner: blocks arrive
+    // window-ordered, rows within blocks are time-ordered.
+    debug_assert!(rows.windows(2).all(|w| w[0].time <= w[1].time));
+
+    Ok(SimReport {
+        rows,
+        run_stats,
+        wall: start.elapsed(),
+        events,
+        observable_names: model
+            .observable_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+        summary,
+    })
+}
+
+/// Runs a sharded simulation entirely in-process (one thread per shard).
+/// The multi-process variant — real `cwc-shard` child processes — lives
+/// in `distrt::shard::run_simulation_sharded`, which falls back to this
+/// transport for `shards = 1`.
+///
+/// # Errors
+///
+/// See [`run_simulation_sharded_with`].
+pub fn run_simulation_sharded_in_process(
+    model: Arc<Model>,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    run_simulation_sharded_with(model, cfg, &Steering::new(), &mut InProcessTransport)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_simulation;
+    use biomodels::simple::{birth_death, decay};
+
+    fn cfg() -> SimConfig {
+        SimConfig::new(9, 3.0)
+            .quantum(0.5)
+            .sample_period(0.25)
+            .sim_workers(2)
+            .stat_workers(2)
+            .window(4, 2)
+            .seed(33)
+    }
+
+    #[test]
+    fn sharded_rows_equal_single_process_rows() {
+        let model = Arc::new(decay(40, 1.0));
+        let single = run_simulation(Arc::clone(&model), &cfg()).unwrap();
+        for shards in [1usize, 2, 3, 5] {
+            let sharded =
+                run_simulation_sharded_in_process(Arc::clone(&model), &cfg().shards(shards))
+                    .unwrap();
+            assert_eq!(sharded.rows, single.rows, "shards={shards}");
+            assert_eq!(sharded.events, single.events, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_summary_matches_single_process_exactly_where_exact() {
+        let model = Arc::new(birth_death(20.0, 1.0, 10));
+        let single = run_simulation(Arc::clone(&model), &cfg()).unwrap();
+        let sharded =
+            run_simulation_sharded_in_process(Arc::clone(&model), &cfg().shards(3)).unwrap();
+        let (s, m) = (
+            &single.summary.observables()[0],
+            &sharded.summary.observables()[0],
+        );
+        assert_eq!(s.running.count(), m.running.count());
+        assert_eq!(s.running.min(), m.running.min());
+        assert_eq!(s.running.max(), m.running.max());
+        assert!((s.running.mean() - m.running.mean()).abs() < 1e-9);
+        assert!(
+            (s.running.population_variance() - m.running.population_variance()).abs() < 1e-6,
+            "variance {} vs {}",
+            s.running.population_variance(),
+            m.running.population_variance()
+        );
+    }
+
+    #[test]
+    fn engine_model_mismatch_fails_before_launch() {
+        let model = Arc::new(biomodels::cell_transport(
+            biomodels::CellTransportParams::default(),
+        ));
+        let cfg = cfg().engine(EngineKind::TauLeap { tau: 0.1 }).shards(2);
+        let err = run_simulation_sharded_in_process(model, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::Engine(_)), "{err}");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let model = Arc::new(decay(10, 1.0));
+        let err = run_simulation_sharded_in_process(model, &cfg().shards(0)).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+    }
+
+    #[test]
+    fn failing_transport_surfaces_typed_shard_error() {
+        struct FailingTransport;
+        impl ShardTransport for FailingTransport {
+            fn launch(
+                &mut self,
+                _model: Arc<Model>,
+                _cfg: &SimConfig,
+                _plan: &ShardPlan,
+                _steering: &Steering,
+                _sink: mpsc::SyncSender<(usize, ShardMsg)>,
+            ) -> Result<Vec<ShardHandle>, ShardError> {
+                Err(ShardError {
+                    shard: 0,
+                    kind: ShardErrorKind::Spawn("no such binary".into()),
+                })
+            }
+        }
+        let model = Arc::new(decay(10, 1.0));
+        let err = run_simulation_sharded_with(
+            model,
+            &cfg().shards(2),
+            &Steering::new(),
+            &mut FailingTransport,
+        )
+        .unwrap_err();
+        match err {
+            SimError::Shard(e) => {
+                assert!(matches!(e.kind, ShardErrorKind::Spawn(_)));
+                assert!(e.to_string().contains("spawn failed"), "{e}");
+            }
+            other => panic!("expected SimError::Shard, got {other}"),
+        }
+    }
+
+    #[test]
+    fn silent_shard_death_is_a_typed_error_not_a_hang() {
+        // A transport whose shard drops its sender without an End report
+        // (the in-process analogue of a crashed child process).
+        struct DyingTransport;
+        impl ShardTransport for DyingTransport {
+            fn launch(
+                &mut self,
+                _model: Arc<Model>,
+                _cfg: &SimConfig,
+                plan: &ShardPlan,
+                _steering: &Steering,
+                sink: mpsc::SyncSender<(usize, ShardMsg)>,
+            ) -> Result<Vec<ShardHandle>, ShardError> {
+                Ok(plan
+                    .ranges()
+                    .iter()
+                    .map(|r| {
+                        let sink = sink.clone();
+                        let shard = r.shard;
+                        ShardHandle {
+                            shard,
+                            join: std::thread::spawn(move || {
+                                drop(sink); // die without a trace
+                                Ok(())
+                            }),
+                        }
+                    })
+                    .collect())
+            }
+        }
+        let model = Arc::new(decay(10, 1.0));
+        let err = run_simulation_sharded_with(
+            model,
+            &cfg().shards(2),
+            &Steering::new(),
+            &mut DyingTransport,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, SimError::Shard(e) if matches!(e.kind, ShardErrorKind::Crashed(_))),
+            "{err}"
+        );
+    }
+}

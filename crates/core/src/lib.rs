@@ -28,7 +28,14 @@
 //! - [`storage`]: streaming CSV sink + loader (Fig. 2's "permanent storage");
 //! - [`runner`]: one-call assembly ([`run_simulation`]) plus the
 //!   sequential reference ([`run_sequential`]) used for correctness checks
-//!   and speedup baselines.
+//!   and speedup baselines;
+//! - [`plan`], [`coordinator`], [`merge`]: the sharded farm — partition
+//!   the instances into shards ([`plan::ShardPlan`]), run each slice
+//!   through the same farm + alignment pipeline behind a
+//!   [`coordinator::ShardTransport`] (threads here; real `cwc-shard`
+//!   child processes in `distrt::shard`), and merge the partial cuts and
+//!   mergeable streaming statistics back into one stream
+//!   ([`merge::CutMerger`], [`merge::RunSummary`]).
 //!
 //! ## Quickstart
 //!
@@ -51,8 +58,11 @@
 
 pub mod alignment;
 pub mod config;
+pub mod coordinator;
 pub mod display;
 pub mod engines;
+pub mod merge;
+pub mod plan;
 pub mod runner;
 pub mod sim_farm;
 pub mod storage;
@@ -61,9 +71,15 @@ pub mod windows;
 
 pub use alignment::Alignment;
 pub use config::{ConfigError, SimConfig};
+pub use coordinator::{
+    run_shard, run_simulation_sharded_in_process, run_simulation_sharded_with, InProcessTransport,
+    ShardEnd, ShardError, ShardErrorKind, ShardHandle, ShardMsg, ShardSpec, ShardTransport,
+};
 pub use display::{ascii_chart, CsvRenderer};
 pub use engines::{ObsStats, StatBlock, StatEngineKind, StatEngineSet, StatRow};
 pub use gillespie::engine::{Engine, EngineError, EngineKind};
+pub use merge::{CutMerger, ObsSummary, RunSummary};
+pub use plan::{ShardPlan, ShardRange};
 pub use runner::{run_sequential, run_simulation, run_simulation_steered, SimError, SimReport};
 pub use sim_farm::{SimMaster, SimWorker, Steering};
 pub use storage::{load_csv, CsvFileSink, StoredRun};

@@ -43,6 +43,12 @@ pub struct SimReport {
     pub events: u64,
     /// Observable names, in row order.
     pub observable_names: Vec<String>,
+    /// Whole-run streaming statistics over every sample (mergeable: the
+    /// sharded runner folds per-shard partials into this instead of
+    /// shipping raw trajectories — see [`RunSummary`]).
+    ///
+    /// [`RunSummary`]: crate::merge::RunSummary
+    pub summary: crate::merge::RunSummary,
 }
 
 impl SimReport {
@@ -81,6 +87,9 @@ pub enum SimError {
     Engine(gillespie::engine::EngineError),
     /// A pipeline node panicked.
     Pipeline(fastflow::error::Error),
+    /// A shard of a sharded run failed (spawn failure, crashed worker
+    /// process, worker-side simulation error).
+    Shard(crate::coordinator::ShardError),
 }
 
 impl std::fmt::Display for SimError {
@@ -90,6 +99,7 @@ impl std::fmt::Display for SimError {
             SimError::Model(e) => write!(f, "model error: {e}"),
             SimError::Engine(e) => write!(f, "engine error: {e}"),
             SimError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            SimError::Shard(e) => write!(f, "shard error: {e}"),
         }
     }
 }
@@ -117,6 +127,12 @@ impl From<fastflow::error::Error> for SimError {
 impl From<gillespie::engine::EngineError> for SimError {
     fn from(e: gillespie::engine::EngineError) -> Self {
         SimError::Engine(e)
+    }
+}
+
+impl From<crate::coordinator::ShardError> for SimError {
+    fn from(e: crate::coordinator::ShardError) -> Self {
+        SimError::Shard(e)
     }
 }
 
@@ -175,6 +191,10 @@ pub fn run_simulation_steered(
     // Stage 3: alignment of trajectories; then the analysis pipeline.
     let engine_set = StatEngineSet::new(cfg.engines.clone());
     let events_in_stage = Arc::clone(&events);
+    let summary = Arc::new(std::sync::Mutex::new(crate::merge::RunSummary::new(
+        cfg.engines.clone(),
+    )));
+    let summary_in_stage = Arc::clone(&summary);
 
     let pipeline = Pipeline::from_source_with_capacity(tasks.into_iter(), cfg.channel_capacity)
         .master_worker_farm(SimMaster::with_steering(steering.clone()), workers)
@@ -188,6 +208,16 @@ pub fn run_simulation_steered(
         .named_stage(
             "alignment",
             Alignment::new(cfg.instances, cfg.sample_period),
+        )
+        .named_stage(
+            "run-summary",
+            fastflow::node::map_stage(move |cut: Cut| {
+                summary_in_stage
+                    .lock()
+                    .expect("summary mutex poisoned")
+                    .push_cut(&cut);
+                cut
+            }),
         )
         .named_stage(
             "window-gen",
@@ -206,12 +236,13 @@ pub fn run_simulation_steered(
         ));
 
     let (rx, handle) = pipeline.into_receiver();
-    let mut rows: Vec<StatRow> = rx.iter().collect();
+    let rows: Vec<StatRow> = rx.iter().collect();
     let run_stats = handle.join()?;
-    // Blocks arrive window-ordered; rows within blocks are time-ordered, so
-    // the concatenation is already sorted. Assert it cheaply in debug runs.
+    // Blocks arrive window-ordered (the ordered farm's collector restores
+    // stream order) and rows within blocks are time-ordered, so the
+    // concatenation is already sorted — no repair sort. Pin the invariant
+    // cheaply in debug runs.
     debug_assert!(rows.windows(2).all(|w| w[0].time <= w[1].time));
-    rows.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("times are not NaN"));
 
     Ok(SimReport {
         rows,
@@ -223,6 +254,10 @@ pub fn run_simulation_steered(
             .into_iter()
             .map(str::to_owned)
             .collect(),
+        summary: Arc::try_unwrap(summary)
+            .expect("pipeline joined; no other summary holders")
+            .into_inner()
+            .expect("summary mutex poisoned"),
     })
 }
 
@@ -278,6 +313,12 @@ pub fn run_sequential(model: Arc<Model>, cfg: &SimConfig) -> Result<SimReport, S
         cuts.extend(rx.iter());
     }
 
+    // Whole-run streaming summary, fed cut by cut like the parallel path.
+    let mut summary = crate::merge::RunSummary::new(cfg.engines.clone());
+    for cut in &cuts {
+        summary.push_cut(cut);
+    }
+
     // Windows + statistics.
     let set = StatEngineSet::new(cfg.engines.clone());
     let mut rows: Vec<StatRow> = Vec::new();
@@ -306,6 +347,7 @@ pub fn run_sequential(model: Arc<Model>, cfg: &SimConfig) -> Result<SimReport, S
             .into_iter()
             .map(str::to_owned)
             .collect(),
+        summary,
     })
 }
 

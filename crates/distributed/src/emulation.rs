@@ -82,23 +82,22 @@ pub fn run_distributed_emulation(
 
     // --- "generation of simulation tasks" node: produce one RemoteTaskSpec
     // per farm (parameters only — remote farms build their own engines).
-    let per_farm = cfg.instances / farms as u64;
-    let remainder = cfg.instances % farms as u64;
-    let mut specs = Vec::with_capacity(farms);
-    let mut first = 0;
-    for f in 0..farms as u64 {
-        let count = per_farm + u64::from(f < remainder);
-        specs.push(RemoteTaskSpec {
-            first_instance: first,
-            count,
+    // The split is the sharded runner's plan: contiguous in instance
+    // order, remainder spread over the leading farms, never empty.
+    let plan = cwcsim::plan::ShardPlan::new(cfg.instances, farms);
+    let specs: Vec<RemoteTaskSpec> = plan
+        .ranges()
+        .iter()
+        .map(|r| RemoteTaskSpec {
+            first_instance: r.first_instance,
+            count: r.count,
             base_seed: cfg.base_seed,
             t_end: cfg.t_end,
             quantum: cfg.quantum,
             sample_period: cfg.sample_period,
             engine: cfg.engine,
-        });
-        first += count;
-    }
+        })
+        .collect();
 
     // Ship the specs through the codec, as the real deployment would.
     let encoded_specs: Vec<Vec<u8>> = specs.iter().map(wire::to_bytes).collect();

@@ -4,11 +4,15 @@
 //! (Aldinucci et al., ICDCS 2014, §IV-B and §V):
 //!
 //! **Functional** — [`wire`] (the explicit serialisation the distributed
-//! pipeline adds around unchanged stages) and [`emulation`] (a real
+//! pipeline adds around unchanged stages), [`emulation`] (a real
 //! in-process deployment: remote farms receive task *parameters*, stream
 //! encoded sample batches back, the analysis node decodes and runs the
 //! standard alignment→windows→statistics pipeline; results are asserted
-//! identical to local execution).
+//! identical to local execution) and [`shard`] (the *multi-process*
+//! deployment: one `cwc-shard` child OS process per shard, streaming
+//! aligned partial cuts plus mergeable partial statistics back over
+//! stdio as length-prefixed wire-v4 frames — bit-for-bit identical
+//! analysis rows to the single-process runner).
 //!
 //! **Performance** — [`platform`] (host/VM/network profiles of the paper's
 //! testbeds), [`workload`] (event traces recorded from *real* engine runs
@@ -25,6 +29,7 @@ pub mod cluster;
 pub mod emulation;
 pub mod multicore;
 pub mod platform;
+pub mod shard;
 pub mod wire;
 pub mod workload;
 
@@ -33,5 +38,8 @@ pub use cluster::{simulate_cluster, ClusterOutcome, ClusterParams};
 pub use emulation::{run_distributed_emulation, EmulatedRun, EmulationError};
 pub use multicore::{simulate_multicore, MulticoreParams, PipelineOutcome};
 pub use platform::{HostProfile, NetworkProfile};
+pub use shard::{
+    run_simulation_sharded, run_simulation_sharded_steered, serve_shard, ProcessTransport,
+};
 pub use wire::{from_bytes, to_bytes, RemoteTaskSpec, Wire, WireError, WireReader};
 pub use workload::{CostModel, WorkloadTrace};

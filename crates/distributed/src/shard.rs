@@ -1,0 +1,804 @@
+//! The real multi-process shard transport and the `cwc-shard` worker.
+//!
+//! `cwcsim::coordinator` defines the sharded farm's machinery behind the
+//! `ShardTransport` seam and ships an in-process (thread) transport;
+//! this module provides the production one: every shard is a real child
+//! OS process running the `cwc-shard` worker binary (repo root,
+//! `src/bin/cwc-shard.rs`), spoken to over stdio with length-prefixed
+//! wire-v4 frames.
+//!
+//! ## Protocol
+//!
+//! Every frame is a `u32` little-endian byte length followed by that
+//! many bytes of a standard enveloped wire-v4 message (magic, version,
+//! payload — see [`crate::wire`]).
+//!
+//! ```text
+//! coordinator ──stdin──▶ shard:   Job(model + ShardSpec) [Terminate]
+//! shard ──stdout──▶ coordinator:  Cut* (grid order)  End{events, summary}
+//!                                 | Error(message)
+//! ```
+//!
+//! A shard that exits without `End` or `Error` is a crash; the
+//! coordinator's reader surfaces it as a typed
+//! [`ShardError`] (exit status and captured stderr
+//! attached), never a hang. [`Steering::terminate`] reaches children as
+//! a `Terminate` frame: each child's control thread flips its local
+//! steering flag and the shard drains at the next quantum boundaries,
+//! still ending with a well-formed `End` frame.
+//!
+//! [`Steering::terminate`]: cwcsim::Steering::terminate
+
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use cwc::model::Model;
+use cwcsim::config::SimConfig;
+use cwcsim::coordinator::{
+    run_shard, run_simulation_sharded_with, InProcessTransport, ShardEnd, ShardError,
+    ShardErrorKind, ShardHandle, ShardMsg, ShardSpec, ShardTransport,
+};
+use cwcsim::merge::RunSummary;
+use cwcsim::plan::ShardPlan;
+use cwcsim::runner::{SimError, SimReport};
+use cwcsim::sim_farm::Steering;
+use gillespie::trajectory::Cut;
+
+use crate::wire::{self, Wire, WireError, WireReader};
+
+/// Environment variable overriding the `cwc-shard` binary location.
+pub const SHARD_BIN_ENV: &str = "CWC_SHARD_BIN";
+
+/// Frames the coordinator sends to a shard (over its stdin).
+#[derive(Debug, Clone)]
+pub enum ToShard {
+    /// The work assignment: the full model plus the shard's spec
+    /// (boxed: a job dwarfs the terminate variant).
+    Job(Box<ShardJob>),
+    /// Steering termination: drain at the next quantum boundaries.
+    Terminate,
+}
+
+/// A shard's work assignment.
+#[derive(Debug, Clone)]
+pub struct ShardJob {
+    /// The model to simulate (shipped whole — shards accept arbitrary
+    /// models, not just registry names).
+    pub model: Model,
+    /// The shard's slice and run parameters.
+    pub spec: ShardSpec,
+}
+
+/// Frames a shard sends to the coordinator (over its stdout).
+#[derive(Debug, Clone)]
+pub enum ToCoordinator {
+    /// An aligned partial cut over the shard's instances, in grid order.
+    Cut(Cut),
+    /// End of stream: the shard finished (or drained after termination).
+    End {
+        /// Reactions fired across the shard's trajectories.
+        events: u64,
+        /// The shard's mergeable partial statistics.
+        summary: RunSummary,
+    },
+    /// The shard hit a simulation error (bad engine/model pairing, node
+    /// panic); no further frames follow.
+    Error(String),
+}
+
+impl Wire for ShardJob {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.model.encode(buf);
+        self.spec.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ShardJob {
+            model: Model::decode(r)?,
+            spec: ShardSpec::decode(r)?,
+        })
+    }
+}
+
+/// Tag 0 = job, 1 = terminate.
+impl Wire for ToShard {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ToShard::Job(job) => {
+                buf.push(0);
+                job.encode(buf);
+            }
+            ToShard::Terminate => buf.push(1),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(ToShard::Job(Box::new(ShardJob::decode(r)?))),
+            1 => Ok(ToShard::Terminate),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Tag 0 = cut, 1 = end, 2 = error.
+impl Wire for ToCoordinator {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ToCoordinator::Cut(cut) => {
+                buf.push(0);
+                cut.encode(buf);
+            }
+            ToCoordinator::End { events, summary } => {
+                buf.push(1);
+                events.encode(buf);
+                summary.encode(buf);
+            }
+            ToCoordinator::Error(msg) => {
+                buf.push(2);
+                msg.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(ToCoordinator::Cut(Cut::decode(r)?)),
+            1 => Ok(ToCoordinator::End {
+                events: u64::decode(r)?,
+                summary: RunSummary::decode(r)?,
+            }),
+            2 => Ok(ToCoordinator::Error(String::decode(r)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Error reading or writing a length-prefixed frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (or hit EOF mid-frame).
+    Io(io::Error),
+    /// The frame's payload failed to decode.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Wire(e) => write!(f, "frame decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed enveloped frame and flushes.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error (e.g. `EPIPE` when the peer died).
+pub fn write_frame<T: Wire>(w: &mut impl Write, value: &T) -> io::Result<()> {
+    let bytes = wire::to_bytes(value);
+    w.write_all(
+        &u32::try_from(bytes.len())
+            .expect("frame fits u32")
+            .to_le_bytes(),
+    )?;
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Upper bound on a single frame's payload (a corrupt or hostile length
+/// prefix must not trigger a multi-gigabyte allocation before the
+/// payload is even read). Generous: the largest legitimate frames are a
+/// whole model or a wide cut, both far below this.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] on stream failure, EOF mid-frame or a length
+/// prefix beyond [`MAX_FRAME_LEN`], [`FrameError::Wire`] on a malformed
+/// payload.
+pub fn read_frame<T: Wire>(r: &mut impl Read) -> Result<Option<T>, FrameError> {
+    let mut len = [0u8; 4];
+    // Distinguish clean EOF (no bytes of the next frame) from truncation.
+    let mut filled = 0;
+    while filled < len.len() {
+        match r.read(&mut len[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length",
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"),
+        )));
+    }
+    let len = len as usize;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    wire::from_bytes(&payload)
+        .map(Some)
+        .map_err(FrameError::Wire)
+}
+
+/// Error from [`serve_shard`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// A frame could not be read or written.
+    Frame(FrameError),
+    /// The input stream violated the protocol (e.g. no leading job).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Frame(e) => write!(f, "{e}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        ServeError::Frame(e)
+    }
+}
+
+/// The `cwc-shard` worker body: reads a [`ToShard::Job`] frame from
+/// `input`, runs the shard's slice through the standard farm + alignment
+/// pipeline, and streams [`ToCoordinator`] frames to `output`. Further
+/// `input` frames are watched on a control thread so a `Terminate`
+/// drains the shard at the next quantum boundaries (EOF on `input` just
+/// ends the watching). A simulation error becomes a final
+/// [`ToCoordinator::Error`] frame and `Ok(())` — the coordinator owns
+/// the typed surfacing; `Err` is reserved for protocol/stream failures.
+///
+/// Takes any `Read`/`Write` pair, so tests can drive the full protocol
+/// through in-memory buffers without spawning a process.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] on a malformed input stream or when `output`
+/// fails.
+pub fn serve_shard<R, W>(mut input: R, mut output: W) -> Result<(), ServeError>
+where
+    R: Read + Send + 'static,
+    W: Write,
+{
+    let job = match read_frame::<ToShard>(&mut input)? {
+        Some(ToShard::Job(job)) => *job,
+        Some(ToShard::Terminate) => {
+            return Err(ServeError::Protocol("terminate before job".into()))
+        }
+        None => return Err(ServeError::Protocol("empty input stream".into())),
+    };
+    // Re-validate the shipped model before running anything (the wire
+    // decoder only checks structure): an invalid model is a graceful
+    // Error frame for the coordinator, not a worker panic.
+    if let Err(e) = job.model.validate() {
+        write_frame(
+            &mut output,
+            &ToCoordinator::Error(format!("invalid model: {e}")),
+        )
+        .map_err(|e| ServeError::Frame(FrameError::Io(e)))?;
+        return Ok(());
+    }
+
+    // Control thread: later frames can only be Terminate (or EOF when the
+    // coordinator has nothing more to say). Detached on purpose — it ends
+    // with the input stream, at the latest when the process exits.
+    let steering = Steering::new();
+    let steer = steering.clone();
+    std::thread::spawn(move || loop {
+        match read_frame::<ToShard>(&mut input) {
+            Ok(Some(ToShard::Terminate)) => steer.terminate(),
+            Ok(Some(ToShard::Job(_))) => {} // duplicate job: ignore
+            Ok(None) | Err(_) => break,
+        }
+    });
+
+    let model = Arc::new(job.model);
+    let mut write_err: Option<io::Error> = None;
+    let write_steer = steering.clone();
+    let result = run_shard(model, &job.spec, &steering, |msg| {
+        if write_err.is_some() {
+            return; // coordinator is gone; draining out
+        }
+        let frame = match msg {
+            ShardMsg::Cut(cut) => ToCoordinator::Cut(cut),
+            ShardMsg::End(ShardEnd { events, summary }) => ToCoordinator::End { events, summary },
+        };
+        if let Err(e) = write_frame(&mut output, &frame) {
+            // Nobody is listening (EPIPE): stop simulating at the next
+            // quantum boundaries instead of burning CPU to the horizon
+            // as an orphan.
+            write_err = Some(e);
+            write_steer.terminate();
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(ServeError::Frame(FrameError::Io(e)));
+    }
+    if let Err(e) = result {
+        write_frame(&mut output, &ToCoordinator::Error(e.to_string()))
+            .map_err(|e| ServeError::Frame(FrameError::Io(e)))?;
+    }
+    Ok(())
+}
+
+/// A shard child's stdin, shared between the steering watcher and the
+/// launcher (None once deliberately closed).
+type SharedStdin = Arc<Mutex<Option<ChildStdin>>>;
+
+/// The multi-process transport: one `cwc-shard` child per shard.
+#[derive(Debug)]
+pub struct ProcessTransport {
+    binary: PathBuf,
+}
+
+impl ProcessTransport {
+    /// Resolves the worker binary — [`SHARD_BIN_ENV`] first, then
+    /// `cwc-shard` next to the current executable (walking up through
+    /// `examples/`/`deps/` build directories).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShardError`] (kind `Spawn`) when no binary is found.
+    pub fn new() -> Result<Self, ShardError> {
+        Self::resolve_binary()
+            .map(Self::with_binary)
+            .ok_or(ShardError {
+                shard: 0,
+                kind: ShardErrorKind::Spawn(format!(
+                    "cwc-shard worker binary not found (build it with \
+                 `cargo build --bin cwc-shard` or set {SHARD_BIN_ENV})"
+                )),
+            })
+    }
+
+    /// Uses an explicit worker binary path (no resolution, no existence
+    /// check — a bad path surfaces as a spawn failure at launch).
+    pub fn with_binary(binary: impl Into<PathBuf>) -> Self {
+        ProcessTransport {
+            binary: binary.into(),
+        }
+    }
+
+    /// The worker binary this transport spawns.
+    pub fn binary(&self) -> &std::path::Path {
+        &self.binary
+    }
+
+    fn resolve_binary() -> Option<PathBuf> {
+        if let Ok(p) = std::env::var(SHARD_BIN_ENV) {
+            let p = PathBuf::from(p);
+            if p.is_file() {
+                return Some(p);
+            }
+        }
+        let name = format!("cwc-shard{}", std::env::consts::EXE_SUFFIX);
+        let exe = std::env::current_exe().ok()?;
+        let mut dir = exe.parent()?.to_path_buf();
+        // target/{debug,release}[/deps|/examples]/<exe>: check siblings,
+        // then up to two parent build directories.
+        for _ in 0..3 {
+            let candidate = dir.join(&name);
+            if candidate.is_file() {
+                return Some(candidate);
+            }
+            dir = dir.parent()?.to_path_buf();
+        }
+        None
+    }
+
+    /// Spawns and assigns one shard; returns the reader-thread handle.
+    #[allow(clippy::too_many_lines)]
+    fn launch_one(
+        &self,
+        job: &ShardJob,
+        steering: &Steering,
+        sink: mpsc::SyncSender<(usize, ShardMsg)>,
+    ) -> Result<(ShardHandle, SharedStdin), ShardError> {
+        let shard = job.spec.range.shard;
+        let spawn_err = |m: String| ShardError {
+            shard,
+            kind: ShardErrorKind::Spawn(m),
+        };
+        let mut child: Child = Command::new(&self.binary)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| spawn_err(format!("{}: {e}", self.binary.display())))?;
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        write_frame(&mut stdin, &ToShard::Job(Box::new(job.clone())))
+            .map_err(|e| spawn_err(format!("failed to send job: {e}")))?;
+        // The stdin handle stays open (shared with the steering watcher)
+        // so a Terminate frame can still reach the child mid-run.
+        let stdin: SharedStdin = Arc::new(Mutex::new(Some(stdin)));
+        let done = Arc::new(AtomicBool::new(false));
+
+        // Drain stderr from the start: a child blocked on a full stderr
+        // pipe would stop emitting stdout frames — the exact hang the
+        // typed-error contract rules out. Only a bounded head is kept
+        // for crash reports; the thread dies with the pipe.
+        let stderr_buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let mut pipe = child.stderr.take().expect("piped stderr");
+            let buf = Arc::clone(&stderr_buf);
+            std::thread::spawn(move || {
+                let mut chunk = [0u8; 4096];
+                loop {
+                    match pipe.read(&mut chunk) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            let mut b = buf.lock().expect("stderr buffer mutex");
+                            if b.len() < 64 * 1024 {
+                                b.extend_from_slice(&chunk[..n]);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        {
+            let stdin = Arc::clone(&stdin);
+            let done = Arc::clone(&done);
+            let steering = steering.clone();
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    if steering.is_terminated() {
+                        if let Some(pipe) = stdin.lock().expect("stdin mutex").as_mut() {
+                            let _ = write_frame(pipe, &ToShard::Terminate);
+                        }
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+
+        let reader_stdin = Arc::clone(&stdin);
+        let join = std::thread::spawn(move || {
+            let _hold_stdin = reader_stdin; // closed when the reader ends
+            let mut out = child.stdout.take().expect("piped stdout");
+            let result = loop {
+                match read_frame::<ToCoordinator>(&mut out) {
+                    Ok(Some(ToCoordinator::Cut(cut))) => {
+                        let _ = sink.send((shard, ShardMsg::Cut(cut)));
+                    }
+                    Ok(Some(ToCoordinator::End { events, summary })) => {
+                        let _ = sink.send((shard, ShardMsg::End(ShardEnd { events, summary })));
+                        break Ok(());
+                    }
+                    Ok(Some(ToCoordinator::Error(msg))) => {
+                        break Err(ShardErrorKind::Sim(msg));
+                    }
+                    Ok(None) => {
+                        break Err(ShardErrorKind::Crashed(
+                            "worker exited before its end-of-stream report".into(),
+                        ));
+                    }
+                    Err(e) => break Err(ShardErrorKind::Crashed(format!("broken stream: {e}"))),
+                }
+            };
+            done.store(true, Ordering::Release);
+            // Reap the child; enrich failures with its status and stderr.
+            let exit = child.wait();
+            result.map_err(|kind| {
+                let mut detail = match kind {
+                    ShardErrorKind::Crashed(m) => m,
+                    ShardErrorKind::Sim(m) => {
+                        return ShardError {
+                            shard,
+                            kind: ShardErrorKind::Sim(m),
+                        }
+                    }
+                    other => return ShardError { shard, kind: other },
+                };
+                if let Ok(status) = exit {
+                    detail.push_str(&format!(" (exit: {status}"));
+                    let stderr =
+                        String::from_utf8_lossy(&stderr_buf.lock().expect("stderr buffer mutex"))
+                            .into_owned();
+                    let stderr = stderr.trim();
+                    if !stderr.is_empty() {
+                        let tail: String = stderr.chars().take(400).collect();
+                        detail.push_str(&format!(", stderr: {tail}"));
+                    }
+                    detail.push(')');
+                }
+                ShardError {
+                    shard,
+                    kind: ShardErrorKind::Crashed(detail),
+                }
+            })
+        });
+        Ok((ShardHandle { shard, join }, stdin))
+    }
+}
+
+impl ShardTransport for ProcessTransport {
+    fn launch(
+        &mut self,
+        model: Arc<Model>,
+        cfg: &SimConfig,
+        plan: &ShardPlan,
+        steering: &Steering,
+        sink: mpsc::SyncSender<(usize, ShardMsg)>,
+    ) -> Result<Vec<ShardHandle>, ShardError> {
+        let mut handles = Vec::with_capacity(plan.len());
+        let mut stdins = Vec::with_capacity(plan.len());
+        for &range in plan.ranges() {
+            let job = ShardJob {
+                model: (*model).clone(),
+                spec: ShardSpec::from_config(cfg, range),
+            };
+            match self.launch_one(&job, steering, sink.clone()) {
+                Ok((handle, stdin)) => {
+                    handles.push(handle);
+                    stdins.push(stdin);
+                }
+                Err(e) => {
+                    // Tear down what already started: ask the children to
+                    // drain, then wait for their readers to finish.
+                    for stdin in &stdins {
+                        if let Some(pipe) = stdin.lock().expect("stdin mutex").as_mut() {
+                            let _ = write_frame(pipe, &ToShard::Terminate);
+                        }
+                        *stdin.lock().expect("stdin mutex") = None;
+                    }
+                    for h in handles {
+                        let _ = h.join.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(handles)
+    }
+}
+
+/// Runs a sharded simulation with real `cwc-shard` child processes (one
+/// per shard; `cfg.shards = 1` degenerates to a single in-process shard
+/// with no child spawn) and merges the shards' partial cuts and
+/// mergeable streaming statistics. Bit-for-bit identical [`StatRow`]s to
+/// `cwcsim::run_simulation` for any shard count.
+///
+/// [`StatRow`]: cwcsim::StatRow
+///
+/// # Errors
+///
+/// Returns [`SimError`] on invalid input, a failed shard (typed
+/// [`SimError::Shard`]) or a node panic.
+pub fn run_simulation_sharded(model: Arc<Model>, cfg: &SimConfig) -> Result<SimReport, SimError> {
+    run_simulation_sharded_steered(model, cfg, &Steering::new())
+}
+
+/// Like [`run_simulation_sharded`], controlled by a `Steering` handle:
+/// termination reaches every child as a `Terminate` frame and the
+/// drained report covers whatever completed across all shards.
+///
+/// # Errors
+///
+/// See [`run_simulation_sharded`].
+pub fn run_simulation_sharded_steered(
+    model: Arc<Model>,
+    cfg: &SimConfig,
+    steering: &Steering,
+) -> Result<SimReport, SimError> {
+    if cfg.shards <= 1 {
+        return run_simulation_sharded_with(model, cfg, steering, &mut InProcessTransport);
+    }
+    let mut transport = ProcessTransport::new().map_err(SimError::Shard)?;
+    run_simulation_sharded_with(model, cfg, steering, &mut transport)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biomodels::simple::decay;
+    use std::io::Cursor;
+
+    fn job(instances: u64, shard_count: u64, first: u64) -> ShardJob {
+        let cfg = SimConfig::new(instances, 2.0)
+            .quantum(0.5)
+            .sample_period(0.25)
+            .sim_workers(2)
+            .seed(9);
+        ShardJob {
+            model: decay(30, 1.0),
+            spec: ShardSpec::from_config(
+                &cfg,
+                cwcsim::plan::ShardRange {
+                    shard: 0,
+                    first_instance: first,
+                    count: shard_count,
+                },
+            ),
+        }
+    }
+
+    fn frames_from(output: &[u8]) -> Vec<ToCoordinator> {
+        let mut cur = Cursor::new(output.to_vec());
+        let mut frames = Vec::new();
+        while let Some(f) = read_frame::<ToCoordinator>(&mut cur).expect("well-formed output") {
+            frames.push(f);
+        }
+        frames
+    }
+
+    #[test]
+    fn shard_job_roundtrips() {
+        let j = job(8, 3, 2);
+        let bytes = wire::to_bytes(&ToShard::Job(Box::new(j.clone())));
+        match wire::from_bytes::<ToShard>(&bytes).unwrap() {
+            ToShard::Job(back) => {
+                assert_eq!(back.spec, j.spec);
+                assert_eq!(back.model.rules, j.model.rules);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_shard_streams_cuts_then_end_over_in_memory_pipes() {
+        let j = job(4, 2, 1);
+        let mut input = Vec::new();
+        write_frame(&mut input, &ToShard::Job(Box::new(j.clone()))).unwrap();
+        let mut output = Vec::new();
+        serve_shard(Cursor::new(input), &mut output).unwrap();
+
+        let frames = frames_from(&output);
+        // Grid 0, 0.25, ..., 2.0 = 9 cuts, then End.
+        assert_eq!(frames.len(), 10);
+        let mut times = Vec::new();
+        for f in &frames[..9] {
+            match f {
+                ToCoordinator::Cut(c) => {
+                    assert_eq!(c.values.len(), 2, "partial cut spans the slice");
+                    times.push(c.time);
+                }
+                other => panic!("expected cut, got {other:?}"),
+            }
+        }
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        match &frames[9] {
+            ToCoordinator::End { events, summary } => {
+                assert!(*events > 0);
+                assert_eq!(summary.cuts(), 9);
+                assert_eq!(summary.observables()[0].running.count(), 18);
+            }
+            other => panic!("expected end, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_shard_reports_simulation_errors_as_error_frames() {
+        let mut j = job(2, 2, 0);
+        // Tau-leaping a compartment model is a worker-side sim error.
+        j.model = biomodels::cell_transport(biomodels::CellTransportParams::default());
+        j.spec.engine = gillespie::engine::EngineKind::TauLeap { tau: 0.1 };
+        let mut input = Vec::new();
+        write_frame(&mut input, &ToShard::Job(Box::new(j))).unwrap();
+        let mut output = Vec::new();
+        serve_shard(Cursor::new(input), &mut output).unwrap();
+        let frames = frames_from(&output);
+        assert_eq!(frames.len(), 1);
+        assert!(
+            matches!(&frames[0], ToCoordinator::Error(m) if m.contains('`')),
+            "{frames:?}"
+        );
+    }
+
+    #[test]
+    fn serve_shard_reports_invalid_models_as_error_frames() {
+        let mut j = job(2, 2, 0);
+        j.model = cwc::model::Model::new("empty"); // no rules: fails validate
+        let mut input = Vec::new();
+        write_frame(&mut input, &ToShard::Job(Box::new(j))).unwrap();
+        let mut output = Vec::new();
+        serve_shard(Cursor::new(input), &mut output).unwrap();
+        let frames = frames_from(&output);
+        assert_eq!(frames.len(), 1);
+        assert!(
+            matches!(&frames[0], ToCoordinator::Error(m) if m.contains("invalid model")),
+            "{frames:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_frame_lengths_are_rejected_before_allocation() {
+        // A 4-byte length prefix claiming 3GiB must error out, not OOM.
+        let mut bytes = (3u32 * 1024 * 1024 * 1024).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        let err = read_frame::<ToShard>(&mut Cursor::new(bytes)).unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn serve_shard_rejects_streams_without_a_job() {
+        let mut input = Vec::new();
+        write_frame(&mut input, &ToShard::Terminate).unwrap();
+        let err = serve_shard(Cursor::new(input), &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("terminate before job"), "{err}");
+        let err = serve_shard(Cursor::new(Vec::new()), &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("empty input"), "{err}");
+    }
+
+    #[test]
+    fn terminate_frame_before_work_drains_to_a_clean_end() {
+        let j = job(4, 4, 0);
+        let mut input = Vec::new();
+        write_frame(&mut input, &ToShard::Job(Box::new(j))).unwrap();
+        write_frame(&mut input, &ToShard::Terminate).unwrap();
+        let mut output = Vec::new();
+        serve_shard(Cursor::new(input), &mut output).unwrap();
+        let frames = frames_from(&output);
+        // However much was simulated before the flag was seen, the stream
+        // stays well-formed and ends with End.
+        assert!(matches!(
+            frames.last().expect("at least End"),
+            ToCoordinator::End { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_worker_binary_is_a_typed_spawn_error() {
+        let mut transport = ProcessTransport::with_binary("/nonexistent/cwc-shard-binary");
+        let model = Arc::new(decay(10, 1.0));
+        let cfg = SimConfig::new(4, 1.0)
+            .quantum(0.5)
+            .sample_period(0.25)
+            .shards(2);
+        let err =
+            run_simulation_sharded_with(model, &cfg, &Steering::new(), &mut transport).unwrap_err();
+        match err {
+            SimError::Shard(e) => {
+                assert!(matches!(e.kind, ShardErrorKind::Spawn(_)), "{e}");
+            }
+            other => panic!("expected shard error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn read_frame_distinguishes_clean_eof_from_truncation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ToShard::Terminate).unwrap();
+        // Clean EOF after one frame.
+        let mut cur = Cursor::new(buf.clone());
+        assert!(read_frame::<ToShard>(&mut cur).unwrap().is_some());
+        assert!(read_frame::<ToShard>(&mut cur).unwrap().is_none());
+        // Truncation inside the frame is an error.
+        let mut cur = Cursor::new(buf[..buf.len() - 1].to_vec());
+        assert!(read_frame::<ToShard>(&mut cur).is_err());
+    }
+}

@@ -9,15 +9,33 @@
 //! envelope — no derive macros, every message's layout is visible and
 //! testable.
 
+use cwc::model::{Model, Observable, ObservableSite};
+use cwc::multiset::Multiset;
+use cwc::rule::{CompPattern, CompProduction, Pattern, Production, RateLaw, Rule};
+use cwc::species::{Label, Species};
+use cwc::term::{Compartment, Term};
+use cwcsim::engines::StatEngineKind;
+use cwcsim::merge::{ObsSummary, RunSummary};
+use cwcsim::plan::ShardRange;
 use cwcsim::task::SampleBatch;
+use cwcsim::ShardSpec;
 use gillespie::engine::EngineKind;
+use gillespie::trajectory::Cut;
+use streamstat::histogram::Histogram;
+use streamstat::quantile::P2Quantile;
+use streamstat::welford::Running;
 
 /// Magic bytes of an encoded message envelope.
 pub const MAGIC: [u8; 4] = *b"CWCS";
 /// Current wire format version. Version 2 added the engine-kind field to
 /// [`RemoteTaskSpec`] (engine-agnostic remote farms); version 3 added the
-/// adaptive-tau and hybrid engine kinds (tags 3 and 4).
-pub const VERSION: u16 = 3;
+/// adaptive-tau and hybrid engine kinds (tags 3 and 4); version 4 added
+/// the sharded-farm messages — full CWC models (so `cwc-shard` child
+/// processes receive arbitrary models, not a registry name), aligned
+/// partial [`Cut`]s, and the mergeable partial-statistics state
+/// ([`RunSummary`] with its Welford/histogram/P² accumulators) — plus the
+/// [`crate::shard`] frame envelope around them.
+pub const VERSION: u16 = 4;
 
 /// Error produced while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -290,6 +308,599 @@ impl Wire for RemoteTaskSpec {
     }
 }
 
+// ---------------------------------------------------------------------
+// Wire v4: the sharded farm's payloads. A `cwc-shard` child process
+// receives a full model plus its shard spec and streams aligned partial
+// cuts and one mergeable partial-statistics state back — everything
+// below is that vocabulary. Interned handles travel as their raw u32
+// (the decoder re-interns the alphabet's names in the same order, so
+// raw ids mean the same thing on both sides; `Label::TOP`'s sentinel
+// raw value round-trips unchanged).
+// ---------------------------------------------------------------------
+
+impl Wire for Species {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.raw().encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Species::from_raw(u32::decode(r)?))
+    }
+}
+
+impl Wire for Label {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.raw().encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Label::from_raw(u32::decode(r)?))
+    }
+}
+
+impl Wire for Multiset {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let pairs: Vec<(Species, u64)> = self.iter().collect();
+        pairs.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let pairs: Vec<(Species, u64)> = Vec::decode(r)?;
+        let mut ms = Multiset::new();
+        for (s, n) in pairs {
+            ms.insert(s, n);
+        }
+        Ok(ms)
+    }
+}
+
+impl Wire for Compartment {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.label.encode(buf);
+        self.wrap.encode(buf);
+        self.content.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Compartment {
+            label: Label::decode(r)?,
+            wrap: Multiset::decode(r)?,
+            content: Term::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Term {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.atoms.encode(buf);
+        self.comps.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Term {
+            atoms: Multiset::decode(r)?,
+            comps: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for CompPattern {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.label.encode(buf);
+        self.wrap.encode(buf);
+        self.atoms.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(CompPattern {
+            label: Label::decode(r)?,
+            wrap: Multiset::decode(r)?,
+            atoms: Multiset::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Pattern {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.atoms.encode(buf);
+        self.comps.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Pattern {
+            atoms: Multiset::decode(r)?,
+            comps: Vec::decode(r)?,
+        })
+    }
+}
+
+/// Tag 0 = keep, 1 = new, 2 = dissolve.
+impl Wire for CompProduction {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CompProduction::Keep {
+                index,
+                add_wrap,
+                add_atoms,
+            } => {
+                buf.push(0);
+                (*index as u64).encode(buf);
+                add_wrap.encode(buf);
+                add_atoms.encode(buf);
+            }
+            CompProduction::New { label, wrap, atoms } => {
+                buf.push(1);
+                label.encode(buf);
+                wrap.encode(buf);
+                atoms.encode(buf);
+            }
+            CompProduction::Dissolve { index } => {
+                buf.push(2);
+                (*index as u64).encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(CompProduction::Keep {
+                index: u64::decode(r)? as usize,
+                add_wrap: Multiset::decode(r)?,
+                add_atoms: Multiset::decode(r)?,
+            }),
+            1 => Ok(CompProduction::New {
+                label: Label::decode(r)?,
+                wrap: Multiset::decode(r)?,
+                atoms: Multiset::decode(r)?,
+            }),
+            2 => Ok(CompProduction::Dissolve {
+                index: u64::decode(r)? as usize,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for Production {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.atoms.encode(buf);
+        self.comps.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Production {
+            atoms: Multiset::decode(r)?,
+            comps: Vec::decode(r)?,
+        })
+    }
+}
+
+/// Tag 0 = mass action, 1 = Hill repression, 2 = Hill activation,
+/// 3 = Michaelis–Menten saturation.
+impl Wire for RateLaw {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            RateLaw::MassAction => buf.push(0),
+            RateLaw::HillRepression { inhibitor, k, n } => {
+                buf.push(1);
+                inhibitor.encode(buf);
+                k.encode(buf);
+                n.encode(buf);
+            }
+            RateLaw::HillActivation { activator, k, n } => {
+                buf.push(2);
+                activator.encode(buf);
+                k.encode(buf);
+                n.encode(buf);
+            }
+            RateLaw::Saturating { substrate, km } => {
+                buf.push(3);
+                substrate.encode(buf);
+                km.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(RateLaw::MassAction),
+            1 => Ok(RateLaw::HillRepression {
+                inhibitor: Species::decode(r)?,
+                k: f64::decode(r)?,
+                n: f64::decode(r)?,
+            }),
+            2 => Ok(RateLaw::HillActivation {
+                activator: Species::decode(r)?,
+                k: f64::decode(r)?,
+                n: f64::decode(r)?,
+            }),
+            3 => Ok(RateLaw::Saturating {
+                substrate: Species::decode(r)?,
+                km: f64::decode(r)?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for Rule {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode(buf);
+        self.site.encode(buf);
+        self.lhs.encode(buf);
+        self.rhs.encode(buf);
+        self.rate.encode(buf);
+        self.law.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Rule {
+            name: String::decode(r)?,
+            site: Label::decode(r)?,
+            lhs: Pattern::decode(r)?,
+            rhs: Production::decode(r)?,
+            rate: f64::decode(r)?,
+            law: RateLaw::decode(r)?,
+        })
+    }
+}
+
+/// Tag 0 = everywhere, 1 = top only, 2 = at label.
+impl Wire for ObservableSite {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ObservableSite::Everywhere => buf.push(0),
+            ObservableSite::TopOnly => buf.push(1),
+            ObservableSite::AtLabel(label) => {
+                buf.push(2);
+                label.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(ObservableSite::Everywhere),
+            1 => Ok(ObservableSite::TopOnly),
+            2 => Ok(ObservableSite::AtLabel(Label::decode(r)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for Observable {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode(buf);
+        self.species.encode(buf);
+        self.site.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Observable {
+            name: String::decode(r)?,
+            species: Species::decode(r)?,
+            site: ObservableSite::decode(r)?,
+        })
+    }
+}
+
+/// A full CWC model crosses the wire as its name, the alphabet's names
+/// (in interning order, so the decoder's re-interning reproduces the
+/// same raw handles), the rules, the initial term and the observables.
+impl Wire for Model {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode(buf);
+        let species: Vec<String> = self
+            .alphabet
+            .all_species()
+            .map(|s| self.alphabet.species_name(s).to_owned())
+            .collect();
+        species.encode(buf);
+        let labels: Vec<String> = (0..self.alphabet.label_count())
+            .map(|i| {
+                self.alphabet
+                    .label_name(Label::from_raw(i as u32))
+                    .to_owned()
+            })
+            .collect();
+        labels.encode(buf);
+        self.rules.encode(buf);
+        self.initial.encode(buf);
+        self.observables.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let mut model = Model::new(&String::decode(r)?);
+        for name in Vec::<String>::decode(r)? {
+            model.species(&name);
+        }
+        for name in Vec::<String>::decode(r)? {
+            model.label(&name);
+        }
+        // Rules are pushed semantically unvalidated here (the receiver
+        // re-validates the whole model before running it, with better
+        // errors than BadTag) — but every interned handle is bounds-
+        // checked against the decoded alphabet, because an out-of-range
+        // id would panic deep inside compilation, not fail validation.
+        model.rules = Vec::decode(r)?;
+        model.initial = Term::decode(r)?;
+        model.observables = Vec::decode(r)?;
+        check_model_handles(&model)?;
+        Ok(model)
+    }
+}
+
+/// Rejects decoded models whose species/label handles fall outside the
+/// decoded alphabet (possible only through a corrupt or hostile stream).
+fn check_model_handles(model: &Model) -> Result<(), WireError> {
+    let n_species = model.alphabet.species_count() as u32;
+    let n_labels = model.alphabet.label_count() as u32;
+    let bad = || WireError::BadTag(0xFD);
+    let check_species = |s: Species| (s.raw() < n_species).then_some(()).ok_or_else(bad);
+    let check_label = |l: Label| {
+        (l.is_top() || l.raw() < n_labels)
+            .then_some(())
+            .ok_or_else(bad)
+    };
+    let check_multiset = |ms: &Multiset| ms.iter().try_for_each(|(s, _)| check_species(s));
+    fn check_term(
+        t: &Term,
+        check_multiset: &impl Fn(&Multiset) -> Result<(), WireError>,
+        check_label: &impl Fn(Label) -> Result<(), WireError>,
+    ) -> Result<(), WireError> {
+        check_multiset(&t.atoms)?;
+        for c in &t.comps {
+            check_label(c.label)?;
+            check_multiset(&c.wrap)?;
+            check_term(&c.content, check_multiset, check_label)?;
+        }
+        Ok(())
+    }
+    for rule in &model.rules {
+        check_label(rule.site)?;
+        check_multiset(&rule.lhs.atoms)?;
+        for cp in &rule.lhs.comps {
+            check_label(cp.label)?;
+            check_multiset(&cp.wrap)?;
+            check_multiset(&cp.atoms)?;
+        }
+        check_multiset(&rule.rhs.atoms)?;
+        for prod in &rule.rhs.comps {
+            match prod {
+                CompProduction::Keep {
+                    add_wrap,
+                    add_atoms,
+                    ..
+                } => {
+                    check_multiset(add_wrap)?;
+                    check_multiset(add_atoms)?;
+                }
+                CompProduction::New { label, wrap, atoms } => {
+                    check_label(*label)?;
+                    check_multiset(wrap)?;
+                    check_multiset(atoms)?;
+                }
+                CompProduction::Dissolve { .. } => {}
+            }
+        }
+        match &rule.law {
+            RateLaw::MassAction => {}
+            RateLaw::HillRepression { inhibitor, .. } => check_species(*inhibitor)?,
+            RateLaw::HillActivation { activator, .. } => check_species(*activator)?,
+            RateLaw::Saturating { substrate, .. } => check_species(*substrate)?,
+        }
+    }
+    check_term(&model.initial, &check_multiset, &check_label)?;
+    for obs in &model.observables {
+        check_species(obs.species)?;
+        if let ObservableSite::AtLabel(l) = obs.site {
+            check_label(l)?;
+        }
+    }
+    Ok(())
+}
+
+impl Wire for Cut {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.time.encode(buf);
+        self.values.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Cut {
+            time: f64::decode(r)?,
+            values: Vec::decode(r)?,
+        })
+    }
+}
+
+/// Tag 0 = mean/variance, 1 = k-means, 2 = quantile, 3 = histogram.
+impl Wire for StatEngineKind {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            StatEngineKind::MeanVariance => buf.push(0),
+            StatEngineKind::KMeans { k } => {
+                buf.push(1);
+                (*k as u64).encode(buf);
+            }
+            StatEngineKind::Quantile { p } => {
+                buf.push(2);
+                p.encode(buf);
+            }
+            StatEngineKind::Histogram { lo, hi, bins } => {
+                buf.push(3);
+                lo.encode(buf);
+                hi.encode(buf);
+                (*bins as u64).encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(StatEngineKind::MeanVariance),
+            1 => Ok(StatEngineKind::KMeans {
+                k: u64::decode(r)? as usize,
+            }),
+            2 => Ok(StatEngineKind::Quantile { p: f64::decode(r)? }),
+            3 => Ok(StatEngineKind::Histogram {
+                lo: f64::decode(r)?,
+                hi: f64::decode(r)?,
+                bins: u64::decode(r)? as usize,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for Running {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.count().encode(buf);
+        self.mean().encode(buf);
+        self.m2().encode(buf);
+        self.min().encode(buf);
+        self.max().encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Running::from_parts(
+            u64::decode(r)?,
+            f64::decode(r)?,
+            f64::decode(r)?,
+            f64::decode(r)?,
+            f64::decode(r)?,
+        ))
+    }
+}
+
+impl Wire for Histogram {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.lo().encode(buf);
+        self.hi().encode(buf);
+        let counts: Vec<u64> = (0..self.bins()).map(|i| self.bin_count(i)).collect();
+        counts.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let lo = f64::decode(r)?;
+        let hi = f64::decode(r)?;
+        let counts: Vec<u64> = Vec::decode(r)?;
+        // Validate before the constructor would panic on hostile input.
+        if counts.is_empty() || hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+            return Err(WireError::BadTag(0xFE));
+        }
+        Ok(Histogram::from_parts(lo, hi, counts))
+    }
+}
+
+impl Wire for P2Quantile {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let (p, heights, positions, desired, seen) = self.raw_parts();
+        p.encode(buf);
+        for x in heights.iter().chain(&positions).chain(&desired) {
+            x.encode(buf);
+        }
+        seen.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let p = f64::decode(r)?;
+        if !(p > 0.0 && p < 1.0) {
+            return Err(WireError::BadTag(0xFE));
+        }
+        let mut arrays = [[0.0f64; 5]; 3];
+        for a in &mut arrays {
+            for x in a.iter_mut() {
+                *x = f64::decode(r)?;
+            }
+        }
+        let [heights, positions, desired] = arrays;
+        Ok(P2Quantile::from_raw_parts(
+            p,
+            heights,
+            positions,
+            desired,
+            u64::decode(r)?,
+        ))
+    }
+}
+
+impl Wire for ObsSummary {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.running.encode(buf);
+        self.histogram.encode(buf);
+        self.quantile.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ObsSummary {
+            running: Running::decode(r)?,
+            histogram: Option::decode(r)?,
+            quantile: Option::decode(r)?,
+        })
+    }
+}
+
+impl Wire for RunSummary {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.engines().to_vec().encode(buf);
+        self.observables().to_vec().encode(buf);
+        self.cuts().encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RunSummary::from_parts(
+            Vec::decode(r)?,
+            Vec::decode(r)?,
+            u64::decode(r)?,
+        ))
+    }
+}
+
+impl Wire for ShardRange {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.shard as u64).encode(buf);
+        self.first_instance.encode(buf);
+        self.count.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ShardRange {
+            shard: u64::decode(r)? as usize,
+            first_instance: u64::decode(r)?,
+            count: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for ShardSpec {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.range.encode(buf);
+        self.engine.encode(buf);
+        self.base_seed.encode(buf);
+        self.t_end.encode(buf);
+        self.quantum.encode(buf);
+        self.sample_period.encode(buf);
+        (self.sim_workers as u64).encode(buf);
+        (self.channel_capacity as u64).encode(buf);
+        self.engines.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ShardSpec {
+            range: ShardRange::decode(r)?,
+            engine: EngineKind::decode(r)?,
+            base_seed: u64::decode(r)?,
+            t_end: f64::decode(r)?,
+            quantum: f64::decode(r)?,
+            sample_period: f64::decode(r)?,
+            sim_workers: u64::decode(r)? as usize,
+            channel_capacity: u64::decode(r)? as usize,
+            engines: Vec::decode(r)?,
+        })
+    }
+}
+
 /// Encodes a message with the magic/version envelope.
 pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
@@ -463,5 +1074,195 @@ mod tests {
     #[test]
     fn encoded_size_charges_the_envelope() {
         assert_eq!(encoded_size(&0u8), 4 + 2 + 1);
+    }
+
+    // --- wire v4 payloads ---
+
+    #[test]
+    fn cut_roundtrips() {
+        roundtrip(Cut {
+            time: 1.25,
+            values: vec![vec![1, 2], vec![3, 4], vec![5, 6]],
+        });
+        roundtrip(Cut {
+            time: 0.0,
+            values: vec![],
+        });
+    }
+
+    #[test]
+    fn stat_engine_kinds_roundtrip() {
+        roundtrip(StatEngineKind::MeanVariance);
+        roundtrip(StatEngineKind::KMeans { k: 3 });
+        roundtrip(StatEngineKind::Quantile { p: 0.9 });
+        roundtrip(StatEngineKind::Histogram {
+            lo: -1.0,
+            hi: 9.0,
+            bins: 12,
+        });
+    }
+
+    #[test]
+    fn accumulators_roundtrip() {
+        let r: Running = [1.0, 2.5, -3.0, 8.0].into_iter().collect();
+        roundtrip(r);
+
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        for x in [0.5, 3.0, 9.9, 12.0] {
+            h.push(x);
+        }
+        roundtrip(h);
+
+        let mut q = P2Quantile::new(0.5);
+        for i in 0..100 {
+            q.push(i as f64);
+        }
+        let bytes = to_bytes(&q);
+        let back: P2Quantile = from_bytes(&bytes).unwrap();
+        assert_eq!(back.raw_parts(), q.raw_parts());
+        assert_eq!(back.estimate(), q.estimate());
+    }
+
+    #[test]
+    fn hostile_accumulator_parameters_are_rejected_not_panicked() {
+        // Histogram with hi <= lo.
+        let h = Histogram::new(0.0, 1.0, 2);
+        let mut bytes = to_bytes(&h);
+        // hi is the second f64 after the envelope (4 magic + 2 version + 8 lo).
+        bytes[14..22].copy_from_slice(&(-5.0f64).to_le_bytes());
+        assert!(from_bytes::<Histogram>(&bytes).is_err());
+        // Quantile with p outside (0, 1).
+        let q = P2Quantile::new(0.5);
+        let mut bytes = to_bytes(&q);
+        bytes[6..14].copy_from_slice(&(2.0f64).to_le_bytes());
+        assert!(from_bytes::<P2Quantile>(&bytes).is_err());
+    }
+
+    #[test]
+    fn run_summary_roundtrips_and_keeps_merging() {
+        use streamstat::merge::Mergeable;
+        let engines = vec![
+            StatEngineKind::MeanVariance,
+            StatEngineKind::Histogram {
+                lo: 0.0,
+                hi: 100.0,
+                bins: 10,
+            },
+            StatEngineKind::Quantile { p: 0.5 },
+        ];
+        let mut s = RunSummary::new(engines);
+        s.push_cut(&Cut {
+            time: 0.0,
+            values: vec![vec![10], vec![20], vec![30]],
+        });
+        let bytes = to_bytes(&s);
+        let mut back: RunSummary = from_bytes(&bytes).unwrap();
+        assert_eq!(back.cuts(), 1);
+        let (a, b) = (&s.observables()[0], &back.observables()[0]);
+        assert_eq!(a.running, b.running);
+        assert_eq!(a.histogram, b.histogram);
+        // A decoded summary must still merge with a live one.
+        back.merge_from(&s);
+        assert_eq!(back.observables()[0].running.count(), 6);
+    }
+
+    #[test]
+    fn shard_spec_roundtrips() {
+        roundtrip(ShardSpec {
+            range: ShardRange {
+                shard: 2,
+                first_instance: 64,
+                count: 32,
+            },
+            engine: EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 8.0,
+            },
+            base_seed: 7,
+            t_end: 50.0,
+            quantum: 1.0,
+            sample_period: 0.5,
+            sim_workers: 4,
+            channel_capacity: 64,
+            engines: vec![
+                StatEngineKind::MeanVariance,
+                StatEngineKind::KMeans { k: 2 },
+            ],
+        });
+    }
+
+    #[test]
+    fn out_of_range_model_handles_are_rejected_not_panicked() {
+        let mut m = Model::new("bad");
+        let a = m.species("A");
+        m.rule("r").consumes("A", 1).rate(1.0).build().unwrap();
+        m.initial.add_atoms(a, 1);
+        m.observe("A", a);
+        // Corrupt a handle past the shipped alphabet: decoding must fail
+        // cleanly instead of letting compilation panic later.
+        m.observables[0].species = Species::from_raw(99);
+        assert!(from_bytes::<Model>(&to_bytes(&m)).is_err());
+        // And an out-of-range label on a rule site.
+        let mut m2 = Model::new("bad2");
+        let b = m2.species("B");
+        m2.rule("r").consumes("B", 1).rate(1.0).build().unwrap();
+        m2.initial.add_atoms(b, 1);
+        m2.observe("B", b);
+        m2.rules[0].site = Label::from_raw(7);
+        assert!(from_bytes::<Model>(&to_bytes(&m2)).is_err());
+    }
+
+    #[test]
+    fn compartment_model_roundtrips_bit_for_bit() {
+        let model = {
+            let mut m = Model::new("wire-test");
+            let a = m.species("A");
+            let cell = m.label("cell");
+            m.rule("engulf")
+                .consumes("A", 1)
+                .matches_comp("cell", &[("R", 1)], &[])
+                .keeps(0, &[], &[("A", 1)])
+                .rate(0.5)
+                .build()
+                .unwrap();
+            m.rule("feed")
+                .produces("A", 2)
+                .rate(3.0)
+                .repressed_by("A", 100.0, 2.0)
+                .build()
+                .unwrap();
+            m.initial.add_atoms(a, 10);
+            let receptor = m.species("R");
+            m.initial.add_compartment(cwc::term::Compartment::new(
+                cell,
+                Multiset::from([(receptor, 1)]),
+                cwc::term::Term::new(),
+            ));
+            m.observe("A", a);
+            m.observe_at("cell_A", a, ObservableSite::AtLabel(cell));
+            m
+        };
+        let bytes = to_bytes(&model);
+        let back: Model = from_bytes(&bytes).unwrap();
+        assert_eq!(back.name, model.name);
+        assert_eq!(back.rules, model.rules);
+        assert_eq!(back.initial, model.initial);
+        assert_eq!(back.observables, model.observables);
+        back.validate().unwrap();
+        // Re-interning preserved the raw handles and names.
+        assert_eq!(
+            back.alphabet.find_species("A"),
+            model.alphabet.find_species("A")
+        );
+        assert_eq!(
+            back.alphabet.find_label("cell"),
+            model.alphabet.find_label("cell")
+        );
+        // The decoded model drives identical trajectories.
+        let mut a = gillespie::ssa::SsaEngine::new(std::sync::Arc::new(model), 42, 0);
+        let mut b = gillespie::ssa::SsaEngine::new(std::sync::Arc::new(back), 42, 0);
+        a.run_until(2.0);
+        b.run_until(2.0);
+        assert_eq!(a.observe(), b.observe());
     }
 }

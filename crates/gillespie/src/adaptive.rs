@@ -69,6 +69,11 @@ struct PendingTransition {
     /// True when this transition was an exact (fallback or critical)
     /// single firing rather than a Poisson leap.
     exact: bool,
+    /// Species indices the transition changed (deduped): committing it
+    /// refreshes exactly the propensities of the rules incident to
+    /// these, making the per-transition recompute O(affected) instead of
+    /// O(all rules).
+    changed: Vec<usize>,
 }
 
 /// Flat-model approximate simulator with adaptive (CGP) step-size
@@ -98,9 +103,22 @@ pub struct AdaptiveTauEngine {
     firings: u64,
     /// Reusable per-transition buffers (the fallback regime takes one
     /// transition per firing; these keep that path allocation-light).
+    /// `props_buf` doubles as the persistent propensity cache: values
+    /// survive across transitions and commits refresh only the rules
+    /// incident to changed species (`FlatModel::incidence`).
     props_buf: Vec<f64>,
     crit_buf: Vec<bool>,
     cgp_scratch: CgpScratch,
+    /// True once `props_buf` holds every rule's propensity for the
+    /// committed state.
+    cache_ready: bool,
+    /// Diagnostic knob: recompute every propensity on every draw (the
+    /// pre-incidence behaviour). Bit-identical results; exists so the
+    /// `adaptive_tau` bench can measure what the incidence list buys.
+    full_recompute: bool,
+    /// Per-species "already marked changed" bitmap, un-marked after each
+    /// draw so steady state does no O(species) clearing.
+    seen_buf: Vec<bool>,
 }
 
 impl AdaptiveTauEngine {
@@ -130,6 +148,7 @@ impl AdaptiveTauEngine {
     ) -> Result<Self, FlatModelError> {
         let flat = FlatModel::compile(&model, &deps, "adaptive tau-leaping")?;
         let state = flat.initial_state(&model);
+        let species_len = flat.species.len();
         Ok(AdaptiveTauEngine {
             model,
             flat,
@@ -146,7 +165,20 @@ impl AdaptiveTauEngine {
             props_buf: Vec::new(),
             crit_buf: Vec::new(),
             cgp_scratch: CgpScratch::default(),
+            cache_ready: false,
+            full_recompute: false,
+            seen_buf: vec![false; species_len],
         })
+    }
+
+    /// Disables the incidence-list propensity cache: every draw
+    /// recomputes all propensities from the state vector (the
+    /// pre-incidence behaviour). Results are bit-identical either way —
+    /// this knob exists so benchmarks can measure the cache.
+    pub fn with_full_recompute(mut self) -> Self {
+        self.full_recompute = true;
+        self.cache_ready = false;
+        self
     }
 
     /// Sets the CGP relative-change bound ε.
@@ -244,14 +276,17 @@ impl AdaptiveTauEngine {
             }
         }
         let mut state = self.state.clone();
+        let mut changed = Vec::with_capacity(self.flat.delta[chosen].len());
         for &(i, d) in &self.flat.delta[chosen] {
             state[i] += d;
+            changed.push(i);
         }
         PendingTransition {
             state,
             end: self.committed + dt,
             firings: 1,
             exact: true,
+            changed,
         }
     }
 
@@ -272,7 +307,13 @@ impl AdaptiveTauEngine {
         props: &mut Vec<f64>,
         critical: &mut Vec<bool>,
     ) -> Option<PendingTransition> {
-        self.flat.propensities_into(&self.state, props);
+        // `props` is the persistent cache: a full recompute happens only
+        // on the first draw (or in the diagnostic full-recompute mode);
+        // afterwards commits keep it fresh via the incidence list.
+        if self.full_recompute || !self.cache_ready {
+            self.flat.propensities_into(&self.state, props);
+            self.cache_ready = true;
+        }
         let a0: f64 = props.iter().sum();
         if a0 <= 0.0 {
             return None;
@@ -320,14 +361,22 @@ impl AdaptiveTauEngine {
             };
             let mut candidate = self.state.clone();
             let mut firings = 0u64;
+            let mut changed: Vec<usize> = Vec::new();
             for (r, &a) in props.iter().enumerate() {
                 if a == 0.0 || critical[r] {
                     continue;
                 }
                 let k = poisson(&mut self.rng, a * leap_len);
+                if k == 0 {
+                    continue;
+                }
                 firings += k;
                 for &(i, d) in &self.flat.delta[r] {
                     candidate[i] += d * k as i64;
+                    if !self.seen_buf[i] {
+                        self.seen_buf[i] = true;
+                        changed.push(i);
+                    }
                 }
             }
             if fire_critical {
@@ -348,8 +397,17 @@ impl AdaptiveTauEngine {
                 let chosen = chosen.expect("a0_crit > 0 implies a critical reaction");
                 for &(i, d) in &self.flat.delta[chosen] {
                     candidate[i] += d;
+                    if !self.seen_buf[i] {
+                        self.seen_buf[i] = true;
+                        changed.push(i);
+                    }
                 }
                 firings += 1;
+            }
+            // Un-mark (cheaper than clearing the whole bitmap: O(changed),
+            // not O(species)) — also needed before a halving retry.
+            for &i in &changed {
+                self.seen_buf[i] = false;
             }
             if candidate.iter().all(|&c| c >= 0) {
                 return Some(PendingTransition {
@@ -357,6 +415,7 @@ impl AdaptiveTauEngine {
                     end: self.committed + leap_len,
                     firings,
                     exact: fire_critical && firings == 1,
+                    changed,
                 });
             }
             // Rare overshoot (criticality is a 10-firing heuristic, not a
@@ -371,6 +430,16 @@ impl AdaptiveTauEngine {
     fn commit_pending(&mut self) -> u64 {
         let p = self.pending.take().expect("pending transition to commit");
         self.state = p.state;
+        // O(affected) cache refresh: only rules whose reactants changed
+        // can have a different propensity; every other cached value is
+        // bit-identical to what a full recompute would produce.
+        if self.cache_ready && !self.full_recompute {
+            for &i in &p.changed {
+                for &r in &self.flat.incidence[i] {
+                    self.props_buf[r] = self.flat.propensity(&self.state, r);
+                }
+            }
+        }
         self.committed = p.end;
         if self.time < p.end {
             self.time = p.end;
@@ -626,6 +695,58 @@ mod tests {
         assert_eq!(e.observe(), vec![100], "no-ops change nothing");
         assert!(e.firings() > 0, "but they do fire, like under SSA");
         assert_eq!(e.leaps(), 0);
+    }
+
+    #[test]
+    fn incidence_cache_is_bit_identical_to_full_recompute() {
+        // A multi-species chain where most transitions touch only a few
+        // of the species, so the incidence refresh really skips work —
+        // and must not change a single bit of the trajectory.
+        let model = {
+            let mut m = Model::new("chain");
+            let n = 12;
+            for i in 0..n {
+                let name = format!("S{i}");
+                let s = m.species(&name);
+                m.initial.add_atoms(s, 200);
+                m.observe(&name, s);
+            }
+            for i in 0..n {
+                let from = format!("S{i}");
+                let to = format!("S{}", (i + 1) % n);
+                m.rule(&format!("r{i}"))
+                    .consumes(&from, 1)
+                    .produces(&to, 1)
+                    .rate(1.0 + i as f64 * 0.1)
+                    .build()
+                    .unwrap();
+            }
+            Arc::new(m)
+        };
+        for seed in [1u64, 9, 42] {
+            let mut fast = AdaptiveTauEngine::new(Arc::clone(&model), seed, 0)
+                .unwrap()
+                .with_epsilon(0.05);
+            let mut slow = AdaptiveTauEngine::new(Arc::clone(&model), seed, 0)
+                .unwrap()
+                .with_epsilon(0.05)
+                .with_full_recompute();
+            // Slice the horizons differently too: the cache must survive
+            // pending transitions across quantum boundaries.
+            let mut fc = SampleClock::new(0.0, 0.25);
+            let mut sc = SampleClock::new(0.0, 0.25);
+            let mut fs = Vec::new();
+            let mut ss = Vec::new();
+            for t in [0.4, 1.0, 2.0] {
+                fast.run_sampled(t, &mut fc, |t, v| fs.push((t, v.to_vec())));
+            }
+            slow.run_sampled(2.0, &mut sc, |t, v| ss.push((t, v.to_vec())));
+            assert_eq!(fs, ss, "seed {seed}: sampled trajectories diverged");
+            assert_eq!(fast.counts(), slow.counts(), "seed {seed}");
+            assert_eq!(fast.firings(), slow.firings(), "seed {seed}");
+            assert_eq!(fast.leaps(), slow.leaps(), "seed {seed}");
+            assert_eq!(fast.exact_steps(), slow.exact_steps(), "seed {seed}");
+        }
     }
 
     #[test]

@@ -112,6 +112,11 @@ pub(crate) struct FlatModel {
     /// `g_i` factor, precomputed so the tau-selection hot path avoids an
     /// O(rules × reactants) rescan per species.
     g_pairs: Vec<Vec<(u64, u64)>>,
+    /// Species → rules whose *propensity depends on* that species (its
+    /// reactants). When a transition changes species `i`, exactly the
+    /// rules in `incidence[i]` can change propensity — the adaptive
+    /// engine's O(affected) per-transition refresh reads this.
+    pub incidence: Vec<Vec<usize>>,
 }
 
 impl FlatModel {
@@ -171,10 +176,12 @@ impl FlatModel {
             rates.push(rule.rate);
         }
         let mut g_pairs = vec![Vec::new(); species.len()];
-        for r in &reactants {
+        let mut incidence = vec![Vec::new(); species.len()];
+        for (ri, r) in reactants.iter().enumerate() {
             let order: u64 = r.iter().map(|&(_, n)| n).sum();
             for &(i, k) in r {
                 g_pairs[i].push((order, k));
+                incidence[i].push(ri);
             }
         }
         Ok(FlatModel {
@@ -183,6 +190,7 @@ impl FlatModel {
             delta,
             rates,
             g_pairs,
+            incidence,
         })
     }
 

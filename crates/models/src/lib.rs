@@ -31,7 +31,7 @@ pub use lotka_volterra::{lotka_volterra, LotkaVolterraParams};
 pub use michaelis_menten::{michaelis_menten, MichaelisMentenParams};
 pub use neurospora::{neurospora_compartments, neurospora_flat, NeurosporaParams};
 pub use schlogl::{schlogl, SchloglParams};
-pub use simple::{birth_death, decay, dimerisation};
+pub use simple::{birth_death, conversion_cycle, decay, dimerisation};
 
 /// Names of all bundled models, for CLIs and examples.
 pub fn model_names() -> Vec<&'static str> {

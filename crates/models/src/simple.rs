@@ -1,4 +1,5 @@
-//! Small reference models: decay, birth–death, dimerisation.
+//! Small reference models: decay, birth–death, dimerisation, and the
+//! wide conversion cycle.
 //!
 //! Analytically tractable systems used to validate the stochastic engine
 //! (closed-form means) and as light workloads in tests and examples.
@@ -64,6 +65,51 @@ pub fn dimerisation(k_fwd: f64, k_rev: f64, a0: u64) -> Model {
     m
 }
 
+/// A *wide* flat model: `species` unimolecular conversions
+/// `S_i -> S_{(i+1) mod species}` at slightly staggered rates, with `n0`
+/// molecules spread evenly at start. Total count is conserved, every
+/// reaction stays enabled, and each firing touches exactly two species —
+/// so only a handful of the (possibly hundreds of) rules change
+/// propensity per transition. This is the stress case for per-transition
+/// propensity recomputation: an engine that rescans all rules does
+/// O(species) work per transition where an incidence list does O(1)
+/// (see the `adaptive_tau` bench).
+///
+/// One observable, `S0` (a column per species would bloat reports; the
+/// cycle head is enough to watch the dynamics).
+///
+/// # Panics
+///
+/// Panics when `species < 2`.
+pub fn conversion_cycle(species: usize, n0: u64, rate: f64) -> Model {
+    assert!(
+        species >= 2,
+        "a conversion cycle needs at least two species"
+    );
+    let mut m = Model::new("conversion-cycle");
+    let per_species = n0 / species as u64;
+    for i in 0..species {
+        let name = format!("S{i}");
+        let s = m.species(&name);
+        m.initial.add_atoms(s, per_species.max(1));
+    }
+    for i in 0..species {
+        let from = format!("S{i}");
+        let to = format!("S{}", (i + 1) % species);
+        m.rule(&format!("convert{i}"))
+            .consumes(&from, 1)
+            .produces(&to, 1)
+            // Staggered rates keep the stationary distribution slightly
+            // uneven, so propensities differ across the cycle.
+            .rate(rate * (1.0 + (i % 7) as f64 * 0.05))
+            .build()
+            .expect("valid rule");
+    }
+    let head = m.species("S0");
+    m.observe("S0", head);
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +121,30 @@ mod tests {
         decay(100, 1.0).validate().unwrap();
         birth_death(5.0, 1.0, 0).validate().unwrap();
         dimerisation(0.01, 0.1, 100).validate().unwrap();
+        conversion_cycle(200, 10_000, 1.0).validate().unwrap();
+    }
+
+    #[test]
+    fn conversion_cycle_is_wide_flat_and_conserving() {
+        let n = 150;
+        let model = conversion_cycle(n, 6000, 1.0);
+        assert_eq!(model.rules.len(), n);
+        assert!(model.rules.iter().all(|r| r.is_flat()));
+        let total: u64 = (6000 / n as u64) * n as u64;
+        let model = Arc::new(model);
+        let mut e = EngineKind::AdaptiveTau { epsilon: 0.05 }
+            .build(Arc::clone(&model), 3, 0)
+            .unwrap();
+        e.run_until(0.5);
+        let counted: u64 = model
+            .alphabet
+            .all_species()
+            .map(|s| match &mut e {
+                gillespie::engine::Engine::AdaptiveTau(a) => a.count(s),
+                _ => unreachable!(),
+            })
+            .sum();
+        assert_eq!(counted, total, "conversions conserve the total count");
     }
 
     #[test]

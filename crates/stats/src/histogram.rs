@@ -67,6 +67,34 @@ impl Histogram {
         self.count
     }
 
+    /// Lower bound of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Reassembles a histogram from its geometry and raw bin counts (the
+    /// wire-format constructor; the total count is recomputed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty `bins` or `hi <= lo`, like [`Histogram::new`].
+    pub fn from_parts(lo: f64, hi: f64, bins: Vec<u64>) -> Self {
+        assert!(!bins.is_empty(), "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        let count = bins.iter().sum();
+        Histogram {
+            lo,
+            hi,
+            bins,
+            count,
+        }
+    }
+
     /// Number of bins.
     pub fn bins(&self) -> usize {
         self.bins.len()
@@ -123,6 +151,17 @@ impl Histogram {
             *a += b;
         }
         self.count += other.count;
+    }
+}
+
+impl crate::merge::Mergeable for Histogram {
+    /// Exact bin-wise sum (same as [`Histogram::merge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two histograms' ranges or bin counts differ.
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
     }
 }
 

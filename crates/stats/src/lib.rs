@@ -16,6 +16,7 @@
 //! | autocorrelation | [`autocorr`] | independent ACF-based period estimator |
 //! | histogram | [`histogram`] | StochSimGPU-style population histograms |
 //! | on-line quantiles | [`quantile`] | big-data-safe distribution summaries |
+//! | partial-state merging | [`merge`] | StochKit-FF-style sharded farms |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -24,6 +25,7 @@ pub mod autocorr;
 pub mod filter;
 pub mod histogram;
 pub mod kmeans;
+pub mod merge;
 pub mod period;
 pub mod quantile;
 pub mod welford;
@@ -33,6 +35,7 @@ pub use autocorr::{autocorrelation, period_from_acf};
 pub use filter::{savitzky_golay, Ewma, MovingAverage};
 pub use histogram::Histogram;
 pub use kmeans::{bimodality_ratio, kmeans1d, Clustering};
+pub use merge::Mergeable;
 pub use period::{analyse_period, find_peaks, Peak, PeriodAnalysis};
 pub use quantile::P2Quantile;
 pub use welford::Running;

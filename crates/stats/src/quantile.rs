@@ -145,6 +145,123 @@ impl P2Quantile {
             _ => Some(self.heights[2]),
         }
     }
+
+    /// Representative pseudo-samples of everything seen so far: `k`
+    /// inverse-CDF points of the marker curve — except while five or
+    /// fewer observations exist, where the raw values are returned
+    /// verbatim (possibly more than `k`) so small samples stay exact.
+    /// This is the "downsample" half of the
+    /// [`Mergeable`](crate::merge::Mergeable) merge and the portable form
+    /// the sharded farm ships over the wire.
+    pub fn downsample(&self, k: usize) -> Vec<f64> {
+        let n = self.seen;
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        if n <= 5 {
+            return self.heights[..n].to_vec();
+        }
+        let k = k.min(n);
+        (0..k)
+            .map(|j| {
+                // Mid-point ranks over [1, n] (1-based, like the P² marker
+                // positions), linearly interpolated through the markers.
+                let r = 1.0 + (j as f64 + 0.5) / k as f64 * (n as f64 - 1.0);
+                self.height_at_rank(r)
+            })
+            .collect()
+    }
+
+    /// Linear interpolation of the marker curve at 1-based rank `r`.
+    fn height_at_rank(&self, r: f64) -> f64 {
+        for i in 0..4 {
+            if r <= self.positions[i + 1] {
+                let (n0, n1) = (self.positions[i], self.positions[i + 1]);
+                let (q0, q1) = (self.heights[i], self.heights[i + 1]);
+                if n1 <= n0 {
+                    return q1;
+                }
+                let t = ((r - n0) / (n1 - n0)).clamp(0.0, 1.0);
+                return q0 + t * (q1 - q0);
+            }
+        }
+        self.heights[4]
+    }
+
+    /// Raw marker state `(p, heights, positions, desired, seen)` — the
+    /// wire form (the increments are a pure function of `p` and are not
+    /// included).
+    pub fn raw_parts(&self) -> (f64, [f64; 5], [f64; 5], [f64; 5], u64) {
+        (
+            self.p,
+            self.heights,
+            self.positions,
+            self.desired,
+            self.seen as u64,
+        )
+    }
+
+    /// Reassembles an estimator from [`P2Quantile::raw_parts`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside (0, 1), like [`P2Quantile::new`].
+    pub fn from_raw_parts(
+        p: f64,
+        heights: [f64; 5],
+        positions: [f64; 5],
+        desired: [f64; 5],
+        seen: u64,
+    ) -> Self {
+        let mut q = P2Quantile::new(p);
+        q.heights = heights;
+        q.positions = positions;
+        q.desired = desired;
+        q.seen = seen as usize;
+        q
+    }
+}
+
+impl crate::merge::Mergeable for P2Quantile {
+    /// *Approximate* merge: the P² marker invariant cannot be combined
+    /// exactly, so both estimators are downsampled to pseudo-samples —
+    /// [`2 × P2_DOWNSAMPLE`](crate::merge::P2_DOWNSAMPLE) in total, split
+    /// proportionally to the two observation counts — which are replayed,
+    /// sorted, into a fresh estimator. The proportional split keeps the
+    /// merge sensible for any size ratio of the two sides;
+    /// [`P2Quantile::count`] consequently reports replayed pseudo-samples,
+    /// not the exact union count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two estimators target different quantiles.
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            (self.p - other.p).abs() < 1e-12,
+            "cannot merge estimators of different quantile targets ({} vs {})",
+            self.p,
+            other.p
+        );
+        if other.seen == 0 {
+            return;
+        }
+        if self.seen == 0 {
+            *self = other.clone();
+            return;
+        }
+        let budget = 2 * crate::merge::P2_DOWNSAMPLE;
+        let k_self =
+            ((budget * self.seen) as f64 / (self.seen + other.seen) as f64).round() as usize;
+        let k_self = k_self.clamp(1, budget - 1);
+        let mut pts = self.downsample(k_self);
+        pts.extend(other.downsample(budget - k_self));
+        pts.sort_by(|a, b| a.partial_cmp(b).expect("marker heights are not NaN"));
+        let mut merged = P2Quantile::new(self.p);
+        for x in pts {
+            merged.push(x);
+        }
+        *self = merged;
+    }
 }
 
 #[cfg(test)]

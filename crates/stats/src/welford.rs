@@ -101,6 +101,27 @@ impl Running {
         self.max
     }
 
+    /// Sum of squared deviations from the mean (the Welford `M2` term) —
+    /// exposed, with [`Running::from_parts`], so the accumulator can cross
+    /// process boundaries in the sharded farm's wire format.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Reassembles an accumulator from its raw state
+    /// (`count`/`mean`/`m2`/`min`/`max`, as produced by the accessors).
+    /// Exists for deserialisation; feeding inconsistent parts yields an
+    /// accumulator that reports them verbatim.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Running {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator (Chan et al. parallel combination).
     pub fn merge(&mut self, other: &Running) {
         if other.count == 0 {
@@ -121,6 +142,15 @@ impl Running {
         self.m2 = m2;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+impl crate::merge::Mergeable for Running {
+    /// Exact Chan et al. combination (same as [`Running::merge`]): counts,
+    /// minima and maxima are preserved exactly; mean/variance agree with
+    /// the pooled computation up to `f64` reassociation.
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
     }
 }
 

@@ -5,11 +5,30 @@
 //! (`SimConfig::engine`) and compare.
 //!
 //! Run: `cargo run --release --example quickstart`
+//!
+//! With `-- --shards N` the run is repeated through the sharded farm —
+//! N real `cwc-shard` child processes (build the worker first:
+//! `cargo build --release --bin cwc-shard`), each simulating a slice of
+//! the trajectories and streaming partial cuts + mergeable statistics
+//! back — and the rows are asserted **bit-for-bit identical** to the
+//! single-process run (exit code 1 otherwise; the CI sharded smoke leg
+//! runs exactly this).
 
 use std::sync::Arc;
 
 use cwc_repro::cwc::model::Model;
 use cwc_repro::cwcsim::{run_simulation, EngineKind, SimConfig, StatEngineKind};
+
+/// Value of `--shards N` (None when the flag is absent).
+fn shards_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--shards")?;
+    Some(
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--shards takes a positive integer"),
+    )
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A reversible dimerisation model, written with the fluent builder.
@@ -51,6 +70,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "simulated {} reactions across {} trajectories in {:?}",
         report.events, cfg.instances, report.wall
     );
+
+    // Sharded re-run: same model, same seeds, N child processes — and
+    // the per-instance seeding makes the rows bit-for-bit identical.
+    if let Some(shards) = shards_arg() {
+        let sharded_cfg = cfg.clone().shards(shards);
+        let sharded =
+            cwc_repro::distrt::shard::run_simulation_sharded(Arc::clone(&model), &sharded_cfg)?;
+        if sharded.rows != report.rows || sharded.events != report.events {
+            eprintln!("sharded run DIVERGED from the single-process run");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "sharded re-run across {} worker processes: {} reactions in {:?} — \
+             rows bit-for-bit identical to the single-process run",
+            shards, sharded.events, sharded.wall
+        );
+    }
 
     // Engine selection: the dimerisation model is flat mass-action, so the
     // approximate tau-leaping integrator may drive the identical pipeline

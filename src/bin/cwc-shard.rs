@@ -1,0 +1,22 @@
+//! `cwc-shard` — the sharded simulation farm's worker process.
+//!
+//! Spawned by the coordinator (`distrt::shard::ProcessTransport`), one
+//! per shard. Protocol (length-prefixed wire-v4 frames over stdio):
+//! a `Job` frame on stdin carries the full model plus this shard's
+//! instance slice; the worker runs the standard farm + alignment
+//! pipeline on the slice and streams aligned partial cuts plus one
+//! end-of-stream mergeable statistics state back on stdout. A
+//! `Terminate` frame on stdin drains the shard at the next quantum
+//! boundaries. See `distrt::shard` for the full contract.
+//!
+//! Not meant to be run by hand; exits 2 on a malformed input stream.
+
+use std::io;
+
+fn main() {
+    let stdout = io::BufWriter::new(io::stdout().lock());
+    if let Err(e) = cwc_repro::distrt::shard::serve_shard(io::stdin(), stdout) {
+        eprintln!("cwc-shard: {e}");
+        std::process::exit(2);
+    }
+}
