@@ -20,11 +20,18 @@
 //!   non-zero on a >25 % regression (ratios, not absolute steps/sec, so
 //!   the gate is hardware-independent). Only configurations whose
 //!   committed speedup is ≥ [`GATE_MIN_RATIO`] are gated; near-1.0 ratios
-//!   are noise-dominated and reported informationally.
+//!   are noise-dominated and reported informationally;
+//! - `--batched`  measure the batched SoA tier instead: aggregate
+//!   firings/sec of one [`BatchedSsaEngine`] batch (width
+//!   [`BATCH_WIDTH`]) vs a *single* scalar SSA instance on the wide flat
+//!   conversion cycle. Writes `BENCH_batched.json`; with `--check F` the
+//!   gate fails unless the batch still beats the single instance (ratio
+//!   ≥ 1) *and* keeps its committed edge within the tolerance.
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use biomodels::simple::conversion_cycle;
 use biomodels::{
     lotka_volterra, neurospora_compartments, neurospora_flat, schlogl, LotkaVolterraParams,
     NeurosporaParams, SchloglParams,
@@ -32,13 +39,24 @@ use biomodels::{
 use cwc::matching::{apply_at, choose_assignment, match_count};
 use cwc::model::Model;
 use cwc::term::{Path, Term};
-use gillespie::engine::{EngineKind, EngineStep};
+use gillespie::batch::BatchedSsaEngine;
+use gillespie::engine::{BatchEngine, EngineKind, EngineStep};
 use gillespie::rng::{sim_rng, SimRng};
+use gillespie::ssa::SampleClock;
 use rand::Rng;
 
 /// Tolerated regression of the incremental/full speedup ratio vs the
 /// committed baseline (CI noise headroom).
 const RATIO_TOLERANCE: f64 = 0.25;
+
+/// Tolerated regression of the batched/scalar ratio vs the committed
+/// baseline. Wider than [`RATIO_TOLERANCE`]: `--quick` systematically
+/// understates the batch edge (the single scalar instance gains more from
+/// quick's smaller working set than the 32-wide batch does), so a tight
+/// committed-edge gate would flake. The hard floor of 1.0 — the tier's
+/// acceptance bar, batched must out-fire a scalar instance — is never
+/// relaxed.
+const BATCHED_RATIO_TOLERANCE: f64 = 0.4;
 
 /// `--check` only gates configurations whose committed speedup is at
 /// least this much: where the two modes are near-equivalent (ratio ≈ 1,
@@ -229,6 +247,71 @@ fn time_steps<F: FnMut(u64) -> Box<dyn FnMut() -> bool>>(
 const WARMUP: u64 = 2_000;
 const SEGMENT: u64 = 25_000;
 
+/// Replicas per batch in `--batched` mode — wide enough that the SoA
+/// layout's per-pass amortisation shows, small enough for a quick run.
+const BATCH_WIDTH: usize = 32;
+
+/// Aggregate firings/sec of one whole batch on the wide flat conversion
+/// cycle, vs a single scalar SSA instance of the same model: the batched
+/// tier's reason to exist is that one worker pass drives [`BATCH_WIDTH`]
+/// replicas, so its aggregate must beat the scalar single-instance rate.
+fn measure_batched(quick: bool) -> Vec<Measurement> {
+    let species = 32;
+    let model = Arc::new(conversion_cycle(species, 3_200, 1.0));
+    let scalar_instances = if quick { 2 } else { 4 };
+
+    let m = Arc::clone(&model);
+    let (steps, rate) = time_steps(scalar_instances, WARMUP, SEGMENT, |i| {
+        let mut engine = EngineKind::Ssa
+            .build(Arc::clone(&m), 1, i)
+            .expect("flat model");
+        Box::new(move || !matches!(engine.step(), EngineStep::Exhausted))
+    });
+    let scalar = Measurement {
+        model: "conversion_cycle",
+        engine: "ssa",
+        mode: "scalar",
+        steps,
+        steps_per_sec: rate,
+    };
+
+    // The batch advances through repeated quanta on a never-exhausting
+    // model (the cycle conserves mass), counting aggregate firings. The
+    // sampling grid is pushed past the horizon so the measurement times
+    // raw stepping, like the scalar loop above.
+    let mut batch =
+        BatchedSsaEngine::new(Arc::clone(&model), 1, 0, BATCH_WIDTH).expect("flat model");
+    let mut clocks: Vec<SampleClock> = (0..BATCH_WIDTH)
+        .map(|_| SampleClock::new(0.0, 1e18))
+        .collect();
+    let dt = 0.05;
+    let mut t = 0.0;
+    let mut advance = |batch: &mut BatchedSsaEngine, target: u64| -> (u64, f64) {
+        let mut fired = 0u64;
+        let start = Instant::now();
+        while fired < target {
+            t += dt;
+            fired += batch
+                .advance_quantum_batch(t, &mut clocks)
+                .iter()
+                .map(|o| o.events)
+                .sum::<u64>();
+        }
+        (fired, start.elapsed().as_secs_f64())
+    };
+    advance(&mut batch, WARMUP * BATCH_WIDTH as u64);
+    let segment = if quick { SEGMENT / 2 } else { SEGMENT };
+    let (fired, secs) = advance(&mut batch, segment * BATCH_WIDTH as u64);
+    let batched = Measurement {
+        model: "conversion_cycle",
+        engine: "ssa",
+        mode: "batched",
+        steps: fired,
+        steps_per_sec: fired as f64 / secs,
+    };
+    vec![scalar, batched]
+}
+
 fn measure_all(quick: bool) -> Vec<Measurement> {
     let instances = if quick { 4 } else { 8 };
     let models: Vec<(&'static str, Arc<Model>)> = vec![
@@ -383,6 +466,59 @@ fn ratios(json: &str) -> Vec<((String, String), f64)> {
         .collect()
 }
 
+/// Aggregate-batched/scalar-single-instance ratios per configuration
+/// (`--batched` mode JSON).
+fn batched_ratios(json: &str) -> Vec<((String, String), f64)> {
+    let batched = parse_rates(json, "batched");
+    let scalar = parse_rates(json, "scalar");
+    batched
+        .into_iter()
+        .filter_map(|(key, b)| {
+            let s = scalar.iter().find(|(k, _)| *k == key)?.1;
+            (s > 0.0).then_some((key, b / s))
+        })
+        .collect()
+}
+
+/// The `--batched --check` gate: the batch must still out-fire a single
+/// scalar instance (ratio ≥ 1 — the tier's acceptance bar) and keep its
+/// committed edge within [`BATCHED_RATIO_TOLERANCE`].
+fn check_batched(committed_path: &str, fresh_json: &str) -> Result<(), String> {
+    let committed = std::fs::read_to_string(committed_path)
+        .map_err(|e| format!("cannot read baseline {committed_path}: {e}"))?;
+    let baseline = batched_ratios(&committed);
+    let current = batched_ratios(fresh_json);
+    if baseline.is_empty() {
+        return Err(format!(
+            "no batched/scalar ratios in baseline {committed_path}"
+        ));
+    }
+    let mut failures = Vec::new();
+    for ((model, engine), committed_ratio) in &baseline {
+        let Some((_, now)) = current.iter().find(|((m, e), _)| m == model && e == engine) else {
+            failures.push(format!("{model}/{engine}: missing from fresh run"));
+            continue;
+        };
+        let floor = (committed_ratio * (1.0 - BATCHED_RATIO_TOLERANCE)).max(1.0);
+        if *now < floor {
+            failures.push(format!(
+                "{model}/{engine}: batched/scalar ratio {now:.2} fell below {floor:.2} \
+                 (committed {committed_ratio:.2}, tolerance {}%, hard floor 1.0)",
+                BATCHED_RATIO_TOLERANCE * 100.0
+            ));
+        } else {
+            println!(
+                "ok {model}/{engine}: batched ratio {now:.2} (committed {committed_ratio:.2})"
+            );
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
 fn check(committed_path: &str, fresh_json: &str) -> Result<(), String> {
     let committed = std::fs::read_to_string(committed_path)
         .map_err(|e| format!("cannot read baseline {committed_path}: {e}"))?;
@@ -431,7 +567,12 @@ fn arg_value(flag: &str) -> Option<String> {
 
 fn main() {
     let quick = bench::quick_mode();
-    let results = measure_all(quick);
+    let batched_mode = std::env::args().any(|a| a == "--batched");
+    let results = if batched_mode {
+        measure_batched(quick)
+    } else {
+        measure_all(quick)
+    };
 
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -449,19 +590,37 @@ fn main() {
         &["model", "engine", "mode", "steps_per_sec"],
         &rows,
     );
-    for ((model, engine), r) in ratios(&to_json(&results, quick)) {
-        bench::note(&format!(
-            "{model}/{engine}: incremental is {r:.2}x full re-enumeration"
-        ));
+    let json = to_json(&results, quick);
+    if batched_mode {
+        for ((model, engine), r) in batched_ratios(&json) {
+            bench::note(&format!(
+                "{model}/{engine}: batch of {BATCH_WIDTH} fires {r:.2}x a single scalar instance"
+            ));
+        }
+    } else {
+        for ((model, engine), r) in ratios(&json) {
+            bench::note(&format!(
+                "{model}/{engine}: incremental is {r:.2}x full re-enumeration"
+            ));
+        }
     }
 
-    let json = to_json(&results, quick);
-    let out = arg_value("--out").unwrap_or_else(|| "BENCH_ssa_step.json".to_string());
+    let default_out = if batched_mode {
+        "BENCH_batched.json"
+    } else {
+        "BENCH_ssa_step.json"
+    };
+    let out = arg_value("--out").unwrap_or_else(|| default_out.to_string());
     std::fs::write(&out, &json).expect("write bench json");
     bench::note(&format!("wrote {out}"));
 
     if let Some(baseline) = arg_value("--check") {
-        match check(&baseline, &json) {
+        let outcome = if batched_mode {
+            check_batched(&baseline, &json)
+        } else {
+            check(&baseline, &json)
+        };
+        match outcome {
             Ok(()) => bench::note("step-throughput gate: ok"),
             Err(msg) => {
                 eprintln!("step-throughput gate FAILED:\n{msg}");

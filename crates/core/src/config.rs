@@ -43,9 +43,12 @@ pub struct SimConfig {
     /// Base RNG seed; instance `i` uses a seed derived from it.
     pub base_seed: u64,
     /// The stochastic integrator driving every trajectory (SSA by
-    /// default; the leaping kinds — tau-leap, adaptive-tau, hybrid — are
-    /// restricted to flat mass-action models and rejected at run start
-    /// otherwise, with an error naming the offending rule).
+    /// default; the flat-only kinds — tau-leap, adaptive-tau, hybrid,
+    /// batched — are restricted to flat mass-action models and rejected
+    /// at run start otherwise, with an error naming the offending rule).
+    /// With [`EngineKind::Batched`], sim workers pull whole batches of
+    /// `width` replicas instead of single instances; results are
+    /// bit-for-bit the SSA results for every width.
     pub engine: EngineKind,
     /// Statistical engines to run on every window.
     pub engines: Vec<StatEngineKind>,
@@ -60,17 +63,139 @@ pub struct SimConfig {
     pub shards: usize,
 }
 
-/// Error returned by [`SimConfig::validate`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ConfigError(String);
+/// Error returned by [`SimConfig::validate`]: one variant per validation
+/// rule, carrying the offending values.
+///
+/// [`ConfigError::field`] names the rejected configuration field and
+/// [`ConfigError::reason`] gives the human-readable rule; `Display`
+/// renders `invalid simulation config: <reason>`, so existing
+/// message-matching callers keep working.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `instances` was zero — a run needs at least one trajectory.
+    ZeroInstances,
+    /// `t_end` was not positive and finite.
+    InvalidTEnd {
+        /// The offending horizon.
+        t_end: f64,
+    },
+    /// `quantum` was not positive and finite.
+    InvalidQuantum {
+        /// The offending quantum.
+        quantum: f64,
+    },
+    /// `sample_period` was not positive and finite.
+    InvalidSamplePeriod {
+        /// The offending period.
+        sample_period: f64,
+    },
+    /// `sample_period` exceeded `t_end`, leaving a single-point τ grid.
+    SamplePeriodBeyondHorizon {
+        /// The offending period.
+        sample_period: f64,
+        /// The run's horizon.
+        t_end: f64,
+    },
+    /// The engine kind's parameters are invalid (the kind owns its
+    /// parameter rules; see [`EngineKind::validate`]).
+    Engine(gillespie::engine::EngineError),
+    /// `sim_workers` was zero.
+    ZeroSimWorkers,
+    /// `stat_workers` was zero.
+    ZeroStatWorkers,
+    /// The sliding-window width or slide was zero.
+    ZeroWindow {
+        /// Configured width, in cuts.
+        width: usize,
+        /// Configured slide, in cuts.
+        slide: usize,
+    },
+    /// The sliding-window slide exceeded its width (windows would skip
+    /// cuts).
+    SlideBeyondWidth {
+        /// Configured width, in cuts.
+        width: usize,
+        /// Configured slide, in cuts.
+        slide: usize,
+    },
+    /// The statistical engine set was empty.
+    NoStatEngines,
+    /// `channel_capacity` was zero.
+    ZeroChannelCapacity,
+    /// `shards` was zero.
+    ZeroShards,
+}
 
-impl std::fmt::Display for ConfigError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid simulation config: {}", self.0)
+impl ConfigError {
+    /// The configuration field the error is about.
+    pub fn field(&self) -> &'static str {
+        match self {
+            ConfigError::ZeroInstances => "instances",
+            ConfigError::InvalidTEnd { .. } => "t_end",
+            ConfigError::InvalidQuantum { .. } => "quantum",
+            ConfigError::InvalidSamplePeriod { .. }
+            | ConfigError::SamplePeriodBeyondHorizon { .. } => "sample_period",
+            ConfigError::Engine(_) => "engine",
+            ConfigError::ZeroSimWorkers => "sim_workers",
+            ConfigError::ZeroStatWorkers => "stat_workers",
+            ConfigError::ZeroWindow { .. } | ConfigError::SlideBeyondWidth { .. } => "window",
+            ConfigError::NoStatEngines => "engines",
+            ConfigError::ZeroChannelCapacity => "channel_capacity",
+            ConfigError::ZeroShards => "shards",
+        }
+    }
+
+    /// The violated rule, human-readable (what `Display` prints after the
+    /// `invalid simulation config: ` prefix).
+    pub fn reason(&self) -> String {
+        match self {
+            ConfigError::ZeroInstances => "instances must be > 0".into(),
+            ConfigError::InvalidTEnd { .. } => "t_end must be positive and finite".into(),
+            ConfigError::InvalidQuantum { .. } => "quantum must be positive and finite".into(),
+            ConfigError::InvalidSamplePeriod { .. } => {
+                "sample_period must be positive and finite".into()
+            }
+            ConfigError::SamplePeriodBeyondHorizon {
+                sample_period,
+                t_end,
+            } => format!(
+                "sample_period ({sample_period}) must not exceed t_end ({t_end}): the τ \
+                 grid would hold a single sample at t = 0"
+            ),
+            ConfigError::Engine(e) => e.to_string(),
+            ConfigError::ZeroSimWorkers => "sim_workers must be > 0".into(),
+            ConfigError::ZeroStatWorkers => "stat_workers must be > 0".into(),
+            ConfigError::ZeroWindow { .. } => "window width/slide must be > 0".into(),
+            ConfigError::SlideBeyondWidth { .. } => {
+                "window slide must not exceed window width".into()
+            }
+            ConfigError::NoStatEngines => "at least one statistical engine".into(),
+            ConfigError::ZeroChannelCapacity => "channel_capacity must be > 0".into(),
+            ConfigError::ZeroShards => "shards must be > 0 (1 = single in-process shard)".into(),
+        }
     }
 }
 
-impl std::error::Error for ConfigError {}
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid simulation config: {}", self.reason())
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gillespie::engine::EngineError> for ConfigError {
+    fn from(e: gillespie::engine::EngineError) -> Self {
+        ConfigError::Engine(e)
+    }
+}
 
 impl SimConfig {
     /// Creates a configuration with sensible defaults for the given number
@@ -170,58 +295,60 @@ impl SimConfig {
     ///
     /// # Errors
     ///
-    /// Returns a [`ConfigError`] naming the offending parameter.
+    /// Returns the [`ConfigError`] variant of the first violated rule,
+    /// naming the offending parameter.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.instances == 0 {
-            return Err(ConfigError("instances must be > 0".into()));
+            return Err(ConfigError::ZeroInstances);
         }
         if !(self.t_end > 0.0 && self.t_end.is_finite()) {
-            return Err(ConfigError("t_end must be positive and finite".into()));
+            return Err(ConfigError::InvalidTEnd { t_end: self.t_end });
         }
         if !(self.quantum > 0.0 && self.quantum.is_finite()) {
-            return Err(ConfigError("quantum must be positive and finite".into()));
+            return Err(ConfigError::InvalidQuantum {
+                quantum: self.quantum,
+            });
         }
         if !(self.sample_period > 0.0 && self.sample_period.is_finite()) {
-            return Err(ConfigError(
-                "sample_period must be positive and finite".into(),
-            ));
+            return Err(ConfigError::InvalidSamplePeriod {
+                sample_period: self.sample_period,
+            });
         }
         if self.sample_period > self.t_end {
-            return Err(ConfigError(format!(
-                "sample_period ({}) must not exceed t_end ({}): the τ grid would \
-                 hold a single sample at t = 0",
-                self.sample_period, self.t_end
-            )));
+            return Err(ConfigError::SamplePeriodBeyondHorizon {
+                sample_period: self.sample_period,
+                t_end: self.t_end,
+            });
         }
         // The kind's parameter rules live with EngineKind (single owner);
         // the model-dependent checks happen when engines are built.
-        if let Err(e) = self.engine.validate() {
-            return Err(ConfigError(e.to_string()));
-        }
+        self.engine.validate()?;
         if self.sim_workers == 0 {
-            return Err(ConfigError("sim_workers must be > 0".into()));
+            return Err(ConfigError::ZeroSimWorkers);
         }
         if self.stat_workers == 0 {
-            return Err(ConfigError("stat_workers must be > 0".into()));
+            return Err(ConfigError::ZeroStatWorkers);
         }
         if self.window_width == 0 || self.window_slide == 0 {
-            return Err(ConfigError("window width/slide must be > 0".into()));
+            return Err(ConfigError::ZeroWindow {
+                width: self.window_width,
+                slide: self.window_slide,
+            });
         }
         if self.window_slide > self.window_width {
-            return Err(ConfigError(
-                "window slide must not exceed window width".into(),
-            ));
+            return Err(ConfigError::SlideBeyondWidth {
+                width: self.window_width,
+                slide: self.window_slide,
+            });
         }
         if self.engines.is_empty() {
-            return Err(ConfigError("at least one statistical engine".into()));
+            return Err(ConfigError::NoStatEngines);
         }
         if self.channel_capacity == 0 {
-            return Err(ConfigError("channel_capacity must be > 0".into()));
+            return Err(ConfigError::ZeroChannelCapacity);
         }
         if self.shards == 0 {
-            return Err(ConfigError(
-                "shards must be > 0 (1 = single in-process shard)".into(),
-            ));
+            return Err(ConfigError::ZeroShards);
         }
         Ok(())
     }
@@ -331,6 +458,64 @@ mod tests {
             })
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn zero_batch_width_is_rejected_with_specific_message() {
+        let cfg = SimConfig::new(1, 10.0).engine(EngineKind::Batched { width: 0 });
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.field(), "engine");
+        assert!(err.to_string().contains("width"), "{err}");
+        SimConfig::new(1, 10.0)
+            .engine(EngineKind::Batched { width: 16 })
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn config_errors_are_structured_with_field_and_reason_accessors() {
+        let err = SimConfig::new(0, 10.0).validate().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroInstances);
+        assert_eq!(err.field(), "instances");
+
+        let err = SimConfig::new(1, 10.0)
+            .quantum(-2.0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidQuantum { quantum: -2.0 });
+        assert_eq!(err.field(), "quantum");
+
+        let err = SimConfig::new(1, 10.0)
+            .sample_period(11.0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::SamplePeriodBeyondHorizon {
+                sample_period: 11.0,
+                t_end: 10.0
+            }
+        );
+        assert_eq!(err.field(), "sample_period");
+
+        let err = SimConfig::new(1, 10.0).window(2, 3).validate().unwrap_err();
+        assert_eq!(err, ConfigError::SlideBeyondWidth { width: 2, slide: 3 });
+        assert_eq!(err.field(), "window");
+
+        let err = SimConfig::new(1, 10.0)
+            .engine(EngineKind::TauLeap { tau: 0.0 })
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Engine(_)));
+        assert_eq!(err.field(), "engine");
+        // The Display contract: prefix + the reason accessor, verbatim.
+        assert_eq!(
+            err.to_string(),
+            format!("invalid simulation config: {}", err.reason())
+        );
+        // The engine error stays reachable as a typed source.
+        use std::error::Error;
+        assert!(err.source().is_some());
     }
 
     #[test]

@@ -48,8 +48,8 @@ use crate::engines::{StatBlock, StatEngineKind, StatEngineSet, StatRow};
 use crate::merge::{CutMerger, RunSummary};
 use crate::plan::{ShardPlan, ShardRange};
 use crate::runner::{SimError, SimReport};
-use crate::sim_farm::{SimMaster, SimWorker, Steering};
-use crate::task::{SampleBatch, SimTask};
+use crate::sim_farm::{BatchSimMaster, BatchSimWorker, SimMaster, SimWorker, Steering};
+use crate::task::{batch_spans, BatchSimTask, SampleBatch, SimTask};
 use crate::windows::WindowGen;
 
 /// Everything a shard worker needs to run its slice of a simulation —
@@ -81,6 +81,12 @@ pub struct ShardSpec {
 
 impl ShardSpec {
     /// Extracts the spec for one planned shard of a run.
+    ///
+    /// The configured `sim_workers` is the *run-wide* worker budget, so it
+    /// is split across the shards (floor division, at least one worker per
+    /// shard): with `--shards N` each child runs `sim_workers / N` farm
+    /// workers instead of all of them, so a sharded run no longer
+    /// oversubscribes the machine N-fold. `shards = 1` is unchanged.
     pub fn from_config(cfg: &SimConfig, range: ShardRange) -> Self {
         ShardSpec {
             range,
@@ -89,7 +95,7 @@ impl ShardSpec {
             t_end: cfg.t_end,
             quantum: cfg.quantum,
             sample_period: cfg.sample_period,
-            sim_workers: cfg.sim_workers,
+            sim_workers: (cfg.sim_workers / cfg.shards.max(1)).max(1),
             channel_capacity: cfg.channel_capacity,
             engines: cfg.engines.clone(),
         }
@@ -204,28 +210,61 @@ pub fn run_shard(
     mut on_msg: impl FnMut(ShardMsg),
 ) -> Result<(), SimError> {
     let deps = Arc::new(gillespie::deps::ModelDeps::compile(&model));
-    let tasks: Vec<SimTask> = (spec.range.first_instance..spec.range.end())
-        .map(|i| {
-            SimTask::with_engine_deps(
-                spec.engine,
-                Arc::clone(&model),
-                Arc::clone(&deps),
-                spec.base_seed,
-                i,
-                spec.t_end,
-                spec.quantum,
-                spec.sample_period,
-            )
-        })
-        .collect::<Result<_, _>>()?;
-    let workers: Vec<SimWorker> = (0..spec.sim_workers.max(1))
-        .map(|_| SimWorker::new())
-        .collect();
     let events = Arc::new(AtomicU64::new(0));
     let events_in_stage = Arc::clone(&events);
 
-    let pipeline = Pipeline::from_source_with_capacity(tasks.into_iter(), spec.channel_capacity)
-        .master_worker_farm(SimMaster::with_steering(steering.clone()), workers)
+    // Same tier split as the single-process runner: the farm half depends
+    // on the scheduling unit (whole batches vs single instances), both
+    // arms settle on the same per-instance `SampleBatch` stream, and the
+    // rest of the shard body stays tier-agnostic.
+    let farm: Pipeline<SampleBatch> = match spec.engine {
+        EngineKind::Batched { width } => {
+            let tasks: Vec<BatchSimTask> =
+                batch_spans(spec.range.first_instance, spec.range.count, width)
+                    .into_iter()
+                    .map(|(first, w)| {
+                        BatchSimTask::with_engine_deps(
+                            Arc::clone(&model),
+                            Arc::clone(&deps),
+                            spec.base_seed,
+                            first,
+                            w,
+                            spec.t_end,
+                            spec.quantum,
+                            spec.sample_period,
+                        )
+                    })
+                    .collect::<Result<_, _>>()?;
+            let workers: Vec<BatchSimWorker> = (0..spec.sim_workers.max(1))
+                .map(|_| BatchSimWorker::new())
+                .collect();
+            Pipeline::from_source_with_capacity(tasks.into_iter(), spec.channel_capacity)
+                .master_worker_farm(BatchSimMaster::with_steering(steering.clone()), workers)
+        }
+        _ => {
+            let tasks: Vec<SimTask> = (spec.range.first_instance..spec.range.end())
+                .map(|i| {
+                    SimTask::with_engine_deps(
+                        spec.engine,
+                        Arc::clone(&model),
+                        Arc::clone(&deps),
+                        spec.base_seed,
+                        i,
+                        spec.t_end,
+                        spec.quantum,
+                        spec.sample_period,
+                    )
+                })
+                .collect::<Result<_, _>>()?;
+            let workers: Vec<SimWorker> = (0..spec.sim_workers.max(1))
+                .map(|_| SimWorker::new())
+                .collect();
+            Pipeline::from_source_with_capacity(tasks.into_iter(), spec.channel_capacity)
+                .master_worker_farm(SimMaster::with_steering(steering.clone()), workers)
+        }
+    };
+
+    let pipeline = farm
         .named_stage(
             "shard-events",
             map_stage(move |batch: SampleBatch| {
@@ -518,6 +557,47 @@ mod tests {
             s.running.population_variance(),
             m.running.population_variance()
         );
+    }
+
+    #[test]
+    fn batched_sharded_rows_equal_single_process_rows() {
+        // The batched tier through the sharded path: every shard runs a
+        // farm of whole-batch tasks over its slice, and the merged stream
+        // must still be bit-for-bit the single-process scalar run.
+        let model = Arc::new(decay(40, 1.0));
+        let single = run_simulation(Arc::clone(&model), &cfg()).unwrap();
+        let batched_cfg = cfg().engine(EngineKind::Batched { width: 4 });
+        for shards in [1usize, 2, 3] {
+            let sharded = run_simulation_sharded_in_process(
+                Arc::clone(&model),
+                &batched_cfg.clone().shards(shards),
+            )
+            .unwrap();
+            assert_eq!(sharded.rows, single.rows, "shards={shards}");
+            assert_eq!(sharded.events, single.events, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn shard_specs_split_the_worker_budget() {
+        // `sim_workers` is the run-wide budget: each shard gets its floor
+        // share (at least 1), so `--shards N` cannot oversubscribe cores.
+        let plan = ShardPlan::new(12, 3);
+        let cfg = cfg().sim_workers(8).shards(3);
+        for range in plan.ranges() {
+            let spec = ShardSpec::from_config(&cfg, *range);
+            assert_eq!(spec.sim_workers, 2); // 8 / 3 = 2 per shard
+        }
+        // A single shard keeps the whole budget.
+        let plan = ShardPlan::new(12, 1);
+        let spec = ShardSpec::from_config(&cfg.clone().shards(1), plan.ranges()[0]);
+        assert_eq!(spec.sim_workers, 8);
+        // More shards than workers still leaves every shard one worker.
+        let plan = ShardPlan::new(12, 6);
+        let starved = cfg.clone().sim_workers(4).shards(6);
+        for range in plan.ranges() {
+            assert_eq!(ShardSpec::from_config(&starved, *range).sim_workers, 1);
+        }
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub use gillespie::engine::{Engine, EngineError, EngineKind};
 pub use merge::{CutMerger, ObsSummary, RunSummary};
 pub use plan::{ShardPlan, ShardRange};
 pub use runner::{run_sequential, run_simulation, run_simulation_steered, SimError, SimReport};
-pub use sim_farm::{SimMaster, SimWorker, Steering};
+pub use sim_farm::{BatchSimMaster, BatchSimWorker, SimMaster, SimWorker, Steering, TaskMaster};
 pub use storage::{load_csv, CsvFileSink, StoredRun};
-pub use task::{SampleBatch, SimTask};
+pub use task::{batch_spans, BatchSimTask, SampleBatch, SimTask};
 pub use windows::{Window, WindowGen};

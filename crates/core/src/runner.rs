@@ -26,8 +26,8 @@ use crate::alignment::Alignment;
 use crate::config::{ConfigError, SimConfig};
 use crate::display::CsvRenderer;
 use crate::engines::{StatBlock, StatEngineSet, StatRow};
-use crate::sim_farm::{SimMaster, SimWorker};
-use crate::task::{SampleBatch, SimTask};
+use crate::sim_farm::{BatchSimMaster, BatchSimWorker, SimMaster, SimWorker};
+use crate::task::{batch_spans, BatchSimTask, SampleBatch, SimTask};
 use crate::windows::{Window, WindowGen};
 
 /// Outcome of a simulation-analysis run.
@@ -166,27 +166,58 @@ pub fn run_simulation_steered(
     let start = Instant::now();
     let events = Arc::new(AtomicU64::new(0));
 
-    // Stage 1: generation of simulation tasks with the configured engine.
-    // The model is "compiled" (dependency graph + read/write sets) once
-    // here and shared by every instance's incremental reaction table.
+    // Stage 1 + 2: generation of simulation tasks with the configured
+    // engine, feeding the farm of simulation engines with feedback. The
+    // model is "compiled" (dependency graph + read/write sets) once here
+    // and shared by every instance's incremental reaction table. Both
+    // farm tiers produce the same `SampleBatch` stream — per instance,
+    // bit-for-bit — so everything downstream is tier-agnostic.
     let deps = Arc::new(gillespie::deps::ModelDeps::compile(&model));
-    let tasks: Vec<SimTask> = (0..cfg.instances)
-        .map(|i| {
-            SimTask::with_engine_deps(
-                cfg.engine,
-                Arc::clone(&model),
-                Arc::clone(&deps),
-                cfg.base_seed,
-                i,
-                cfg.t_end,
-                cfg.quantum,
-                cfg.sample_period,
-            )
-        })
-        .collect::<Result<_, _>>()?;
-
-    // Stage 2: farm of simulation engines with feedback.
-    let workers: Vec<SimWorker> = (0..cfg.sim_workers).map(|_| SimWorker::new()).collect();
+    let farm: Pipeline<SampleBatch> = match cfg.engine {
+        gillespie::engine::EngineKind::Batched { width } => {
+            // Batched tier: workers pull whole batches of `width` replicas
+            // (the last batch may be narrower) instead of single instances.
+            let tasks: Vec<BatchSimTask> = batch_spans(0, cfg.instances, width)
+                .into_iter()
+                .map(|(first, w)| {
+                    BatchSimTask::with_engine_deps(
+                        Arc::clone(&model),
+                        Arc::clone(&deps),
+                        cfg.base_seed,
+                        first,
+                        w,
+                        cfg.t_end,
+                        cfg.quantum,
+                        cfg.sample_period,
+                    )
+                })
+                .collect::<Result<_, _>>()?;
+            let workers: Vec<BatchSimWorker> = (0..cfg.sim_workers)
+                .map(|_| BatchSimWorker::new())
+                .collect();
+            Pipeline::from_source_with_capacity(tasks.into_iter(), cfg.channel_capacity)
+                .master_worker_farm(BatchSimMaster::with_steering(steering.clone()), workers)
+        }
+        _ => {
+            let tasks: Vec<SimTask> = (0..cfg.instances)
+                .map(|i| {
+                    SimTask::with_engine_deps(
+                        cfg.engine,
+                        Arc::clone(&model),
+                        Arc::clone(&deps),
+                        cfg.base_seed,
+                        i,
+                        cfg.t_end,
+                        cfg.quantum,
+                        cfg.sample_period,
+                    )
+                })
+                .collect::<Result<_, _>>()?;
+            let workers: Vec<SimWorker> = (0..cfg.sim_workers).map(|_| SimWorker::new()).collect();
+            Pipeline::from_source_with_capacity(tasks.into_iter(), cfg.channel_capacity)
+                .master_worker_farm(SimMaster::with_steering(steering.clone()), workers)
+        }
+    };
 
     // Stage 3: alignment of trajectories; then the analysis pipeline.
     let engine_set = StatEngineSet::new(cfg.engines.clone());
@@ -196,8 +227,7 @@ pub fn run_simulation_steered(
     )));
     let summary_in_stage = Arc::clone(&summary);
 
-    let pipeline = Pipeline::from_source_with_capacity(tasks.into_iter(), cfg.channel_capacity)
-        .master_worker_farm(SimMaster::with_steering(steering.clone()), workers)
+    let pipeline = farm
         .named_stage(
             "events-counter",
             fastflow::node::map_stage(move |batch: SampleBatch| {
@@ -262,6 +292,12 @@ pub fn run_simulation_steered(
 }
 
 /// Sequential reference implementation: same rows, no parallelism.
+///
+/// Always runs per-instance scalar engines, even for
+/// [`EngineKind::Batched`](gillespie::engine::EngineKind::Batched) —
+/// a batch replica is *defined* as the scalar SSA trajectory of its
+/// instance, so the scalar run is the batched tier's reference, and the
+/// seq-vs-par agreement tests check the SoA engine against it.
 ///
 /// # Errors
 ///
@@ -391,12 +427,31 @@ mod tests {
                 epsilon: 0.05,
                 threshold: 8.0,
             },
+            // The sequential reference runs scalar engines, so this is
+            // the batched tier vs its per-instance definition.
+            EngineKind::Batched { width: 4 },
         ] {
             let cfg = small_cfg().engine(kind);
             let par = run_simulation(Arc::clone(&model), &cfg).unwrap();
             let seq = run_sequential(Arc::clone(&model), &cfg).unwrap();
             assert_eq!(par.rows, seq.rows, "{kind}");
             assert_eq!(par.events, seq.events, "{kind}");
+        }
+    }
+
+    #[test]
+    fn batched_run_equals_ssa_run_for_every_width() {
+        use gillespie::engine::EngineKind;
+        let model = Arc::new(birth_death(25.0, 1.0, 5));
+        let cfg = small_cfg();
+        let reference = run_simulation(Arc::clone(&model), &cfg).unwrap();
+        // Widths below, at, and above the instance count (6), including
+        // widths that don't divide it — batch membership must not matter.
+        for width in [1usize, 2, 4, 6, 9] {
+            let cfg = small_cfg().engine(EngineKind::Batched { width });
+            let batched = run_simulation(Arc::clone(&model), &cfg).unwrap();
+            assert_eq!(batched.rows, reference.rows, "width {width}");
+            assert_eq!(batched.events, reference.events, "width {width}");
         }
     }
 
@@ -413,6 +468,7 @@ mod tests {
                 epsilon: 0.05,
                 threshold: 8.0,
             },
+            EngineKind::Batched { width: 4 },
         ] {
             let cfg = small_cfg().engine(kind);
             let err = run_simulation(Arc::clone(&model), &cfg).unwrap_err();

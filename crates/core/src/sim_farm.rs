@@ -6,18 +6,23 @@
 //! simulation time (simulation quantum). Then it reschedules back the
 //! operation along the feedback channel."
 //!
-//! [`SimMaster`] implements the dispatch-with-load-balancing policy: new
-//! and rescheduled tasks go to the least-loaded worker. [`SimWorker`] runs
-//! one quantum per task, forwards the produced [`SampleBatch`] towards the
-//! alignment stage and feeds incomplete tasks back.
+//! [`TaskMaster`] implements the dispatch-with-load-balancing policy —
+//! new and rescheduled tasks go to the least-loaded worker — generically
+//! over the unit of scheduling: scalar [`SimTask`]s ([`SimMaster`]) or
+//! whole [`BatchSimTask`]s ([`BatchSimMaster`], the batched tier, where
+//! workers pull batches of replicas instead of single instances).
+//! [`SimWorker`] / [`BatchSimWorker`] run one quantum per task, forward
+//! the produced [`SampleBatch`]es towards the alignment stage and feed
+//! incomplete tasks back.
 
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use fastflow::master_worker::{FeedbackWorker, Master, Scheduler};
 use fastflow::node::Outbox;
 
-use crate::task::{SampleBatch, SimTask};
+use crate::task::{BatchSimTask, SampleBatch, SimTask};
 
 /// Steering control of a running simulation — the paper's Fig. 2 shows the
 /// GUI feeding "start new simulations, steer and terminate running
@@ -47,24 +52,52 @@ impl Steering {
     }
 }
 
-/// Master node of the simulation farm.
-#[derive(Debug, Default)]
-pub struct SimMaster {
+/// Master node of a simulation farm, generic over its unit of scheduling
+/// (`T` is what travels the feedback cycle: a [`SimTask`] on the scalar
+/// tier, a [`BatchSimTask`] on the batched tier).
+pub struct TaskMaster<T> {
     dispatched: u64,
     steering: Option<Steering>,
+    _task: PhantomData<fn(T)>,
 }
 
-impl SimMaster {
+/// Master of the scalar farm: schedules one instance per task.
+pub type SimMaster = TaskMaster<SimTask>;
+
+/// Master of the batched farm: schedules one whole batch per task.
+pub type BatchSimMaster = TaskMaster<BatchSimTask>;
+
+impl<T> std::fmt::Debug for TaskMaster<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskMaster")
+            .field("dispatched", &self.dispatched)
+            .field("steering", &self.steering)
+            .finish()
+    }
+}
+
+impl<T> Default for TaskMaster<T> {
+    fn default() -> Self {
+        TaskMaster {
+            dispatched: 0,
+            steering: None,
+            _task: PhantomData,
+        }
+    }
+}
+
+impl<T> TaskMaster<T> {
     /// Creates the master.
     pub fn new() -> Self {
-        SimMaster::default()
+        TaskMaster::default()
     }
 
     /// Creates a master controlled by a [`Steering`] handle.
     pub fn with_steering(steering: Steering) -> Self {
-        SimMaster {
+        TaskMaster {
             dispatched: 0,
             steering: Some(steering),
+            _task: PhantomData,
         }
     }
 
@@ -81,12 +114,12 @@ impl SimMaster {
     }
 }
 
-impl Master for SimMaster {
-    type In = SimTask;
-    type Task = SimTask;
-    type Fb = SimTask;
+impl<T: Send + 'static> Master for TaskMaster<T> {
+    type In = T;
+    type Task = T;
+    type Fb = T;
 
-    fn on_upstream(&mut self, task: SimTask, sched: &mut Scheduler<'_, SimTask>) {
+    fn on_upstream(&mut self, task: T, sched: &mut Scheduler<'_, T>) {
         if self.stopped() {
             return; // terminated: drop new simulations
         }
@@ -94,7 +127,7 @@ impl Master for SimMaster {
         sched.submit(task);
     }
 
-    fn on_feedback(&mut self, task: SimTask, sched: &mut Scheduler<'_, SimTask>) {
+    fn on_feedback(&mut self, task: T, sched: &mut Scheduler<'_, T>) {
         if self.stopped() {
             return; // terminated: do not reschedule the next quantum
         }
@@ -104,7 +137,7 @@ impl Master for SimMaster {
         sched.submit(task);
     }
 
-    fn on_idle(&mut self, _sched: &mut Scheduler<'_, SimTask>) -> bool {
+    fn on_idle(&mut self, _sched: &mut Scheduler<'_, T>) -> bool {
         true
     }
 }
@@ -141,6 +174,53 @@ impl FeedbackWorker for SimWorker {
                 events,
                 finished,
             });
+        }
+        if finished {
+            None
+        } else {
+            Some(task)
+        }
+    }
+}
+
+/// Worker node of the *batched* simulation farm: runs one quantum across
+/// a whole batch per task, emitting one [`SampleBatch`] per replica.
+///
+/// The per-replica push discipline mirrors [`SimWorker`] exactly — a
+/// replica's batch is forwarded only when it carries samples or finishes
+/// the trajectory — so the event totals and sample streams reaching the
+/// downstream stages are bit-for-bit what the scalar farm produces.
+#[derive(Debug, Default)]
+pub struct BatchSimWorker {
+    quanta: u64,
+    events: u64,
+}
+
+impl BatchSimWorker {
+    /// Creates a worker.
+    pub fn new() -> Self {
+        BatchSimWorker::default()
+    }
+}
+
+impl FeedbackWorker for BatchSimWorker {
+    type Task = BatchSimTask;
+    type Fb = BatchSimTask;
+    type Out = SampleBatch;
+
+    fn on_task(
+        &mut self,
+        mut task: BatchSimTask,
+        out: &mut Outbox<'_, SampleBatch>,
+    ) -> Option<BatchSimTask> {
+        let batches = task.run_quantum();
+        self.quanta += 1;
+        let finished = task.is_done();
+        for b in batches {
+            self.events += b.events;
+            if !b.samples.is_empty() || finished {
+                out.push(b);
+            }
         }
         if finished {
             None
@@ -224,5 +304,78 @@ mod tests {
             got.entry(b.instance).or_default().extend(b.samples);
         }
         assert_eq!(got, expected, "farm must not change trajectories");
+    }
+
+    #[test]
+    fn batched_farm_matches_scalar_farm_bit_for_bit() {
+        use crate::task::BatchSimTask;
+        use gillespie::deps::ModelDeps;
+        use gillespie::engine::EngineKind;
+
+        let model = Arc::new(decay(30, 0.8));
+        let (instances, t_end, quantum, tau, seed) = (7u64, 3.0, 0.6, 0.2, 13u64);
+        let deps = Arc::new(ModelDeps::compile(&model));
+
+        let scalar_tasks: Vec<SimTask> = (0..instances)
+            .map(|i| {
+                SimTask::with_engine_deps(
+                    EngineKind::Ssa,
+                    Arc::clone(&model),
+                    Arc::clone(&deps),
+                    seed,
+                    i,
+                    t_end,
+                    quantum,
+                    tau,
+                )
+                .unwrap()
+            })
+            .collect();
+        let scalar: Vec<SampleBatch> = Pipeline::from_source(scalar_tasks.into_iter())
+            .master_worker_farm(SimMaster::new(), vec![SimWorker::new(), SimWorker::new()])
+            .collect()
+            .unwrap();
+
+        // Width 3 over 7 instances: batches of 3, 3 and 1.
+        let width = 3usize;
+        let batch_tasks: Vec<BatchSimTask> = (0..instances)
+            .step_by(width)
+            .map(|first| {
+                let w = width.min((instances - first) as usize);
+                BatchSimTask::with_engine_deps(
+                    Arc::clone(&model),
+                    Arc::clone(&deps),
+                    seed,
+                    first,
+                    w,
+                    t_end,
+                    quantum,
+                    tau,
+                )
+                .unwrap()
+            })
+            .collect();
+        let batched: Vec<SampleBatch> = Pipeline::from_source(batch_tasks.into_iter())
+            .master_worker_farm(
+                BatchSimMaster::new(),
+                vec![BatchSimWorker::new(), BatchSimWorker::new()],
+            )
+            .collect()
+            .unwrap();
+
+        // Per-instance sample streams, event totals and finish flags must
+        // agree exactly (batch order across instances may differ).
+        type PerInstance = HashMap<u64, (Vec<(f64, Vec<u64>)>, u64, u32)>;
+        let collate = |batches: &[SampleBatch]| {
+            let mut per: PerInstance = HashMap::new();
+            for b in batches {
+                let e = per.entry(b.instance).or_default();
+                e.0.extend(b.samples.iter().cloned());
+                e.1 += b.events;
+                e.2 += b.finished as u32;
+            }
+            per
+        };
+        assert_eq!(collate(&batched), collate(&scalar));
     }
 }

@@ -14,8 +14,9 @@
 use std::sync::Arc;
 
 use cwc::model::Model;
+use gillespie::batch::BatchedSsaEngine;
 use gillespie::deps::ModelDeps;
-use gillespie::engine::{Engine, EngineError, EngineKind};
+use gillespie::engine::{BatchEngine, Engine, EngineError, EngineKind};
 use gillespie::ssa::SampleClock;
 
 /// A simulation task: one trajectory's engine state and sampling clock.
@@ -145,6 +146,123 @@ impl SimTask {
     }
 }
 
+/// Chunks the instance range `first .. first + count` into batch spans of
+/// at most `width` replicas: `(first_instance, width)` pairs in instance
+/// order, the last span possibly narrower. This is the single chunking
+/// rule of the batched tier — the runner, the shard workers and the
+/// device map all derive their batches from it, so a replica's batch
+/// membership (and hence nothing at all, thanks to per-replica RNG
+/// streams) never depends on the execution back-end.
+///
+/// # Panics
+///
+/// Panics if `width` is zero (rejected earlier by config validation).
+pub fn batch_spans(first: u64, count: u64, width: usize) -> Vec<(u64, usize)> {
+    assert!(width >= 1, "batch width must be >= 1");
+    let mut spans = Vec::new();
+    let mut i = first;
+    let end = first + count;
+    while i < end {
+        let w = (width as u64).min(end - i) as usize;
+        spans.push((i, w));
+        i += w as u64;
+    }
+    spans
+}
+
+/// A simulation task that advances a whole *batch* of trajectories per
+/// quantum: the batched-tier counterpart of [`SimTask`], carrying one
+/// [`BatchedSsaEngine`] and one sampling clock per replica.
+///
+/// With [`EngineKind::Batched`], the task generation stage chunks the
+/// instance range into `ceil(instances / width)` of these, and the sim
+/// workers pull whole batches through the feedback cycle instead of single
+/// instances. Every replica's sample stream and event count is bit-for-bit
+/// what the scalar [`SimTask`] of the same instance would produce.
+#[derive(Debug, Clone)]
+pub struct BatchSimTask {
+    /// The batched engine (SoA state, per-replica RNG streams).
+    pub engine: BatchedSsaEngine,
+    /// Persistent τ-grid clocks, one per replica (survive quantum
+    /// boundaries).
+    pub clocks: Vec<SampleClock>,
+    /// Time horizon of the run.
+    pub t_end: f64,
+    /// Quantum length Q.
+    pub quantum: f64,
+}
+
+impl BatchSimTask {
+    /// Creates the task for replicas `first_instance ..
+    /// first_instance + width`, sharing an already-compiled dependency
+    /// graph across the run's batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when the model is not flat mass-action
+    /// (the error names the offending rule).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_engine_deps(
+        model: Arc<Model>,
+        deps: Arc<ModelDeps>,
+        base_seed: u64,
+        first_instance: u64,
+        width: usize,
+        t_end: f64,
+        quantum: f64,
+        sample_period: f64,
+    ) -> Result<Self, EngineError> {
+        Ok(BatchSimTask {
+            engine: BatchedSsaEngine::with_deps(model, deps, base_seed, first_instance, width)?,
+            clocks: (0..width)
+                .map(|_| SampleClock::new(0.0, sample_period))
+                .collect(),
+            t_end,
+            quantum,
+        })
+    }
+
+    /// Instance id of the batch's first replica.
+    pub fn first_instance(&self) -> u64 {
+        BatchEngine::first_instance(&self.engine)
+    }
+
+    /// Number of replicas in the batch.
+    pub fn width(&self) -> usize {
+        BatchEngine::width(&self.engine)
+    }
+
+    /// True when every replica reached the horizon (the batch is in
+    /// lockstep, so one time comparison covers them all).
+    pub fn is_done(&self) -> bool {
+        BatchEngine::time(&self.engine) >= self.t_end
+    }
+
+    /// End of the next quantum (capped at the horizon).
+    pub fn next_quantum_end(&self) -> f64 {
+        (BatchEngine::time(&self.engine) + self.quantum).min(self.t_end)
+    }
+
+    /// Runs one quantum across the whole batch; returns one finished
+    /// [`SampleBatch`] per replica, in replica (= instance) order, each
+    /// carrying that replica's quantum samples and event count.
+    pub fn run_quantum(&mut self) -> Vec<SampleBatch> {
+        let horizon = self.next_quantum_end();
+        let outcomes = self.engine.advance_quantum_batch(horizon, &mut self.clocks);
+        let finished = self.is_done();
+        outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(r, o)| SampleBatch {
+                instance: self.engine.instance(r),
+                samples: o.samples,
+                events: o.events,
+                finished,
+            })
+            .collect()
+    }
+}
+
 /// A batch of samples produced by one quantum of one instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SampleBatch {
@@ -251,6 +369,73 @@ mod tests {
             assert_eq!(ss, ws, "{kind}");
             assert_eq!(sliced.engine.observe(), whole.engine.observe(), "{kind}");
         }
+    }
+
+    #[test]
+    fn batch_spans_cover_the_range_in_order() {
+        assert_eq!(batch_spans(0, 7, 3), vec![(0, 3), (3, 3), (6, 1)]);
+        assert_eq!(batch_spans(4, 2, 8), vec![(4, 2)]);
+        assert_eq!(batch_spans(0, 6, 3), vec![(0, 3), (3, 3)]);
+        assert_eq!(batch_spans(5, 0, 3), Vec::<(u64, usize)>::new());
+    }
+
+    #[test]
+    fn batch_task_quanta_equal_scalar_task_quanta_bit_for_bit() {
+        use gillespie::deps::ModelDeps;
+
+        let model = Arc::new(decay(25, 1.0));
+        let deps = Arc::new(ModelDeps::compile(&model));
+        let width = 4usize;
+        let mut batch = BatchSimTask::with_engine_deps(
+            Arc::clone(&model),
+            Arc::clone(&deps),
+            42,
+            0,
+            width,
+            2.0,
+            0.5,
+            0.25,
+        )
+        .unwrap();
+        let mut scalars: Vec<SimTask> = (0..width as u64)
+            .map(|i| {
+                SimTask::with_engine_deps(
+                    EngineKind::Ssa,
+                    Arc::clone(&model),
+                    Arc::clone(&deps),
+                    42,
+                    i,
+                    2.0,
+                    0.5,
+                    0.25,
+                )
+                .unwrap()
+            })
+            .collect();
+        while !batch.is_done() {
+            let batches = batch.run_quantum();
+            assert_eq!(batches.len(), width);
+            for (r, b) in batches.iter().enumerate() {
+                let mut samples = Vec::new();
+                let events = scalars[r].run_quantum(&mut samples);
+                assert_eq!(b.instance, r as u64);
+                assert_eq!(b.samples, samples, "replica {r}");
+                assert_eq!(b.events, events, "replica {r}");
+                assert_eq!(b.finished, scalars[r].is_done(), "replica {r}");
+            }
+        }
+        assert!(scalars.iter().all(SimTask::is_done));
+    }
+
+    #[test]
+    fn batch_task_rejects_compartment_models_naming_the_rule() {
+        use gillespie::deps::ModelDeps;
+        let model = Arc::new(biomodels::cell_transport(
+            biomodels::CellTransportParams::default(),
+        ));
+        let deps = Arc::new(ModelDeps::compile(&model));
+        let err = BatchSimTask::with_engine_deps(model, deps, 1, 0, 4, 1.0, 0.5, 0.25).unwrap_err();
+        assert!(err.to_string().contains('`'), "{err}");
     }
 
     #[test]

@@ -34,8 +34,9 @@ pub const MAGIC: [u8; 4] = *b"CWCS";
 /// processes receive arbitrary models, not a registry name), aligned
 /// partial [`Cut`]s, and the mergeable partial-statistics state
 /// ([`RunSummary`] with its Welford/histogram/P² accumulators) — plus the
-/// [`crate::shard`] frame envelope around them.
-pub const VERSION: u16 = 4;
+/// [`crate::shard`] frame envelope around them; version 5 added the
+/// batched engine kind (tag 5 + batch width).
+pub const VERSION: u16 = 5;
 
 /// Error produced while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -221,7 +222,7 @@ impl Wire for SampleBatch {
 /// The engine selector crosses the wire as a tag byte plus the kind's
 /// knobs where applicable (tag 0 = SSA, 1 = tau-leap + leap length,
 /// 2 = first-reaction, 3 = adaptive-tau + epsilon, 4 = hybrid + epsilon
-/// and switch threshold).
+/// and switch threshold, 5 = batched + batch width).
 impl Wire for EngineKind {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
@@ -240,6 +241,10 @@ impl Wire for EngineKind {
                 epsilon.encode(buf);
                 threshold.encode(buf);
             }
+            EngineKind::Batched { width } => {
+                buf.push(5);
+                (*width as u64).encode(buf);
+            }
         }
     }
 
@@ -256,6 +261,9 @@ impl Wire for EngineKind {
             4 => Ok(EngineKind::Hybrid {
                 epsilon: f64::decode(r)?,
                 threshold: f64::decode(r)?,
+            }),
+            5 => Ok(EngineKind::Batched {
+                width: u64::decode(r)? as usize,
             }),
             t => Err(WireError::BadTag(t)),
         }
@@ -996,6 +1004,7 @@ mod tests {
                 epsilon: 0.05,
                 threshold: 16.0,
             },
+            EngineKind::Batched { width: 64 },
         ] {
             roundtrip(RemoteTaskSpec {
                 first_instance: 128,

@@ -10,9 +10,18 @@
 //! farm, distributed emulation, simulated GPGPU, benchmarks) is written
 //! once against the abstraction.
 //!
+//! [`BatchEngine`] is the batch-aware seam alongside it: the same quantum
+//! contract for an engine that advances a whole *batch* of replicas in
+//! lockstep over SoA state (the [`crate::batch`] tier). Workers pull whole
+//! batches through it instead of single instances.
+//!
 //! [`EngineKind`] is the *configuration-level* selector — a small `Copy`
 //! value that travels in `SimConfig` and across the wire to remote farms —
 //! and [`EngineKind::build`] is the only place engines are constructed.
+//! Prefer the validated constructors ([`EngineKind::tau_leap`],
+//! [`EngineKind::adaptive_tau`], [`EngineKind::hybrid`],
+//! [`EngineKind::batched`]) over struct literals: they reject bad knobs at
+//! construction instead of at run start.
 //!
 //! ## The quantum contract
 //!
@@ -73,6 +82,46 @@ pub trait QuantumEngine {
 
     /// Total reaction firings so far.
     fn events(&self) -> u64;
+}
+
+/// The farm-facing contract of a *batched* stochastic simulation engine:
+/// one value advances `width` replicas of one model in lockstep, each
+/// replica owning the RNG stream (and therefore the exact trajectory) of
+/// scalar instance `first_instance + r`.
+///
+/// The quantum contract of [`QuantumEngine`] applies per replica:
+/// advancing the batch to `t_goal` in any number of slices yields, for
+/// every replica, the same samples and event counts as the corresponding
+/// scalar engine advanced through the same slices. The batch is in
+/// lockstep *at quantum boundaries* — every replica's clock reads exactly
+/// `t_goal` after a call — while event times diverge freely inside a
+/// quantum.
+pub trait BatchEngine {
+    /// Advances every replica to `t_goal`, emitting each replica's grid
+    /// samples through its own persistent clock (`clocks[r]` belongs to
+    /// replica `r`; `clocks.len()` must equal [`width`](BatchEngine::width)).
+    /// Returns one [`QuantumOutcome`] per replica, in replica order.
+    fn advance_quantum_batch(
+        &mut self,
+        t_goal: f64,
+        clocks: &mut [SampleClock],
+    ) -> Vec<QuantumOutcome>;
+
+    /// Number of replicas in the batch.
+    fn width(&self) -> usize;
+
+    /// Scalar instance id of replica 0; replica `r` is instance
+    /// `first_instance() + r`.
+    fn first_instance(&self) -> u64;
+
+    /// Lockstep simulation time of the batch.
+    fn time(&self) -> f64;
+
+    /// Evaluates the model's observables on replica `r`'s current state.
+    fn observe_replica(&self, r: usize) -> Vec<u64>;
+
+    /// Total reaction firings of replica `r` so far.
+    fn events_replica(&self, r: usize) -> u64;
 }
 
 impl QuantumEngine for SsaEngine {
@@ -255,6 +304,16 @@ pub enum EngineKind {
         /// leaves the exact phase (must be finite and ≥ 1).
         threshold: f64,
     },
+    /// Batched SoA direct method: sim workers advance whole batches of up
+    /// to `width` replicas in lockstep over structure-of-arrays state (the
+    /// [`crate::batch`] tier). Exact — every replica is bit-for-bit the
+    /// scalar [`EngineKind::Ssa`] trajectory of the same instance. Flat,
+    /// top-level, mass-action models only.
+    Batched {
+        /// Replicas per batch (must be ≥ 1). Instances are chunked into
+        /// `ceil(instances / width)` batches; the last may be narrower.
+        width: usize,
+    },
 }
 
 impl EngineKind {
@@ -266,7 +325,113 @@ impl EngineKind {
             EngineKind::FirstReaction => "first-reaction",
             EngineKind::AdaptiveTau { .. } => "adaptive-tau",
             EngineKind::Hybrid { .. } => "hybrid",
+            EngineKind::Batched { .. } => "batched",
         }
+    }
+
+    /// Validated constructor for [`EngineKind::TauLeap`]: rejects a
+    /// non-positive or non-finite leap length at construction time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidTau`] for a bad leap length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gillespie::engine::{EngineError, EngineKind};
+    ///
+    /// let kind = EngineKind::tau_leap(0.05).unwrap();
+    /// assert_eq!(kind, EngineKind::TauLeap { tau: 0.05 });
+    /// assert!(matches!(
+    ///     EngineKind::tau_leap(0.0),
+    ///     Err(EngineError::InvalidTau { .. })
+    /// ));
+    /// ```
+    pub fn tau_leap(tau: f64) -> Result<Self, EngineError> {
+        let kind = EngineKind::TauLeap { tau };
+        kind.validate()?;
+        Ok(kind)
+    }
+
+    /// Validated constructor for [`EngineKind::AdaptiveTau`]: rejects a
+    /// CGP bound outside `(0, 1)` at construction time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidEpsilon`] for a bad bound.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gillespie::engine::{EngineError, EngineKind};
+    ///
+    /// let kind = EngineKind::adaptive_tau(0.05).unwrap();
+    /// assert_eq!(kind, EngineKind::AdaptiveTau { epsilon: 0.05 });
+    /// assert!(matches!(
+    ///     EngineKind::adaptive_tau(1.5),
+    ///     Err(EngineError::InvalidEpsilon { .. })
+    /// ));
+    /// ```
+    pub fn adaptive_tau(epsilon: f64) -> Result<Self, EngineError> {
+        let kind = EngineKind::AdaptiveTau { epsilon };
+        kind.validate()?;
+        Ok(kind)
+    }
+
+    /// Validated constructor for [`EngineKind::Hybrid`]: rejects a CGP
+    /// bound outside `(0, 1)` or a switch threshold below 1 / non-finite
+    /// at construction time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidEpsilon`] or
+    /// [`EngineError::InvalidThreshold`] for bad knobs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gillespie::engine::{EngineError, EngineKind};
+    ///
+    /// let kind = EngineKind::hybrid(0.05, 8.0).unwrap();
+    /// assert_eq!(
+    ///     kind,
+    ///     EngineKind::Hybrid { epsilon: 0.05, threshold: 8.0 }
+    /// );
+    /// assert!(matches!(
+    ///     EngineKind::hybrid(0.05, 0.5),
+    ///     Err(EngineError::InvalidThreshold { .. })
+    /// ));
+    /// ```
+    pub fn hybrid(epsilon: f64, threshold: f64) -> Result<Self, EngineError> {
+        let kind = EngineKind::Hybrid { epsilon, threshold };
+        kind.validate()?;
+        Ok(kind)
+    }
+
+    /// Validated constructor for [`EngineKind::Batched`]: rejects a zero
+    /// batch width at construction time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidWidth`] when `width` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gillespie::engine::{EngineError, EngineKind};
+    ///
+    /// let kind = EngineKind::batched(64).unwrap();
+    /// assert_eq!(kind, EngineKind::Batched { width: 64 });
+    /// assert!(matches!(
+    ///     EngineKind::batched(0),
+    ///     Err(EngineError::InvalidWidth { .. })
+    /// ));
+    /// ```
+    pub fn batched(width: usize) -> Result<Self, EngineError> {
+        let kind = EngineKind::Batched { width };
+        kind.validate()?;
+        Ok(kind)
     }
 
     /// Checks the model-independent parameters of this kind — the single
@@ -277,13 +442,15 @@ impl EngineKind {
     ///
     /// Returns [`EngineError::InvalidTau`] for a non-positive or
     /// non-finite tau-leap length, [`EngineError::InvalidEpsilon`] for a
-    /// CGP bound outside `(0, 1)` and [`EngineError::InvalidThreshold`]
-    /// for a hybrid switch threshold below 1 or non-finite.
+    /// CGP bound outside `(0, 1)`, [`EngineError::InvalidThreshold`]
+    /// for a hybrid switch threshold below 1 or non-finite, and
+    /// [`EngineError::InvalidWidth`] for a zero batch width.
     pub fn validate(&self) -> Result<(), EngineError> {
         match *self {
             EngineKind::TauLeap { tau } if !(tau > 0.0 && tau.is_finite()) => {
                 Err(EngineError::InvalidTau { tau })
             }
+            EngineKind::Batched { width } if width == 0 => Err(EngineError::InvalidWidth { width }),
             EngineKind::AdaptiveTau { epsilon } | EngineKind::Hybrid { epsilon, .. }
                 if !(epsilon > 0.0 && epsilon < 1.0) =>
             {
@@ -357,6 +524,21 @@ impl EngineKind {
                     engine.with_epsilon(epsilon).with_threshold(threshold),
                 )))
             }
+            EngineKind::Batched { .. } => {
+                // Per-instance builds of the batched kind (remote farms,
+                // device fallbacks, per-instance reference paths) hand out
+                // the scalar direct method: a batch replica is *defined*
+                // as bit-for-bit that scalar trajectory, so the scalar
+                // engine is its exact single-instance materialization.
+                // The model contract is still the batch tier's: reject
+                // non-flat models here, naming the offending rule, so a
+                // batched run fails at start everywhere, not just where a
+                // real batch is built.
+                crate::batch::BatchedSsaEngine::check_model(&model, &deps)?;
+                Ok(Engine::Ssa(SsaEngine::with_deps(
+                    model, deps, base_seed, instance,
+                )))
+            }
         }
     }
 }
@@ -369,6 +551,7 @@ impl fmt::Display for EngineKind {
             EngineKind::Hybrid { epsilon, threshold } => {
                 write!(f, "hybrid(ε={epsilon}, θ={threshold})")
             }
+            EngineKind::Batched { width } => write!(f, "batched(w={width})"),
             other => f.write_str(other.name()),
         }
     }
@@ -378,9 +561,9 @@ impl fmt::Display for EngineKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// A flat-only engine (tau-leaping, adaptive tau-leaping, the hybrid
-    /// SSA/tau engine) cannot drive this model (compartments, nested
-    /// sites or non-mass-action laws); the inner error names the engine
-    /// and the offending rule.
+    /// SSA/tau engine, the batched SSA engine) cannot drive this model
+    /// (compartments, nested sites or non-mass-action laws); the inner
+    /// error names the engine and the offending rule.
     FlatModel(FlatModelError),
     /// The configured leap length is not positive and finite.
     InvalidTau {
@@ -396,6 +579,11 @@ pub enum EngineError {
     InvalidThreshold {
         /// The offending value.
         threshold: f64,
+    },
+    /// The configured batch width is zero.
+    InvalidWidth {
+        /// The offending value.
+        width: usize,
     },
 }
 
@@ -420,6 +608,9 @@ impl fmt::Display for EngineError {
                     f,
                     "hybrid switch threshold must be finite and >= 1, got {threshold}"
                 )
+            }
+            EngineError::InvalidWidth { width } => {
+                write!(f, "batched width must be >= 1, got {width}")
             }
         }
     }
@@ -471,7 +662,10 @@ pub enum Engine {
 }
 
 impl Engine {
-    /// The configuration that would rebuild this engine.
+    /// The configuration that would rebuild this engine. An engine built
+    /// from [`EngineKind::Batched`] reports [`EngineKind::Ssa`]: the
+    /// per-instance materialization of a batch replica *is* the scalar
+    /// direct method, and rebuilding it as such is bit-for-bit faithful.
     pub fn kind(&self) -> EngineKind {
         match self {
             Engine::Ssa(_) => EngineKind::Ssa,
@@ -945,6 +1139,87 @@ mod tests {
     }
 
     #[test]
+    fn engine_kind_validate_owns_the_width_rule() {
+        assert!(EngineKind::Batched { width: 1 }.validate().is_ok());
+        assert!(EngineKind::Batched { width: 256 }.validate().is_ok());
+        let err = EngineKind::Batched { width: 0 }.validate().unwrap_err();
+        assert!(matches!(err, EngineError::InvalidWidth { width: 0 }));
+        assert!(err.to_string().contains("width"), "{err}");
+    }
+
+    #[test]
+    fn validated_constructors_accept_good_knobs_and_reject_bad_ones() {
+        assert_eq!(
+            EngineKind::tau_leap(0.1).unwrap(),
+            EngineKind::TauLeap { tau: 0.1 }
+        );
+        assert_eq!(
+            EngineKind::adaptive_tau(0.03).unwrap(),
+            EngineKind::AdaptiveTau { epsilon: 0.03 }
+        );
+        assert_eq!(
+            EngineKind::hybrid(0.05, 10.0).unwrap(),
+            EngineKind::Hybrid {
+                epsilon: 0.05,
+                threshold: 10.0
+            }
+        );
+        assert_eq!(
+            EngineKind::batched(32).unwrap(),
+            EngineKind::Batched { width: 32 }
+        );
+        assert!(matches!(
+            EngineKind::tau_leap(f64::NAN),
+            Err(EngineError::InvalidTau { .. })
+        ));
+        assert!(matches!(
+            EngineKind::adaptive_tau(0.0),
+            Err(EngineError::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            EngineKind::hybrid(1.5, 10.0),
+            Err(EngineError::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            EngineKind::hybrid(0.05, f64::INFINITY),
+            Err(EngineError::InvalidThreshold { .. })
+        ));
+        assert!(matches!(
+            EngineKind::batched(0),
+            Err(EngineError::InvalidWidth { width: 0 })
+        ));
+    }
+
+    #[test]
+    fn batched_kind_rejects_compartment_models_naming_rule_and_engine() {
+        let err = EngineKind::Batched { width: 4 }
+            .build(comp_model(), 1, 0)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, EngineError::FlatModel(_)), "{msg}");
+        assert!(msg.contains("`r`"), "{msg}");
+        assert!(msg.contains("the batched SSA engine"), "{msg}");
+    }
+
+    #[test]
+    fn batched_kind_builds_the_exact_scalar_materialization() {
+        // A per-instance build of the batched kind is the scalar direct
+        // method — the definition of a batch replica.
+        let model = decay_model(30, 1.0);
+        let mut scalar = EngineKind::Ssa.build(Arc::clone(&model), 7, 3).unwrap();
+        let mut batch_built = EngineKind::Batched { width: 8 }
+            .build(Arc::clone(&model), 7, 3)
+            .unwrap();
+        assert!(matches!(batch_built, Engine::Ssa(_)));
+        let mut c1 = SampleClock::new(0.0, 0.25);
+        let mut c2 = SampleClock::new(0.0, 0.25);
+        assert_eq!(
+            Engine::advance_quantum(&mut scalar, 3.0, &mut c1),
+            Engine::advance_quantum(&mut batch_built, 3.0, &mut c2),
+        );
+    }
+
+    #[test]
     fn display_names_are_stable() {
         assert_eq!(EngineKind::Ssa.to_string(), "ssa");
         assert_eq!(EngineKind::FirstReaction.to_string(), "first-reaction");
@@ -963,6 +1238,10 @@ mod tests {
             }
             .to_string(),
             "hybrid(ε=0.05, θ=8)"
+        );
+        assert_eq!(
+            EngineKind::Batched { width: 64 }.to_string(),
+            "batched(w=64)"
         );
         assert_eq!(EngineKind::default(), EngineKind::Ssa);
     }

@@ -29,6 +29,10 @@
 //!   critical-reaction partitioning and an exact-SSA fallback;
 //! - [`hybrid`]: the hybrid exact/approximate engine — incremental-table
 //!   SSA segments with CGP-sized leaps when propensities stratify;
+//! - [`batch`]: the batched SoA tier — [`BatchedSsaEngine`] advances a
+//!   whole batch of replicas of one flat model in lockstep behind the
+//!   [`BatchEngine`] seam, every replica bit-for-bit the scalar SSA
+//!   trajectory of the same instance;
 //! - [`rng`]: deterministic per-instance seeding *and* the per-engine draw
 //!   discipline, making every execution back-end (multicore, distributed,
 //!   simulated GPGPU) produce identical trajectories for identical seeds.
@@ -37,6 +41,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adaptive;
+pub mod batch;
 pub mod deps;
 pub mod engine;
 pub mod first_reaction;
@@ -49,8 +54,11 @@ pub mod tau_leap;
 pub mod trajectory;
 
 pub use adaptive::AdaptiveTauEngine;
+pub use batch::BatchedSsaEngine;
 pub use deps::{KeptChild, ModelDeps, RuleDeps};
-pub use engine::{Engine, EngineError, EngineKind, EngineStep, QuantumEngine, QuantumOutcome};
+pub use engine::{
+    BatchEngine, Engine, EngineError, EngineKind, EngineStep, QuantumEngine, QuantumOutcome,
+};
 pub use first_reaction::FirstReactionEngine;
 pub use flat::FlatModelError;
 pub use hybrid::HybridEngine;

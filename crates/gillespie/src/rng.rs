@@ -54,7 +54,14 @@
 //!   switch test itself (`τ·a0` vs the threshold) is a pure function of
 //!   the committed state and consumes nothing, and the primary stream is
 //!   never touched outside exact segments — so the exact stream's
-//!   alignment is independent of how often leaping engages.
+//!   alignment is independent of how often leaping engages;
+//! - **batched SSA** ([`crate::batch::BatchedSsaEngine`]): replica `r` of
+//!   a batch with first instance `f` owns the stream of instance `f + r`
+//!   (same [`sim_rng`] derivation) and replicates the **direct method**
+//!   discipline above on it, draw for draw — streams never interleave
+//!   across replicas, so the lockstep schedule cannot perturb a
+//!   trajectory and every replica is bit-for-bit scalar SSA instance
+//!   `f + r`.
 //!
 //! On single-channel states the first two disciplines coincide — one
 //! waiting-time uniform, no selection, one assignment uniform — so a

@@ -14,7 +14,8 @@
 use std::sync::Arc;
 
 use cwc::model::Model;
-use gillespie::engine::{Engine, EngineError, EngineKind, QuantumEngine};
+use gillespie::batch::BatchedSsaEngine;
+use gillespie::engine::{BatchEngine, Engine, EngineError, EngineKind, QuantumEngine};
 use gillespie::ssa::SampleClock;
 
 use crate::device::DeviceSpec;
@@ -29,10 +30,21 @@ pub struct KernelOutput {
     pub samples: Vec<(f64, Vec<u64>)>,
 }
 
+/// How the resident instances are laid out on the device.
+#[derive(Debug)]
+enum Lanes {
+    /// One engine per lane, advanced lane by lane.
+    Scalar(Vec<Engine>),
+    /// The batched tier: SoA batches of replicas, each batch advancing
+    /// its contiguous block of lanes in lockstep — the closest CPU-side
+    /// analogue of the warp execution model the kernel simulates.
+    Batched(Vec<BatchedSsaEngine>),
+}
+
 /// The device-resident map: all instances advance in lockstep quanta.
 #[derive(Debug)]
 pub struct DeviceMap {
-    engines: Vec<Engine>,
+    lanes: Lanes,
     clocks: Vec<SampleClock>,
     t_end: f64,
     quantum: f64,
@@ -83,14 +95,37 @@ impl DeviceMap {
         // Compile the model once for the whole device load; every lane's
         // engine shares the dependency graph.
         let deps = Arc::new(gillespie::deps::ModelDeps::compile(&model));
-        let engines: Vec<Engine> = (0..instances)
-            .map(|i| kind.build_with_deps(Arc::clone(&model), Arc::clone(&deps), base_seed, i))
-            .collect::<Result<_, _>>()?;
+        let lanes = match kind {
+            EngineKind::Batched { width } => {
+                kind.validate()?;
+                let mut batches = Vec::new();
+                let mut first = 0u64;
+                while first < instances {
+                    let w = (width as u64).min(instances - first) as usize;
+                    batches.push(BatchedSsaEngine::with_deps(
+                        Arc::clone(&model),
+                        Arc::clone(&deps),
+                        base_seed,
+                        first,
+                        w,
+                    )?);
+                    first += w as u64;
+                }
+                Lanes::Batched(batches)
+            }
+            _ => Lanes::Scalar(
+                (0..instances)
+                    .map(|i| {
+                        kind.build_with_deps(Arc::clone(&model), Arc::clone(&deps), base_seed, i)
+                    })
+                    .collect::<Result<_, _>>()?,
+            ),
+        };
         let clocks = (0..instances)
             .map(|_| SampleClock::new(0.0, sample_period))
             .collect();
         Ok(DeviceMap {
-            engines,
+            lanes,
             clocks,
             t_end,
             quantum,
@@ -112,18 +147,43 @@ impl DeviceMap {
     /// have completed the quantum" constraint).
     pub fn run_kernel(&mut self) -> Vec<KernelOutput> {
         let horizon = (self.time + self.quantum).min(self.t_end);
-        let mut events = vec![0u64; self.engines.len()];
-        let mut outputs = Vec::with_capacity(self.engines.len());
-        for (i, engine) in self.engines.iter_mut().enumerate() {
-            // Dispatch through the QuantumEngine contract — the "kernel"
-            // only needs advance-one-quantum, whatever the integrator.
-            let outcome = QuantumEngine::advance_quantum(engine, horizon, &mut self.clocks[i]);
-            events[i] = outcome.events;
-            if !outcome.samples.is_empty() {
-                outputs.push(KernelOutput {
-                    instance: engine.instance(),
-                    samples: outcome.samples,
-                });
+        let mut events = vec![0u64; self.clocks.len()];
+        let mut outputs = Vec::with_capacity(self.clocks.len());
+        match &mut self.lanes {
+            Lanes::Scalar(engines) => {
+                for (i, engine) in engines.iter_mut().enumerate() {
+                    // Dispatch through the QuantumEngine contract — the
+                    // "kernel" only needs advance-one-quantum, whatever
+                    // the integrator.
+                    let outcome =
+                        QuantumEngine::advance_quantum(engine, horizon, &mut self.clocks[i]);
+                    events[i] = outcome.events;
+                    if !outcome.samples.is_empty() {
+                        outputs.push(KernelOutput {
+                            instance: engine.instance(),
+                            samples: outcome.samples,
+                        });
+                    }
+                }
+            }
+            Lanes::Batched(batches) => {
+                for batch in batches.iter_mut() {
+                    // Each batch owns the contiguous block of lanes (and
+                    // clocks) starting at its first instance.
+                    let first = batch.first_instance() as usize;
+                    let w = batch.width();
+                    let outcomes =
+                        batch.advance_quantum_batch(horizon, &mut self.clocks[first..first + w]);
+                    for (r, outcome) in outcomes.into_iter().enumerate() {
+                        events[first + r] = outcome.events;
+                        if !outcome.samples.is_empty() {
+                            outputs.push(KernelOutput {
+                                instance: batch.instance(r),
+                                samples: outcome.samples,
+                            });
+                        }
+                    }
+                }
             }
         }
         self.events_log.push(events);
@@ -193,6 +253,9 @@ mod tests {
                 epsilon: 0.05,
                 threshold: 8.0,
             },
+            // Batched lanes: 4 instances at width 3 → batches of 3 and 1,
+            // each replica still bit-identical to `kind.build` (scalar SSA).
+            EngineKind::Batched { width: 3 },
         ] {
             let mut device =
                 DeviceMap::with_engine(kind, Arc::clone(&model), 4, 9, 2.0, 0.5, 0.25).unwrap();

@@ -1,8 +1,13 @@
 //! Quickstart: build a CWC model, run the parallel simulation-analysis
 //! pipeline with the exact (SSA) integrator, print the resulting
-//! statistics as CSV — then re-run the *same* pipeline under fixed-step
-//! tau-leaping and adaptive (CGP) tau-leaping with one config knob
-//! (`SimConfig::engine`) and compare.
+//! statistics as CSV — then re-run the *same* pipeline under the batched
+//! SoA tier, fixed-step tau-leaping and adaptive (CGP) tau-leaping with
+//! one config knob (`SimConfig::engine`) and compare.
+//!
+//! Everything the program needs is imported from the `cwc_repro` umbrella
+//! crate: the end-to-end run API (`SimConfig`, `EngineKind`,
+//! `run_simulation`, …) lives at the umbrella root, and the model builder
+//! is reached through the re-exported `cwc` member crate.
 //!
 //! Run: `cargo run --release --example quickstart`
 //!
@@ -17,7 +22,7 @@
 use std::sync::Arc;
 
 use cwc_repro::cwc::model::Model;
-use cwc_repro::cwcsim::{run_simulation, EngineKind, SimConfig, StatEngineKind};
+use cwc_repro::{run_simulation, EngineKind, SimConfig, StatEngineKind};
 
 /// Value of `--shards N` (None when the flag is absent).
 fn shards_arg() -> Option<usize> {
@@ -88,10 +93,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // Batched tier: workers advance whole batches of 8 replicas in SoA
+    // lockstep instead of single instances. Every replica replays the
+    // scalar SSA draw discipline on its own RNG stream, so the rows are
+    // bit-for-bit identical to the plain SSA run above.
+    let batched_cfg = cfg.clone().engine(EngineKind::batched(8)?);
+    let batched = run_simulation(Arc::clone(&model), &batched_cfg)?;
+    if batched.rows != report.rows || batched.events != report.events {
+        eprintln!("batched run DIVERGED from the scalar SSA run");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "batched re-run (width 8): {} firings in {:?} — rows bit-for-bit \
+         identical to the scalar SSA run",
+        batched.events, batched.wall
+    );
+
     // Engine selection: the dimerisation model is flat mass-action, so the
     // approximate tau-leaping integrator may drive the identical pipeline
     // (compartment models would be rejected here with an engine error).
-    let leap_cfg = cfg.clone().engine(EngineKind::TauLeap { tau: 0.05 });
+    let leap_cfg = cfg.clone().engine(EngineKind::tau_leap(0.05)?);
     let leap = run_simulation(Arc::clone(&model), &leap_cfg)?;
     eprintln!(
         "tau-leap re-run: {} firings in {:?}; grand mean of A {:.2} vs exact {:.2}",
@@ -104,7 +125,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Adaptive tau-leaping: no leap length to pick — every leap is sized
     // from the state so propensities change by at most epsilon per leap
     // (critical reactions near exhaustion still fire exactly).
-    let adaptive_cfg = cfg.engine(EngineKind::AdaptiveTau { epsilon: 0.03 });
+    let adaptive_cfg = cfg.engine(EngineKind::adaptive_tau(0.03)?);
     let adaptive = run_simulation(model, &adaptive_cfg)?;
     eprintln!(
         "adaptive-tau re-run: {} firings in {:?}; grand mean of A {:.2} vs exact {:.2}",

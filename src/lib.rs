@@ -2,7 +2,20 @@
 //!
 //! Re-exports every member crate so the runnable examples under `examples/`
 //! and the integration tests under `tests/` can reach the whole stack through
-//! a single dependency.
+//! a single dependency — plus the end-to-end run API at the crate root, so a
+//! complete simulation needs nothing deeper than `use cwc_repro::{...}`:
+//!
+//! ```
+//! use cwc_repro::{run_simulation, EngineKind, SimConfig};
+//! use std::sync::Arc;
+//!
+//! let model = Arc::new(cwc_repro::biomodels::simple::decay(40, 1.0));
+//! let cfg = SimConfig::new(4, 2.0)
+//!     .engine(EngineKind::batched(2).unwrap())
+//!     .seed(7);
+//! let report = run_simulation(model, &cfg).unwrap();
+//! assert!(!report.rows.is_empty());
+//! ```
 
 pub use biomodels;
 pub use cwc;
@@ -13,3 +26,13 @@ pub use fastflow;
 pub use gillespie;
 pub use simt;
 pub use streamstat;
+
+// The end-to-end run API, re-exported at the umbrella root: everything a
+// model-to-CSV program needs — configuration (with its structured error),
+// engine selection (with its validated constructors), the runners, live
+// steering, and the mergeable whole-run statistics they produce.
+pub use cwcsim::{
+    run_sequential, run_simulation, run_simulation_sharded_in_process, run_simulation_steered,
+    ConfigError, EngineError, EngineKind, RunSummary, SimConfig, SimError, SimReport,
+    StatEngineKind, Steering,
+};

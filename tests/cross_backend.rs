@@ -22,9 +22,9 @@ fn cfg() -> SimConfig {
         .seed(2024)
 }
 
-/// The engine matrix of the correctness tests (the leaping kinds need
-/// flat mass-action models; every model used here qualifies).
-fn engine_kinds() -> [EngineKind; 5] {
+/// The engine matrix of the correctness tests (the batched and leaping
+/// kinds need flat mass-action models; every model used here qualifies).
+fn engine_kinds() -> [EngineKind; 6] {
     [
         EngineKind::Ssa,
         EngineKind::TauLeap { tau: 0.1 },
@@ -34,6 +34,9 @@ fn engine_kinds() -> [EngineKind; 5] {
             epsilon: 0.05,
             threshold: 8.0,
         },
+        // Width 3 over 10 instances: batches of 3, 3, 3 and 1 — every
+        // replica must be bit-identical to scalar SSA on every backend.
+        EngineKind::Batched { width: 3 },
     ]
 }
 

@@ -27,11 +27,15 @@ fn engine_kinds() -> Vec<EngineKind> {
             epsilon: 0.05,
             threshold: 8.0,
         },
+        // The batched SoA tier: shards run whole-batch farms over their
+        // slices (7 instances, width 3 → uneven batches inside shards),
+        // yet every replica is bit-identical to scalar SSA.
+        EngineKind::Batched { width: 3 },
     ]
 }
 
 /// Flat models (every engine kind accepts them), scaled small enough to
-/// keep the 3 models × 5 kinds × 3 shard counts matrix fast.
+/// keep the 3 models × 6 kinds × 3 shard counts matrix fast.
 fn models() -> Vec<(&'static str, Arc<Model>)> {
     vec![
         ("decay", Arc::new(biomodels::simple::decay(60, 1.0))),
