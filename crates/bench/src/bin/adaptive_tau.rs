@@ -60,11 +60,20 @@ const GATED_ENGINE: &str = "adaptive-0.05";
 /// effect grows with rule count — see the `wide_flat_cycle` case).
 const FULL_RECOMPUTE_ENGINE: &str = "adaptive-0.05-fullrecompute";
 
-/// How a measured engine is built (the full-recompute replica is not an
-/// `EngineKind` — it is a diagnostic knob on the adaptive engine).
+/// The forced-incidence replica: identical draws, incidence-list cache
+/// refresh regardless of rule count. The plain adaptive rows pick a side
+/// per model (the `FULL_RECOMPUTE_MAX_RULES` heuristic), so measuring
+/// what the cache buys needs both sides pinned — this row against
+/// [`FULL_RECOMPUTE_ENGINE`].
+const INCIDENCE_ENGINE: &str = "adaptive-0.05-incidence";
+
+/// How a measured engine is built (the recompute replicas are not
+/// `EngineKind`s — they are diagnostic knobs on the adaptive engine that
+/// override its rule-count heuristic in each direction).
 enum EngineSpec {
     Kind(EngineKind),
     AdaptiveFullRecompute { epsilon: f64 },
+    AdaptiveIncidence { epsilon: f64 },
 }
 
 struct Measurement {
@@ -108,6 +117,15 @@ fn measure(
                 firings += engine.run_until(t_end);
                 endpoints.push(engine.observe()[0] as f64);
             }
+            EngineSpec::AdaptiveIncidence { epsilon } => {
+                let mut engine =
+                    AdaptiveTauEngine::with_deps(Arc::clone(model), Arc::clone(deps), 1, i)
+                        .expect("flat benchmark models")
+                        .with_epsilon(*epsilon)
+                        .with_incidence_cache();
+                firings += engine.run_until(t_end);
+                endpoints.push(engine.observe()[0] as f64);
+            }
         }
     }
     let wall = start.elapsed().as_secs_f64();
@@ -140,6 +158,10 @@ fn engines_for(fixed_tau: f64) -> Vec<(String, EngineSpec)> {
         (
             FULL_RECOMPUTE_ENGINE.into(),
             EngineSpec::AdaptiveFullRecompute { epsilon: 0.05 },
+        ),
+        (
+            INCIDENCE_ENGINE.into(),
+            EngineSpec::AdaptiveIncidence { epsilon: 0.05 },
         ),
         (
             "hybrid".into(),
@@ -248,9 +270,10 @@ fn parse_rates(json: &str) -> Vec<((String, String), f64)> {
         .collect()
 }
 
-/// Incidence-cache gain per model: the gated adaptive engine's
-/// firings/sec over its full-recompute replica (same draws, same
-/// results — pure propensity-refresh cost).
+/// Incidence-cache gain per model: the forced-incidence replica's
+/// firings/sec over the forced-full-recompute replica (same draws, same
+/// results — pure propensity-refresh cost). Both sides are pinned
+/// because the plain adaptive rows auto-pick the faster side per model.
 fn incidence_gains(json: &str) -> Vec<(String, f64)> {
     let rates = parse_rates(json);
     let rate_of = |model: &str, engine: &str| -> Option<f64> {
@@ -264,7 +287,7 @@ fn incidence_gains(json: &str) -> Vec<(String, f64)> {
     models
         .into_iter()
         .filter_map(|m| {
-            let fast = rate_of(&m, GATED_ENGINE)?;
+            let fast = rate_of(&m, INCIDENCE_ENGINE)?;
             let slow = rate_of(&m, FULL_RECOMPUTE_ENGINE)?;
             (slow > 0.0).then_some((m, fast / slow))
         })

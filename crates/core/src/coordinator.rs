@@ -219,6 +219,10 @@ pub fn run_shard(
     // rest of the shard body stays tier-agnostic.
     let farm: Pipeline<SampleBatch> = match spec.engine {
         EngineKind::Batched { width } => {
+            // Shard children keep the default `Auto` kernel dispatch and
+            // detect CPU features locally: every kernel is bit-for-bit
+            // identical, so the merged results cannot depend on which
+            // side each child picks.
             let tasks: Vec<BatchSimTask> =
                 batch_spans(spec.range.first_instance, spec.range.count, width)
                     .into_iter()

@@ -190,6 +190,7 @@ pub fn run_simulation_steered(
                         cfg.quantum,
                         cfg.sample_period,
                     )
+                    .map(|task| task.with_kernel_dispatch(cfg.kernel_dispatch))
                 })
                 .collect::<Result<_, _>>()?;
             let workers: Vec<BatchSimWorker> = (0..cfg.sim_workers)
@@ -452,6 +453,26 @@ mod tests {
             let batched = run_simulation(Arc::clone(&model), &cfg).unwrap();
             assert_eq!(batched.rows, reference.rows, "width {width}");
             assert_eq!(batched.events, reference.events, "width {width}");
+        }
+    }
+
+    #[test]
+    fn kernel_dispatch_knob_never_changes_the_report() {
+        use gillespie::engine::EngineKind;
+        use gillespie::KernelDispatch;
+        let model = Arc::new(birth_death(25.0, 1.0, 5));
+        let auto = run_simulation(
+            Arc::clone(&model),
+            &small_cfg().engine(EngineKind::Batched { width: 4 }),
+        )
+        .unwrap();
+        for dispatch in [KernelDispatch::Scalar, KernelDispatch::Simd] {
+            let cfg = small_cfg()
+                .engine(EngineKind::Batched { width: 4 })
+                .kernel_dispatch(dispatch);
+            let run = run_simulation(Arc::clone(&model), &cfg).unwrap();
+            assert_eq!(run.rows, auto.rows, "{dispatch}");
+            assert_eq!(run.events, auto.events, "{dispatch}");
         }
     }
 

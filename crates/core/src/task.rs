@@ -222,6 +222,15 @@ impl BatchSimTask {
         })
     }
 
+    /// Selects the engine's kernels (scalar / SIMD / auto-detected; see
+    /// [`gillespie::KernelDispatch`]). Purely a throughput knob — every
+    /// kernel produces bit-for-bit the same trajectories.
+    #[must_use]
+    pub fn with_kernel_dispatch(mut self, dispatch: gillespie::KernelDispatch) -> Self {
+        self.engine = self.engine.with_kernel_dispatch(dispatch);
+        self
+    }
+
     /// Instance id of the batch's first replica.
     pub fn first_instance(&self) -> u64 {
         BatchEngine::first_instance(&self.engine)

@@ -56,6 +56,20 @@ pub const N_CRITICAL: u64 = 10;
 /// instead of leaping.
 pub const SSA_FALLBACK_MULT: f64 = 10.0;
 
+/// Models with at most this many rules default to *full* propensity
+/// recomputation per draw instead of the incidence-list cache refresh.
+///
+/// The cache turns the per-commit refresh from O(rules) into
+/// O(affected), which pays off only when the gap is wide: on
+/// `BENCH_adaptive_tau.json` the incidence path is ~1.5x faster on the
+/// 300-rule `wide_flat_cycle` but ~5% *slower* on the 4-rule Schlögl and
+/// 3-rule Lotka–Volterra models, where walking the incidence lists costs
+/// more than recomputing everything with a tight linear sweep. Results
+/// are bit-identical on both sides, so the crossover is purely a
+/// throughput decision; [`AdaptiveTauEngine::with_full_recompute`] and
+/// [`AdaptiveTauEngine::with_incidence_cache`] override it per engine.
+pub const FULL_RECOMPUTE_MAX_RULES: usize = 32;
+
 /// A drawn-but-not-yet-committed transition: one leap, one critical
 /// firing riding on a truncated leap, or one exact fallback step.
 #[derive(Debug, Clone)]
@@ -149,6 +163,10 @@ impl AdaptiveTauEngine {
         let flat = FlatModel::compile(&model, &deps, "adaptive tau-leaping")?;
         let state = flat.initial_state(&model);
         let species_len = flat.species.len();
+        // Rule-count heuristic (see FULL_RECOMPUTE_MAX_RULES): small
+        // models recompute everything per draw, large ones use the
+        // incidence cache. Either way the trajectory is bit-identical.
+        let full_recompute = flat.rates.len() <= FULL_RECOMPUTE_MAX_RULES;
         Ok(AdaptiveTauEngine {
             model,
             flat,
@@ -166,19 +184,38 @@ impl AdaptiveTauEngine {
             crit_buf: Vec::new(),
             cgp_scratch: CgpScratch::default(),
             cache_ready: false,
-            full_recompute: false,
+            full_recompute,
             seen_buf: vec![false; species_len],
         })
     }
 
     /// Disables the incidence-list propensity cache: every draw
-    /// recomputes all propensities from the state vector (the
-    /// pre-incidence behaviour). Results are bit-identical either way —
-    /// this knob exists so benchmarks can measure the cache.
+    /// recomputes all propensities from the state vector. Results are
+    /// bit-identical either way — this overrides the rule-count
+    /// heuristic (see [`FULL_RECOMPUTE_MAX_RULES`]) so benchmarks can
+    /// measure the cache.
     pub fn with_full_recompute(mut self) -> Self {
         self.full_recompute = true;
         self.cache_ready = false;
         self
+    }
+
+    /// Forces the incidence-list propensity cache on, overriding the
+    /// rule-count heuristic that defaults small models (at most
+    /// [`FULL_RECOMPUTE_MAX_RULES`] rules) to full recomputation.
+    /// Results are bit-identical either way.
+    pub fn with_incidence_cache(mut self) -> Self {
+        self.full_recompute = false;
+        self.cache_ready = false;
+        self
+    }
+
+    /// True when every draw recomputes all propensities (heuristic
+    /// default for small models, or forced via
+    /// [`AdaptiveTauEngine::with_full_recompute`]); false when commits
+    /// refresh the incidence-list cache instead.
+    pub fn full_recompute(&self) -> bool {
+        self.full_recompute
     }
 
     /// Sets the CGP relative-change bound ε.
@@ -724,9 +761,12 @@ mod tests {
             Arc::new(m)
         };
         for seed in [1u64, 9, 42] {
+            // 12 rules sit below the heuristic crossover, so the cache
+            // side must be forced on for this comparison to test it.
             let mut fast = AdaptiveTauEngine::new(Arc::clone(&model), seed, 0)
                 .unwrap()
-                .with_epsilon(0.05);
+                .with_epsilon(0.05)
+                .with_incidence_cache();
             let mut slow = AdaptiveTauEngine::new(Arc::clone(&model), seed, 0)
                 .unwrap()
                 .with_epsilon(0.05)
@@ -747,6 +787,42 @@ mod tests {
             assert_eq!(fast.leaps(), slow.leaps(), "seed {seed}");
             assert_eq!(fast.exact_steps(), slow.exact_steps(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn recompute_heuristic_crosses_over_at_the_pinned_rule_count() {
+        // A flat cycle with a configurable rule count, straddling the
+        // threshold by one rule on each side.
+        let cycle = |rules: usize| {
+            let mut m = Model::new("cycle");
+            for i in 0..rules {
+                let name = format!("S{i}");
+                let s = m.species(&name);
+                m.initial.add_atoms(s, 50);
+            }
+            for i in 0..rules {
+                m.rule(&format!("r{i}"))
+                    .consumes(&format!("S{i}"), 1)
+                    .produces(&format!("S{}", (i + 1) % rules), 1)
+                    .rate(1.0)
+                    .build()
+                    .unwrap();
+            }
+            Arc::new(m)
+        };
+        let at = AdaptiveTauEngine::new(cycle(FULL_RECOMPUTE_MAX_RULES), 1, 0).unwrap();
+        assert!(at.full_recompute(), "≤ threshold ⇒ full recompute");
+        let above = AdaptiveTauEngine::new(cycle(FULL_RECOMPUTE_MAX_RULES + 1), 1, 0).unwrap();
+        assert!(!above.full_recompute(), "> threshold ⇒ incidence cache");
+        // Both overrides beat the heuristic, in both directions.
+        let forced_cache = AdaptiveTauEngine::new(cycle(2), 1, 0)
+            .unwrap()
+            .with_incidence_cache();
+        assert!(!forced_cache.full_recompute());
+        let forced_full = AdaptiveTauEngine::new(cycle(FULL_RECOMPUTE_MAX_RULES + 1), 1, 0)
+            .unwrap()
+            .with_full_recompute();
+        assert!(forced_full.full_recompute());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!
 //! Replica `r` of a batch with first instance `f` is **bit-for-bit
 //! identical** to the scalar [`SsaEngine`](crate::ssa::SsaEngine) instance
-//! `f + r`: same RNG stream ([`sim_rng`] with the
+//! `f + r`: same RNG stream ([`sim_rng`](crate::rng::sim_rng) with the
 //! same per-instance seed derivation), same draw discipline (documented in
 //! [`crate::rng`]), and the same floating-point operations in the same
 //! order:
@@ -47,18 +47,27 @@
 //! replica by one waiting-time/sample/fire iteration (phase 2). Replica
 //! streams never interleave — each replica owns its RNG — so the lockstep
 //! schedule cannot perturb a trajectory.
+//!
+//! The hot loops themselves — the slot recompute, the prefix fold, the
+//! direct-method selection and the lockstep RNG stepping — live in the
+//! [`kernels`] layer, which dispatches at runtime between a portable
+//! scalar reference and x86_64 AVX2 four-lane kernels
+//! ([`KernelDispatch`]); the two are bit-for-bit identical, so the knob
+//! only changes how fast a batch runs, never what it computes.
+
+pub mod kernels;
 
 use std::sync::Arc;
 
 use cwc::model::{Model, ObservableSite};
-use cwc::multiset::binomial;
-use rand::Rng;
 
 use crate::deps::ModelDeps;
 use crate::engine::{BatchEngine, EngineError, QuantumOutcome};
 use crate::flat::{FlatModel, FlatModelError};
-use crate::rng::{sim_rng, SimRng};
 use crate::ssa::SampleClock;
+
+use kernels::{BatchRng, Kernel, KernelDispatch, RefreshOut, SlotPlan, SlotSet, SlotView};
+use kernels::{CLEAN, DIRTY_ALL};
 
 /// The engine name used in flat-model rejection messages.
 pub const BATCHED_ENGINE_NAME: &str = "the batched SSA engine";
@@ -109,15 +118,18 @@ pub struct BatchedSsaEngine {
     model: Arc<Model>,
     width: usize,
     first_instance: u64,
-    /// Rule indices with a non-zero rate, in rule order — the same filter
-    /// and order the scalar reaction table applies at the root site.
-    reactions: Vec<usize>,
-    /// Per-rule reactant multiplicities `(species index, count)`.
-    reactants: Vec<Vec<(usize, u64)>>,
-    /// Per-rule net stoichiometric change per firing.
-    delta: Vec<Vec<(usize, i64)>>,
-    /// Per-rule mass-action rate constants.
-    rates: Vec<f64>,
+    /// CSR offsets into `slot_delta`: slot `j`'s net stoichiometry lives
+    /// at `slot_delta[slot_delta_idx[j]..slot_delta_idx[j + 1]]`. The
+    /// flat layout keeps the fire loop free of per-rule pointer chasing.
+    slot_delta_idx: Vec<u32>,
+    /// Flattened per-slot net stoichiometric changes `(species, delta)`.
+    slot_delta: Vec<(u32, i64)>,
+    /// Per-slot reactant multiplicities `(species index, count)`.
+    slot_reactants: Vec<Vec<(usize, u64)>>,
+    /// Per-slot mass-action rate constants.
+    slot_rates: Vec<f64>,
+    /// Per-slot vectorization plans (see [`kernels`]).
+    plans: Vec<SlotPlan>,
     /// Observable evaluation plan (see [`ObsSpec`]).
     observables: Vec<ObsSpec>,
     /// SoA state: `counts[sp * width + r]` is species `sp` of replica `r`.
@@ -137,11 +149,16 @@ pub struct BatchedSsaEngine {
     first_active: Vec<u32>,
     /// Per-replica simulation time. All equal at quantum boundaries.
     times: Vec<f64>,
-    /// Per-replica drawn-but-unfired event time (quantum exactness).
-    pending: Vec<Option<f64>>,
-    /// Per-replica RNG streams: replica `r` owns the scalar stream of
-    /// instance `first_instance + r`.
-    rngs: Vec<SimRng>,
+    /// Per-replica drawn-but-unfired event time (quantum exactness),
+    /// `NAN` when no draw is outstanding — event times are sums and
+    /// quotients of finite positives, so they are never `NaN` and the
+    /// sentinel is unambiguous (an overflowed `+inf` event parks the
+    /// replica forever, exactly like the scalar engine).
+    pending: Vec<f64>,
+    /// Per-replica RNG streams in SoA form: lane `r` is exactly the
+    /// scalar stream of instance `first_instance + r`, stepped in
+    /// lockstep by the RNG kernel.
+    rng: BatchRng,
     /// Per-replica reactions fired so far.
     steps: Vec<u64>,
     /// Per-slot incidence list: the slots whose propensity reads a species
@@ -153,12 +170,27 @@ pub struct BatchedSsaEngine {
     /// every slot — the initial state), or the slot that fired since the
     /// last refresh (recompute only its incidence list).
     dirty: Vec<u32>,
+    /// The configured kernel selection knob.
+    dispatch: KernelDispatch,
+    /// The kernel set `dispatch` resolved to on this CPU.
+    kernel: Kernel,
+    /// Scratch slot-union set for the chunked incidence refresh.
+    seen: SlotSet,
+    /// Round scratch: per-replica draw mask of the current batched draw.
+    draw_mask: Vec<bool>,
+    /// Round scratch: per-replica firing decision of the current round.
+    fire_mask: Vec<bool>,
+    /// Round scratch: raw lane words of the current batched draw.
+    raws: Vec<u64>,
+    /// Round scratch: raw lane words of the round's assignment draws
+    /// (drawn fused with the selection draws, then discarded — see
+    /// [`advance_quantum_batch`](BatchEngine::advance_quantum_batch)).
+    raws_assign: Vec<u64>,
+    /// Round scratch: per-replica selection targets of the current round.
+    targets: Vec<f64>,
+    /// Round scratch: per-replica selected slots of the current round.
+    chosen: Vec<u32>,
 }
-
-/// `dirty` marker: the replica's propensity rows are current.
-const CLEAN: u32 = u32::MAX;
-/// `dirty` marker: recompute every propensity row of the replica.
-const DIRTY_ALL: u32 = u32::MAX - 1;
 
 impl BatchedSsaEngine {
     /// Creates a batch of `width` replicas covering scalar instances
@@ -249,14 +281,29 @@ impl BatchedSsaEngine {
                     .collect()
             })
             .collect();
+        let slot_reactants: Vec<Vec<(usize, u64)>> = reactions
+            .iter()
+            .map(|&rule| flat.reactants[rule].clone())
+            .collect();
+        let slot_rates: Vec<f64> = reactions.iter().map(|&rule| flat.rates[rule]).collect();
+        let mut slot_delta_idx = Vec::with_capacity(nr + 1);
+        let mut slot_delta = Vec::new();
+        slot_delta_idx.push(0u32);
+        for &rule in &reactions {
+            slot_delta.extend(flat.delta[rule].iter().map(|&(sp, d)| (sp as u32, d)));
+            slot_delta_idx.push(slot_delta.len() as u32);
+        }
+        let plans: Vec<SlotPlan> = slot_reactants.iter().map(|rs| SlotPlan::of(rs)).collect();
+        let dispatch = KernelDispatch::Auto;
         Ok(BatchedSsaEngine {
             model,
             width,
             first_instance,
-            reactions,
-            reactants: flat.reactants,
-            delta: flat.delta,
-            rates: flat.rates,
+            slot_delta_idx,
+            slot_delta,
+            slot_reactants,
+            slot_rates,
+            plans,
             observables,
             counts,
             props: vec![0.0; nr * width],
@@ -265,14 +312,42 @@ impl BatchedSsaEngine {
             active: vec![0; width],
             first_active: vec![u32::MAX; width],
             times: vec![0.0; width],
-            pending: vec![None; width],
-            rngs: (0..width as u64)
-                .map(|r| sim_rng(base_seed, first_instance + r))
-                .collect(),
+            pending: vec![f64::NAN; width],
+            rng: BatchRng::new(base_seed, first_instance, width),
             steps: vec![0; width],
             affects,
             dirty: vec![DIRTY_ALL; width],
+            dispatch,
+            kernel: dispatch.resolve(),
+            seen: SlotSet::new(nr),
+            draw_mask: vec![false; width],
+            fire_mask: vec![false; width],
+            raws: vec![0; width],
+            raws_assign: vec![0; width],
+            targets: vec![0.0; width],
+            chosen: vec![0; width],
         })
+    }
+
+    /// Sets the kernel selection knob, re-resolving it against the CPU
+    /// (builder-style; the default is [`KernelDispatch::Auto`]). Both
+    /// kernel sets are bit-for-bit identical, so this may be changed at
+    /// any point without perturbing the trajectory.
+    #[must_use]
+    pub fn with_kernel_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.dispatch = dispatch;
+        self.kernel = dispatch.resolve();
+        self
+    }
+
+    /// The configured kernel selection knob.
+    pub fn kernel_dispatch(&self) -> KernelDispatch {
+        self.dispatch
+    }
+
+    /// Whether the knob resolved to the SIMD kernels on this CPU.
+    pub fn simd_kernels_active(&self) -> bool {
+        self.kernel == Kernel::Avx2
     }
 
     /// Checks that `model` can drive a batch at all (flat, top-level,
@@ -342,31 +417,6 @@ impl BatchedSsaEngine {
         self.a0[r]
     }
 
-    /// Mass-action propensity of reaction `rule` in replica `r`: the exact
-    /// `u64` binomial selection count with a single final float cast —
-    /// the tree-matcher's `selection_count` replayed on dense counts, then
-    /// the scalar table's positive clamp.
-    fn propensity_of(&self, rule: usize, r: usize) -> f64 {
-        let mut h: u64 = 1;
-        for &(sp, k) in &self.reactants[rule] {
-            let n = self.counts[sp * self.width + r];
-            debug_assert!(n >= 0, "flat SSA state went negative");
-            if (n as u64) < k {
-                return 0.0;
-            }
-            h = h.saturating_mul(binomial(n as u64, k));
-            if h == 0 {
-                return 0.0;
-            }
-        }
-        let p = self.rates[rule] * h as f64;
-        if p > 0.0 {
-            p
-        } else {
-            0.0
-        }
-    }
-
     /// Phase 1: bring every dirty replica's propensity rows, prefix sums,
     /// `a0` and enabled bookkeeping up to date. A replica marked with a
     /// fired slot recomputes only that slot's incidence list (the
@@ -379,108 +429,43 @@ impl BatchedSsaEngine {
     /// `-0.0` and adds only enabled propensities — skipping, not adding,
     /// zeros — because `-0.0 + 0.0 == +0.0` would silently flip the
     /// exhausted-replica identity the scalar sum keeps.
+    ///
+    /// Both phases run in the resolved [`kernels`] implementation: the
+    /// scalar reference or the AVX2 four-lane path, bit-for-bit identical.
     fn refresh(&mut self) {
-        let w = self.width;
-        let nr = self.reactions.len();
-        for r in 0..w {
-            let mark = self.dirty[r];
-            if mark == CLEAN {
-                continue;
-            }
-            if mark == DIRTY_ALL {
-                for j in 0..nr {
-                    self.props[j * w + r] = self.propensity_of(self.reactions[j], r);
-                }
-            } else {
-                for i in 0..self.affects[mark as usize].len() {
-                    let j = self.affects[mark as usize][i] as usize;
-                    self.props[j * w + r] = self.propensity_of(self.reactions[j], r);
-                }
-            }
-            let mut a0 = -0.0f64;
-            let mut active = 0u32;
-            let mut first = u32::MAX;
-            for j in 0..nr {
-                let p = self.props[j * w + r];
-                if p > 0.0 {
-                    a0 += p;
-                    if active == 0 {
-                        first = j as u32;
-                    }
-                    active += 1;
-                }
-                self.prefix[j * w + r] = a0;
-            }
-            self.a0[r] = a0;
-            self.active[r] = active;
-            self.first_active[r] = first;
-            self.dirty[r] = CLEAN;
-        }
+        kernels::refresh(
+            self.kernel,
+            &SlotView {
+                width: self.width,
+                counts: &self.counts,
+                rates: &self.slot_rates,
+                plans: &self.plans,
+                reactants: &self.slot_reactants,
+            },
+            &self.affects,
+            &mut RefreshOut {
+                props: &mut self.props,
+                prefix: &mut self.prefix,
+                a0: &mut self.a0,
+                active: &mut self.active,
+                first_active: &mut self.first_active,
+                dirty: &mut self.dirty,
+            },
+            &mut self.seen,
+        );
     }
 
-    /// Direct-method selection on replica `r`: the first slot whose prefix
-    /// sum exceeds `target`, found by binary search over the replica's
-    /// prefix column. The prefix only increases at enabled slots, so the
-    /// crossing slot is enabled and equals the scalar linear scan's pick;
-    /// on floating-point shortfall (`target >= a0` after rounding) the
-    /// last enabled slot wins, like the scalar fallback.
-    fn select_replica(&self, r: usize, target: f64) -> usize {
-        let w = self.width;
-        let nr = self.reactions.len();
-        let (mut lo, mut hi) = (0usize, nr);
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if self.prefix[mid * w + r] > target {
-                hi = mid;
-            } else {
-                lo = mid + 1;
-            }
-        }
-        if lo < nr {
-            debug_assert!(self.props[lo * w + r] > 0.0, "crossed at a disabled slot");
-            return lo;
-        }
-        // Shortfall: fall back to the last enabled slot.
-        (0..nr)
-            .rev()
-            .find(|&j| self.props[j * w + r] > 0.0)
-            .expect("select called with no enabled reaction")
-    }
-
-    /// Absolute time of replica `r`'s next event, drawing (and keeping
-    /// pending) if necessary; `None` when the replica is absorbing.
-    fn next_event_time(&mut self, r: usize, a0: f64) -> Option<f64> {
-        if let Some(t) = self.pending[r] {
-            return Some(t);
-        }
-        if a0 <= 0.0 {
-            return None;
-        }
-        let u1: f64 = self.rngs[r].gen_range(f64::MIN_POSITIVE..1.0);
-        let t = self.times[r] + (-u1.ln() / a0);
-        self.pending[r] = Some(t);
-        Some(t)
-    }
-
-    /// Fires replica `r`'s pending event: scalar selection discipline
-    /// (single-channel states consume no selection uniform; every firing
-    /// consumes one assignment uniform), then the net stoichiometry.
-    fn fire_replica(&mut self, r: usize, a0: f64, event_time: f64) {
-        let slot = if self.active[r] == 1 {
-            self.first_active[r] as usize
-        } else {
-            let target = self.rngs[r].gen_range(0.0..a0);
-            self.select_replica(r, target)
-        };
-        let rule = self.reactions[slot];
-        // Flat rules have a trivial assignment, but the scalar engine
-        // consumes the draw — the stream positions must stay aligned.
-        let _u_assign: f64 = self.rngs[r].gen_range(0.0..1.0);
-        for &(sp, d) in &self.delta[rule] {
-            self.counts[sp * self.width + r] += d;
+    /// Applies the committed firing of `slot` on replica `r`: the net
+    /// stoichiometry, the time advance, and the dirty mark driving the
+    /// next incremental refresh. The selection and assignment draws have
+    /// already been consumed by the lockstep draw phases.
+    fn apply_fire(&mut self, r: usize, slot: usize, event_time: f64) {
+        let lo = self.slot_delta_idx[slot] as usize;
+        let hi = self.slot_delta_idx[slot + 1] as usize;
+        for &(sp, d) in &self.slot_delta[lo..hi] {
+            self.counts[sp as usize * self.width + r] += d;
         }
         self.times[r] = event_time;
-        self.pending[r] = None;
         self.steps[r] += 1;
         // Firing requires fresh propensities, so the replica was clean;
         // remember the slot for the incremental refresh.
@@ -497,6 +482,13 @@ impl BatchEngine for BatchedSsaEngine {
     /// samples up to `min(t_next, t_goal)` observing the state in force,
     /// then the firing. A replica whose next event falls beyond the
     /// horizon parks at `t_goal` exactly, so the batch stays in lockstep.
+    ///
+    /// The per-replica draws of a round are batched by type — waiting
+    /// time, selection, assignment — through the lockstep RNG kernel.
+    /// Each replica still consumes its own stream in exactly the scalar
+    /// order (waiting time, then selection iff multi-channel, then
+    /// assignment), because streams never interleave across replicas and
+    /// the three phases preserve that order within a round.
     fn advance_quantum_batch(
         &mut self,
         t_goal: f64,
@@ -514,12 +506,35 @@ impl BatchEngine for BatchedSsaEngine {
         let mut remaining = w;
         while remaining > 0 {
             self.refresh();
+            // Waiting-time draws for every live replica without a pending
+            // event (absorbing replicas draw nothing).
+            for (r, &alive) in live.iter().enumerate() {
+                self.draw_mask[r] = alive && self.pending[r].is_nan() && self.a0[r] > 0.0;
+            }
+            self.rng
+                .fill_masked(self.kernel, &self.draw_mask, &mut self.raws);
             for r in 0..w {
+                if self.draw_mask[r] {
+                    let u1 = kernels::range_from_raw(self.raws[r], f64::MIN_POSITIVE..1.0);
+                    self.pending[r] = self.times[r] + (-u1.ln() / self.a0[r]);
+                }
+            }
+            // Grid samples up to the event horizon, then park-or-fire.
+            // The selection-draw mask rides along: only multi-channel
+            // firing replicas consume a selection uniform (single-channel
+            // selection is deterministic).
+            for r in 0..w {
+                self.fire_mask[r] = false;
+                self.draw_mask[r] = false;
                 if !live[r] {
                     continue;
                 }
-                let a0 = self.a0[r];
-                let t_next = self.next_event_time(r, a0).unwrap_or(f64::INFINITY);
+                let pending = self.pending[r];
+                let t_next = if pending.is_nan() {
+                    f64::INFINITY
+                } else {
+                    pending
+                };
                 let horizon = t_next.min(t_goal);
                 while let Some(ts) = clocks[r].peek() {
                     if ts > horizon {
@@ -533,10 +548,56 @@ impl BatchEngine for BatchedSsaEngine {
                     self.times[r] = t_goal;
                     live[r] = false;
                     remaining -= 1;
+                } else {
+                    self.fire_mask[r] = true;
+                    self.draw_mask[r] = self.active[r] > 1;
+                }
+            }
+            // Selection draws fused with the assignment draws every firing
+            // consumes (flat rules have a trivial assignment, but the
+            // scalar engine consumes the draw, so the stream positions
+            // must stay aligned). Each lane still draws
+            // selection-then-assignment, the scalar order.
+            self.rng.fill_masked2(
+                self.kernel,
+                &self.draw_mask,
+                &mut self.raws,
+                &self.fire_mask,
+                &mut self.raws_assign,
+            );
+            for r in 0..w {
+                if self.draw_mask[r] {
+                    self.targets[r] = kernels::range_from_raw(self.raws[r], 0.0..self.a0[r]);
+                }
+            }
+            // Selection kernel: the first slot whose prefix sum exceeds
+            // the target, per multi-channel firing lane.
+            kernels::select_masked(
+                self.kernel,
+                &self.prefix,
+                &self.props,
+                w,
+                &self.draw_mask,
+                &self.targets,
+                &mut self.chosen,
+            );
+            for (r, outcome) in outcomes.iter_mut().enumerate() {
+                if !self.fire_mask[r] {
                     continue;
                 }
-                self.fire_replica(r, a0, t_next);
-                outcomes[r].events += 1;
+                let slot = if self.active[r] == 1 {
+                    self.first_active[r] as usize
+                } else {
+                    self.chosen[r] as usize
+                };
+                let event_time = self.pending[r];
+                debug_assert!(
+                    !event_time.is_nan(),
+                    "firing replica without a pending event"
+                );
+                self.pending[r] = f64::NAN;
+                self.apply_fire(r, slot, event_time);
+                outcome.events += 1;
             }
         }
         debug_assert!(self.times.iter().all(|&t| t == t_goal), "lockstep broken");

@@ -39,6 +39,7 @@
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 pub mod adaptive;
 pub mod batch;
@@ -54,6 +55,7 @@ pub mod tau_leap;
 pub mod trajectory;
 
 pub use adaptive::AdaptiveTauEngine;
+pub use batch::kernels::KernelDispatch;
 pub use batch::BatchedSsaEngine;
 pub use deps::{KeptChild, ModelDeps, RuleDeps};
 pub use engine::{

@@ -18,12 +18,16 @@
 //!
 //! - entries are ordered site-walk-order × rule-index-order — the same
 //!   order the naive walk produced;
-//! - [`total`](ReactionTable::total) replays the naive `a0` summation
-//!   exactly — the enabled entries, in that order, folded from the same
-//!   additive identity — so the waiting-time divisor is bit-identical;
-//! - [`select`](ReactionTable::select) scans enabled entries in the same
-//!   order with the same cumulative comparison, falling back to the last
-//!   enabled entry on floating-point shortfall.
+//! - a per-slot *prefix-sum cache* holds the naive scan's accumulator at
+//!   every slot (enabled entries folded in order from the `-0.0`
+//!   identity), refreshed from the lowest changed slot after each update;
+//! - [`total`](ReactionTable::total) reads the cache's last element —
+//!   exactly the naive `a0` fold — in O(1), so the waiting-time divisor
+//!   is bit-identical;
+//! - [`select`](ReactionTable::select) binary-searches the cache with the
+//!   scan's own cumulative comparison in O(log n), falling back to the
+//!   last enabled entry on floating-point shortfall, so every selection
+//!   is the entry the scan would have chosen.
 //!
 //! Sites are addressed by dense [`SiteId`]s from the embedded
 //! [`SiteRegistry`] — the hot loop never clones a `Path`.
@@ -52,6 +56,15 @@ pub struct ReactionTable {
     entries: Vec<Entry>,
     /// Number of entries with positive propensity.
     active: usize,
+    /// `prefix[i]` is the cumulative-sum fold of the enabled propensities
+    /// over `entries[..= i]` — the exact accumulator value the naive
+    /// linear scan holds after visiting entry `i` (identity `-0.0`,
+    /// disabled slots skipped, so a disabled slot repeats the previous
+    /// value). Rebuilt from the lowest changed slot after every mutation;
+    /// [`total`](ReactionTable::total) reads the last element in O(1) and
+    /// [`select`](ReactionTable::select) binary-searches it in O(log n),
+    /// both bit-identical to the folds they replace.
+    prefix: Vec<f64>,
 }
 
 impl ReactionTable {
@@ -85,6 +98,26 @@ impl ReactionTable {
             }
         }
         self.site_start.push(self.entries.len() as u32);
+        self.rebuild_prefix_from(0);
+    }
+
+    /// Replays the cumulative fold over `entries[from ..]`, resuming from
+    /// the committed accumulator at `from` (bit-exact: `prefix[from - 1]`
+    /// *is* the scan's accumulator there, so continuing the fold from it
+    /// reproduces every later value bit-for-bit).
+    fn rebuild_prefix_from(&mut self, from: usize) {
+        self.prefix.resize(self.entries.len(), 0.0);
+        let mut acc = if from == 0 {
+            -0.0
+        } else {
+            self.prefix[from - 1]
+        };
+        for (p, e) in self.prefix[from..].iter_mut().zip(&self.entries[from..]) {
+            if e.propensity > 0.0 {
+                acc += e.propensity;
+            }
+            *p = acc;
+        }
     }
 
     /// Updates the table after `rule` fired at `site` with the given
@@ -106,8 +139,14 @@ impl ReactionTable {
             self.build(model, term, scratch);
             return;
         }
+        let mut stale_from = usize::MAX;
+        let mut stale = |i: Option<usize>| {
+            if let Some(i) = i {
+                stale_from = stale_from.min(i);
+            }
+        };
         for &q in deps.same_site_affected(rule) {
-            self.rematch(model, term, site, q, scratch);
+            stale(self.rematch(model, term, site, q, scratch));
         }
         let rd = deps.rule(rule);
         for (k, kept) in rd.kept.iter().enumerate() {
@@ -120,7 +159,7 @@ impl ReactionTable {
                 .child(site, assignment[kept.pattern])
                 .expect("kept compartment still exists");
             for &q in affected {
-                self.rematch(model, term, child, q, scratch);
+                stale(self.rematch(model, term, child, q, scratch));
             }
         }
         let parents = deps.parent_affected(rule);
@@ -129,15 +168,20 @@ impl ReactionTable {
                 let parent_label = self.registry.label(parent);
                 for &q in parents {
                     if model.rules[q as usize].site == parent_label {
-                        self.rematch(model, term, parent, q, scratch);
+                        stale(self.rematch(model, term, parent, q, scratch));
                     }
                 }
             }
+        }
+        if stale_from != usize::MAX {
+            self.rebuild_prefix_from(stale_from);
         }
     }
 
     /// Recomputes one `(site, rule)` slot in place (no-op when the slot is
     /// absent, e.g. a parent candidate whose label does not host the rule).
+    /// Returns the slot index when one was updated, so the caller can
+    /// refresh the prefix cache from the lowest changed slot.
     fn rematch(
         &mut self,
         model: &Model,
@@ -145,7 +189,7 @@ impl ReactionTable {
         site: SiteId,
         rule: u32,
         scratch: &mut MatchScratch,
-    ) {
+    ) -> Option<usize> {
         let start = self.site_start[site.index()] as usize;
         let end = self.site_start[site.index() + 1] as usize;
         for i in start..end {
@@ -155,21 +199,19 @@ impl ReactionTable {
                 let was_active = self.entries[i].propensity > 0.0;
                 self.entries[i].propensity = p;
                 self.active = self.active + (p > 0.0) as usize - was_active as usize;
-                return;
+                return Some(i);
             }
         }
+        None
     }
 
     /// Total propensity `a0`: the enabled slots summed in table order —
     /// the exact `Iterator::sum` the naive enumeration performed over its
     /// reaction list, identity (`-0.0`) included, so the result is
-    /// bit-identical (see module docs).
+    /// bit-identical (see module docs). O(1): the prefix cache's last
+    /// element *is* that fold.
     pub fn total(&self) -> f64 {
-        self.entries
-            .iter()
-            .filter(|e| e.propensity > 0.0)
-            .map(|e| e.propensity)
-            .sum()
+        self.prefix.last().copied().unwrap_or(-0.0)
     }
 
     /// Number of currently enabled reactions (positive propensity).
@@ -183,26 +225,38 @@ impl ReactionTable {
     }
 
     /// Direct-method selection: the first enabled entry whose cumulative
-    /// propensity exceeds `target`, scanning in table order; the last
-    /// enabled entry on floating-point shortfall.
+    /// propensity exceeds `target`, in table order; the last enabled
+    /// entry on floating-point shortfall. O(log n) over the prefix cache,
+    /// same answers as the linear scan it replaced: `prefix[i]` is the
+    /// scan's accumulator after entry `i`, and the partition predicate is
+    /// the scan's `target < acc` comparison verbatim (so a NaN target
+    /// falls through to the shortfall backstop exactly like the scan
+    /// did).
     ///
     /// # Panics
     ///
     /// Panics when no reaction is enabled (callers check `a0 > 0` first).
     pub fn select(&self, target: f64) -> usize {
-        let mut acc = 0.0;
-        let mut last_active = None;
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.propensity <= 0.0 {
-                continue;
-            }
-            last_active = Some(i);
-            acc += e.propensity;
-            if target < acc {
+        // `!(target < acc)` is *not* `acc <= target` when the target is
+        // NaN: the negated comparison keeps every predicate true, sending
+        // a NaN target through the shortfall backstop exactly like the
+        // scan — so spell it the scan's way despite the lint.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let crossing = self.prefix.partition_point(|&acc| !(target < acc));
+        // The crossing slot is enabled whenever `target >= 0` (a disabled
+        // slot repeats the previous prefix value, so it cannot be the
+        // *first* crossing); the forward scan only moves for negative
+        // targets, where the linear scan answered "first enabled entry".
+        for (i, e) in self.entries.iter().enumerate().skip(crossing) {
+            if e.propensity > 0.0 {
                 return i;
             }
         }
-        last_active.expect("select called with no enabled reaction")
+        // Shortfall (target >= total): the last enabled entry.
+        self.entries
+            .iter()
+            .rposition(|e| e.propensity > 0.0)
+            .expect("select called with no enabled reaction")
     }
 
     /// The `(site, rule)` key of entry `i`.
@@ -422,5 +476,58 @@ mod tests {
         assert_eq!(table.select(1e9), 1); // shortfall → last enabled
         assert_eq!(table.site_rule(1), (SiteId::ROOT, 1));
         assert!(table.propensity(1) == 6.0 && !table.is_empty());
+    }
+
+    /// The linear scan `select`/`total` replaced, verbatim.
+    fn scan_select(table: &ReactionTable) -> impl Fn(f64) -> usize + '_ {
+        |target| {
+            let mut acc = -0.0;
+            let mut last_active = None;
+            for i in 0..table.len() {
+                let p = table.propensity(i);
+                if p <= 0.0 {
+                    continue;
+                }
+                last_active = Some(i);
+                acc += p;
+                if target < acc {
+                    return i;
+                }
+            }
+            last_active.expect("select called with no enabled reaction")
+        }
+    }
+
+    #[test]
+    fn prefix_select_matches_the_linear_scan_through_incremental_updates() {
+        // Drive the transport model through a mixed firing sequence and,
+        // at every table state, sweep selection targets across the whole
+        // [0, a0) range plus the shortfall edge: binary search over the
+        // prefix cache must answer exactly like the scan, including after
+        // partial (incremental) prefix rebuilds.
+        let m = transport_model();
+        let (mut table, deps, mut term, mut scratch) = build_all(&m);
+        let root = SiteId::ROOT;
+        let check_all_targets = |table: &ReactionTable| {
+            let a0: f64 = (0..table.len())
+                .map(|i| table.propensity(i))
+                .filter(|&p| p > 0.0)
+                .sum();
+            assert_eq!(table.total().to_bits(), a0.to_bits());
+            let scan = scan_select(table);
+            for k in 0..64 {
+                let target = a0 * k as f64 / 64.0;
+                assert_eq!(table.select(target), scan(target), "target {target}");
+            }
+            for target in [a0, a0 * (1.0 + 1e-9), f64::MAX] {
+                assert_eq!(table.select(target), scan(target), "shortfall {target}");
+            }
+        };
+        check_all_targets(&table);
+        for (rule, assignment) in [(0usize, &[0][..]), (0, &[0]), (1, &[0]), (0, &[0])] {
+            cwc::matching::apply_at(&mut term, &m.rules[rule], &Path::root(), assignment).unwrap();
+            table.post_fire(&m, &deps, &term, rule, root, assignment, &mut scratch);
+            check_all_targets(&table);
+        }
     }
 }

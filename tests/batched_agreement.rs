@@ -23,6 +23,7 @@ use std::sync::Arc;
 
 use cwc_repro::biomodels::{schlogl, simple, SchloglParams};
 use cwc_repro::cwc::model::Model;
+use cwc_repro::gillespie::batch::kernels::KernelDispatch;
 use cwc_repro::gillespie::batch::BatchedSsaEngine;
 use cwc_repro::gillespie::engine::BatchEngine;
 use cwc_repro::gillespie::ssa::{SampleClock, SsaEngine};
@@ -67,7 +68,22 @@ fn batched_fingerprints(
     width: usize,
     t_end: f64,
 ) -> Vec<(u64, u64, Vec<u64>)> {
-    let mut batch = BatchedSsaEngine::new(model, seed, first, width).unwrap();
+    batched_fingerprints_with(model, seed, first, width, t_end, KernelDispatch::Auto)
+}
+
+/// Like [`batched_fingerprints`], with an explicit kernel dispatch — the
+/// scalar and SIMD kernel layers must both reproduce the goldens.
+fn batched_fingerprints_with(
+    model: Arc<Model>,
+    seed: u64,
+    first: u64,
+    width: usize,
+    t_end: f64,
+    dispatch: KernelDispatch,
+) -> Vec<(u64, u64, Vec<u64>)> {
+    let mut batch = BatchedSsaEngine::new(model, seed, first, width)
+        .unwrap()
+        .with_kernel_dispatch(dispatch);
     let mut clocks: Vec<SampleClock> = (0..width)
         .map(|_| SampleClock::new(0.0, t_end / 40.0))
         .collect();
@@ -195,6 +211,54 @@ fn batched_trajectories_match_the_golden_scalar_fingerprints() {
                 "{model} seed={seed} replica {r} diverged from the golden scalar trajectory"
             );
         }
+    }
+}
+
+/// The kernel-dispatch matrix: forcing the scalar reference and
+/// requesting SIMD (which resolves to AVX2 where available, scalar
+/// elsewhere) must both land exactly on the golden fingerprints — the
+/// kernel layer may never change a bit of a trajectory. Together with
+/// CI's `CWC_FORCE_SCALAR_KERNELS` leg this runs the suite "both ways".
+#[test]
+fn golden_fingerprints_hold_under_every_kernel_dispatch() {
+    for dispatch in [
+        KernelDispatch::Scalar,
+        KernelDispatch::Simd,
+        KernelDispatch::Auto,
+    ] {
+        for batch_start in (0..GOLDEN.len()).step_by(WIDTH) {
+            let &(model, seed, first, _, _, _, _) = &GOLDEN[batch_start];
+            let got = batched_fingerprints_with(
+                model_by_name(model),
+                seed,
+                first,
+                WIDTH,
+                horizon(model),
+                dispatch,
+            );
+            for (r, (hash, events, obs)) in got.into_iter().enumerate() {
+                let &(_, _, _, _, ghash, gevents, gobs) = &GOLDEN[batch_start + r];
+                assert_eq!(
+                    (hash, events, obs.as_slice()),
+                    (ghash, gevents, gobs),
+                    "{model} replica {r} diverged under dispatch {dispatch}"
+                );
+            }
+        }
+    }
+}
+
+/// Chunk-plus-tail widths through the engine: width 33 runs eight AVX2
+/// chunks and one scalar tail lane; every lane must still be the scalar
+/// instance's trajectory, whichever kernel set is dispatched.
+#[test]
+fn wide_batches_match_scalar_instances_under_both_dispatches() {
+    let model = model_by_name("schlogl");
+    let t_end = 1.0;
+    let scalar = scalar_fingerprints(Arc::clone(&model), 7, 2, 33, t_end);
+    for dispatch in [KernelDispatch::Scalar, KernelDispatch::Simd] {
+        let got = batched_fingerprints_with(Arc::clone(&model), 7, 2, 33, t_end, dispatch);
+        assert_eq!(got, scalar, "width-33 batch diverged under {dispatch}");
     }
 }
 
