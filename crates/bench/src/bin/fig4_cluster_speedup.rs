@@ -116,7 +116,7 @@ fn sharded() {
         ]);
     }
     print_table(
-        "FIG4, real sharded farm (cwc-shard worker processes, wire-v4 stdio streams)",
+        "FIG4, real sharded farm (cwc-shard worker processes, wire-v6 stdio streams)",
         &[
             "shards",
             "workers",

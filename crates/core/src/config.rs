@@ -68,6 +68,32 @@ pub struct SimConfig {
     /// per shard) and streams partial cuts back for merging. Per-instance
     /// seeding makes the results identical for every shard count.
     pub shards: usize,
+    /// Retry budget of the shard supervisor: how many times a *failed*
+    /// shard (crash, corrupt stream, watchdog timeout) is relaunched and
+    /// its slice replayed before the run fails with a typed error
+    /// carrying the full attempt history. Per-instance seeding makes the
+    /// replay bit-for-bit deterministic, so a recovered run is identical
+    /// to a fault-free one. 0 (the default) fails fast on the first
+    /// shard failure, exactly like the pre-supervision farm.
+    pub shard_retries: usize,
+    /// Watchdog deadline, in seconds: a shard that produces no frame
+    /// (cut, end-of-stream *or* heartbeat) for this long is declared
+    /// stalled, its worker is killed, and the failure enters the retry
+    /// path. `None` (the default) disables the watchdog. Only meaningful
+    /// for shards whose transport reports liveness (the `cwc-shard`
+    /// process transport); in-process shards share the coordinator's
+    /// failure domain and are exempt.
+    pub shard_timeout: Option<f64>,
+    /// Base delay, in seconds, of the bounded-exponential retry backoff:
+    /// attempt `k` waits `min(shard_backoff * 2^k, shard_backoff_max)`
+    /// before relaunching.
+    pub shard_backoff: f64,
+    /// Upper bound, in seconds, on a single retry backoff delay.
+    pub shard_backoff_max: f64,
+    /// Period, in seconds, between the heartbeat (`Progress`) frames a
+    /// `cwc-shard` worker emits so the watchdog can tell a slow shard
+    /// from a stalled one. Shipped to workers in their `ShardSpec`.
+    pub heartbeat_period: f64,
 }
 
 /// Error returned by [`SimConfig::validate`]: one variant per validation
@@ -131,6 +157,32 @@ pub enum ConfigError {
     ZeroChannelCapacity,
     /// `shards` was zero.
     ZeroShards,
+    /// `shard_timeout` was set but not positive and finite.
+    InvalidShardTimeout {
+        /// The offending deadline, in seconds.
+        timeout: f64,
+    },
+    /// A backoff knob was invalid: the base must be non-negative and
+    /// finite, the cap finite and at least the base.
+    InvalidShardBackoff {
+        /// Configured base delay, in seconds.
+        base: f64,
+        /// Configured delay cap, in seconds.
+        max: f64,
+    },
+    /// `heartbeat_period` was not positive and finite.
+    InvalidHeartbeatPeriod {
+        /// The offending period, in seconds.
+        period: f64,
+    },
+    /// `shard_timeout` was below `heartbeat_period`: every shard would be
+    /// declared stalled between two heartbeats.
+    ShardTimeoutBelowHeartbeat {
+        /// Configured watchdog deadline, in seconds.
+        timeout: f64,
+        /// Configured heartbeat period, in seconds.
+        period: f64,
+    },
 }
 
 impl ConfigError {
@@ -149,6 +201,10 @@ impl ConfigError {
             ConfigError::NoStatEngines => "engines",
             ConfigError::ZeroChannelCapacity => "channel_capacity",
             ConfigError::ZeroShards => "shards",
+            ConfigError::InvalidShardTimeout { .. }
+            | ConfigError::ShardTimeoutBelowHeartbeat { .. } => "shard_timeout",
+            ConfigError::InvalidShardBackoff { .. } => "shard_backoff",
+            ConfigError::InvalidHeartbeatPeriod { .. } => "heartbeat_period",
         }
     }
 
@@ -179,6 +235,20 @@ impl ConfigError {
             ConfigError::NoStatEngines => "at least one statistical engine".into(),
             ConfigError::ZeroChannelCapacity => "channel_capacity must be > 0".into(),
             ConfigError::ZeroShards => "shards must be > 0 (1 = single in-process shard)".into(),
+            ConfigError::InvalidShardTimeout { timeout } => {
+                format!("shard_timeout ({timeout}) must be positive and finite when set")
+            }
+            ConfigError::InvalidShardBackoff { base, max } => format!(
+                "shard_backoff base ({base}) must be non-negative and finite, and the cap \
+                 ({max}) finite and >= the base"
+            ),
+            ConfigError::InvalidHeartbeatPeriod { period } => {
+                format!("heartbeat_period ({period}) must be positive and finite")
+            }
+            ConfigError::ShardTimeoutBelowHeartbeat { timeout, period } => format!(
+                "shard_timeout ({timeout}) must be at least heartbeat_period ({period}): \
+                 the watchdog would declare every shard stalled between two heartbeats"
+            ),
         }
     }
 }
@@ -223,6 +293,11 @@ impl SimConfig {
             engines: vec![StatEngineKind::MeanVariance],
             channel_capacity: 64,
             shards: 1,
+            shard_retries: 0,
+            shard_timeout: None,
+            shard_backoff: 0.05,
+            shard_backoff_max: 2.0,
+            heartbeat_period: 0.2,
         }
     }
 
@@ -296,6 +371,35 @@ impl SimConfig {
         self
     }
 
+    /// Sets the shard supervisor's retry budget (see
+    /// [`SimConfig::shard_retries`]).
+    pub fn retries(mut self, n: usize) -> Self {
+        self.shard_retries = n;
+        self
+    }
+
+    /// Arms the shard watchdog: a shard silent for `secs` seconds is
+    /// killed and retried (see [`SimConfig::shard_timeout`]).
+    pub fn shard_timeout(mut self, secs: f64) -> Self {
+        self.shard_timeout = Some(secs);
+        self
+    }
+
+    /// Sets the bounded-exponential retry backoff: attempt `k` waits
+    /// `min(base * 2^k, max)` seconds before relaunching.
+    pub fn shard_backoff(mut self, base: f64, max: f64) -> Self {
+        self.shard_backoff = base;
+        self.shard_backoff_max = max;
+        self
+    }
+
+    /// Sets the worker heartbeat period, in seconds (see
+    /// [`SimConfig::heartbeat_period`]).
+    pub fn heartbeat_period(mut self, secs: f64) -> Self {
+        self.heartbeat_period = secs;
+        self
+    }
+
     /// The paper's Q/τ ratio.
     pub fn q_over_tau(&self) -> f64 {
         self.quantum / self.sample_period
@@ -364,6 +468,34 @@ impl SimConfig {
         }
         if self.shards == 0 {
             return Err(ConfigError::ZeroShards);
+        }
+        if let Some(timeout) = self.shard_timeout {
+            if !(timeout > 0.0 && timeout.is_finite()) {
+                return Err(ConfigError::InvalidShardTimeout { timeout });
+            }
+        }
+        if !(self.shard_backoff >= 0.0
+            && self.shard_backoff.is_finite()
+            && self.shard_backoff_max.is_finite()
+            && self.shard_backoff_max >= self.shard_backoff)
+        {
+            return Err(ConfigError::InvalidShardBackoff {
+                base: self.shard_backoff,
+                max: self.shard_backoff_max,
+            });
+        }
+        if !(self.heartbeat_period > 0.0 && self.heartbeat_period.is_finite()) {
+            return Err(ConfigError::InvalidHeartbeatPeriod {
+                period: self.heartbeat_period,
+            });
+        }
+        if let Some(timeout) = self.shard_timeout {
+            if timeout < self.heartbeat_period {
+                return Err(ConfigError::ShardTimeoutBelowHeartbeat {
+                    timeout,
+                    period: self.heartbeat_period,
+                });
+            }
         }
         Ok(())
     }
@@ -569,6 +701,89 @@ mod tests {
         let cfg = SimConfig::new(1, 1.0).kernel_dispatch(KernelDispatch::Scalar);
         assert_eq!(cfg.kernel_dispatch, KernelDispatch::Scalar);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn supervision_knobs_default_off_and_are_fluent() {
+        let cfg = SimConfig::new(1, 1.0);
+        assert_eq!(cfg.shard_retries, 0);
+        assert_eq!(cfg.shard_timeout, None);
+        assert!(cfg.heartbeat_period > 0.0);
+        let cfg = cfg
+            .retries(3)
+            .shard_timeout(5.0)
+            .shard_backoff(0.01, 0.5)
+            .heartbeat_period(0.1);
+        assert_eq!(cfg.shard_retries, 3);
+        assert_eq!(cfg.shard_timeout, Some(5.0));
+        assert_eq!((cfg.shard_backoff, cfg.shard_backoff_max), (0.01, 0.5));
+        assert_eq!(cfg.heartbeat_period, 0.1);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_shard_timeout_is_rejected_with_specific_message() {
+        for timeout in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = SimConfig::new(1, 10.0)
+                .shard_timeout(timeout)
+                .validate()
+                .unwrap_err();
+            assert_eq!(err.field(), "shard_timeout", "timeout={timeout}");
+            assert!(err.to_string().contains("shard_timeout"), "{err}");
+        }
+    }
+
+    #[test]
+    fn invalid_backoff_is_rejected_with_specific_message() {
+        // Negative base, non-finite base, and a cap below the base.
+        for (base, max) in [(-0.1, 1.0), (f64::NAN, 1.0), (0.5, 0.1), (0.1, f64::NAN)] {
+            let err = SimConfig::new(1, 10.0)
+                .shard_backoff(base, max)
+                .validate()
+                .unwrap_err();
+            assert_eq!(err.field(), "shard_backoff", "base={base} max={max}");
+            assert!(err.to_string().contains("backoff"), "{err}");
+        }
+        // Zero backoff (retry immediately) is legal.
+        SimConfig::new(1, 10.0)
+            .shard_backoff(0.0, 0.0)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn invalid_heartbeat_period_is_rejected_with_specific_message() {
+        for period in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            let err = SimConfig::new(1, 10.0)
+                .heartbeat_period(period)
+                .validate()
+                .unwrap_err();
+            assert_eq!(err.field(), "heartbeat_period", "period={period}");
+            assert!(err.to_string().contains("heartbeat_period"), "{err}");
+        }
+    }
+
+    #[test]
+    fn timeout_below_heartbeat_is_rejected_with_specific_message() {
+        let err = SimConfig::new(1, 10.0)
+            .heartbeat_period(1.0)
+            .shard_timeout(0.5)
+            .validate()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ShardTimeoutBelowHeartbeat {
+                timeout: 0.5,
+                period: 1.0
+            }
+        );
+        assert!(err.to_string().contains("heartbeat"), "{err}");
+        // Equal is legal (one heartbeat always fits the deadline).
+        SimConfig::new(1, 10.0)
+            .heartbeat_period(0.5)
+            .shard_timeout(0.5)
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! uses) and streams back *aligned partial cuts* plus one end-of-stream
 //! *partial statistics state*. The coordinator
 //! ([`run_simulation_sharded_with`]) zips the partial-cut streams with
-//! [`CutMerger`], folds the partial statistics with
+//! [`CutMerger`](crate::merge::CutMerger), folds the partial statistics with
 //! `streamstat::Mergeable`, and feeds the merged cut stream through the
 //! unchanged window/analysis stages.
 //!
@@ -18,8 +18,16 @@
 //! provides [`InProcessTransport`] (one thread per shard — also the
 //! degenerate `shards = 1` path, which spawns no child process); the
 //! `distrt` crate adds the real multi-process transport that spawns one
-//! `cwc-shard` child per shard and speaks length-prefixed wire-v4
+//! `cwc-shard` child per shard and speaks length-prefixed wire-v6
 //! frames over stdio.
+//!
+//! Shard *failures* — crash, corrupt stream, watchdog timeout — are
+//! handled by the [`ShardSupervisor`](crate::supervisor::ShardSupervisor)
+//! sitting between the transport and the merge: a failed shard's slice
+//! is requeued onto a fresh worker (bounded-exponential backoff, budget
+//! `SimConfig::shard_retries`) and replayed deterministically from the
+//! per-instance seeds, so a recovered run is bit-for-bit identical to a
+//! fault-free one. See the supervisor module for the state machine.
 //!
 //! ## Determinism
 //!
@@ -30,22 +38,21 @@
 //! therefore so are the [`StatRow`]s (the integration matrix in
 //! `tests/sharded_agreement.rs` pins this).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cwc::model::Model;
 use fastflow::node::{flat_stage, map_stage};
 use fastflow::pipeline::Pipeline;
 use gillespie::engine::EngineKind;
 use gillespie::trajectory::Cut;
-use streamstat::merge::Mergeable;
 
 use crate::alignment::Alignment;
 use crate::config::SimConfig;
 use crate::engines::{StatBlock, StatEngineKind, StatEngineSet, StatRow};
-use crate::merge::{CutMerger, RunSummary};
+use crate::merge::RunSummary;
 use crate::plan::{ShardPlan, ShardRange};
 use crate::runner::{SimError, SimReport};
 use crate::sim_farm::{BatchSimMaster, BatchSimWorker, SimMaster, SimWorker, Steering};
@@ -77,6 +84,17 @@ pub struct ShardSpec {
     /// Statistical engine configuration (determines which accumulators
     /// the shard's partial [`RunSummary`] carries).
     pub engines: Vec<StatEngineKind>,
+    /// Which attempt at this slice the shard is: 0 on first launch, and
+    /// incremented by the supervisor on every requeue. Purely
+    /// diagnostic for a healthy run — the slice's trajectories depend
+    /// only on `(base_seed, instance)` — but the fault-injection
+    /// harness keys on it so an injected fault can hit the first
+    /// attempt and spare the replay.
+    pub attempt: u32,
+    /// Seconds between the heartbeat (`Progress`) frames the worker
+    /// emits so the coordinator's watchdog can tell a slow shard from a
+    /// stalled one.
+    pub heartbeat_period: f64,
 }
 
 impl ShardSpec {
@@ -98,6 +116,8 @@ impl ShardSpec {
             sim_workers: (cfg.sim_workers / cfg.shards.max(1)).max(1),
             channel_capacity: cfg.channel_capacity,
             engines: cfg.engines.clone(),
+            attempt: 0,
+            heartbeat_period: cfg.heartbeat_period,
         }
     }
 }
@@ -121,13 +141,47 @@ pub struct ShardEnd {
     pub summary: RunSummary,
 }
 
+/// One failed attempt at a shard's slice, kept in the supervisor's
+/// per-shard history and attached to the final [`ShardError`] when the
+/// retry budget is exhausted.
+#[derive(Debug, Clone)]
+pub struct ShardAttempt {
+    /// The attempt number (0 = the initial launch).
+    pub attempt: usize,
+    /// What the attempt died of, rendered.
+    pub error: String,
+    /// The bounded-exponential backoff waited before the *next* attempt.
+    pub backoff: Duration,
+}
+
 /// What went wrong in one shard of a sharded run.
 #[derive(Debug)]
 pub struct ShardError {
     /// The shard that failed.
     pub shard: usize,
-    /// The failure.
+    /// The failure that ended the last attempt.
     pub kind: ShardErrorKind,
+    /// Every *prior* failed attempt at the shard's slice, oldest first
+    /// (empty when the first failure was final — e.g. a zero retry
+    /// budget, or a non-retryable worker-side simulation error).
+    pub attempts: Vec<ShardAttempt>,
+    /// Graceful degradation: the partial [`RunSummary`] merged from the
+    /// shards that *did* complete before the run failed, surfaced for
+    /// diagnosis. Populated by the supervisor on retry-budget
+    /// exhaustion; `None` on pre-launch failures.
+    pub partial: Option<Box<RunSummary>>,
+}
+
+impl ShardError {
+    /// A fresh failure with no retry history attached.
+    pub fn new(shard: usize, kind: ShardErrorKind) -> Self {
+        ShardError {
+            shard,
+            kind,
+            attempts: Vec::new(),
+            partial: None,
+        }
+    }
 }
 
 /// Failure modes of a shard.
@@ -139,58 +193,229 @@ pub enum ShardErrorKind {
     /// end-of-stream report (e.g. the child process crashed mid-run).
     Crashed(String),
     /// The shard reported a simulation error (bad model/engine pairing
-    /// discovered worker-side, pipeline failure, …).
+    /// discovered worker-side, pipeline failure, …). Deterministic —
+    /// a replay would fail identically — so never retried.
     Sim(String),
+    /// A frame of the shard's stream was truncated or corrupt; `offset`
+    /// is the byte position of the offending frame in the shard's
+    /// output stream.
+    Frame {
+        /// Byte offset of the frame that failed to decode.
+        offset: u64,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The watchdog fired: the shard produced no frame (cut, heartbeat
+    /// or end-of-stream) within the configured `shard_timeout`.
+    Timeout {
+        /// How long the shard had been silent when it was declared
+        /// stalled.
+        silent_for: Duration,
+    },
+}
+
+impl std::fmt::Display for ShardErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardErrorKind::Spawn(m) => write!(f, "spawn failed: {m}"),
+            ShardErrorKind::Crashed(m) => write!(f, "crashed: {m}"),
+            ShardErrorKind::Sim(m) => write!(f, "{m}"),
+            ShardErrorKind::Frame { offset, detail } => {
+                write!(f, "corrupt stream at byte offset {offset}: {detail}")
+            }
+            ShardErrorKind::Timeout { silent_for } => {
+                write!(f, "watchdog timeout: no frame for {silent_for:?}")
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for ShardError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match &self.kind {
-            ShardErrorKind::Spawn(m) => write!(f, "shard {}: spawn failed: {m}", self.shard),
-            ShardErrorKind::Crashed(m) => write!(f, "shard {}: crashed: {m}", self.shard),
-            ShardErrorKind::Sim(m) => write!(f, "shard {}: {m}", self.shard),
+        write!(f, "shard {}: {}", self.shard, self.kind)?;
+        if !self.attempts.is_empty() {
+            write!(f, " (after {} failed attempt", self.attempts.len())?;
+            if self.attempts.len() > 1 {
+                write!(f, "s")?;
+            }
+            write!(f, ": ")?;
+            for (i, a) in self.attempts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "#{}: {}", a.attempt, a.error)?;
+            }
+            write!(f, ")")?;
         }
+        Ok(())
     }
 }
 
 impl std::error::Error for ShardError {}
 
-/// Launches the shards of a plan somewhere — threads, child processes,
-/// or anything else that can stream [`ShardMsg`]s back.
+/// Liveness clock of one shard attempt, shared between the shard's
+/// driver (which *touches* it on every frame, heartbeats included) and
+/// the supervisor's watchdog (which declares the shard stalled when the
+/// clock has not been touched for `SimConfig::shard_timeout`).
+///
+/// A driver that is blocked *forwarding* into the bounded per-shard
+/// channel — i.e. waiting on the coordinator, not on the shard — marks
+/// itself exempt for the duration, so back-pressure is never mistaken
+/// for a stall.
+#[derive(Debug)]
+pub struct ShardActivity {
+    started: Instant,
+    last_ms: AtomicU64,
+    exempt: AtomicBool,
+}
+
+impl Default for ShardActivity {
+    fn default() -> Self {
+        ShardActivity {
+            started: Instant::now(),
+            last_ms: AtomicU64::new(0),
+            exempt: AtomicBool::new(false),
+        }
+    }
+}
+
+impl ShardActivity {
+    /// A fresh clock: the launch instant counts as the first activity,
+    /// so worker startup is measured against the same deadline.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records activity now.
+    pub fn touch(&self) {
+        self.last_ms
+            .store(self.started.elapsed().as_millis() as u64, Ordering::Release);
+    }
+
+    /// Marks the driver as blocked on the coordinator (`true`) or
+    /// actively waiting on the shard (`false`). Leaving the blocked
+    /// state counts as activity.
+    pub fn set_blocked(&self, blocked: bool) {
+        self.exempt.store(blocked, Ordering::Release);
+        if !blocked {
+            self.touch();
+        }
+    }
+
+    /// Permanently exempts this shard from the watchdog (used by the
+    /// in-process transport, whose shards share the coordinator's
+    /// failure domain).
+    pub fn exempt_forever(&self) {
+        self.exempt.store(true, Ordering::Release);
+    }
+
+    /// How long the shard has been silent — `Duration::ZERO` while the
+    /// driver is marked blocked on the coordinator.
+    pub fn silent_for(&self) -> Duration {
+        if self.exempt.load(Ordering::Acquire) {
+            return Duration::ZERO;
+        }
+        let last = Duration::from_millis(self.last_ms.load(Ordering::Acquire));
+        self.started.elapsed().saturating_sub(last)
+    }
+}
+
+/// What a shard's driver feeds the supervisor over the shard's bounded
+/// channel. Heartbeat frames are consumed by the driver itself (they
+/// only touch the [`ShardActivity`] clock) and never appear here.
+#[derive(Debug)]
+pub enum ShardFeed {
+    /// A message from the live shard (a partial cut or the
+    /// end-of-stream report).
+    Msg(ShardMsg),
+    /// The attempt failed; no further feeds follow from it.
+    Failed(ShardError),
+}
+
+/// Launches one shard somewhere — a thread, a child process, or
+/// anything else that can stream [`ShardFeed`]s back.
+///
+/// The supervisor calls [`launch_shard`](ShardTransport::launch_shard)
+/// once per planned shard and *again* for every retry of a failed
+/// shard, each time with a fresh `sink`/`activity` pair and the spec's
+/// `attempt` bumped — so a transport only ever thinks about one worker
+/// at a time and requeueing needs no transport cooperation.
 pub trait ShardTransport {
-    /// Launches every shard of `plan`, delivering each shard's messages
-    /// into `sink` tagged with its shard index. Each launched shard must
-    /// eventually either send [`ShardMsg::End`] or surface a
-    /// [`ShardError`] through its returned handle; shards observe
-    /// `steering` and drain early when it is terminated.
+    /// Launches one shard worker for `spec`'s slice, streaming its
+    /// messages into `sink` and its liveness into `activity`. The
+    /// launched driver must eventually send [`ShardMsg::End`] or
+    /// [`ShardFeed::Failed`] and then finish (a driver that vanishes
+    /// without either is treated as crashed); it observes `steering`
+    /// and drains early when the run is terminated.
     ///
-    /// The sink is *bounded* (the run's `channel_capacity`): a slow
-    /// coordinator back-pressures shard drivers instead of buffering an
-    /// unbounded cut backlog, matching every other pipeline channel.
+    /// The sink is *bounded* (the run's `channel_capacity`): a fast
+    /// shard back-pressures against the supervisor instead of buffering
+    /// its whole lead in coordinator memory. A driver blocked in
+    /// `sink.send` must wrap the send in
+    /// [`ShardActivity::set_blocked`] so the watchdog does not mistake
+    /// back-pressure for a stall.
     ///
     /// # Errors
     ///
-    /// Returns the first launch failure (no handles to join in that
-    /// case: implementations tear down anything already launched).
-    fn launch(
+    /// Returns a [`ShardError`] (kind `Spawn`) when the worker cannot
+    /// be launched; the supervisor owns the retry decision.
+    fn launch_shard(
         &mut self,
         model: Arc<Model>,
-        cfg: &SimConfig,
-        plan: &ShardPlan,
+        spec: &ShardSpec,
         steering: &Steering,
-        sink: mpsc::SyncSender<(usize, ShardMsg)>,
-    ) -> Result<Vec<ShardHandle>, ShardError>;
+        sink: mpsc::SyncSender<ShardFeed>,
+        activity: Arc<ShardActivity>,
+    ) -> Result<ShardHandle, ShardError>;
 }
 
-/// A launched shard: join it after the message stream drains to learn
-/// how the shard ended.
-#[derive(Debug)]
+/// A launched shard attempt: the driver thread plus a best-effort
+/// cancel hook the supervisor uses to put failed or superseded attempts
+/// down.
 pub struct ShardHandle {
     /// The shard this handle belongs to.
     pub shard: usize,
     /// The shard's driver thread (the shard itself in the in-process
     /// transport; the child's stdout reader in the process transport).
-    pub join: std::thread::JoinHandle<Result<(), ShardError>>,
+    pub join: std::thread::JoinHandle<()>,
+    /// Best-effort cancellation: kill the child process / terminate the
+    /// shard-local steering. `None` when the transport has no way to
+    /// interrupt the attempt.
+    cancel: Option<Box<dyn Fn() + Send>>,
+}
+
+impl std::fmt::Debug for ShardHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHandle")
+            .field("shard", &self.shard)
+            .field("cancel", &self.cancel.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardHandle {
+    /// A handle with no cancel hook.
+    pub fn new(shard: usize, join: std::thread::JoinHandle<()>) -> Self {
+        ShardHandle {
+            shard,
+            join,
+            cancel: None,
+        }
+    }
+
+    /// Attaches a cancel hook (kill the child, flip a local steering
+    /// flag, …). Must be idempotent and non-blocking.
+    pub fn with_cancel(mut self, cancel: impl Fn() + Send + 'static) -> Self {
+        self.cancel = Some(Box::new(cancel));
+        self
+    }
+
+    /// Fires the cancel hook, if any.
+    pub fn cancel(&self) {
+        if let Some(c) = &self.cancel {
+            c();
+        }
+    }
 }
 
 /// Runs one shard's slice through the standard farm + alignment
@@ -306,39 +531,58 @@ pub fn run_shard(
 pub struct InProcessTransport;
 
 impl ShardTransport for InProcessTransport {
-    fn launch(
+    fn launch_shard(
         &mut self,
         model: Arc<Model>,
-        cfg: &SimConfig,
-        plan: &ShardPlan,
+        spec: &ShardSpec,
         steering: &Steering,
-        sink: mpsc::SyncSender<(usize, ShardMsg)>,
-    ) -> Result<Vec<ShardHandle>, ShardError> {
-        Ok(plan
-            .ranges()
-            .iter()
-            .map(|&range| {
-                let model = Arc::clone(&model);
-                let spec = ShardSpec::from_config(cfg, range);
-                let steering = steering.clone();
-                let sink = sink.clone();
-                let join = std::thread::spawn(move || {
-                    run_shard(model, &spec, &steering, |msg| {
-                        // A dropped receiver means the coordinator already
-                        // failed; finishing quietly is fine.
-                        let _ = sink.send((range.shard, msg));
-                    })
-                    .map_err(|e| ShardError {
-                        shard: range.shard,
-                        kind: ShardErrorKind::Sim(e.to_string()),
-                    })
-                });
-                ShardHandle {
-                    shard: range.shard,
-                    join,
+        sink: mpsc::SyncSender<ShardFeed>,
+        activity: Arc<ShardActivity>,
+    ) -> Result<ShardHandle, ShardError> {
+        // In-process shards share the coordinator's failure domain: a
+        // wedged shard thread cannot be killed anyway, so the watchdog
+        // would only convert a shared-process bug into a misleading
+        // per-shard timeout. They are exempt; the watchdog supervises
+        // *child processes* (see `distrt`'s transport).
+        activity.exempt_forever();
+        let shard = spec.range.shard;
+        let spec = spec.clone();
+        // Cancellation flips a shard-local steering flag (the shard
+        // drains early, exactly as under global termination); a relay
+        // thread forwards global termination into the same local flag.
+        let local = Steering::new();
+        let done = Arc::new(AtomicBool::new(false));
+        {
+            let global = steering.clone();
+            let local = local.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Acquire) && !local.is_terminated() {
+                    if global.is_terminated() {
+                        local.terminate();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
                 }
-            })
-            .collect())
+            });
+        }
+        let cancel = local.clone();
+        let join = std::thread::spawn(move || {
+            // A dropped receiver means the supervisor already moved on
+            // (run failed or this attempt was cancelled); finishing
+            // quietly is fine.
+            let result = run_shard(model, &spec, &local, |msg| {
+                let _ = sink.send(ShardFeed::Msg(msg));
+            });
+            done.store(true, Ordering::Release);
+            if let Err(e) = result {
+                let _ = sink.send(ShardFeed::Failed(ShardError::new(
+                    shard,
+                    ShardErrorKind::Sim(e.to_string()),
+                )));
+            }
+        });
+        Ok(ShardHandle::new(shard, join).with_cancel(move || cancel.terminate()))
     }
 }
 
@@ -353,8 +597,9 @@ impl ShardTransport for InProcessTransport {
 /// # Errors
 ///
 /// Returns [`SimError`] on invalid configuration/model, engine/model
-/// mismatch, a failed shard (typed [`SimError::Shard`] — a crashed shard
-/// process surfaces here, never as a hang) or a node panic.
+/// mismatch, a failed shard (typed [`SimError::Shard`] — a crashed,
+/// stalled or retry-exhausted shard surfaces here, never as a hang) or
+/// a node panic.
 pub fn run_simulation_sharded_with<T: ShardTransport>(
     model: Arc<Model>,
     cfg: &SimConfig,
@@ -372,13 +617,6 @@ pub fn run_simulation_sharded_with<T: ShardTransport>(
 
     let start = Instant::now();
     let plan = ShardPlan::new(cfg.instances, cfg.shards);
-    // Bounded like every other inter-stage channel: shard drivers block
-    // (and children feel the stdio pipe fill) instead of the coordinator
-    // buffering an unbounded cut backlog.
-    let (msg_tx, msg_rx) = mpsc::sync_channel(cfg.channel_capacity);
-    let handles = transport
-        .launch(Arc::clone(&model), cfg, &plan, steering, msg_tx)
-        .map_err(SimError::Shard)?;
 
     // The unchanged downstream half of the Fig. 2 network, fed by the
     // merged cut stream.
@@ -405,79 +643,24 @@ pub fn run_simulation_sharded_with<T: ShardTransport>(
     // never deadlock behind a full output buffer.
     let collector = std::thread::spawn(move || rows_rx.iter().collect::<Vec<StatRow>>());
 
-    // Merge loop: ends when every shard's sender is gone (End frame or
-    // failure — never a hang, the failure is joined below either way).
-    // A malformed End frame (summary not matching this run's engine
-    // config — possible only through a corrupt wire stream) is recorded
-    // and the loop keeps draining, so shard drivers never block forever
-    // on a sink nobody reads.
-    let mut merger = CutMerger::new(plan.len());
-    let mut summary = RunSummary::new(cfg.engines.clone());
-    let mut events = 0u64;
-    let mut ended = vec![false; plan.len()];
-    let mut malformed: Option<ShardError> = None;
-    let mut full_cuts = Vec::new();
-    for (shard, msg) in msg_rx {
-        match msg {
-            ShardMsg::Cut(cut) => {
-                merger.push(shard, cut, &mut full_cuts);
-                for cut in full_cuts.drain(..) {
-                    if cut_tx.send(cut).is_err() {
-                        break; // downstream failed; surfaced via join below
-                    }
-                }
-            }
-            ShardMsg::End(end) => {
-                let n_obs = end.summary.observables().len();
-                if end.summary.engines() != cfg.engines.as_slice()
-                    || !end.summary.conforms()
-                    || (n_obs != 0 && n_obs != model.observables.len())
-                {
-                    malformed.get_or_insert(ShardError {
-                        shard,
-                        kind: ShardErrorKind::Crashed(
-                            "end-of-stream summary does not match the run's engine \
-                             configuration"
-                                .into(),
-                        ),
-                    });
-                    continue;
-                }
-                events += end.events;
-                summary.merge_from(&end.summary);
-                ended[shard] = true;
-            }
-        }
-    }
+    // The supervision loop owns launch, watchdog, retry/requeue and
+    // cut/summary merging; full cuts are emitted here into the
+    // downstream pipeline. A send failure means downstream already
+    // died — the supervisor keeps draining (so shard drivers never
+    // block forever on a sink nobody reads) and the panic surfaces via
+    // the pipeline join below.
+    let supervised = crate::supervisor::ShardSupervisor::new(cfg, &plan).run(
+        Arc::clone(&model),
+        steering,
+        transport,
+        |cut| cut_tx.send(cut).is_ok(),
+    );
     drop(cut_tx);
     let rows: Vec<StatRow> = collector
         .join()
         .expect("row collector only reads from a channel");
     let run_stats = handle.join()?;
-    if let Some(e) = malformed {
-        return Err(SimError::Shard(e));
-    }
-
-    for h in handles {
-        match h.join.join() {
-            Ok(Ok(())) => {}
-            Ok(Err(e)) => return Err(SimError::Shard(e)),
-            Err(_) => {
-                return Err(SimError::Shard(ShardError {
-                    shard: h.shard,
-                    kind: ShardErrorKind::Crashed("shard driver thread panicked".into()),
-                }))
-            }
-        }
-    }
-    if let Some(shard) = ended.iter().position(|&e| !e) {
-        return Err(SimError::Shard(ShardError {
-            shard,
-            kind: ShardErrorKind::Crashed(
-                "stream ended before the shard's end-of-stream report".into(),
-            ),
-        }));
-    }
+    let (events, summary) = supervised.map_err(SimError::Shard)?;
 
     // Same invariant as the single-process runner: blocks arrive
     // window-ordered, rows within blocks are time-ordered.
@@ -625,18 +808,18 @@ mod tests {
     fn failing_transport_surfaces_typed_shard_error() {
         struct FailingTransport;
         impl ShardTransport for FailingTransport {
-            fn launch(
+            fn launch_shard(
                 &mut self,
                 _model: Arc<Model>,
-                _cfg: &SimConfig,
-                _plan: &ShardPlan,
+                spec: &ShardSpec,
                 _steering: &Steering,
-                _sink: mpsc::SyncSender<(usize, ShardMsg)>,
-            ) -> Result<Vec<ShardHandle>, ShardError> {
-                Err(ShardError {
-                    shard: 0,
-                    kind: ShardErrorKind::Spawn("no such binary".into()),
-                })
+                _sink: mpsc::SyncSender<ShardFeed>,
+                _activity: Arc<ShardActivity>,
+            ) -> Result<ShardHandle, ShardError> {
+                Err(ShardError::new(
+                    spec.range.shard,
+                    ShardErrorKind::Spawn("no such binary".into()),
+                ))
             }
         }
         let model = Arc::new(decay(10, 1.0));
@@ -659,32 +842,24 @@ mod tests {
     #[test]
     fn silent_shard_death_is_a_typed_error_not_a_hang() {
         // A transport whose shard drops its sender without an End report
-        // (the in-process analogue of a crashed child process).
+        // or a `Failed` feed (the in-process analogue of a crashed child
+        // process with a driver bug on top).
         struct DyingTransport;
         impl ShardTransport for DyingTransport {
-            fn launch(
+            fn launch_shard(
                 &mut self,
                 _model: Arc<Model>,
-                _cfg: &SimConfig,
-                plan: &ShardPlan,
+                spec: &ShardSpec,
                 _steering: &Steering,
-                sink: mpsc::SyncSender<(usize, ShardMsg)>,
-            ) -> Result<Vec<ShardHandle>, ShardError> {
-                Ok(plan
-                    .ranges()
-                    .iter()
-                    .map(|r| {
-                        let sink = sink.clone();
-                        let shard = r.shard;
-                        ShardHandle {
-                            shard,
-                            join: std::thread::spawn(move || {
-                                drop(sink); // die without a trace
-                                Ok(())
-                            }),
-                        }
-                    })
-                    .collect())
+                sink: mpsc::SyncSender<ShardFeed>,
+                _activity: Arc<ShardActivity>,
+            ) -> Result<ShardHandle, ShardError> {
+                Ok(ShardHandle::new(
+                    spec.range.shard,
+                    std::thread::spawn(move || {
+                        drop(sink); // die without a trace
+                    }),
+                ))
             }
         }
         let model = Arc::new(decay(10, 1.0));

@@ -35,7 +35,12 @@
 //!   [`coordinator::ShardTransport`] (threads here; real `cwc-shard`
 //!   child processes in `distrt::shard`), and merge the partial cuts and
 //!   mergeable streaming statistics back into one stream
-//!   ([`merge::CutMerger`], [`merge::RunSummary`]).
+//!   ([`merge::CutMerger`], [`merge::RunSummary`]);
+//! - [`supervisor`]: fault tolerance for the sharded farm — watchdog
+//!   timeouts over per-shard heartbeats, deterministic retry/requeue of
+//!   a failed slice with bounded-exponential backoff, and typed
+//!   attempt-history errors on budget exhaustion
+//!   ([`supervisor::ShardSupervisor`]).
 //!
 //! ## Quickstart
 //!
@@ -66,6 +71,7 @@ pub mod plan;
 pub mod runner;
 pub mod sim_farm;
 pub mod storage;
+pub mod supervisor;
 pub mod task;
 pub mod windows;
 
@@ -73,7 +79,8 @@ pub use alignment::Alignment;
 pub use config::{ConfigError, SimConfig};
 pub use coordinator::{
     run_shard, run_simulation_sharded_in_process, run_simulation_sharded_with, InProcessTransport,
-    ShardEnd, ShardError, ShardErrorKind, ShardHandle, ShardMsg, ShardSpec, ShardTransport,
+    ShardActivity, ShardAttempt, ShardEnd, ShardError, ShardErrorKind, ShardFeed, ShardHandle,
+    ShardMsg, ShardSpec, ShardTransport,
 };
 pub use display::{ascii_chart, CsvRenderer};
 pub use engines::{ObsStats, StatBlock, StatEngineKind, StatEngineSet, StatRow};
@@ -83,5 +90,6 @@ pub use plan::{ShardPlan, ShardRange};
 pub use runner::{run_sequential, run_simulation, run_simulation_steered, SimError, SimReport};
 pub use sim_farm::{BatchSimMaster, BatchSimWorker, SimMaster, SimWorker, Steering, TaskMaster};
 pub use storage::{load_csv, CsvFileSink, StoredRun};
+pub use supervisor::ShardSupervisor;
 pub use task::{batch_spans, BatchSimTask, SampleBatch, SimTask};
 pub use windows::{Window, WindowGen};

@@ -34,11 +34,12 @@ use crate::engines::StatEngineKind;
 /// merger holds a queue per shard and emits a full cut as soon as every
 /// shard has delivered its slice of the current grid time.
 ///
-/// The queues are unbounded: a shard racing ahead of a slow peer
-/// buffers its lead here (the coordinator's bounded message channel
-/// limits the *rate*, not the skew). Shards do near-equal work by
-/// construction, so the lead stays small in practice; per-shard flow
-/// control that bounds it is a ROADMAP item.
+/// The queues themselves are unbounded, but the skew a shard can buffer
+/// here is bounded upstream: the supervisor gives every shard its *own*
+/// bounded channel and drains them round-robin, one cut per live shard
+/// per grid time, so a fast shard blocks (back-pressure, exempt from
+/// the watchdog) once it is `channel_capacity` cuts ahead of the merge
+/// frontier rather than buffering an arbitrary lead.
 #[derive(Debug)]
 pub struct CutMerger {
     queues: Vec<VecDeque<Cut>>,

@@ -11,8 +11,12 @@
 //! identical to local execution) and [`shard`] (the *multi-process*
 //! deployment: one `cwc-shard` child OS process per shard, streaming
 //! aligned partial cuts plus mergeable partial statistics back over
-//! stdio as length-prefixed wire-v4 frames — bit-for-bit identical
-//! analysis rows to the single-process runner).
+//! stdio as length-prefixed wire-v6 frames — bit-for-bit identical
+//! analysis rows to the single-process runner). [`fault`] is the
+//! fault-injection harness for that deployment: an env-driven plan
+//! (`CWC_SHARD_FAULT`) makes a chosen worker crash, stall, corrupt its
+//! stream or start late, so the supervisor's recovery paths are
+//! exercisable end-to-end with the real binary.
 //!
 //! **Performance** — [`platform`] (host/VM/network profiles of the paper's
 //! testbeds), [`workload`] (event traces recorded from *real* engine runs
@@ -27,6 +31,7 @@
 pub mod cloud;
 pub mod cluster;
 pub mod emulation;
+pub mod fault;
 pub mod multicore;
 pub mod platform;
 pub mod shard;
@@ -36,6 +41,7 @@ pub mod workload;
 pub use cloud::{heterogeneous, heterogeneous_deployment, single_vm, virtual_cluster};
 pub use cluster::{simulate_cluster, ClusterOutcome, ClusterParams};
 pub use emulation::{run_distributed_emulation, EmulatedRun, EmulationError};
+pub use fault::{FaultKind, FaultPlan, FAULT_ENV};
 pub use multicore::{simulate_multicore, MulticoreParams, PipelineOutcome};
 pub use platform::{HostProfile, NetworkProfile};
 pub use shard::{

@@ -5,49 +5,72 @@
 //! this module provides the production one: every shard is a real child
 //! OS process running the `cwc-shard` worker binary (repo root,
 //! `src/bin/cwc-shard.rs`), spoken to over stdio with length-prefixed
-//! wire-v4 frames.
+//! wire-v6 frames.
 //!
 //! ## Protocol
 //!
 //! Every frame is a `u32` little-endian byte length followed by that
-//! many bytes of a standard enveloped wire-v4 message (magic, version,
+//! many bytes of a standard enveloped wire-v6 message (magic, version,
 //! payload — see [`crate::wire`]).
 //!
 //! ```text
 //! coordinator ──stdin──▶ shard:   Job(model + ShardSpec) [Terminate]
-//! shard ──stdout──▶ coordinator:  Cut* (grid order)  End{events, summary}
-//!                                 | Error(message)
+//! shard ──stdout──▶ coordinator:  (Cut | Progress)* (cuts in grid order)
+//!                                 End{events, summary} | Error(message)
 //! ```
+//!
+//! `Progress` frames are heartbeats, emitted every
+//! `ShardSpec::heartbeat_period` seconds from a side thread: the reader
+//! feeds them to the supervisor's [`ShardActivity`] clock (they carry
+//! the cut count purely as a diagnostic) so the watchdog can tell a
+//! shard that is *slow* (heartbeats flowing, no cut yet) from one that
+//! is *stalled* (no frame of any kind for `SimConfig::shard_timeout`).
 //!
 //! A shard that exits without `End` or `Error` is a crash; the
 //! coordinator's reader surfaces it as a typed
 //! [`ShardError`] (exit status and captured stderr
-//! attached), never a hang. [`Steering::terminate`] reaches children as
-//! a `Terminate` frame: each child's control thread flips its local
-//! steering flag and the shard drains at the next quantum boundaries,
-//! still ending with a well-formed `End` frame.
+//! attached), never a hang. A truncated or length-corrupt frame becomes
+//! [`ShardErrorKind::Frame`] with the byte offset of the offending
+//! frame. Failures feed the shard supervisor
+//! (`cwcsim::supervisor::ShardSupervisor`), which requeues the slice on
+//! a fresh child within the configured retry budget — deterministic
+//! per-instance seeding makes the replay bit-for-bit.
+//! [`Steering::terminate`] reaches children as a `Terminate` frame:
+//! each child's control thread flips its local steering flag and the
+//! shard drains at the next quantum boundaries, still ending with a
+//! well-formed `End` frame.
+//!
+//! ## Fault injection
+//!
+//! Every failure mode above can be injected on purpose via the
+//! [`FAULT_ENV`](crate::fault::FAULT_ENV) environment variable on the
+//! worker (see [`crate::fault`]): crash after k cuts, stall forever,
+//! corrupt frame, garbage on stdout, delayed start. The harness lives
+//! in [`serve_shard`] itself so the in-tree recovery tests and the CI
+//! fault-injection smoke leg exercise the exact production code paths.
 //!
 //! [`Steering::terminate`]: cwcsim::Steering::terminate
+//! [`ShardActivity`]: cwcsim::coordinator::ShardActivity
 
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cwc::model::Model;
 use cwcsim::config::SimConfig;
 use cwcsim::coordinator::{
-    run_shard, run_simulation_sharded_with, InProcessTransport, ShardEnd, ShardError,
-    ShardErrorKind, ShardHandle, ShardMsg, ShardSpec, ShardTransport,
+    run_shard, run_simulation_sharded_with, InProcessTransport, ShardActivity, ShardEnd,
+    ShardError, ShardErrorKind, ShardFeed, ShardHandle, ShardMsg, ShardSpec, ShardTransport,
 };
 use cwcsim::merge::RunSummary;
-use cwcsim::plan::ShardPlan;
 use cwcsim::runner::{SimError, SimReport};
 use cwcsim::sim_farm::Steering;
 use gillespie::trajectory::Cut;
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::wire::{self, Wire, WireError, WireReader};
 
 /// Environment variable overriding the `cwc-shard` binary location.
@@ -88,6 +111,14 @@ pub enum ToCoordinator {
     /// The shard hit a simulation error (bad engine/model pairing, node
     /// panic); no further frames follow.
     Error(String),
+    /// Heartbeat: the shard is alive and has written this many cuts so
+    /// far. Emitted every `ShardSpec::heartbeat_period` seconds; the
+    /// coordinator's reader feeds it to the watchdog's activity clock
+    /// and never forwards it downstream.
+    Progress {
+        /// Cuts written so far (diagnostic only).
+        cuts: u64,
+    },
 }
 
 impl Wire for ShardJob {
@@ -125,7 +156,7 @@ impl Wire for ToShard {
     }
 }
 
-/// Tag 0 = cut, 1 = end, 2 = error.
+/// Tag 0 = cut, 1 = end, 2 = error, 3 = progress (heartbeat, wire v6).
 impl Wire for ToCoordinator {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
@@ -142,6 +173,10 @@ impl Wire for ToCoordinator {
                 buf.push(2);
                 msg.encode(buf);
             }
+            ToCoordinator::Progress { cuts } => {
+                buf.push(3);
+                cuts.encode(buf);
+            }
         }
     }
 
@@ -153,18 +188,55 @@ impl Wire for ToCoordinator {
                 summary: RunSummary::decode(r)?,
             }),
             2 => Ok(ToCoordinator::Error(String::decode(r)?)),
+            3 => Ok(ToCoordinator::Progress {
+                cuts: u64::decode(r)?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
 }
 
-/// Error reading or writing a length-prefixed frame.
+/// Error reading or writing a length-prefixed frame. The
+/// offset-carrying variants pinpoint *where* in the byte stream a frame
+/// went bad — the coordinator turns them into
+/// [`ShardErrorKind::Frame`] with the shard id attached.
 #[derive(Debug)]
 pub enum FrameError {
-    /// The underlying stream failed (or hit EOF mid-frame).
+    /// The underlying stream failed.
     Io(io::Error),
     /// The frame's payload failed to decode.
     Wire(WireError),
+    /// The stream ended inside a frame (mid-length-prefix or
+    /// mid-payload); `offset` is the byte position where the truncated
+    /// frame started.
+    Truncated {
+        /// Byte offset of the truncated frame's first byte.
+        offset: u64,
+        /// Where inside the frame the stream gave out.
+        detail: String,
+    },
+    /// A length prefix exceeded [`MAX_FRAME_LEN`] — a corrupt or
+    /// hostile stream; `offset` is the byte position of the prefix.
+    BadLength {
+        /// Byte offset of the corrupt length prefix.
+        offset: u64,
+        /// The claimed payload length.
+        len: u32,
+    },
+}
+
+impl FrameError {
+    /// The byte offset of the offending frame, when the error pins one
+    /// down (truncation and length corruption do; generic I/O and
+    /// payload-decode errors rely on the caller's own count).
+    pub fn offset(&self) -> Option<u64> {
+        match self {
+            FrameError::Truncated { offset, .. } | FrameError::BadLength { offset, .. } => {
+                Some(*offset)
+            }
+            FrameError::Io(_) | FrameError::Wire(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for FrameError {
@@ -172,6 +244,10 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
             FrameError::Wire(e) => write!(f, "frame decode error: {e}"),
+            FrameError::Truncated { detail, .. } => write!(f, "truncated frame: {detail}"),
+            FrameError::BadLength { len, .. } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
         }
     }
 }
@@ -211,10 +287,28 @@ pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
 ///
 /// # Errors
 ///
-/// [`FrameError::Io`] on stream failure, EOF mid-frame or a length
-/// prefix beyond [`MAX_FRAME_LEN`], [`FrameError::Wire`] on a malformed
-/// payload.
+/// [`FrameError::Truncated`] on EOF mid-frame, [`FrameError::BadLength`]
+/// on a length prefix beyond [`MAX_FRAME_LEN`], [`FrameError::Io`] on
+/// other stream failures, [`FrameError::Wire`] on a malformed payload.
 pub fn read_frame<T: Wire>(r: &mut impl Read) -> Result<Option<T>, FrameError> {
+    read_frame_at(r, &mut 0)
+}
+
+/// Like [`read_frame`], tracking the stream position: `offset` is
+/// advanced past each complete frame, so across calls it is the byte
+/// offset of the next frame — and, on error, the offset baked into
+/// [`FrameError::Truncated`]/[`FrameError::BadLength`] (or the failed
+/// frame's start for the other variants, still in `offset`) locates the
+/// corruption in the shard's output stream.
+///
+/// # Errors
+///
+/// See [`read_frame`].
+pub fn read_frame_at<T: Wire>(
+    r: &mut impl Read,
+    offset: &mut u64,
+) -> Result<Option<T>, FrameError> {
+    let at = *offset;
     let mut len = [0u8; 4];
     // Distinguish clean EOF (no bytes of the next frame) from truncation.
     let mut filled = 0;
@@ -222,24 +316,31 @@ pub fn read_frame<T: Wire>(r: &mut impl Read) -> Result<Option<T>, FrameError> {
         match r.read(&mut len[filled..])? {
             0 if filled == 0 => return Ok(None),
             0 => {
-                return Err(FrameError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "EOF inside frame length",
-                )))
+                return Err(FrameError::Truncated {
+                    offset: at,
+                    detail: format!("EOF after {filled} of 4 length-prefix bytes"),
+                })
             }
             n => filled += n,
         }
     }
     let len = u32::from_le_bytes(len);
     if len > MAX_FRAME_LEN {
-        return Err(FrameError::Io(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"),
-        )));
+        return Err(FrameError::BadLength { offset: at, len });
     }
     let len = len as usize;
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated {
+                offset: at,
+                detail: format!("EOF inside a {len}-byte payload"),
+            }
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    *offset = at + 4 + len as u64;
     wire::from_bytes(&payload)
         .map(Some)
         .map_err(FrameError::Wire)
@@ -252,6 +353,10 @@ pub enum ServeError {
     Frame(FrameError),
     /// The input stream violated the protocol (e.g. no leading job).
     Protocol(String),
+    /// An injected fault fired (see [`crate::fault`]); the worker binary
+    /// exits with a distinct status so a harness-killed child is
+    /// distinguishable from a genuine failure in CI logs.
+    Fault(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -259,6 +364,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Frame(e) => write!(f, "{e}"),
             ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::Fault(m) => write!(f, "injected fault: {m}"),
         }
     }
 }
@@ -273,24 +379,32 @@ impl From<FrameError> for ServeError {
 
 /// The `cwc-shard` worker body: reads a [`ToShard::Job`] frame from
 /// `input`, runs the shard's slice through the standard farm + alignment
-/// pipeline, and streams [`ToCoordinator`] frames to `output`. Further
-/// `input` frames are watched on a control thread so a `Terminate`
-/// drains the shard at the next quantum boundaries (EOF on `input` just
-/// ends the watching). A simulation error becomes a final
-/// [`ToCoordinator::Error`] frame and `Ok(())` — the coordinator owns
-/// the typed surfacing; `Err` is reserved for protocol/stream failures.
+/// pipeline, and streams [`ToCoordinator`] frames to `output` — cuts in
+/// grid order, `Progress` heartbeats every `spec.heartbeat_period`
+/// seconds from a side thread, and finally `End`. Further `input` frames
+/// are watched on a control thread so a `Terminate` drains the shard at
+/// the next quantum boundaries (EOF on `input` just ends the watching).
+/// A simulation error becomes a final [`ToCoordinator::Error`] frame and
+/// `Ok(())` — the coordinator owns the typed surfacing; `Err` is
+/// reserved for protocol/stream failures and fired injected faults.
+///
+/// A [`FaultPlan`] targeting this shard/attempt (from
+/// [`FAULT_ENV`](crate::fault::FAULT_ENV)) is honoured here — see
+/// [`crate::fault`] for the failure modes. A fired `stall` fault never
+/// returns: the worker goes silent and stays alive until killed, which
+/// is exactly what the coordinator's watchdog must be able to handle.
 ///
 /// Takes any `Read`/`Write` pair, so tests can drive the full protocol
 /// through in-memory buffers without spawning a process.
 ///
 /// # Errors
 ///
-/// Returns [`ServeError`] on a malformed input stream or when `output`
-/// fails.
+/// Returns [`ServeError`] on a malformed input stream, a malformed
+/// fault plan, a fired (non-stall) fault, or when `output` fails.
 pub fn serve_shard<R, W>(mut input: R, mut output: W) -> Result<(), ServeError>
 where
     R: Read + Send + 'static,
-    W: Write,
+    W: Write + Send,
 {
     let job = match read_frame::<ToShard>(&mut input)? {
         Some(ToShard::Job(job)) => *job,
@@ -310,6 +424,18 @@ where
         .map_err(|e| ServeError::Frame(FrameError::Io(e)))?;
         return Ok(());
     }
+    // Arm the fault-injection harness for this shard/attempt, if any.
+    let fault = FaultPlan::from_env()
+        .map_err(|e| ServeError::Protocol(format!("invalid fault plan: {e}")))?
+        .filter(|p| p.applies(job.spec.range.shard as u64, job.spec.attempt));
+    if let Some(p) = &fault {
+        if p.kind == FaultKind::DelayStart {
+            // Before the heartbeat thread exists: the delay is fully
+            // silent, so a long enough one trips the watchdog on a
+            // shard that never even started.
+            std::thread::sleep(Duration::from_millis(p.ms));
+        }
+    }
 
     // Control thread: later frames can only be Terminate (or EOF when the
     // coordinator has nothing more to say). Detached on purpose — it ends
@@ -325,29 +451,112 @@ where
     });
 
     let model = Arc::new(job.model);
+    // The heartbeat thread and the pipeline drain share the output
+    // stream; frames are whole-frame atomic under this mutex.
+    let output = Mutex::new(&mut output);
+    let hb_stop = AtomicBool::new(false);
+    let cuts_written = AtomicU64::new(0);
     let mut write_err: Option<io::Error> = None;
+    let mut fired: Option<FaultKind> = None;
     let write_steer = steering.clone();
-    let result = run_shard(model, &job.spec, &steering, |msg| {
-        if write_err.is_some() {
-            return; // coordinator is gone; draining out
-        }
-        let frame = match msg {
-            ShardMsg::Cut(cut) => ToCoordinator::Cut(cut),
-            ShardMsg::End(ShardEnd { events, summary }) => ToCoordinator::End { events, summary },
-        };
-        if let Err(e) = write_frame(&mut output, &frame) {
-            // Nobody is listening (EPIPE): stop simulating at the next
-            // quantum boundaries instead of burning CPU to the horizon
-            // as an orphan.
-            write_err = Some(e);
-            write_steer.terminate();
-        }
+
+    let result = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let period = Duration::from_secs_f64(job.spec.heartbeat_period.max(1e-3));
+            'beat: loop {
+                let wake = Instant::now() + period;
+                while Instant::now() < wake {
+                    if hb_stop.load(Ordering::Acquire) {
+                        break 'beat;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                let frame = ToCoordinator::Progress {
+                    cuts: cuts_written.load(Ordering::Relaxed),
+                };
+                let mut out = output.lock().expect("output mutex");
+                if write_frame(&mut *out, &frame).is_err() {
+                    // The coordinator is gone; the main drain will hit
+                    // the same error and wind down.
+                    break;
+                }
+            }
+        });
+
+        let result = run_shard(model, &job.spec, &steering, |msg| {
+            if write_err.is_some() || fired.is_some() {
+                return; // coordinator gone or fault fired; draining out
+            }
+            if let Some(p) = &fault {
+                if p.kind != FaultKind::DelayStart && cuts_written.load(Ordering::Relaxed) >= p.cuts
+                {
+                    // Fire at this write instead of performing it.
+                    fired = Some(p.kind);
+                    let mut out = output.lock().expect("output mutex");
+                    match p.kind {
+                        // A frame-shaped lie: valid length prefix, garbage
+                        // payload — decodes to BadMagic at the coordinator.
+                        FaultKind::CorruptFrame => {
+                            let _ = out.write_all(&16u32.to_le_bytes());
+                            let _ = out.write_all(&[0xAB; 16]);
+                            let _ = out.flush();
+                        }
+                        // Not even a frame: raw bytes whose "length
+                        // prefix" is absurd.
+                        FaultKind::Garbage => {
+                            let _ = out.write_all(b"\xFF\xFF\xFF\xFFnot a frame at all");
+                            let _ = out.flush();
+                        }
+                        // Crash and stall write nothing; a stall also
+                        // silences the heartbeats — only the watchdog
+                        // can catch it.
+                        FaultKind::Crash | FaultKind::Stall | FaultKind::DelayStart => {}
+                    }
+                    if p.kind == FaultKind::Stall {
+                        hb_stop.store(true, Ordering::Release);
+                    }
+                    // Finish the simulation quickly (and quietly).
+                    write_steer.terminate();
+                    return;
+                }
+            }
+            let frame = match msg {
+                ShardMsg::Cut(cut) => ToCoordinator::Cut(cut),
+                ShardMsg::End(ShardEnd { events, summary }) => {
+                    ToCoordinator::End { events, summary }
+                }
+            };
+            let mut out = output.lock().expect("output mutex");
+            if let Err(e) = write_frame(&mut *out, &frame) {
+                // Nobody is listening (EPIPE): stop simulating at the next
+                // quantum boundaries instead of burning CPU to the horizon
+                // as an orphan.
+                write_err = Some(e);
+                write_steer.terminate();
+            } else if matches!(frame, ToCoordinator::Cut(_)) {
+                cuts_written.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        hb_stop.store(true, Ordering::Release);
+        result
     });
+
+    if let Some(kind) = fired {
+        if kind == FaultKind::Stall {
+            // Stay alive, stay silent, forever: the coordinator's
+            // watchdog (or a kill) is the only way out.
+            loop {
+                std::thread::sleep(Duration::from_secs(60));
+            }
+        }
+        return Err(ServeError::Fault(kind.to_string()));
+    }
     if let Some(e) = write_err {
         return Err(ServeError::Frame(FrameError::Io(e)));
     }
     if let Err(e) = result {
-        write_frame(&mut output, &ToCoordinator::Error(e.to_string()))
+        let mut out = output.lock().expect("output mutex");
+        write_frame(&mut *out, &ToCoordinator::Error(e.to_string()))
             .map_err(|e| ServeError::Frame(FrameError::Io(e)))?;
     }
     Ok(())
@@ -357,10 +566,15 @@ where
 /// launcher (None once deliberately closed).
 type SharedStdin = Arc<Mutex<Option<ChildStdin>>>;
 
-/// The multi-process transport: one `cwc-shard` child per shard.
+/// The multi-process transport: one `cwc-shard` child per shard
+/// attempt. The supervisor calls [`ShardTransport::launch_shard`] again
+/// on every requeue, so each child is single-use; cancellation closes
+/// the child's stdin and kills the process (which unblocks the reader
+/// thread at EOF).
 #[derive(Debug)]
 pub struct ProcessTransport {
     binary: PathBuf,
+    env: Vec<(String, String)>,
 }
 
 impl ProcessTransport {
@@ -374,12 +588,14 @@ impl ProcessTransport {
     pub fn new() -> Result<Self, ShardError> {
         Self::resolve_binary()
             .map(Self::with_binary)
-            .ok_or(ShardError {
-                shard: 0,
-                kind: ShardErrorKind::Spawn(format!(
-                    "cwc-shard worker binary not found (build it with \
+            .ok_or_else(|| {
+                ShardError::new(
+                    0,
+                    ShardErrorKind::Spawn(format!(
+                        "cwc-shard worker binary not found (build it with \
                  `cargo build --bin cwc-shard` or set {SHARD_BIN_ENV})"
-                )),
+                    )),
+                )
             })
     }
 
@@ -388,7 +604,18 @@ impl ProcessTransport {
     pub fn with_binary(binary: impl Into<PathBuf>) -> Self {
         ProcessTransport {
             binary: binary.into(),
+            env: Vec::new(),
         }
+    }
+
+    /// Sets an environment variable on every child this transport
+    /// spawns. This is how tests arm the fault-injection harness
+    /// ([`crate::fault::FAULT_ENV`]) per-run without touching the test
+    /// process's own environment (which other tests share).
+    #[must_use]
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.env.push((key.into(), value.into()));
+        self
     }
 
     /// The worker binary this transport spawns.
@@ -417,33 +644,57 @@ impl ProcessTransport {
         }
         None
     }
+}
 
-    /// Spawns and assigns one shard; returns the reader-thread handle.
+impl ShardTransport for ProcessTransport {
+    /// Spawns one `cwc-shard` child for `spec`'s slice; the returned
+    /// handle's reader thread streams its frames into `sink` and feeds
+    /// the watchdog's `activity` clock (heartbeats included), and its
+    /// cancel hook closes the child's stdin and kills the process.
     #[allow(clippy::too_many_lines)]
-    fn launch_one(
-        &self,
-        job: &ShardJob,
+    fn launch_shard(
+        &mut self,
+        model: Arc<Model>,
+        spec: &ShardSpec,
         steering: &Steering,
-        sink: mpsc::SyncSender<(usize, ShardMsg)>,
-    ) -> Result<(ShardHandle, SharedStdin), ShardError> {
-        let shard = job.spec.range.shard;
-        let spawn_err = |m: String| ShardError {
-            shard,
-            kind: ShardErrorKind::Spawn(m),
+        sink: mpsc::SyncSender<ShardFeed>,
+        activity: Arc<ShardActivity>,
+    ) -> Result<ShardHandle, ShardError> {
+        let shard = spec.range.shard;
+        let job = ShardJob {
+            model: (*model).clone(),
+            spec: spec.clone(),
         };
-        let mut child: Child = Command::new(&self.binary)
-            .stdin(Stdio::piped())
+        let spawn_err = |m: String| ShardError::new(shard, ShardErrorKind::Spawn(m));
+        let mut cmd = Command::new(&self.binary);
+        cmd.stdin(Stdio::piped())
             .stdout(Stdio::piped())
-            .stderr(Stdio::piped())
+            .stderr(Stdio::piped());
+        for (k, v) in &self.env {
+            cmd.env(k, v);
+        }
+        let mut child: Child = cmd
             .spawn()
             .map_err(|e| spawn_err(format!("{}: {e}", self.binary.display())))?;
         let mut stdin = child.stdin.take().expect("piped stdin");
-        write_frame(&mut stdin, &ToShard::Job(Box::new(job.clone())))
-            .map_err(|e| spawn_err(format!("failed to send job: {e}")))?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let stderr_pipe = child.stderr.take().expect("piped stderr");
+        if let Err(e) = write_frame(&mut stdin, &ToShard::Job(Box::new(job))) {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(spawn_err(format!("failed to send job: {e}")));
+        }
         // The stdin handle stays open (shared with the steering watcher)
         // so a Terminate frame can still reach the child mid-run.
         let stdin: SharedStdin = Arc::new(Mutex::new(Some(stdin)));
+        // The child itself is shared with the cancel hook so a stalled
+        // worker can be killed outright; the reader reaps it.
+        let child = Arc::new(Mutex::new(Some(child)));
         let done = Arc::new(AtomicBool::new(false));
+        // A failed Terminate write is not swallowed: it is recorded here
+        // and attached to whatever error the reader surfaces, so a dead
+        // pipe during steering stays visible.
+        let terminate_note: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
 
         // Drain stderr from the start: a child blocked on a full stderr
         // pipe would stop emitting stdout frames — the exact hang the
@@ -451,7 +702,7 @@ impl ProcessTransport {
         // for crash reports; the thread dies with the pipe.
         let stderr_buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
         {
-            let mut pipe = child.stderr.take().expect("piped stderr");
+            let mut pipe = stderr_pipe;
             let buf = Arc::clone(&stderr_buf);
             std::thread::spawn(move || {
                 let mut chunk = [0u8; 4096];
@@ -472,12 +723,16 @@ impl ProcessTransport {
         {
             let stdin = Arc::clone(&stdin);
             let done = Arc::clone(&done);
+            let note = Arc::clone(&terminate_note);
             let steering = steering.clone();
             std::thread::spawn(move || {
                 while !done.load(Ordering::Acquire) {
                     if steering.is_terminated() {
                         if let Some(pipe) = stdin.lock().expect("stdin mutex").as_mut() {
-                            let _ = write_frame(pipe, &ToShard::Terminate);
+                            if let Err(e) = write_frame(pipe, &ToShard::Terminate) {
+                                *note.lock().expect("terminate note mutex") =
+                                    Some(format!("terminate frame write failed: {e}"));
+                            }
                         }
                         break;
                     }
@@ -486,17 +741,49 @@ impl ProcessTransport {
             });
         }
 
+        let cancel = {
+            let stdin = Arc::clone(&stdin);
+            let child = Arc::clone(&child);
+            move || {
+                // Closing stdin first gives a healthy child a clean EOF;
+                // the kill handles the unhealthy (stalled) one — and
+                // unblocks the reader thread at stdout EOF either way.
+                *stdin.lock().expect("stdin mutex") = None;
+                if let Some(c) = child.lock().expect("child mutex").as_mut() {
+                    let _ = c.kill();
+                }
+            }
+        };
+
         let reader_stdin = Arc::clone(&stdin);
+        let reader_child = Arc::clone(&child);
         let join = std::thread::spawn(move || {
             let _hold_stdin = reader_stdin; // closed when the reader ends
-            let mut out = child.stdout.take().expect("piped stdout");
+            let mut out = stdout;
+            let mut offset = 0u64;
             let result = loop {
-                match read_frame::<ToCoordinator>(&mut out) {
+                let frame_start = offset;
+                match read_frame_at::<ToCoordinator>(&mut out, &mut offset) {
+                    Ok(Some(ToCoordinator::Progress { .. })) => {
+                        // Heartbeat: liveness only, never forwarded.
+                        activity.touch();
+                    }
                     Ok(Some(ToCoordinator::Cut(cut))) => {
-                        let _ = sink.send((shard, ShardMsg::Cut(cut)));
+                        activity.touch();
+                        // Blocking on the bounded channel is waiting on
+                        // the *coordinator*, not the shard — exempt from
+                        // the watchdog for the duration.
+                        activity.set_blocked(true);
+                        let delivered = sink.send(ShardFeed::Msg(ShardMsg::Cut(cut))).is_ok();
+                        activity.set_blocked(false);
+                        if !delivered {
+                            break Ok(()); // attempt cancelled / run over
+                        }
                     }
                     Ok(Some(ToCoordinator::End { events, summary })) => {
-                        let _ = sink.send((shard, ShardMsg::End(ShardEnd { events, summary })));
+                        activity.touch();
+                        let _ =
+                            sink.send(ShardFeed::Msg(ShardMsg::End(ShardEnd { events, summary })));
                         break Ok(());
                     }
                     Ok(Some(ToCoordinator::Error(msg))) => {
@@ -507,84 +794,72 @@ impl ProcessTransport {
                             "worker exited before its end-of-stream report".into(),
                         ));
                     }
-                    Err(e) => break Err(ShardErrorKind::Crashed(format!("broken stream: {e}"))),
+                    Err(e) => {
+                        break Err(ShardErrorKind::Frame {
+                            offset: e.offset().unwrap_or(frame_start),
+                            detail: e.to_string(),
+                        })
+                    }
                 }
             };
             done.store(true, Ordering::Release);
-            // Reap the child; enrich failures with its status and stderr.
-            let exit = child.wait();
-            result.map_err(|kind| {
-                let mut detail = match kind {
-                    ShardErrorKind::Crashed(m) => m,
-                    ShardErrorKind::Sim(m) => {
-                        return ShardError {
-                            shard,
-                            kind: ShardErrorKind::Sim(m),
-                        }
+            // Reap the child; enrich failures with its status, stderr
+            // and any recorded Terminate-write failure.
+            let exit = match reader_child.lock().expect("child mutex").take() {
+                Some(mut c) => {
+                    // A child that stopped writing but never exits would
+                    // turn wait() into the hang the typed-error contract
+                    // rules out; after EOF the only reason to linger is a
+                    // wedged child, so put it down first.
+                    if result.is_err() {
+                        let _ = c.kill();
                     }
-                    other => return ShardError { shard, kind: other },
+                    Some(c.wait())
+                }
+                None => None,
+            };
+            if let Err(kind) = result {
+                let kind = match kind {
+                    ShardErrorKind::Sim(m) => ShardErrorKind::Sim(m),
+                    ShardErrorKind::Crashed(m) => {
+                        ShardErrorKind::Crashed(enrich(m, &exit, &stderr_buf, &terminate_note))
+                    }
+                    ShardErrorKind::Frame { offset, detail } => ShardErrorKind::Frame {
+                        offset,
+                        detail: enrich(detail, &exit, &stderr_buf, &terminate_note),
+                    },
+                    other => other,
                 };
-                if let Ok(status) = exit {
-                    detail.push_str(&format!(" (exit: {status}"));
-                    let stderr =
-                        String::from_utf8_lossy(&stderr_buf.lock().expect("stderr buffer mutex"))
-                            .into_owned();
-                    let stderr = stderr.trim();
-                    if !stderr.is_empty() {
-                        let tail: String = stderr.chars().take(400).collect();
-                        detail.push_str(&format!(", stderr: {tail}"));
-                    }
-                    detail.push(')');
-                }
-                ShardError {
-                    shard,
-                    kind: ShardErrorKind::Crashed(detail),
-                }
-            })
+                let _ = sink.send(ShardFeed::Failed(ShardError::new(shard, kind)));
+            }
         });
-        Ok((ShardHandle { shard, join }, stdin))
+        Ok(ShardHandle::new(shard, join).with_cancel(cancel))
     }
 }
 
-impl ShardTransport for ProcessTransport {
-    fn launch(
-        &mut self,
-        model: Arc<Model>,
-        cfg: &SimConfig,
-        plan: &ShardPlan,
-        steering: &Steering,
-        sink: mpsc::SyncSender<(usize, ShardMsg)>,
-    ) -> Result<Vec<ShardHandle>, ShardError> {
-        let mut handles = Vec::with_capacity(plan.len());
-        let mut stdins = Vec::with_capacity(plan.len());
-        for &range in plan.ranges() {
-            let job = ShardJob {
-                model: (*model).clone(),
-                spec: ShardSpec::from_config(cfg, range),
-            };
-            match self.launch_one(&job, steering, sink.clone()) {
-                Ok((handle, stdin)) => {
-                    handles.push(handle);
-                    stdins.push(stdin);
-                }
-                Err(e) => {
-                    // Tear down what already started: ask the children to
-                    // drain, then wait for their readers to finish.
-                    for stdin in &stdins {
-                        if let Some(pipe) = stdin.lock().expect("stdin mutex").as_mut() {
-                            let _ = write_frame(pipe, &ToShard::Terminate);
-                        }
-                        *stdin.lock().expect("stdin mutex") = None;
-                    }
-                    for h in handles {
-                        let _ = h.join.join();
-                    }
-                    return Err(e);
-                }
-            }
+/// Appends a child's exit status, captured-stderr tail and any recorded
+/// Terminate-write failure to an error detail string.
+fn enrich(
+    mut detail: String,
+    exit: &Option<io::Result<std::process::ExitStatus>>,
+    stderr_buf: &Mutex<Vec<u8>>,
+    terminate_note: &Mutex<Option<String>>,
+) -> String {
+    if let Some(Ok(status)) = exit {
+        detail.push_str(&format!(" (exit: {status}"));
+        let stderr =
+            String::from_utf8_lossy(&stderr_buf.lock().expect("stderr buffer mutex")).into_owned();
+        let stderr = stderr.trim();
+        if !stderr.is_empty() {
+            let tail: String = stderr.chars().take(400).collect();
+            detail.push_str(&format!(", stderr: {tail}"));
         }
-        Ok(handles)
+        detail.push(')');
     }
+    if let Some(note) = terminate_note.lock().expect("terminate note mutex").take() {
+        detail.push_str(&format!("; {note}"));
+    }
+    detail
 }
 
 /// Runs a sharded simulation with real `cwc-shard` child processes (one
@@ -647,11 +922,16 @@ mod tests {
         }
     }
 
+    /// Decodes every frame in `output`, dropping `Progress` heartbeats:
+    /// they are timing-dependent liveness signals, so counting them
+    /// would make the exact-frame assertions below machine-speed flaky.
     fn frames_from(output: &[u8]) -> Vec<ToCoordinator> {
         let mut cur = Cursor::new(output.to_vec());
         let mut frames = Vec::new();
         while let Some(f) = read_frame::<ToCoordinator>(&mut cur).expect("well-formed output") {
-            frames.push(f);
+            if !matches!(f, ToCoordinator::Progress { .. }) {
+                frames.push(f);
+            }
         }
         frames
     }
@@ -748,9 +1028,9 @@ mod tests {
     fn serve_shard_rejects_streams_without_a_job() {
         let mut input = Vec::new();
         write_frame(&mut input, &ToShard::Terminate).unwrap();
-        let err = serve_shard(Cursor::new(input), &mut Vec::new()).unwrap_err();
+        let err = serve_shard(Cursor::new(input), Vec::new()).unwrap_err();
         assert!(err.to_string().contains("terminate before job"), "{err}");
-        let err = serve_shard(Cursor::new(Vec::new()), &mut Vec::new()).unwrap_err();
+        let err = serve_shard(Cursor::new(Vec::new()), Vec::new()).unwrap_err();
         assert!(err.to_string().contains("empty input"), "{err}");
     }
 
@@ -800,5 +1080,43 @@ mod tests {
         // Truncation inside the frame is an error.
         let mut cur = Cursor::new(buf[..buf.len() - 1].to_vec());
         assert!(read_frame::<ToShard>(&mut cur).is_err());
+    }
+
+    #[test]
+    fn read_frame_at_reports_the_byte_offset_of_corruption() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ToShard::Terminate).unwrap();
+        let first_len = buf.len() as u64;
+        write_frame(&mut buf, &ToShard::Terminate).unwrap();
+
+        // Truncated payload in the second frame: the error carries the
+        // offset of the frame that broke, not of the stream head.
+        let mut cur = Cursor::new(buf[..buf.len() - 1].to_vec());
+        let mut offset = 0;
+        assert!(read_frame_at::<ToShard>(&mut cur, &mut offset)
+            .unwrap()
+            .is_some());
+        assert_eq!(offset, first_len);
+        let err = read_frame_at::<ToShard>(&mut cur, &mut offset).unwrap_err();
+        assert_eq!(err.offset(), Some(first_len), "{err}");
+        assert!(
+            matches!(err, FrameError::Truncated { .. }),
+            "payload truncation is typed: {err}"
+        );
+
+        // A ripped length prefix is typed the same way, offset intact.
+        let mut cur = Cursor::new(vec![0x01, 0x02]);
+        let mut offset = 7;
+        let err = read_frame_at::<ToShard>(&mut cur, &mut offset).unwrap_err();
+        assert_eq!(err.offset(), Some(7));
+        assert!(err.to_string().contains("length-prefix"), "{err}");
+
+        // An absurd length prefix is BadLength at the right offset.
+        let mut bytes = (3u32 * 1024 * 1024 * 1024).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        let mut offset = first_len;
+        let err = read_frame_at::<ToShard>(&mut Cursor::new(bytes), &mut offset).unwrap_err();
+        assert!(matches!(err, FrameError::BadLength { .. }), "{err}");
+        assert_eq!(err.offset(), Some(first_len));
     }
 }

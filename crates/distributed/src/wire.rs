@@ -35,8 +35,13 @@ pub const MAGIC: [u8; 4] = *b"CWCS";
 /// partial [`Cut`]s, and the mergeable partial-statistics state
 /// ([`RunSummary`] with its Welford/histogram/P² accumulators) — plus the
 /// [`crate::shard`] frame envelope around them; version 5 added the
-/// batched engine kind (tag 5 + batch width).
-pub const VERSION: u16 = 5;
+/// batched engine kind (tag 5 + batch width); version 6 added the
+/// supervision fields — the heartbeat frame
+/// ([`crate::shard::ToCoordinator::Progress`], tag 3) and the
+/// `attempt`/`heartbeat_period` fields of [`ShardSpec`] — so the
+/// coordinator's watchdog can tell a slow shard from a stalled one and
+/// a requeued slice can be targeted by the fault-injection harness.
+pub const VERSION: u16 = 6;
 
 /// Error produced while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -892,6 +897,8 @@ impl Wire for ShardSpec {
         (self.sim_workers as u64).encode(buf);
         (self.channel_capacity as u64).encode(buf);
         self.engines.encode(buf);
+        self.attempt.encode(buf);
+        self.heartbeat_period.encode(buf);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -905,6 +912,8 @@ impl Wire for ShardSpec {
             sim_workers: u64::decode(r)? as usize,
             channel_capacity: u64::decode(r)? as usize,
             engines: Vec::decode(r)?,
+            attempt: u32::decode(r)?,
+            heartbeat_period: f64::decode(r)?,
         })
     }
 }
@@ -1197,6 +1206,8 @@ mod tests {
                 StatEngineKind::MeanVariance,
                 StatEngineKind::KMeans { k: 2 },
             ],
+            attempt: 3,
+            heartbeat_period: 0.25,
         });
     }
 

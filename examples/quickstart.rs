@@ -17,21 +17,26 @@
 //! the trajectories and streaming partial cuts + mergeable statistics
 //! back — and the rows are asserted **bit-for-bit identical** to the
 //! single-process run (exit code 1 otherwise; the CI sharded smoke leg
-//! runs exactly this).
+//! runs exactly this). `-- --retries N` arms the supervisor's retry
+//! budget and `-- --shard-timeout SECS` its watchdog, so the same smoke
+//! run also survives an injected worker fault (`CWC_SHARD_FAULT`; the
+//! CI fault-injection leg kills one shard mid-run this way and still
+//! demands bit-for-bit rows).
 
 use std::sync::Arc;
 
 use cwc_repro::cwc::model::Model;
 use cwc_repro::{run_simulation, EngineKind, SimConfig, StatEngineKind};
 
-/// Value of `--shards N` (None when the flag is absent).
-fn shards_arg() -> Option<usize> {
+/// Value of `--<name> <v>` parsed as `T` (None when the flag is absent).
+fn flag_arg<T: std::str::FromStr>(name: &str) -> Option<T> {
     let args: Vec<String> = std::env::args().collect();
-    let i = args.iter().position(|a| a == "--shards")?;
+    let flag = format!("--{name}");
+    let i = args.iter().position(|a| *a == flag)?;
     Some(
         args.get(i + 1)
             .and_then(|v| v.parse().ok())
-            .expect("--shards takes a positive integer"),
+            .unwrap_or_else(|| panic!("{flag} takes a number")),
     )
 }
 
@@ -78,8 +83,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sharded re-run: same model, same seeds, N child processes — and
     // the per-instance seeding makes the rows bit-for-bit identical.
-    if let Some(shards) = shards_arg() {
-        let sharded_cfg = cfg.clone().shards(shards);
+    // With a retry budget and/or watchdog armed, that still holds when a
+    // worker dies mid-run: the supervisor requeues the slice and the
+    // deterministic replay slots straight back into the merge.
+    if let Some(shards) = flag_arg::<usize>("shards") {
+        let mut sharded_cfg = cfg.clone().shards(shards);
+        if let Some(retries) = flag_arg::<usize>("retries") {
+            sharded_cfg = sharded_cfg.retries(retries);
+        }
+        if let Some(secs) = flag_arg::<f64>("shard-timeout") {
+            sharded_cfg = sharded_cfg.shard_timeout(secs);
+        }
         let sharded =
             cwc_repro::distrt::shard::run_simulation_sharded(Arc::clone(&model), &sharded_cfg)?;
         if sharded.rows != report.rows || sharded.events != report.events {

@@ -1,22 +1,35 @@
 //! `cwc-shard` — the sharded simulation farm's worker process.
 //!
 //! Spawned by the coordinator (`distrt::shard::ProcessTransport`), one
-//! per shard. Protocol (length-prefixed wire-v4 frames over stdio):
+//! per shard. Protocol (length-prefixed wire-v6 frames over stdio):
 //! a `Job` frame on stdin carries the full model plus this shard's
 //! instance slice; the worker runs the standard farm + alignment
-//! pipeline on the slice and streams aligned partial cuts plus one
-//! end-of-stream mergeable statistics state back on stdout. A
-//! `Terminate` frame on stdin drains the shard at the next quantum
-//! boundaries. See `distrt::shard` for the full contract.
+//! pipeline on the slice and streams aligned partial cuts, `Progress`
+//! heartbeats, plus one end-of-stream mergeable statistics state back
+//! on stdout. A `Terminate` frame on stdin drains the shard at the
+//! next quantum boundaries. See `distrt::shard` for the full contract.
 //!
-//! Not meant to be run by hand; exits 2 on a malformed input stream.
+//! Setting `CWC_SHARD_FAULT` (see `distrt::fault`) arms the
+//! fault-injection harness: the worker crashes, stalls, corrupts its
+//! stream or starts late on cue so supervisor recovery is testable
+//! end-to-end.
+//!
+//! Not meant to be run by hand; exits 2 on a malformed input stream
+//! and 3 when an injected fault fired (so a harness can tell a planned
+//! death from a real one).
 
 use std::io;
 
 fn main() {
-    let stdout = io::BufWriter::new(io::stdout().lock());
+    // Unlocked handle: the heartbeat thread inside `serve_shard` needs
+    // the writer to be `Send` (StdoutLock is not).
+    let stdout = io::BufWriter::new(io::stdout());
     if let Err(e) = cwc_repro::distrt::shard::serve_shard(io::stdin(), stdout) {
         eprintln!("cwc-shard: {e}");
-        std::process::exit(2);
+        let code = match e {
+            cwc_repro::distrt::shard::ServeError::Fault(_) => 3,
+            _ => 2,
+        };
+        std::process::exit(code);
     }
 }

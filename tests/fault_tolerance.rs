@@ -1,0 +1,209 @@
+//! The fault-tolerant shard farm's contract, end-to-end with real
+//! `cwc-shard` child processes and the env-driven fault-injection
+//! harness (`distrt::fault`):
+//!
+//! - a worker that crashes, stalls or corrupts its stream mid-run is
+//!   detected, its slice is requeued, and the merged report is
+//!   **bit-for-bit** identical to a fault-free single-process run — for
+//!   every engine kind, including the batched SoA tier;
+//! - with a zero retry budget the same faults surface as *typed* errors
+//!   (`Crashed`, `Frame { offset, .. }`, `Timeout { silent_for }`),
+//!   never as a hang;
+//! - budget exhaustion carries the full per-attempt history.
+//!
+//! Each test arms its own transport via `ProcessTransport::env`, so the
+//! fault plan rides the child's environment and tests stay parallel-safe.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cwc_repro::biomodels;
+use cwc_repro::cwcsim::{
+    run_simulation, run_simulation_sharded_with, EngineKind, ShardErrorKind, SimConfig, SimError,
+    SimReport, Steering,
+};
+use cwc_repro::distrt::fault::FAULT_ENV;
+use cwc_repro::distrt::shard::ProcessTransport;
+
+fn cfg() -> SimConfig {
+    SimConfig::new(6, 2.0)
+        .quantum(0.5)
+        .sample_period(0.25)
+        .sim_workers(2)
+        .stat_workers(2)
+        .window(4, 2)
+        .seed(211)
+        .shard_backoff(0.0, 0.0) // no backoff sleeps in tests
+}
+
+fn transport(plan: &str) -> ProcessTransport {
+    ProcessTransport::new()
+        .expect("cwc-shard binary built alongside this test")
+        .env(FAULT_ENV, plan)
+}
+
+fn run_faulted(cfg: &SimConfig, plan: &str) -> Result<SimReport, SimError> {
+    let model = Arc::new(biomodels::simple::decay(40, 1.0));
+    run_simulation_sharded_with(model, cfg, &Steering::new(), &mut transport(plan))
+}
+
+/// The full matrix: {crash, stall, corrupt-frame, garbage} × retry
+/// budget {0, 1, 2} × shards {1, 2, 3}. A budget ≥ 1 must recover
+/// bit-for-bit (the plans fault only the first attempt); a budget of 0
+/// must surface the fault's typed kind. Either way the run terminates.
+#[test]
+fn fault_matrix_recovers_bit_for_bit_or_fails_typed() {
+    let model = Arc::new(biomodels::simple::decay(40, 1.0));
+    let reference = run_simulation(Arc::clone(&model), &cfg()).expect("fault-free reference");
+
+    // (plan prefix, needs watchdog, matcher for the budget-0 kind)
+    type KindCheck = fn(&ShardErrorKind) -> bool;
+    let faults: [(&str, bool, KindCheck); 4] = [
+        ("crash", false, |k| matches!(k, ShardErrorKind::Crashed(_))),
+        ("stall", true, |k| {
+            matches!(k, ShardErrorKind::Timeout { .. })
+        }),
+        ("corrupt-frame", false, |k| {
+            matches!(k, ShardErrorKind::Frame { .. })
+        }),
+        ("garbage", false, |k| {
+            matches!(k, ShardErrorKind::Frame { .. })
+        }),
+    ];
+    for (fault, needs_watchdog, kind_matches) in faults {
+        for shards in [1usize, 2, 3] {
+            // Fault the last shard after it has streamed 3 cuts, so
+            // recovery has delivered work to skip on replay.
+            let plan = format!("{fault}:shard={},cuts=3", shards - 1);
+            for retries in [0usize, 1, 2] {
+                let mut run_cfg = cfg().shards(shards).retries(retries);
+                if needs_watchdog {
+                    run_cfg = run_cfg.shard_timeout(0.75);
+                }
+                let label = format!("{fault}/shards={shards}/retries={retries}");
+                match run_faulted(&run_cfg, &plan) {
+                    Ok(report) if retries >= 1 => {
+                        assert_eq!(report.rows, reference.rows, "{label}: rows diverged");
+                        assert_eq!(report.events, reference.events, "{label}: events diverged");
+                    }
+                    Ok(_) => panic!("{label}: succeeded with no retry budget"),
+                    Err(SimError::Shard(e)) if retries == 0 => {
+                        assert_eq!(e.shard, shards - 1, "{label}: wrong shard blamed: {e}");
+                        assert!(kind_matches(&e.kind), "{label}: unexpected kind: {e}");
+                    }
+                    Err(e) => panic!("{label}: failed despite retry budget: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// Recovery determinism across every engine kind, the batched SoA tier
+/// included: crash one of three shards mid-stream, retry once, and the
+/// merged rows must equal the fault-free single-process run exactly.
+#[test]
+fn recovery_is_bit_for_bit_for_every_engine_kind() {
+    let model = Arc::new(biomodels::simple::decay(60, 1.0));
+    let kinds = [
+        EngineKind::Ssa,
+        EngineKind::TauLeap { tau: 0.05 },
+        EngineKind::FirstReaction,
+        EngineKind::AdaptiveTau { epsilon: 0.05 },
+        EngineKind::Hybrid {
+            epsilon: 0.05,
+            threshold: 8.0,
+        },
+        EngineKind::Batched { width: 3 },
+    ];
+    for kind in kinds {
+        let base = cfg().engine(kind);
+        let reference =
+            run_simulation(Arc::clone(&model), &base).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let recovered = run_simulation_sharded_with(
+            Arc::clone(&model),
+            &base.clone().shards(3).retries(1),
+            &Steering::new(),
+            &mut transport("crash:shard=1,cuts=2"),
+        )
+        .unwrap_or_else(|e| panic!("{kind}: recovery failed: {e}"));
+        assert_eq!(recovered.rows, reference.rows, "{kind}: rows diverged");
+        assert_eq!(
+            recovered.events, reference.events,
+            "{kind}: events diverged"
+        );
+    }
+}
+
+/// The watchdog contract: a stalled worker (frames *and* heartbeats
+/// stop, process stays alive) becomes a typed `Timeout` — within the
+/// deadline's order of magnitude, never a hang.
+#[test]
+fn stalled_shard_times_out_typed_never_hangs() {
+    let start = Instant::now();
+    let err = run_faulted(&cfg().shards(2).shard_timeout(0.75), "stall:shard=1,cuts=1")
+        .expect_err("no retry budget: the stall must surface");
+    let elapsed = start.elapsed();
+    match err {
+        SimError::Shard(e) => {
+            assert_eq!(e.shard, 1, "{e}");
+            match &e.kind {
+                ShardErrorKind::Timeout { silent_for } => {
+                    assert!(
+                        *silent_for >= Duration::from_millis(750),
+                        "fired early: {silent_for:?}"
+                    );
+                }
+                other => panic!("expected Timeout, got {other}: {e}"),
+            }
+        }
+        other => panic!("expected SimError::Shard, got {other}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "typed timeout took {elapsed:?} — watchdog is not bounding the wait"
+    );
+}
+
+/// A late-starting worker (fully silent before its first heartbeat) is
+/// ridden out as long as the delay stays under the watchdog deadline —
+/// slow is not dead.
+#[test]
+fn delayed_start_within_the_deadline_still_completes() {
+    let reference = run_simulation(Arc::new(biomodels::simple::decay(40, 1.0)), &cfg()).unwrap();
+    let report = run_faulted(
+        &cfg().shards(2).shard_timeout(3.0),
+        "delay-start:shard=0,ms=300",
+    )
+    .expect("a 0.3s delay under a 3s deadline must not be fatal");
+    assert_eq!(report.rows, reference.rows);
+}
+
+/// Budget exhaustion: a shard that faults on every attempt burns the
+/// whole budget, and the error carries one history entry per failed
+/// attempt plus the blamed shard.
+#[test]
+fn exhausted_budget_reports_the_full_attempt_history() {
+    let err = run_faulted(
+        &cfg().shards(2).retries(2),
+        "crash:shard=1,cuts=1,attempt=any",
+    )
+    .expect_err("faulting every attempt must exhaust the budget");
+    match err {
+        SimError::Shard(e) => {
+            assert_eq!(e.shard, 1, "{e}");
+            assert!(matches!(e.kind, ShardErrorKind::Crashed(_)), "{e}");
+            assert_eq!(
+                e.attempts.len(),
+                2,
+                "one history entry per burned retry: {e}"
+            );
+            for (i, a) in e.attempts.iter().enumerate() {
+                assert_eq!(a.attempt, i);
+                assert!(!a.error.is_empty());
+            }
+            let rendered = e.to_string();
+            assert!(rendered.contains("after 2 failed attempts"), "{rendered}");
+        }
+        other => panic!("expected SimError::Shard, got {other}"),
+    }
+}
