@@ -11,6 +11,13 @@
 //!   across shard counts. Build the worker first
 //!   (`cargo build --release --bin cwc-shard`); when it cannot be
 //!   resolved the bench falls back to the emulated path with a warning.
+//! - **`--workers host:port,...`** — the real *network* farm: shards
+//!   are placed on running `cwc-workerd` daemons over TCP
+//!   (`distrt::net::TcpShardTransport`), so the measured speedup spans
+//!   real hosts. Start a daemon per host first
+//!   (`cargo run --release --bin cwc-workerd -- --listen 0.0.0.0:7701`);
+//!   rows are still asserted bit-for-bit identical across shard counts —
+//!   placement must be invisible in the results.
 //! - **`--emulated`** — the original DES model of the paper's testbed
 //!   (1–8 hosts × 2/4 cores over IPoIB), which predicts *timing* for
 //!   hardware we don't have.
@@ -22,7 +29,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bench::{costs, f2, print_table, quick_mode, trace_with};
-use cwcsim::SimConfig;
+use cwcsim::{SimConfig, TransportKind};
 use distrt::cluster::{simulate_cluster, ClusterParams};
 use distrt::platform::{HostProfile, NetworkProfile};
 use distrt::shard::{run_simulation_sharded, ProcessTransport};
@@ -74,18 +81,24 @@ fn emulated() {
 }
 
 /// The real sharded farm: measured wall clock per shard count, rows
-/// checked bit-for-bit against the single-shard reference.
-fn sharded() {
+/// checked bit-for-bit against the single-shard reference. With a
+/// worker list, shards run on remote `cwc-workerd` daemons over TCP
+/// instead of local child processes.
+fn sharded(workers: Option<Vec<String>>) {
     let quick = quick_mode();
     let (instances, t_end) = if quick { (48, 4.0) } else { (192, 8.0) };
     let model = bench::neurospora_model();
-    let base = SimConfig::new(instances, t_end)
+    let mut base = SimConfig::new(instances, t_end)
         .quantum(t_end / 16.0)
         .sample_period(t_end / 160.0)
         .sim_workers(2)
         .stat_workers(2)
         .window(5, 1)
         .seed(42);
+    let tcp = workers.is_some();
+    if let Some(addrs) = workers {
+        base = base.transport(TransportKind::Tcp).workers(addrs);
+    }
 
     eprintln!("# FIG4: real sharded runner, {instances} trajectories to t = {t_end} ...");
     let mut rows = Vec::new();
@@ -93,8 +106,16 @@ fn sharded() {
     for shards in [1usize, 2, 3, 4] {
         let cfg = base.clone().shards(shards);
         let start = Instant::now();
-        let report = run_simulation_sharded(Arc::clone(&model), &cfg)
-            .expect("sharded run (is cwc-shard built?)");
+        let report = run_simulation_sharded(Arc::clone(&model), &cfg).unwrap_or_else(|e| {
+            panic!(
+                "sharded run failed ({}): {e}",
+                if tcp {
+                    "are the cwc-workerd daemons up?"
+                } else {
+                    "is cwc-shard built?"
+                }
+            )
+        });
         let wall = start.elapsed().as_secs_f64();
         let (t1, ref_rows) = reference.get_or_insert_with(|| (wall, report.rows.clone()));
         assert_eq!(
@@ -103,7 +124,9 @@ fn sharded() {
         );
         rows.push(vec![
             shards.to_string(),
-            if shards == 1 {
+            if tcp {
+                "tcp workers"
+            } else if shards == 1 {
                 "in-process"
             } else {
                 "processes"
@@ -116,7 +139,14 @@ fn sharded() {
         ]);
     }
     print_table(
-        "FIG4, real sharded farm (cwc-shard worker processes, wire-v6 stdio streams)",
+        &format!(
+            "FIG4, real sharded farm ({})",
+            if tcp {
+                format!("cwc-workerd daemons over TCP: {}", base.workers.join(", "))
+            } else {
+                "cwc-shard worker processes, wire-v7 stdio streams".to_string()
+            }
+        ),
         &[
             "shards",
             "workers",
@@ -140,10 +170,19 @@ fn main() {
         emulated();
         return;
     }
+    // Network mode: place shards on the listed cwc-workerd daemons.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--workers") {
+        let list = args
+            .get(i + 1)
+            .expect("--workers takes a comma-separated host:port list");
+        sharded(Some(list.split(',').map(str::to_owned).collect()));
+        return;
+    }
     // The real path needs the worker binary; degrade gracefully so the
     // bench never hard-fails on a checkout that only built `bench`.
     match ProcessTransport::new() {
-        Ok(_) => sharded(),
+        Ok(_) => sharded(None),
         Err(e) => {
             bench::note(&format!(
                 "falling back to --emulated: {e} (build it and re-run for the real measurement)"

@@ -4,6 +4,44 @@ use gillespie::engine::EngineKind;
 
 use crate::engines::StatEngineKind;
 
+/// Where a sharded run's shard attempts execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Local workers: `shards = 1` runs a single in-process shard;
+    /// more shards spawn one `cwc-shard` child process each. The
+    /// default.
+    #[default]
+    Process,
+    /// Remote workers: every shard attempt is served by one of the
+    /// `cwc-workerd` daemons listed in [`SimConfig::workers`], over TCP
+    /// with the same length-prefixed wire protocol the process
+    /// transport speaks on stdio. Requires a non-empty worker list.
+    Tcp,
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TransportKind::Process => "process",
+            TransportKind::Tcp => "tcp",
+        })
+    }
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "process" => Ok(TransportKind::Process),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!(
+                "unknown transport `{other}` (expected `process` or `tcp`)"
+            )),
+        }
+    }
+}
+
 /// Configuration of one simulation-analysis run (the paper's knobs).
 ///
 /// Build with [`SimConfig::new`] and the fluent setters; validated by
@@ -94,6 +132,17 @@ pub struct SimConfig {
     /// `cwc-shard` worker emits so the watchdog can tell a slow shard
     /// from a stalled one. Shipped to workers in their `ShardSpec`.
     pub heartbeat_period: f64,
+    /// Where shard attempts execute: local workers (the default) or the
+    /// TCP farm of `cwc-workerd` daemons in [`SimConfig::workers`].
+    pub transport: TransportKind,
+    /// The TCP farm's worker registry: one `host:port` address per
+    /// `cwc-workerd` daemon. Required non-empty (with valid addresses)
+    /// when `transport` is [`TransportKind::Tcp`]; ignored otherwise.
+    pub workers: Vec<String>,
+    /// TCP connect/handshake deadline, in seconds: how long the
+    /// coordinator waits for a worker to accept a connection and answer
+    /// the registration hello before trying the next candidate.
+    pub connect_timeout: f64,
 }
 
 /// Error returned by [`SimConfig::validate`]: one variant per validation
@@ -183,6 +232,19 @@ pub enum ConfigError {
         /// Configured heartbeat period, in seconds.
         period: f64,
     },
+    /// `transport` was [`TransportKind::Tcp`] but the worker list was
+    /// empty — a TCP farm needs somewhere to place shards.
+    NoWorkers,
+    /// A worker address was not `host:port` with a valid port.
+    InvalidWorkerAddr {
+        /// The offending address, verbatim.
+        addr: String,
+    },
+    /// `connect_timeout` was not positive and finite.
+    InvalidConnectTimeout {
+        /// The offending deadline, in seconds.
+        timeout: f64,
+    },
 }
 
 impl ConfigError {
@@ -205,6 +267,8 @@ impl ConfigError {
             | ConfigError::ShardTimeoutBelowHeartbeat { .. } => "shard_timeout",
             ConfigError::InvalidShardBackoff { .. } => "shard_backoff",
             ConfigError::InvalidHeartbeatPeriod { .. } => "heartbeat_period",
+            ConfigError::NoWorkers | ConfigError::InvalidWorkerAddr { .. } => "workers",
+            ConfigError::InvalidConnectTimeout { .. } => "connect_timeout",
         }
     }
 
@@ -249,6 +313,15 @@ impl ConfigError {
                 "shard_timeout ({timeout}) must be at least heartbeat_period ({period}): \
                  the watchdog would declare every shard stalled between two heartbeats"
             ),
+            ConfigError::NoWorkers => {
+                "the tcp transport needs at least one worker address (host:port)".into()
+            }
+            ConfigError::InvalidWorkerAddr { addr } => {
+                format!("worker address `{addr}` must be host:port with a valid port")
+            }
+            ConfigError::InvalidConnectTimeout { timeout } => {
+                format!("connect_timeout ({timeout}) must be positive and finite")
+            }
         }
     }
 }
@@ -298,6 +371,9 @@ impl SimConfig {
             shard_backoff: 0.05,
             shard_backoff_max: 2.0,
             heartbeat_period: 0.2,
+            transport: TransportKind::Process,
+            workers: Vec::new(),
+            connect_timeout: 5.0,
         }
     }
 
@@ -400,6 +476,27 @@ impl SimConfig {
         self
     }
 
+    /// Selects where shard attempts execute (see
+    /// [`SimConfig::transport`]).
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
+    /// Replaces the TCP farm's worker registry (see
+    /// [`SimConfig::workers`]).
+    pub fn workers(mut self, addrs: Vec<String>) -> Self {
+        self.workers = addrs;
+        self
+    }
+
+    /// Sets the TCP connect/handshake deadline, in seconds (see
+    /// [`SimConfig::connect_timeout`]).
+    pub fn connect_timeout(mut self, secs: f64) -> Self {
+        self.connect_timeout = secs;
+        self
+    }
+
     /// The paper's Q/τ ratio.
     pub fn q_over_tau(&self) -> f64 {
         self.quantum / self.sample_period
@@ -496,6 +593,26 @@ impl SimConfig {
                     period: self.heartbeat_period,
                 });
             }
+        }
+        if self.transport == TransportKind::Tcp {
+            if self.workers.is_empty() {
+                return Err(ConfigError::NoWorkers);
+            }
+            for addr in &self.workers {
+                // host:port with a valid u16 port — resolution (DNS or
+                // otherwise) is the transport's concern at connect time.
+                let valid = addr
+                    .rsplit_once(':')
+                    .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+                if !valid {
+                    return Err(ConfigError::InvalidWorkerAddr { addr: addr.clone() });
+                }
+            }
+        }
+        if !(self.connect_timeout > 0.0 && self.connect_timeout.is_finite()) {
+            return Err(ConfigError::InvalidConnectTimeout {
+                timeout: self.connect_timeout,
+            });
         }
         Ok(())
     }
@@ -784,6 +901,81 @@ mod tests {
             .shard_timeout(0.5)
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn transport_knobs_default_to_process_and_are_fluent() {
+        let cfg = SimConfig::new(1, 1.0);
+        assert_eq!(cfg.transport, TransportKind::Process);
+        assert!(cfg.workers.is_empty());
+        assert!(cfg.connect_timeout > 0.0);
+        let cfg = cfg
+            .transport(TransportKind::Tcp)
+            .workers(vec!["127.0.0.1:7701".into(), "node2:7701".into()])
+            .connect_timeout(2.5);
+        assert_eq!(cfg.transport, TransportKind::Tcp);
+        assert_eq!(cfg.workers.len(), 2);
+        assert_eq!(cfg.connect_timeout, 2.5);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn transport_kind_parses_and_displays_round_trip() {
+        for kind in [TransportKind::Process, TransportKind::Tcp] {
+            assert_eq!(kind.to_string().parse::<TransportKind>(), Ok(kind));
+        }
+        let err = "carrier-pigeon".parse::<TransportKind>().unwrap_err();
+        assert!(err.contains("carrier-pigeon"), "{err}");
+        assert!(err.contains("tcp"), "{err}");
+    }
+
+    #[test]
+    fn tcp_transport_without_workers_is_rejected_with_specific_message() {
+        let err = SimConfig::new(1, 10.0)
+            .transport(TransportKind::Tcp)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NoWorkers);
+        assert_eq!(err.field(), "workers");
+        assert!(err.to_string().contains("worker"), "{err}");
+        // A process transport ignores the (empty) worker list.
+        SimConfig::new(1, 10.0).validate().unwrap();
+    }
+
+    #[test]
+    fn malformed_worker_addresses_are_rejected_with_specific_message() {
+        for addr in ["nocolon", ":7701", "host:", "host:notaport", "host:99999"] {
+            let err = SimConfig::new(1, 10.0)
+                .transport(TransportKind::Tcp)
+                .workers(vec![addr.into()])
+                .validate()
+                .unwrap_err();
+            assert_eq!(
+                err,
+                ConfigError::InvalidWorkerAddr { addr: addr.into() },
+                "addr={addr}"
+            );
+            assert_eq!(err.field(), "workers");
+            assert!(err.to_string().contains(addr), "{err}");
+        }
+        // IPv6 with a port (host:port split from the right) is legal.
+        SimConfig::new(1, 10.0)
+            .transport(TransportKind::Tcp)
+            .workers(vec!["[::1]:7701".into()])
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn invalid_connect_timeout_is_rejected_with_specific_message() {
+        for timeout in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = SimConfig::new(1, 10.0)
+                .connect_timeout(timeout)
+                .validate()
+                .unwrap_err();
+            assert_eq!(err.field(), "connect_timeout", "timeout={timeout}");
+            assert!(err.to_string().contains("connect_timeout"), "{err}");
+        }
     }
 
     #[test]

@@ -18,8 +18,9 @@
 //! provides [`InProcessTransport`] (one thread per shard — also the
 //! degenerate `shards = 1` path, which spawns no child process); the
 //! `distrt` crate adds the real multi-process transport that spawns one
-//! `cwc-shard` child per shard and speaks length-prefixed wire-v6
-//! frames over stdio.
+//! `cwc-shard` child per shard and speaks length-prefixed wire-v7
+//! frames over stdio, plus the TCP transport that places shard attempts
+//! on remote `cwc-workerd` daemons over the same protocol.
 //!
 //! Shard *failures* — crash, corrupt stream, watchdog timeout — are
 //! handled by the [`ShardSupervisor`](crate::supervisor::ShardSupervisor)
@@ -46,6 +47,7 @@ use std::time::{Duration, Instant};
 use cwc::model::Model;
 use fastflow::node::{flat_stage, map_stage};
 use fastflow::pipeline::Pipeline;
+use gillespie::deps::ModelDeps;
 use gillespie::engine::EngineKind;
 use gillespie::trajectory::Cut;
 
@@ -348,6 +350,11 @@ pub trait ShardTransport {
     /// without either is treated as crashed); it observes `steering`
     /// and drains early when the run is terminated.
     ///
+    /// `deps` is the model's dependency graph, compiled **once** by the
+    /// coordinator: transports hand it to the worker (in-process) or
+    /// ship it in the job frame (child process, TCP daemon) so no shard
+    /// attempt ever recompiles the model.
+    ///
     /// The sink is *bounded* (the run's `channel_capacity`): a fast
     /// shard back-pressures against the supervisor instead of buffering
     /// its whole lead in coordinator memory. A driver blocked in
@@ -362,6 +369,7 @@ pub trait ShardTransport {
     fn launch_shard(
         &mut self,
         model: Arc<Model>,
+        deps: Arc<ModelDeps>,
         spec: &ShardSpec,
         steering: &Steering,
         sink: mpsc::SyncSender<ShardFeed>,
@@ -424,17 +432,21 @@ impl ShardHandle {
 /// *body*: the in-process transport calls it on a thread, the
 /// `cwc-shard` worker binary calls it with a frame-writing sink.
 ///
+/// `deps` is `model`'s pre-compiled dependency graph — the caller owns
+/// the (single) compilation, so a worker serving shipped deps and a
+/// requeued attempt both run compile-free.
+///
 /// # Errors
 ///
 /// Returns [`SimError`] when the engine kind cannot drive the model or
 /// a pipeline node panics.
 pub fn run_shard(
     model: Arc<Model>,
+    deps: Arc<ModelDeps>,
     spec: &ShardSpec,
     steering: &Steering,
     mut on_msg: impl FnMut(ShardMsg),
 ) -> Result<(), SimError> {
-    let deps = Arc::new(gillespie::deps::ModelDeps::compile(&model));
     let events = Arc::new(AtomicU64::new(0));
     let events_in_stage = Arc::clone(&events);
 
@@ -534,6 +546,7 @@ impl ShardTransport for InProcessTransport {
     fn launch_shard(
         &mut self,
         model: Arc<Model>,
+        deps: Arc<ModelDeps>,
         spec: &ShardSpec,
         steering: &Steering,
         sink: mpsc::SyncSender<ShardFeed>,
@@ -571,7 +584,7 @@ impl ShardTransport for InProcessTransport {
             // A dropped receiver means the supervisor already moved on
             // (run failed or this attempt was cancelled); finishing
             // quietly is fine.
-            let result = run_shard(model, &spec, &local, |msg| {
+            let result = run_shard(model, deps, &spec, &local, |msg| {
                 let _ = sink.send(ShardFeed::Msg(msg));
             });
             done.store(true, Ordering::Release);
@@ -610,10 +623,12 @@ pub fn run_simulation_sharded_with<T: ShardTransport>(
     model.validate()?;
     // Pre-flight the engine/model pairing on the coordinator so a bad
     // combination fails with the same typed error as the single-process
-    // runner, before anything is launched.
-    let deps = Arc::new(gillespie::deps::ModelDeps::compile(&model));
+    // runner, before anything is launched. This is the run's *only*
+    // dependency compilation: the same graph rides every shard attempt
+    // (threaded through the supervisor into `launch_shard`).
+    let deps = Arc::new(ModelDeps::compile(&model));
     cfg.engine
-        .build_with_deps(Arc::clone(&model), deps, cfg.base_seed, 0)?;
+        .build_with_deps(Arc::clone(&model), Arc::clone(&deps), cfg.base_seed, 0)?;
 
     let start = Instant::now();
     let plan = ShardPlan::new(cfg.instances, cfg.shards);
@@ -651,6 +666,7 @@ pub fn run_simulation_sharded_with<T: ShardTransport>(
     // the pipeline join below.
     let supervised = crate::supervisor::ShardSupervisor::new(cfg, &plan).run(
         Arc::clone(&model),
+        deps,
         steering,
         transport,
         |cut| cut_tx.send(cut).is_ok(),
@@ -811,6 +827,7 @@ mod tests {
             fn launch_shard(
                 &mut self,
                 _model: Arc<Model>,
+                _deps: Arc<ModelDeps>,
                 spec: &ShardSpec,
                 _steering: &Steering,
                 _sink: mpsc::SyncSender<ShardFeed>,
@@ -849,6 +866,7 @@ mod tests {
             fn launch_shard(
                 &mut self,
                 _model: Arc<Model>,
+                _deps: Arc<ModelDeps>,
                 spec: &ShardSpec,
                 _steering: &Steering,
                 sink: mpsc::SyncSender<ShardFeed>,

@@ -76,7 +76,7 @@ pub mod task;
 pub mod windows;
 
 pub use alignment::Alignment;
-pub use config::{ConfigError, SimConfig};
+pub use config::{ConfigError, SimConfig, TransportKind};
 pub use coordinator::{
     run_shard, run_simulation_sharded_in_process, run_simulation_sharded_with, InProcessTransport,
     ShardActivity, ShardAttempt, ShardEnd, ShardError, ShardErrorKind, ShardFeed, ShardHandle,

@@ -27,7 +27,13 @@
 //!    therefore the final `SimReport` — is identical to a fault-free
 //!    run. Worker-side simulation errors ([`ShardErrorKind::Sim`]) are
 //!    deterministic and would replay identically, so they fail fast
-//!    without consuming the budget.
+//!    without consuming the budget. *Where* a requeued slice lands is
+//!    the transport's decision, made inside `launch_shard` with the
+//!    bumped `attempt`: the process transport spawns a fresh local
+//!    child, while the TCP transport places the attempt on a surviving
+//!    remote worker (steering away from the one that just failed) —
+//!    determinism makes every placement equivalent, so the supervisor
+//!    itself stays placement-agnostic.
 //! 3. **Graceful degradation.** When the budget is exhausted the run
 //!    fails with a [`ShardError`] carrying the full per-attempt history
 //!    ([`ShardAttempt`]) and — when any shard did complete — the
@@ -50,6 +56,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use cwc::model::Model;
+use gillespie::deps::ModelDeps;
 use gillespie::trajectory::Cut;
 use streamstat::merge::Mergeable;
 
@@ -86,6 +93,11 @@ impl<'a> ShardSupervisor<'a> {
     /// so shard drivers never block forever), and returns the total
     /// simulated event count plus the merged end-of-run statistics.
     ///
+    /// `deps` is `model`'s dependency graph, compiled once by the
+    /// coordinator: the supervisor hands the same `Arc` to every
+    /// `launch_shard` call — first launches and requeues alike — so no
+    /// attempt anywhere in the farm recompiles the model.
+    ///
     /// # Errors
     ///
     /// Returns the final [`ShardError`] — with attempt history and any
@@ -95,6 +107,7 @@ impl<'a> ShardSupervisor<'a> {
     pub fn run<T: ShardTransport>(
         self,
         model: Arc<Model>,
+        deps: Arc<ModelDeps>,
         steering: &Steering,
         transport: &mut T,
         emit: impl FnMut(Cut) -> bool,
@@ -108,6 +121,7 @@ impl<'a> ShardSupervisor<'a> {
         let mut sv = Supervision {
             cfg: self.cfg,
             model,
+            deps,
             steering,
             transport,
             emit,
@@ -175,6 +189,8 @@ impl ShardState {
 struct Supervision<'r, T: ShardTransport, F: FnMut(Cut) -> bool> {
     cfg: &'r SimConfig,
     model: Arc<Model>,
+    /// The run's single dependency compilation, shared by every attempt.
+    deps: Arc<ModelDeps>,
     steering: &'r Steering,
     transport: &'r mut T,
     emit: F,
@@ -230,6 +246,7 @@ impl<T: ShardTransport, F: FnMut(Cut) -> bool> Supervision<'_, T, F> {
             let activity = ShardActivity::new();
             match self.transport.launch_shard(
                 Arc::clone(&self.model),
+                Arc::clone(&self.deps),
                 &spec,
                 self.steering,
                 tx,
@@ -502,6 +519,7 @@ mod tests {
         fn launch_shard(
             &mut self,
             model: Arc<Model>,
+            deps: Arc<ModelDeps>,
             spec: &ShardSpec,
             steering: &Steering,
             sink: mpsc::SyncSender<ShardFeed>,
@@ -511,7 +529,7 @@ mod tests {
             if !self.faults.contains(&(shard, spec.attempt)) {
                 return self
                     .inner
-                    .launch_shard(model, spec, steering, sink, activity);
+                    .launch_shard(model, deps, spec, steering, sink, activity);
             }
             activity.exempt_forever();
             let spec = spec.clone();
@@ -520,7 +538,7 @@ mod tests {
                 let local = Steering::new();
                 let sent = AtomicU64::new(0);
                 let killer = local.clone();
-                let _ = run_shard(model, &spec, &local, |msg| {
+                let _ = run_shard(model, deps, &spec, &local, |msg| {
                     if let ShardMsg::Cut(cut) = msg {
                         if sent.fetch_add(1, Ordering::Relaxed) < cuts {
                             let _ = sink.send(ShardFeed::Msg(ShardMsg::Cut(cut)));
@@ -622,6 +640,7 @@ mod tests {
             fn launch_shard(
                 &mut self,
                 _model: Arc<Model>,
+                _deps: Arc<ModelDeps>,
                 spec: &ShardSpec,
                 _steering: &Steering,
                 sink: mpsc::SyncSender<ShardFeed>,
@@ -664,6 +683,7 @@ mod tests {
         fn launch_shard(
             &mut self,
             model: Arc<Model>,
+            deps: Arc<ModelDeps>,
             spec: &ShardSpec,
             steering: &Steering,
             sink: mpsc::SyncSender<ShardFeed>,
@@ -673,7 +693,7 @@ mod tests {
             if !self.faults.contains(&(shard, spec.attempt)) {
                 return self
                     .inner
-                    .launch_shard(model, spec, steering, sink, activity);
+                    .launch_shard(model, deps, spec, steering, sink, activity);
             }
             let local = Steering::new();
             let cancel = local.clone();
@@ -741,9 +761,12 @@ mod tests {
     fn backoff_is_bounded_exponential() {
         let cfg = cfg().shard_backoff(0.05, 0.2);
         let plan = ShardPlan::new(4, 2);
+        let model = Arc::new(decay(1, 1.0));
+        let deps = Arc::new(ModelDeps::compile(&model));
         let sv = Supervision {
             cfg: &cfg,
-            model: Arc::new(decay(1, 1.0)),
+            model,
+            deps,
             steering: &Steering::new(),
             transport: &mut InProcessTransport,
             emit: |_| true,

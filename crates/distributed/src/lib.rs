@@ -11,8 +11,12 @@
 //! identical to local execution) and [`shard`] (the *multi-process*
 //! deployment: one `cwc-shard` child OS process per shard, streaming
 //! aligned partial cuts plus mergeable partial statistics back over
-//! stdio as length-prefixed wire-v6 frames — bit-for-bit identical
-//! analysis rows to the single-process runner). [`fault`] is the
+//! stdio as length-prefixed wire-v7 frames — bit-for-bit identical
+//! analysis rows to the single-process runner). [`net`] lifts the same
+//! protocol onto TCP: `cwc-workerd` daemons on real hosts serve shard
+//! attempts behind a registration handshake, and the coordinator's
+//! [`net::TcpShardTransport`] places (and, after a worker death,
+//! *re*-places) slices across the surviving workers. [`fault`] is the
 //! fault-injection harness for that deployment: an env-driven plan
 //! (`CWC_SHARD_FAULT`) makes a chosen worker crash, stall, corrupt its
 //! stream or start late, so the supervisor's recovery paths are
@@ -33,6 +37,7 @@ pub mod cluster;
 pub mod emulation;
 pub mod fault;
 pub mod multicore;
+pub mod net;
 pub mod platform;
 pub mod shard;
 pub mod wire;
@@ -43,6 +48,7 @@ pub use cluster::{simulate_cluster, ClusterOutcome, ClusterParams};
 pub use emulation::{run_distributed_emulation, EmulatedRun, EmulationError};
 pub use fault::{FaultKind, FaultPlan, FAULT_ENV};
 pub use multicore::{simulate_multicore, MulticoreParams, PipelineOutcome};
+pub use net::{TcpShardTransport, WorkerDaemon, WorkerHello};
 pub use platform::{HostProfile, NetworkProfile};
 pub use shard::{
     run_simulation_sharded, run_simulation_sharded_steered, serve_shard, ProcessTransport,

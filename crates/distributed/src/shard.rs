@@ -5,19 +5,26 @@
 //! this module provides the production one: every shard is a real child
 //! OS process running the `cwc-shard` worker binary (repo root,
 //! `src/bin/cwc-shard.rs`), spoken to over stdio with length-prefixed
-//! wire-v6 frames.
+//! wire-v7 frames. The same worker body ([`serve_shard`]) also serves
+//! TCP connections in the `cwc-workerd` network daemon (see
+//! [`crate::net`]) — the protocol below is transport-agnostic.
 //!
 //! ## Protocol
 //!
 //! Every frame is a `u32` little-endian byte length followed by that
-//! many bytes of a standard enveloped wire-v6 message (magic, version,
+//! many bytes of a standard enveloped wire-v7 message (magic, version,
 //! payload — see [`crate::wire`]).
 //!
 //! ```text
-//! coordinator ──stdin──▶ shard:   Job(model + ShardSpec) [Terminate]
+//! coordinator ──stdin──▶ shard:   Job(model + ShardSpec + deps) [Terminate]
 //! shard ──stdout──▶ coordinator:  (Cut | Progress)* (cuts in grid order)
 //!                                 End{events, summary} | Error(message)
 //! ```
+//!
+//! The job carries the model's pre-compiled dependency graph
+//! ([`ModelDeps`], wire v7): the coordinator compiles once per run and
+//! every shard attempt — local child or remote daemon — reuses it, so
+//! a requeued slice never pays a recompile.
 //!
 //! `Progress` frames are heartbeats, emitted every
 //! `ShardSpec::heartbeat_period` seconds from a side thread: the reader
@@ -60,7 +67,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use cwc::model::Model;
-use cwcsim::config::SimConfig;
+use cwcsim::config::{SimConfig, TransportKind};
 use cwcsim::coordinator::{
     run_shard, run_simulation_sharded_with, InProcessTransport, ShardActivity, ShardEnd,
     ShardError, ShardErrorKind, ShardFeed, ShardHandle, ShardMsg, ShardSpec, ShardTransport,
@@ -68,6 +75,7 @@ use cwcsim::coordinator::{
 use cwcsim::merge::RunSummary;
 use cwcsim::runner::{SimError, SimReport};
 use cwcsim::sim_farm::Steering;
+use gillespie::deps::ModelDeps;
 use gillespie::trajectory::Cut;
 
 use crate::fault::{FaultKind, FaultPlan};
@@ -94,6 +102,12 @@ pub struct ShardJob {
     pub model: Model,
     /// The shard's slice and run parameters.
     pub spec: ShardSpec,
+    /// The model's pre-compiled dependency graph (wire v7). When
+    /// present the worker validates it against `model` and reuses it
+    /// instead of recompiling per attempt — the coordinator compiles
+    /// once and every shard, every retry, rides that one compilation.
+    /// `None` keeps a worker self-sufficient (it compiles locally).
+    pub deps: Option<ModelDeps>,
 }
 
 /// Frames a shard sends to the coordinator (over its stdout).
@@ -125,12 +139,14 @@ impl Wire for ShardJob {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.model.encode(buf);
         self.spec.encode(buf);
+        self.deps.encode(buf);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(ShardJob {
             model: Model::decode(r)?,
             spec: ShardSpec::decode(r)?,
+            deps: Option::decode(r)?,
         })
     }
 }
@@ -424,6 +440,24 @@ where
         .map_err(|e| ServeError::Frame(FrameError::Io(e)))?;
         return Ok(());
     }
+    // Resolve the dependency graph. Shipped deps (wire v7) are checked
+    // against the model — a mismatched payload is a graceful Error
+    // frame, like an invalid model — and reused as-is; only a job
+    // without them pays a worker-side compile.
+    let deps = match job.deps {
+        Some(d) => match d.validate_for(&job.model) {
+            Ok(()) => Arc::new(d),
+            Err(e) => {
+                write_frame(
+                    &mut output,
+                    &ToCoordinator::Error(format!("invalid model deps: {e}")),
+                )
+                .map_err(|e| ServeError::Frame(FrameError::Io(e)))?;
+                return Ok(());
+            }
+        },
+        None => Arc::new(ModelDeps::compile(&job.model)),
+    };
     // Arm the fault-injection harness for this shard/attempt, if any.
     let fault = FaultPlan::from_env()
         .map_err(|e| ServeError::Protocol(format!("invalid fault plan: {e}")))?
@@ -483,7 +517,7 @@ where
             }
         });
 
-        let result = run_shard(model, &job.spec, &steering, |msg| {
+        let result = run_shard(model, Arc::clone(&deps), &job.spec, &steering, |msg| {
             if write_err.is_some() || fired.is_some() {
                 return; // coordinator gone or fault fired; draining out
             }
@@ -655,6 +689,7 @@ impl ShardTransport for ProcessTransport {
     fn launch_shard(
         &mut self,
         model: Arc<Model>,
+        deps: Arc<ModelDeps>,
         spec: &ShardSpec,
         steering: &Steering,
         sink: mpsc::SyncSender<ShardFeed>,
@@ -664,6 +699,7 @@ impl ShardTransport for ProcessTransport {
         let job = ShardJob {
             model: (*model).clone(),
             spec: spec.clone(),
+            deps: Some((*deps).clone()),
         };
         let spawn_err = |m: String| ShardError::new(shard, ShardErrorKind::Spawn(m));
         let mut cmd = Command::new(&self.binary);
@@ -890,11 +926,21 @@ pub fn run_simulation_sharded_steered(
     cfg: &SimConfig,
     steering: &Steering,
 ) -> Result<SimReport, SimError> {
-    if cfg.shards <= 1 {
-        return run_simulation_sharded_with(model, cfg, steering, &mut InProcessTransport);
+    match cfg.transport {
+        // A TCP farm is honoured even for one shard: the point of
+        // selecting it is running the work on the listed workers.
+        TransportKind::Tcp => {
+            let mut transport = crate::net::TcpShardTransport::from_config(cfg);
+            run_simulation_sharded_with(model, cfg, steering, &mut transport)
+        }
+        TransportKind::Process if cfg.shards <= 1 => {
+            run_simulation_sharded_with(model, cfg, steering, &mut InProcessTransport)
+        }
+        TransportKind::Process => {
+            let mut transport = ProcessTransport::new().map_err(SimError::Shard)?;
+            run_simulation_sharded_with(model, cfg, steering, &mut transport)
+        }
     }
-    let mut transport = ProcessTransport::new().map_err(SimError::Shard)?;
-    run_simulation_sharded_with(model, cfg, steering, &mut transport)
 }
 
 #[cfg(test)]
@@ -919,6 +965,7 @@ mod tests {
                     count: shard_count,
                 },
             ),
+            deps: None,
         }
     }
 
@@ -979,6 +1026,67 @@ mod tests {
             }
             other => panic!("expected end, got {other:?}"),
         }
+    }
+
+    /// The PR-5 leftover, closed and pinned: a job that ships its
+    /// compiled [`ModelDeps`] must be served with **zero** worker-side
+    /// compilations — and produce byte-for-byte the same output stream
+    /// as a job that makes the worker compile locally.
+    #[test]
+    fn shipped_deps_serve_without_recompiling_and_match_local_compile() {
+        let j = job(4, 2, 1);
+        let deps = ModelDeps::compile(&j.model);
+
+        let serve = |job: ShardJob| {
+            let mut input = Vec::new();
+            write_frame(&mut input, &ToShard::Job(Box::new(job))).unwrap();
+            let mut output = Vec::new();
+            let before = ModelDeps::thread_compile_count();
+            serve_shard(Cursor::new(input), &mut output).unwrap();
+            (output, ModelDeps::thread_compile_count() - before)
+        };
+
+        let mut with_deps = j.clone();
+        with_deps.deps = Some(deps);
+        let (shipped_out, shipped_compiles) = serve(with_deps);
+        let (local_out, local_compiles) = serve(j);
+
+        // `serve_shard` runs the farm on worker threads, but the compile
+        // happens on the serving thread itself — the counter sees it.
+        assert_eq!(
+            shipped_compiles, 0,
+            "shipped deps must not be recompiled worker-side"
+        );
+        assert_eq!(local_compiles, 1, "a deps-less job compiles exactly once");
+
+        // Identical behaviour either way, heartbeat timing aside.
+        let a = frames_from(&shipped_out);
+        let b = frames_from(&local_out);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(wire::to_bytes(x), wire::to_bytes(y), "frame diverged");
+        }
+    }
+
+    /// A deps payload that does not fit the shipped model (here: deps
+    /// compiled from a different model) is a graceful `Error` frame —
+    /// the coordinator sees a typed, non-retryable sim failure, the
+    /// worker never panics or simulates with a bogus dependency graph.
+    #[test]
+    fn mismatched_shipped_deps_become_an_error_frame() {
+        let mut j = job(2, 2, 0);
+        let other = biomodels::cell_transport(biomodels::CellTransportParams::default());
+        j.deps = Some(ModelDeps::compile(&other));
+        let mut input = Vec::new();
+        write_frame(&mut input, &ToShard::Job(Box::new(j))).unwrap();
+        let mut output = Vec::new();
+        serve_shard(Cursor::new(input), &mut output).unwrap();
+        let frames = frames_from(&output);
+        assert_eq!(frames.len(), 1);
+        assert!(
+            matches!(&frames[0], ToCoordinator::Error(m) if m.contains("invalid model deps")),
+            "{frames:?}"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use cwcsim::merge::{ObsSummary, RunSummary};
 use cwcsim::plan::ShardRange;
 use cwcsim::task::SampleBatch;
 use cwcsim::ShardSpec;
+use gillespie::deps::{KeptChild, ModelDeps, RuleDeps};
 use gillespie::engine::EngineKind;
 use gillespie::trajectory::Cut;
 use streamstat::histogram::Histogram;
@@ -40,8 +41,14 @@ pub const MAGIC: [u8; 4] = *b"CWCS";
 /// ([`crate::shard::ToCoordinator::Progress`], tag 3) and the
 /// `attempt`/`heartbeat_period` fields of [`ShardSpec`] — so the
 /// coordinator's watchdog can tell a slow shard from a stalled one and
-/// a requeued slice can be targeted by the fault-injection harness.
-pub const VERSION: u16 = 6;
+/// a requeued slice can be targeted by the fault-injection harness;
+/// version 7 added the network-transport messages — the worker
+/// registration hello ([`crate::net::WorkerHello`] with protocol
+/// version + capacity, so a coordinator rejects mismatched daemons at
+/// connect time) and the serialized [`ModelDeps`] payload in
+/// [`crate::shard::ShardJob`], so workers stop recompiling the model's
+/// dependency graph on every attempt.
+pub const VERSION: u16 = 7;
 
 /// Error produced while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -918,6 +925,85 @@ impl Wire for ShardSpec {
     }
 }
 
+impl Wire for KeptChild {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.pattern as u64).encode(buf);
+        self.label.encode(buf);
+        self.wrap_delta.encode(buf);
+        self.content_delta.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(KeptChild {
+            pattern: u64::decode(r)? as usize,
+            label: Label::decode(r)?,
+            wrap_delta: Vec::decode(r)?,
+            content_delta: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for RuleDeps {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.site.encode(buf);
+        self.structural.encode(buf);
+        self.site_reads.encode(buf);
+        self.child_wrap_reads.encode(buf);
+        self.child_content_reads.encode(buf);
+        self.site_delta.encode(buf);
+        self.kept.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RuleDeps {
+            site: Label::decode(r)?,
+            structural: bool::decode(r)?,
+            site_reads: Vec::decode(r)?,
+            child_wrap_reads: Vec::decode(r)?,
+            child_content_reads: Vec::decode(r)?,
+            site_delta: Vec::decode(r)?,
+            kept: Vec::decode(r)?,
+        })
+    }
+}
+
+/// [`ModelDeps`] crosses the wire as its four part lists (per-rule deps
+/// plus the three affected-rule tables); the decoder rebuilds it through
+/// [`ModelDeps::from_parts`], so a hostile or corrupted payload that is
+/// structurally inconsistent (mismatched lengths, out-of-range rule
+/// indices) surfaces as a decode error — tag byte `0xFC` — rather than
+/// a deps table that indexes out of bounds at simulation time.
+impl Wire for ModelDeps {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let n = self.len();
+        (n as u64).encode(buf);
+        for r in 0..n {
+            self.rule(r).encode(buf);
+        }
+        (n as u64).encode(buf);
+        for r in 0..n {
+            self.same_site_affected(r).to_vec().encode(buf);
+        }
+        (n as u64).encode(buf);
+        for r in 0..n {
+            self.child_lists(r).to_vec().encode(buf);
+        }
+        (n as u64).encode(buf);
+        for r in 0..n {
+            self.parent_affected(r).to_vec().encode(buf);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let rules: Vec<RuleDeps> = Vec::decode(r)?;
+        let same_site: Vec<Vec<u32>> = Vec::decode(r)?;
+        let child_rules: Vec<Vec<Vec<u32>>> = Vec::decode(r)?;
+        let parent_rules: Vec<Vec<u32>> = Vec::decode(r)?;
+        ModelDeps::from_parts(rules, same_site, child_rules, parent_rules)
+            .map_err(|_| WireError::BadTag(0xFC))
+    }
+}
+
 /// Encodes a message with the magic/version envelope.
 pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
@@ -1284,5 +1370,41 @@ mod tests {
         a.run_until(2.0);
         b.run_until(2.0);
         assert_eq!(a.observe(), b.observe());
+    }
+
+    #[test]
+    fn model_deps_roundtrip_bit_for_bit() {
+        for model in [
+            biomodels::simple::decay(40, 1.0),
+            biomodels::simple::birth_death(2.0, 0.1, 5),
+            biomodels::cell_transport::cell_transport(Default::default()),
+        ] {
+            let deps = ModelDeps::compile(&model);
+            let back: ModelDeps = from_bytes(&to_bytes(&deps)).expect("deps roundtrip");
+            assert_eq!(back, deps, "{}", model.name);
+            back.validate_for(&model)
+                .expect("decoded deps fit the source model");
+        }
+    }
+
+    #[test]
+    fn inconsistent_deps_payload_is_rejected_not_panicked() {
+        // Hand-craft a payload whose part lists disagree: zero rules but
+        // one same-site affected list. `from_parts` must refuse it and
+        // the decoder must surface that as a typed error.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        VERSION.encode(&mut buf);
+        Vec::<RuleDeps>::new().encode(&mut buf);
+        vec![vec![0u32]].encode(&mut buf);
+        Vec::<Vec<Vec<u32>>>::new().encode(&mut buf);
+        Vec::<Vec<u32>>::new().encode(&mut buf);
+        assert_eq!(from_bytes::<ModelDeps>(&buf), Err(WireError::BadTag(0xFC)));
+        // Truncated deps payloads die with EOF, not a panic.
+        let model = biomodels::cell_transport::cell_transport(Default::default());
+        let bytes = to_bytes(&ModelDeps::compile(&model));
+        for cut in [7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes::<ModelDeps>(&bytes[..cut]).is_err());
+        }
     }
 }

@@ -197,10 +197,29 @@ pub struct ModelDeps {
     parent_rules: Vec<Vec<u32>>,
 }
 
+std::thread_local! {
+    /// Compilations performed by *this thread* — see
+    /// [`ModelDeps::thread_compile_count`].
+    static COMPILE_COUNT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 impl ModelDeps {
+    /// Compilations this thread has performed via [`ModelDeps::compile`].
+    ///
+    /// Diagnostic instrumentation: the distributed farm ships compiled
+    /// deps over the wire so workers never recompile a model, and the
+    /// tests pinning that contract compare this counter before and after
+    /// serving a shard. Thread-local on purpose — `compile` runs on the
+    /// caller's thread, so parallel test threads cannot perturb each
+    /// other's deltas.
+    pub fn thread_compile_count() -> u64 {
+        COMPILE_COUNT.with(std::cell::Cell::get)
+    }
+
     /// Compiles `model`'s rules into read/write sets and affected-rule
     /// lists.
     pub fn compile(model: &Model) -> Self {
+        COMPILE_COUNT.with(|c| c.set(c.get() + 1));
         let rules: Vec<RuleDeps> = model.rules.iter().map(RuleDeps::compile).collect();
         let n = rules.len();
         let mut same_site = vec![Vec::new(); n];
@@ -257,6 +276,102 @@ impl ModelDeps {
         }
     }
 
+    /// Reassembles compiled deps from their parts — the wire decoder's
+    /// entry point, so shipped deps are *received*, never recompiled.
+    ///
+    /// Only internal consistency is checked here (list lengths line up,
+    /// every affected-rule index is in range); semantic agreement with a
+    /// model is [`ModelDeps::validate_for`]'s job.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural inconsistency —
+    /// callers receiving deps from an untrusted stream must treat it as
+    /// a protocol error, not compile around it.
+    pub fn from_parts(
+        rules: Vec<RuleDeps>,
+        same_site: Vec<Vec<u32>>,
+        child_rules: Vec<Vec<Vec<u32>>>,
+        parent_rules: Vec<Vec<u32>>,
+    ) -> Result<Self, String> {
+        let n = rules.len();
+        if same_site.len() != n || child_rules.len() != n || parent_rules.len() != n {
+            return Err(format!(
+                "affected-list lengths ({}/{}/{}) do not match the {n} rules",
+                same_site.len(),
+                child_rules.len(),
+                parent_rules.len()
+            ));
+        }
+        let check_indices = |list: &[u32], what: &str| -> Result<(), String> {
+            match list.iter().find(|&&q| q as usize >= n) {
+                Some(q) => Err(format!("{what} index {q} out of range for {n} rules")),
+                None => Ok(()),
+            }
+        };
+        for (r, rd) in rules.iter().enumerate() {
+            check_indices(&same_site[r], "same-site affected-rule")?;
+            check_indices(&parent_rules[r], "parent affected-rule")?;
+            // The compiler emits one child list per kept compartment for
+            // non-structural rules and an empty row for structural ones
+            // (their firings rebuild the whole table).
+            let expected = if rd.structural { 0 } else { rd.kept.len() };
+            if child_rules[r].len() != expected {
+                return Err(format!(
+                    "rule {r} expects {expected} child lists but carries {}",
+                    child_rules[r].len()
+                ));
+            }
+            for qs in &child_rules[r] {
+                check_indices(qs, "child affected-rule")?;
+            }
+        }
+        Ok(ModelDeps {
+            rules,
+            same_site,
+            child_rules,
+            parent_rules,
+        })
+    }
+
+    /// Checks that these deps could have been compiled *from `model`*:
+    /// one summary per rule, every kept-compartment index inside the
+    /// rule's LHS pattern list. A worker receiving deps over the wire
+    /// runs this before trusting them — a mismatch means the coordinator
+    /// shipped deps for a different model (or the stream was corrupted
+    /// in a structurally-consistent way) and simulating with them would
+    /// silently produce wrong trajectories.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first disagreement with `model`.
+    pub fn validate_for(&self, model: &Model) -> Result<(), String> {
+        if self.rules.len() != model.rules.len() {
+            return Err(format!(
+                "deps cover {} rules but the model has {}",
+                self.rules.len(),
+                model.rules.len()
+            ));
+        }
+        for (r, rd) in self.rules.iter().enumerate() {
+            let rule = &model.rules[r];
+            if rd.site != rule.site {
+                return Err(format!("rule {r}: deps site differs from the model's"));
+            }
+            for k in &rd.kept {
+                if k.pattern >= rule.lhs.comps.len() {
+                    return Err(format!(
+                        "rule {r}: kept-compartment pattern index {} out of range for {} \
+                         LHS compartment patterns",
+                        k.pattern,
+                        rule.lhs.comps.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of compiled rules.
     pub fn len(&self) -> usize {
         self.rules.len()
@@ -287,6 +402,15 @@ impl ModelDeps {
     /// like [`RuleDeps::kept`]).
     pub fn child_affected(&self, r: usize, k: usize) -> &[u32] {
         &self.child_rules[r][k]
+    }
+
+    /// All of `r`'s per-kept-compartment affected-rule lists. One list
+    /// per [`RuleDeps::kept`] entry for a non-structural rule; **empty**
+    /// for a structural rule (a structural firing rebuilds the whole
+    /// table, so the compiler skips its lists) — serializers must walk
+    /// this row, not `kept`, to reproduce the compiled shape exactly.
+    pub fn child_lists(&self, r: usize) -> &[Vec<u32>] {
+        &self.child_rules[r]
     }
 
     /// Candidate rules to re-match at the fired site's parent; callers
@@ -471,6 +595,94 @@ mod tests {
         assert!(deps.rule(0).site_reads.contains(&r));
         // Producing R re-matches the repressed rule.
         assert_eq!(deps.same_site_affected(1), &[0]);
+    }
+
+    /// Disassembles deps into owned parts via the public accessors —
+    /// exactly what the wire encoder does.
+    #[allow(clippy::type_complexity)]
+    fn parts_of(
+        deps: &ModelDeps,
+    ) -> (
+        Vec<RuleDeps>,
+        Vec<Vec<u32>>,
+        Vec<Vec<Vec<u32>>>,
+        Vec<Vec<u32>>,
+    ) {
+        let n = deps.len();
+        (
+            (0..n).map(|r| deps.rule(r).clone()).collect(),
+            (0..n)
+                .map(|r| deps.same_site_affected(r).to_vec())
+                .collect(),
+            (0..n).map(|r| deps.child_lists(r).to_vec()).collect(),
+            (0..n).map(|r| deps.parent_affected(r).to_vec()).collect(),
+        )
+    }
+
+    #[test]
+    fn from_parts_reassembles_compiled_deps_exactly() {
+        for m in [birth_death(), transport()] {
+            let deps = ModelDeps::compile(&m);
+            let (rules, same_site, child_rules, parent_rules) = parts_of(&deps);
+            let back = ModelDeps::from_parts(rules, same_site, child_rules, parent_rules)
+                .expect("compiled parts are consistent");
+            assert_eq!(back, deps);
+            back.validate_for(&m)
+                .expect("reassembled deps fit the model");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_structural_inconsistencies() {
+        let m = transport();
+        let deps = ModelDeps::compile(&m);
+        let (rules, same_site, child_rules, parent_rules) = parts_of(&deps);
+        // Mismatched list lengths.
+        let err = ModelDeps::from_parts(
+            rules.clone(),
+            Vec::new(),
+            child_rules.clone(),
+            parent_rules.clone(),
+        )
+        .unwrap_err();
+        assert!(err.contains("lengths"), "{err}");
+        // An affected index beyond the rule count.
+        let mut bad = same_site.clone();
+        bad[0].push(99);
+        let err = ModelDeps::from_parts(
+            rules.clone(),
+            bad,
+            child_rules.clone(),
+            parent_rules.clone(),
+        )
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        // A kept compartment with a missing child list.
+        let mut bad = child_rules.clone();
+        bad[0].clear();
+        let err = ModelDeps::from_parts(rules, same_site, bad, parent_rules).unwrap_err();
+        assert!(err.contains("child lists"), "{err}");
+    }
+
+    #[test]
+    fn validate_for_rejects_deps_from_another_model() {
+        let deps = ModelDeps::compile(&birth_death());
+        let err = deps.validate_for(&transport()).unwrap_err();
+        assert!(err.contains("rules"), "{err}");
+    }
+
+    #[test]
+    fn compile_counter_is_thread_local_and_monotonic() {
+        let before = ModelDeps::thread_compile_count();
+        let _ = ModelDeps::compile(&birth_death());
+        assert_eq!(ModelDeps::thread_compile_count(), before + 1);
+        // Another thread's compilations do not perturb this thread's count.
+        std::thread::spawn(|| {
+            let _ = ModelDeps::compile(&transport());
+        })
+        .join()
+        .unwrap();
+        assert_eq!(ModelDeps::thread_compile_count(), before + 1);
     }
 
     #[test]

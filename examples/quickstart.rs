@@ -22,6 +22,13 @@
 //! run also survives an injected worker fault (`CWC_SHARD_FAULT`; the
 //! CI fault-injection leg kills one shard mid-run this way and still
 //! demands bit-for-bit rows).
+//!
+//! With `-- --transport tcp --workers host:port,host:port` the sharded
+//! re-run places its shards on running `cwc-workerd` daemons over TCP
+//! instead of spawning local children (`--connect-timeout SECS` bounds
+//! the per-worker connect/handshake). The bit-for-bit assertion is
+//! unchanged — worker placement must be invisible in the rows; the CI
+//! loopback-cluster leg runs exactly this, killing one daemon mid-run.
 
 use std::sync::Arc;
 
@@ -94,16 +101,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(secs) = flag_arg::<f64>("shard-timeout") {
             sharded_cfg = sharded_cfg.shard_timeout(secs);
         }
+        if let Some(kind) = flag_arg::<cwc_repro::TransportKind>("transport") {
+            sharded_cfg = sharded_cfg.transport(kind);
+        }
+        if let Some(list) = flag_arg::<String>("workers") {
+            sharded_cfg = sharded_cfg.workers(list.split(',').map(str::to_owned).collect());
+        }
+        if let Some(secs) = flag_arg::<f64>("connect-timeout") {
+            sharded_cfg = sharded_cfg.connect_timeout(secs);
+        }
         let sharded =
             cwc_repro::distrt::shard::run_simulation_sharded(Arc::clone(&model), &sharded_cfg)?;
         if sharded.rows != report.rows || sharded.events != report.events {
             eprintln!("sharded run DIVERGED from the single-process run");
             std::process::exit(1);
         }
+        let where_ = match sharded_cfg.transport {
+            cwc_repro::TransportKind::Tcp => format!(
+                "{} shards on tcp workers [{}]",
+                shards,
+                sharded_cfg.workers.join(", ")
+            ),
+            cwc_repro::TransportKind::Process => format!("{shards} worker processes"),
+        };
         eprintln!(
-            "sharded re-run across {} worker processes: {} reactions in {:?} — \
+            "sharded re-run across {}: {} reactions in {:?} — \
              rows bit-for-bit identical to the single-process run",
-            shards, sharded.events, sharded.wall
+            where_, sharded.events, sharded.wall
         );
     }
 

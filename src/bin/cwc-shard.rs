@@ -1,7 +1,7 @@
 //! `cwc-shard` — the sharded simulation farm's worker process.
 //!
 //! Spawned by the coordinator (`distrt::shard::ProcessTransport`), one
-//! per shard. Protocol (length-prefixed wire-v6 frames over stdio):
+//! per shard. Protocol (length-prefixed wire-v7 frames over stdio):
 //! a `Job` frame on stdin carries the full model plus this shard's
 //! instance slice; the worker runs the standard farm + alignment
 //! pipeline on the slice and streams aligned partial cuts, `Progress`

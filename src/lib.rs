@@ -34,5 +34,5 @@ pub use streamstat;
 pub use cwcsim::{
     run_sequential, run_simulation, run_simulation_sharded_in_process, run_simulation_steered,
     ConfigError, EngineError, EngineKind, RunSummary, SimConfig, SimError, SimReport,
-    StatEngineKind, Steering,
+    StatEngineKind, Steering, TransportKind,
 };

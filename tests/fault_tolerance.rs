@@ -13,7 +13,13 @@
 //!
 //! Each test arms its own transport via `ProcessTransport::env`, so the
 //! fault plan rides the child's environment and tests stay parallel-safe.
+//!
+//! The same contract is then re-proven over the network: the TCP matrix
+//! at the bottom arms `cwc-workerd` daemons with the identical fault
+//! plans and demands recovery land on a *surviving* worker.
 
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -23,6 +29,7 @@ use cwc_repro::cwcsim::{
     SimReport, Steering,
 };
 use cwc_repro::distrt::fault::FAULT_ENV;
+use cwc_repro::distrt::net::TcpShardTransport;
 use cwc_repro::distrt::shard::ProcessTransport;
 
 fn cfg() -> SimConfig {
@@ -205,5 +212,132 @@ fn exhausted_budget_reports_the_full_attempt_history() {
             assert!(rendered.contains("after 2 failed attempts"), "{rendered}");
         }
         other => panic!("expected SimError::Shard, got {other}"),
+    }
+}
+
+/// A fault-armed `cwc-workerd` daemon on an ephemeral loopback port,
+/// killed on drop. The fault plan rides the daemon's environment, same
+/// as the process-transport tests above.
+struct FaultedWorkerd {
+    child: Child,
+    addr: String,
+}
+
+impl FaultedWorkerd {
+    fn spawn(plan: &str) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cwc-workerd"))
+            .args(["--listen", "127.0.0.1:0"])
+            .env(FAULT_ENV, plan)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn cwc-workerd");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("workerd announces its address");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("addr token")
+            .to_string();
+        assert!(addr.contains(':'), "unexpected announcement: {line:?}");
+        FaultedWorkerd { child, addr }
+    }
+}
+
+impl Drop for FaultedWorkerd {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The fault matrix again, but over the network: {crash, stall,
+/// corrupt-frame} × retry budget {0, 1, 2} × shards {1, 2, 3}, served
+/// by two fault-armed `cwc-workerd` daemons. A budget ≥ 1 must recover
+/// bit-for-bit with every retry placed on a *different* worker than the
+/// failed attempt (a faulting daemon takes its whole process down, so
+/// retrying in place could never succeed). A budget of 0 must surface a
+/// typed error — though not necessarily blamed on the faulted shard:
+/// one daemon serves several shards, so its death also fails co-hosted
+/// shards first (collateral `Crashed`/`Frame`), and whichever failure
+/// exhausts its budget first wins the race.
+#[test]
+fn tcp_fault_matrix_recovers_on_a_survivor_or_fails_typed() {
+    let model = Arc::new(biomodels::simple::decay(40, 1.0));
+    let reference = run_simulation(Arc::clone(&model), &cfg()).expect("fault-free reference");
+
+    type KindCheck = fn(&ShardErrorKind) -> bool;
+    let faults: [(&str, bool, KindCheck); 3] = [
+        // A crashing daemon can lose the race to a half-written frame,
+        // so `Frame` is as legitimate as `Crashed` — and vice versa for
+        // a corrupted stream whose collateral shards see a bare EOF.
+        ("crash", false, |k| {
+            matches!(k, ShardErrorKind::Crashed(_) | ShardErrorKind::Frame { .. })
+        }),
+        ("stall", true, |k| {
+            matches!(k, ShardErrorKind::Timeout { .. })
+        }),
+        ("corrupt-frame", false, |k| {
+            matches!(k, ShardErrorKind::Frame { .. } | ShardErrorKind::Crashed(_))
+        }),
+    ];
+    for (fault, needs_watchdog, kind_matches) in faults {
+        for shards in [1usize, 2, 3] {
+            let plan = format!("{fault}:shard={},cuts=3", shards - 1);
+            for retries in [0usize, 1, 2] {
+                let label = format!("tcp/{fault}/shards={shards}/retries={retries}");
+                // Fresh daemons per run: a faulted daemon is dead.
+                let daemons = [FaultedWorkerd::spawn(&plan), FaultedWorkerd::spawn(&plan)];
+                let mut run_cfg = cfg().shards(shards).retries(retries);
+                if needs_watchdog {
+                    run_cfg = run_cfg.shard_timeout(0.75);
+                }
+                let mut transport = TcpShardTransport::new(
+                    daemons.iter().map(|d| d.addr.clone()).collect(),
+                    Duration::from_secs(10),
+                );
+                let result = run_simulation_sharded_with(
+                    Arc::clone(&model),
+                    &run_cfg,
+                    &Steering::new(),
+                    &mut transport,
+                );
+                match result {
+                    Ok(report) if retries >= 1 => {
+                        assert_eq!(report.rows, reference.rows, "{label}: rows diverged");
+                        assert_eq!(report.events, reference.events, "{label}: events diverged");
+                        // Requeue-on-survivor: every retry attempt sits
+                        // on a different worker than the one that just
+                        // failed the same shard.
+                        let placements = transport.placements();
+                        assert!(
+                            placements.iter().any(|p| p.attempt > 0),
+                            "{label}: fault fired but nothing was requeued: {placements:?}"
+                        );
+                        for p in placements.iter().filter(|p| p.attempt > 0) {
+                            let prev = placements
+                                .iter()
+                                .find(|q| q.shard == p.shard && q.attempt == p.attempt - 1)
+                                .unwrap_or_else(|| {
+                                    panic!("{label}: missing prior attempt for {p:?}")
+                                });
+                            assert_ne!(
+                                p.worker, prev.worker,
+                                "{label}: retry stayed on the failed worker: {placements:?}"
+                            );
+                        }
+                    }
+                    Ok(_) => panic!("{label}: succeeded with no retry budget"),
+                    Err(SimError::Shard(e)) if retries == 0 => {
+                        assert!(kind_matches(&e.kind), "{label}: unexpected kind: {e}");
+                    }
+                    Err(e) => panic!("{label}: failed despite retry budget: {e}"),
+                }
+            }
+        }
     }
 }
