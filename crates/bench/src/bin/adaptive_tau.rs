@@ -13,9 +13,10 @@
 //! - **accuracy** — ensemble mean of the first observable at the horizon
 //!   vs exact SSA, with the standard error of the difference (Schlögl is
 //!   bistable, Lotka–Volterra oscillatory: the two hard cases; the wide
-//!   conversion cycle — 200 rules, 2 species touched per transition —
-//!   isolates per-transition propensity-refresh cost, which is where the
-//!   incidence list beats the full-recompute replica).
+//!   conversion cycles — 300 rules, 2 species touched per transition —
+//!   isolate per-transition scan cost: the leap-regime case exercises
+//!   the kernel-accelerated CGP/Poisson sweeps, the all-critical case
+//!   the incidence list and incremental a0 maintenance).
 //!
 //! Output: a human table on stdout plus `BENCH_adaptive_tau.json`
 //! (override with `--out PATH`). Flags:
@@ -25,7 +26,9 @@
 //! - `--check F`  compare against the committed baseline `F`: the
 //!   adaptive-vs-fixed *speedup ratio* per model must stay within
 //!   [`RATIO_TOLERANCE`] of the committed one (ratios, not absolute
-//!   firings/sec, so the gate is hardware-independent), and every
+//!   firings/sec, so the gate is hardware-independent), the fresh
+//!   adaptive-vs-SSA ratio on the wide cases must clear the absolute
+//!   [`SSA_RATIO_FLOORS`] for the resolved kernel dispatch, and every
 //!   approximate engine's mean must agree with the fresh SSA mean within
 //!   [`ACCURACY_SIGMA`] standard errors. Exit non-zero on violation.
 
@@ -35,6 +38,7 @@ use std::time::Instant;
 use biomodels::{conversion_cycle, lotka_volterra, schlogl, LotkaVolterraParams, SchloglParams};
 use cwc::model::Model;
 use gillespie::adaptive::AdaptiveTauEngine;
+use gillespie::batch::kernels::{Kernel, KernelDispatch};
 use gillespie::deps::ModelDeps;
 use gillespie::engine::EngineKind;
 
@@ -53,6 +57,23 @@ const ACCURACY_SIGMA: f64 = 6.0;
 /// The engine whose speedup over `fixed-tau` is gated.
 const GATED_ENGINE: &str = "adaptive-0.05";
 
+/// Absolute floors on the [`GATED_ENGINE`]-vs-`ssa` firings/sec ratio of
+/// the *fresh* run, per model: `(model, avx2_floor, scalar_floor)`. The
+/// AVX2 floor applies when [`KernelDispatch::Auto`] resolves to the SIMD
+/// kernels; the scalar floor applies under `CWC_FORCE_SCALAR_KERNELS`
+/// or on CPUs without AVX2, so the gate is sound off-AVX2. Unlike the
+/// baseline-relative speedup gate these are absolute: they pin the
+/// kernel-accelerated O(affected) hot path itself — if it regresses to
+/// full-width rescans the leap-regime ratio collapses well below 2.
+/// `wide_flat_cycle_crit` cannot leap (every rule is critical), so its
+/// floor only asserts the recovered draw-for-draw parity with SSA
+/// (0.17x at the seed; ~1.2x with the incremental hot path), with CI
+/// noise headroom.
+const SSA_RATIO_FLOORS: [(&str, f64, f64); 2] = [
+    ("wide_flat_cycle", 2.0, 1.0),
+    ("wide_flat_cycle_crit", 0.7, 0.7),
+];
+
 /// The full-recompute replica of the gated engine: identical draws, but
 /// every transition rescans all propensities instead of refreshing only
 /// the rules incident to changed species. Its firings/sec vs the gated
@@ -61,10 +82,11 @@ const GATED_ENGINE: &str = "adaptive-0.05";
 const FULL_RECOMPUTE_ENGINE: &str = "adaptive-0.05-fullrecompute";
 
 /// The forced-incidence replica: identical draws, incidence-list cache
-/// refresh regardless of rule count. The plain adaptive rows pick a side
-/// per model (the `FULL_RECOMPUTE_MAX_RULES` heuristic), so measuring
-/// what the cache buys needs both sides pinned — this row against
-/// [`FULL_RECOMPUTE_ENGINE`].
+/// refresh regardless of rule count. The `FULL_RECOMPUTE_MAX_RULES`
+/// heuristic currently defaults every model to the cache, so this row
+/// matches the plain adaptive rows; it stays pinned against
+/// [`FULL_RECOMPUTE_ENGINE`] so the crossover can be re-derived from
+/// the JSON whenever the hot path changes.
 const INCIDENCE_ENGINE: &str = "adaptive-0.05-incidence";
 
 /// How a measured engine is built (the recompute replicas are not
@@ -192,14 +214,31 @@ fn measure_all(quick: bool) -> Vec<Measurement> {
             1e-3,
             4.0,
         ),
-        // The wide flat case: 300 rules at ~5 molecules per species, so
-        // every reaction is critical and the adaptive engine fires them
-        // one at a time (exactly). Each firing touches 2 species = 2
-        // incident rules; the full-recompute replica rescans all 300
-        // propensities per transition. This is the regime the incidence
-        // list exists for — compare adaptive-0.05 with its replica here.
+        // The wide flat case: 300 rules at ~200 molecules per species —
+        // wide enough that full-width scans dominate naive engines, and
+        // populous enough that every species sits above the critical
+        // threshold, so the adaptive tier actually leaps. This is the
+        // regime the kernel-accelerated hot path (masked CGP μ/σ
+        // accumulation, Poisson leap sweep, active-rule list) is built
+        // for, and the case carries the adaptive-vs-SSA ratio floor
+        // ([`SSA_RATIO_FLOORS`]).
         (
             "wide_flat_cycle",
+            Arc::new(conversion_cycle(300, 60_000, 1.0)),
+            1e-3,
+            0.5,
+        ),
+        // The all-critical wide case: same 300 rules at ~5 molecules per
+        // species, so every reaction is critical and the adaptive engine
+        // fires them one at a time (exactly) — it cannot leap, and both
+        // it and SSA bottom out on the same serial propensity-fold floor.
+        // Each firing touches 2 species = 2 incident rules; the
+        // full-recompute replica rescans all 300 propensities per
+        // transition. This is the regime the incidence list and the
+        // incremental a0 screen exist for — at the seed this case ran at
+        // 0.17x SSA; the floor pins the recovered parity.
+        (
+            "wide_flat_cycle_crit",
             Arc::new(conversion_cycle(300, 1_500, 1.0)),
             1e-3,
             2.0,
@@ -315,9 +354,30 @@ fn speedups(json: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
-/// The speed gate (vs the committed baseline) plus the accuracy gate
-/// (internal to the fresh run: every approximate mean vs the fresh SSA
-/// mean).
+/// Adaptive-over-SSA ratio per model (the [`SSA_RATIO_FLOORS`] input).
+fn ssa_ratios(json: &str) -> Vec<(String, f64)> {
+    let rates = parse_rates(json);
+    let rate_of = |model: &str, engine: &str| -> Option<f64> {
+        rates
+            .iter()
+            .find(|((m, e), _)| m == model && e == engine)
+            .map(|(_, r)| *r)
+    };
+    let mut models: Vec<String> = rates.iter().map(|((m, _), _)| m.clone()).collect();
+    models.dedup();
+    models
+        .into_iter()
+        .filter_map(|m| {
+            let adaptive = rate_of(&m, GATED_ENGINE)?;
+            let ssa = rate_of(&m, "ssa")?;
+            (ssa > 0.0).then_some((m, adaptive / ssa))
+        })
+        .collect()
+}
+
+/// The speed gate (vs the committed baseline) plus the absolute
+/// adaptive-vs-SSA ratio floors plus the accuracy gate (internal to the
+/// fresh run: every approximate mean vs the fresh SSA mean).
 fn check(committed_path: &str, fresh: &[Measurement], fresh_json: &str) -> Result<(), String> {
     let committed = std::fs::read_to_string(committed_path)
         .map_err(|e| format!("cannot read baseline {committed_path}: {e}"))?;
@@ -351,6 +411,28 @@ fn check(committed_path: &str, fresh: &[Measurement], fresh_json: &str) -> Resul
             ));
         } else {
             println!("ok {model}: speedup {now:.2} (committed {committed_ratio:.2})");
+        }
+    }
+
+    // Absolute adaptive-vs-SSA ratio floors on the fresh run: the
+    // kernel-accelerated hot path must keep its edge over exact SSA on
+    // the wide cases, under whichever kernels this process resolved to.
+    let avx2 = matches!(KernelDispatch::Auto.resolve(), Kernel::Avx2);
+    let fresh_ratios = ssa_ratios(fresh_json);
+    for (model, avx2_floor, scalar_floor) in SSA_RATIO_FLOORS {
+        let floor = if avx2 { avx2_floor } else { scalar_floor };
+        let Some((_, ratio)) = fresh_ratios.iter().find(|(m, _)| m == model) else {
+            failures.push(format!("{model}: no {GATED_ENGINE}/ssa ratio in fresh run"));
+            continue;
+        };
+        let kernels = if avx2 { "avx2" } else { "scalar" };
+        if *ratio < floor {
+            failures.push(format!(
+                "{model}: {GATED_ENGINE}/ssa ratio {ratio:.2} below the {floor:.2} \
+                 floor ({kernels} kernels)"
+            ));
+        } else {
+            println!("ok {model}: {GATED_ENGINE}/ssa ratio {ratio:.2} >= {floor:.2} ({kernels})");
         }
     }
 
@@ -438,6 +520,14 @@ fn main() {
         bench::note(&format!(
             "{model}: {GATED_ENGINE} is {s:.2}x fixed-tau (firings/sec)"
         ));
+    }
+    for (model, floor_avx2, floor_scalar) in SSA_RATIO_FLOORS {
+        if let Some((_, r)) = ssa_ratios(&json).iter().find(|(m, _)| m == model) {
+            bench::note(&format!(
+                "{model}: {GATED_ENGINE} is {r:.2}x ssa (floors: {floor_avx2} avx2 / \
+                 {floor_scalar} scalar)"
+            ));
+        }
     }
     for (model, g) in incidence_gains(&json) {
         bench::note(&format!(

@@ -171,6 +171,7 @@ impl Multiset {
 }
 
 /// Binomial coefficient C(n, k), saturating at `u64::MAX`.
+#[inline]
 pub fn binomial(n: u64, k: u64) -> u64 {
     if k > n {
         return 0;

@@ -38,6 +38,7 @@ use cwc::model::Model;
 use cwc::species::Species;
 use rand::Rng;
 
+use crate::batch::kernels::{self, Kernel, KernelDispatch, RuleMask};
 use crate::deps::ModelDeps;
 use crate::flat::{poisson, CgpScratch, FlatModel, FlatModelError};
 use crate::rng::{sim_rng, SimRng};
@@ -60,22 +61,44 @@ pub const SSA_FALLBACK_MULT: f64 = 10.0;
 /// recomputation per draw instead of the incidence-list cache refresh.
 ///
 /// The cache turns the per-commit refresh from O(rules) into
-/// O(affected), which pays off only when the gap is wide: on
-/// `BENCH_adaptive_tau.json` the incidence path is ~1.5x faster on the
-/// 300-rule `wide_flat_cycle` but ~5% *slower* on the 4-rule Schlögl and
-/// 3-rule Lotka–Volterra models, where walking the incidence lists costs
-/// more than recomputing everything with a tight linear sweep. Results
-/// are bit-identical on both sides, so the crossover is purely a
-/// throughput decision; [`AdaptiveTauEngine::with_full_recompute`] and
+/// O(affected). Before the kernel-accelerated hot path this paid off
+/// only when the gap was wide (incidence was ~5% slower on the 4-rule
+/// Schlögl and 3-rule Lotka–Volterra, so the crossover sat at 32
+/// rules). Re-deriving it on the kernel path — `profile_adaptive` with
+/// `CWC_PROFILE_REFRESH`, conversion cycles of 3..48 rules, best of
+/// three — the incidence path now wins at *every* rule count in the
+/// critical regime (1.3–3x, e.g. 3 rules: 296 ms vs 388 ms for 2M
+/// firings) and ties within noise in the leap regime, so the crossover
+/// is zero: every model defaults to the incidence cache, and full
+/// recomputation survives purely as the diagnostic replica. Results are
+/// bit-identical on both sides, so the constant is a pure throughput
+/// knob; [`AdaptiveTauEngine::with_full_recompute`] and
 /// [`AdaptiveTauEngine::with_incidence_cache`] override it per engine.
-pub const FULL_RECOMPUTE_MAX_RULES: usize = 32;
+pub const FULL_RECOMPUTE_MAX_RULES: usize = 0;
+
+/// Two-sided relative slack around the incremental `a0` estimate used to
+/// screen the SSA-fallback guard without folding the full row. The
+/// estimate's true drift from the exact fold bits is bounded by roughly
+/// `(updates since resync + rules) × 2⁻⁵³` relative — capped below
+/// ~5 × 10⁻¹⁰ by [`A0_EST_MAX_UPDATES`] — so this margin is ≥ 20×
+/// conservative; comparisons that stay inconclusive inside it fall back
+/// to the exact fold.
+const A0_EST_REL: f64 = 1e-8;
+
+/// Forced-refold cap: after this many incremental `a0` updates without
+/// an exact resync the screen stands down (returns inconclusive) until
+/// the next fold re-anchors the estimate.
+const A0_EST_MAX_UPDATES: u64 = 1 << 22;
 
 /// A drawn-but-not-yet-committed transition: one leap, one critical
 /// firing riding on a truncated leap, or one exact fallback step.
 #[derive(Debug, Clone)]
 struct PendingTransition {
-    /// Candidate state after the transition.
-    state: Vec<i64>,
+    /// Sparse candidate state: `(species index, new value)`, deduped.
+    /// Committing applies exactly these writes and refreshes exactly the
+    /// rules incident to these species, making the per-transition work
+    /// O(affected) instead of O(all rules) / O(all species).
+    updates: Vec<(usize, i64)>,
     /// Absolute time at which the transition commits.
     end: f64,
     /// Firings the transition applies when committed.
@@ -83,11 +106,202 @@ struct PendingTransition {
     /// True when this transition was an exact (fallback or critical)
     /// single firing rather than a Poisson leap.
     exact: bool,
-    /// Species indices the transition changed (deduped): committing it
-    /// refreshes exactly the propensities of the rules incident to
-    /// these, making the per-transition recompute O(affected) instead of
-    /// O(all rules).
-    changed: Vec<usize>,
+}
+
+/// Kernel-routed incremental per-draw state for the adaptive hot path
+/// (the `!full_recompute` side). Everything here describes the last
+/// *committed* state and is maintained at commit time in O(affected):
+/// `props`, the enabled/critical masks and their counts by walking
+/// `FlatModel::incidence` over the changed species; the two prefix rows
+/// lazily, refolded from a dirty watermark through the width-1 row
+/// kernels of [`crate::batch::kernels`] (honouring the engine's
+/// [`KernelDispatch`]). Every value is bit-identical to what the
+/// full-recompute replica scans up from scratch on each draw.
+#[derive(Debug, Clone, Default)]
+struct HotState {
+    /// Cached per-rule propensities of the committed state.
+    props: Vec<f64>,
+    /// `enabled[r]` ⟺ `props[r] > 0.0`.
+    enabled: RuleMask,
+    /// `crit[r]` ⟺ enabled and within [`N_CRITICAL`] firings of
+    /// exhausting a reactant — the criticality partition, re-classified
+    /// only for rules whose reactant species changed since last commit.
+    crit: RuleMask,
+    /// Number of enabled rules. `active == 0` ⟺ the legacy `a0 <= 0.0`
+    /// absorbing check (an adds-only fold of no positive entries).
+    active: usize,
+    /// Number of enabled critical rules (`a0_crit > 0.0` ⟺ `n_crit > 0`).
+    n_crit: usize,
+    /// Adds-only prefix fold over all rules — the exact-fallback
+    /// selection row; slots below `main_dirty` hold committed bits.
+    main_prefix: Vec<f64>,
+    /// First rule whose `main_prefix` slot may be stale (`len` = clean).
+    main_dirty: usize,
+    /// Fold total (the legacy `a0` bits) once `main_dirty == len`.
+    main_total: f64,
+    /// Critical-only masked prefix fold — the critical selection row.
+    crit_prefix: Vec<f64>,
+    /// First rule whose `crit_prefix` slot may be stale (`len` = clean).
+    crit_dirty: usize,
+    /// Masked fold total (the legacy `a0_crit` bits) once clean.
+    crit_total: f64,
+    /// Incrementally-maintained estimate of the main fold total,
+    /// re-anchored to the exact bits at every `refold_main`. Only ever
+    /// used through [`HotState::screen_fallback`]'s conservative
+    /// interval — never as `a0` itself.
+    a0_est: f64,
+    /// Incremental updates applied to `a0_est` since its last exact
+    /// resync (drives the [`A0_EST_MAX_UPDATES`] stand-down).
+    est_updates: u64,
+}
+
+impl HotState {
+    /// Full rescan: recompute every propensity, classification and
+    /// count from `state`. Runs once per cache (in)validation, not per
+    /// draw.
+    fn rebuild(&mut self, flat: &FlatModel, state: &[i64]) {
+        flat.propensities_into(state, &mut self.props);
+        let n = self.props.len();
+        self.enabled = RuleMask::new(n);
+        self.crit = RuleMask::new(n);
+        self.active = 0;
+        self.n_crit = 0;
+        for r in 0..n {
+            if self.props[r] > 0.0 {
+                self.enabled.assign(r, true);
+                self.active += 1;
+                if rule_is_critical(flat, state, r) {
+                    self.crit.assign(r, true);
+                    self.n_crit += 1;
+                }
+            }
+        }
+        self.main_prefix.clear();
+        self.main_prefix.resize(n, 0.0);
+        self.main_dirty = 0;
+        self.main_total = -0.0;
+        self.crit_prefix.clear();
+        self.crit_prefix.resize(n, 0.0);
+        self.crit_dirty = 0;
+        self.crit_total = -0.0;
+        // Any evaluation within a few ulps of the fold works as the
+        // anchor; the screen's slack absorbs the difference.
+        self.a0_est = self.props.iter().sum();
+        self.est_updates = 0;
+    }
+
+    /// The full-row fold total (the legacy `a0 = Σ props` bits),
+    /// refolding the stale prefix tail first. Lazy: the pure-critical
+    /// regime never calls this, so dead rules are never scanned.
+    fn refold_main(&mut self, kernel: Kernel) -> f64 {
+        if self.main_dirty < self.props.len() {
+            self.main_total =
+                kernels::row_fold_from(kernel, &self.props, &mut self.main_prefix, self.main_dirty);
+            self.main_dirty = self.props.len();
+            // Exact bits in hand: re-anchor the screening estimate.
+            self.a0_est = self.main_total;
+            self.est_updates = 0;
+        }
+        self.main_total
+    }
+
+    /// The critical-row masked fold total (the legacy `a0_crit` bits),
+    /// refolding the stale tail first.
+    fn refold_crit(&mut self, kernel: Kernel) -> f64 {
+        if self.crit_dirty < self.props.len() {
+            self.crit_total = kernels::row_fold_masked_from(
+                kernel,
+                &self.props,
+                &self.crit,
+                &mut self.crit_prefix,
+                self.crit_dirty,
+            );
+            self.crit_dirty = self.props.len();
+        }
+        self.crit_total
+    }
+
+    /// Conservative screen of the replica's fallback guard
+    /// `tau1 < SSA_FALLBACK_MULT / a0` (for finite `tau1`) that avoids
+    /// folding the full row when the comparison cannot be close.
+    ///
+    /// Soundness: the exact fold total `S` lies within `a0_est ±
+    /// a0_est·A0_EST_REL` (the estimate's drift bound is ≥ 20× smaller —
+    /// see [`A0_EST_REL`]), and FP division is monotone, so
+    /// `SSA_FALLBACK_MULT / S` is bracketed by the quotients at the
+    /// interval's edges. A `tau1` beyond the far edge decides the exact
+    /// comparison; anything inside returns `None` and the caller folds
+    /// the row and compares exactly.
+    fn screen_fallback(&self, tau1: f64) -> Option<bool> {
+        if self.main_dirty >= self.props.len() {
+            // Row already clean: the exact total is cached anyway.
+            return Some(tau1 < SSA_FALLBACK_MULT / self.main_total);
+        }
+        if self.est_updates > A0_EST_MAX_UPDATES || !self.a0_est.is_finite() {
+            return None;
+        }
+        let slack = self.a0_est * A0_EST_REL;
+        let lo = self.a0_est - slack;
+        let hi = self.a0_est + slack;
+        if lo <= 0.0 {
+            return None;
+        }
+        if tau1 < SSA_FALLBACK_MULT / hi {
+            Some(true)
+        } else if tau1 >= SSA_FALLBACK_MULT / lo {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Commit-time refresh of one rule: new propensity + classification.
+    /// Idempotent, so a rule incident to two changed species may be
+    /// visited twice without drifting the counts or watermarks.
+    fn update_rule(&mut self, r: usize, a: f64, critical: bool) {
+        let value_changed = self.props[r].to_bits() != a.to_bits();
+        if value_changed {
+            self.a0_est += a - self.props[r];
+            self.est_updates += 1;
+            self.props[r] = a;
+            if self.main_dirty > r {
+                self.main_dirty = r;
+            }
+        }
+        let enabled = a > 0.0;
+        if self.enabled.assign(r, enabled) != enabled {
+            if enabled {
+                self.active += 1;
+            } else {
+                self.active -= 1;
+            }
+        }
+        if self.crit.assign(r, critical) != critical {
+            if critical {
+                self.n_crit += 1;
+            } else {
+                self.n_crit -= 1;
+            }
+            if self.crit_dirty > r {
+                self.crit_dirty = r;
+            }
+        } else if critical && value_changed && self.crit_dirty > r {
+            self.crit_dirty = r;
+        }
+    }
+}
+
+/// True when firing rule `r` could exhaust a reactant within
+/// [`N_CRITICAL`] firings from `state`. A free function so commit-time
+/// maintenance can classify rules while the engine is partially
+/// borrowed.
+fn rule_is_critical(flat: &FlatModel, state: &[i64], r: usize) -> bool {
+    flat.delta[r].iter().any(|&(i, d)| {
+        if d >= 0 {
+            return false;
+        }
+        (state[i] / -d) < N_CRITICAL as i64
+    })
 }
 
 /// Flat-model approximate simulator with adaptive (CGP) step-size
@@ -115,24 +329,35 @@ pub struct AdaptiveTauEngine {
     /// Committed exact transitions (critical firings + SSA fallbacks).
     exact_steps: u64,
     firings: u64,
-    /// Reusable per-transition buffers (the fallback regime takes one
-    /// transition per firing; these keep that path allocation-light).
-    /// `props_buf` doubles as the persistent propensity cache: values
-    /// survive across transitions and commits refresh only the rules
-    /// incident to changed species (`FlatModel::incidence`).
+    /// Reusable per-draw buffers of the full-recompute replica path.
     props_buf: Vec<f64>,
     crit_buf: Vec<bool>,
     cgp_scratch: CgpScratch,
-    /// True once `props_buf` holds every rule's propensity for the
-    /// committed state.
+    /// Incremental kernel-routed state of the hot path; valid only when
+    /// `cache_ready` and maintained across commits in O(affected).
+    hot: HotState,
+    /// True once `hot` describes the committed state.
     cache_ready: bool,
-    /// Diagnostic knob: recompute every propensity on every draw (the
-    /// pre-incidence behaviour). Bit-identical results; exists so the
-    /// `adaptive_tau` bench can measure what the incidence list buys.
+    /// Replica knob: recompute every propensity, criticality flag and
+    /// fold on every draw with plain scalar scans (the pre-kernel
+    /// behaviour). Bit-identical results; exists so tests and the
+    /// `adaptive_tau` bench can pin/measure what the incremental hot
+    /// path buys.
     full_recompute: bool,
     /// Per-species "already marked changed" bitmap, un-marked after each
     /// draw so steady state does no O(species) clearing.
     seen_buf: Vec<bool>,
+    /// Sparse candidate values for species marked in `seen_buf` (the
+    /// hot path's replacement for cloning the whole state per draw).
+    cand_buf: Vec<i64>,
+    /// Reusable changed-species index list for the hot path.
+    changed_buf: Vec<usize>,
+    /// Recycled `updates` allocation: commits return the spent vector
+    /// here, the next draw reuses it (zero steady-state allocation).
+    updates_pool: Vec<(usize, i64)>,
+    /// Requested kernel dispatch policy and its resolution.
+    dispatch: KernelDispatch,
+    kernel: Kernel,
 }
 
 impl AdaptiveTauEngine {
@@ -163,9 +388,12 @@ impl AdaptiveTauEngine {
         let flat = FlatModel::compile(&model, &deps, "adaptive tau-leaping")?;
         let state = flat.initial_state(&model);
         let species_len = flat.species.len();
-        // Rule-count heuristic (see FULL_RECOMPUTE_MAX_RULES): small
-        // models recompute everything per draw, large ones use the
-        // incidence cache. Either way the trajectory is bit-identical.
+        // Rule-count heuristic (see FULL_RECOMPUTE_MAX_RULES, currently
+        // zero: every model defaults to the incidence cache — the
+        // comparison is kept generic so a re-derived crossover is a
+        // one-constant change). Either way the trajectory is
+        // bit-identical.
+        #[allow(clippy::absurd_extreme_comparisons)]
         let full_recompute = flat.rates.len() <= FULL_RECOMPUTE_MAX_RULES;
         Ok(AdaptiveTauEngine {
             model,
@@ -183,10 +411,31 @@ impl AdaptiveTauEngine {
             props_buf: Vec::new(),
             crit_buf: Vec::new(),
             cgp_scratch: CgpScratch::default(),
+            hot: HotState::default(),
             cache_ready: false,
             full_recompute,
             seen_buf: vec![false; species_len],
+            cand_buf: vec![0; species_len],
+            changed_buf: Vec::new(),
+            updates_pool: Vec::new(),
+            dispatch: KernelDispatch::Auto,
+            kernel: KernelDispatch::Auto.resolve(),
         })
+    }
+
+    /// Sets the kernel dispatch policy for the hot path's row folds,
+    /// selection scans and masked sweeps (default [`KernelDispatch::Auto`]).
+    /// Every dispatch produces bit-identical trajectories; the knob exists
+    /// for benchmarking and for pinning the scalar reference in tests.
+    pub fn with_kernel_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.dispatch = dispatch;
+        self.kernel = dispatch.resolve();
+        self
+    }
+
+    /// The configured kernel dispatch policy.
+    pub fn kernel_dispatch(&self) -> KernelDispatch {
+        self.dispatch
     }
 
     /// Disables the incidence-list propensity cache: every draw
@@ -197,16 +446,18 @@ impl AdaptiveTauEngine {
     pub fn with_full_recompute(mut self) -> Self {
         self.full_recompute = true;
         self.cache_ready = false;
+        self.cgp_scratch = CgpScratch::default();
         self
     }
 
     /// Forces the incidence-list propensity cache on, overriding the
-    /// rule-count heuristic that defaults small models (at most
-    /// [`FULL_RECOMPUTE_MAX_RULES`] rules) to full recomputation.
-    /// Results are bit-identical either way.
+    /// rule-count heuristic (see [`FULL_RECOMPUTE_MAX_RULES`] —
+    /// currently zero, so this is already the default for every
+    /// model). Results are bit-identical either way.
     pub fn with_incidence_cache(mut self) -> Self {
         self.full_recompute = false;
         self.cache_ready = false;
+        self.cgp_scratch = CgpScratch::default();
         self
     }
 
@@ -287,18 +538,13 @@ impl AdaptiveTauEngine {
     /// True when firing rule `r` could exhaust a reactant within
     /// [`N_CRITICAL`] firings from `state`.
     fn is_critical(&self, r: usize) -> bool {
-        self.flat.delta[r].iter().any(|&(i, d)| {
-            if d >= 0 {
-                return false;
-            }
-            (self.state[i] / -d) < N_CRITICAL as i64
-        })
+        rule_is_critical(&self.flat, &self.state, r)
     }
 
     /// One exact direct-method step on the count vector (the SSA
-    /// fallback). Draw discipline: one waiting-time uniform, one
-    /// selection uniform in `[0, a0)` (always consumed, even
-    /// single-channel — see [`crate::rng`]).
+    /// fallback), full-scan replica flavour. Draw discipline: one
+    /// waiting-time uniform, one selection uniform in `[0, a0)` (always
+    /// consumed, even single-channel — see [`crate::rng`]).
     fn draw_exact_step(&mut self, props: &[f64], a0: f64) -> PendingTransition {
         let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
         let dt = -u1.ln() / a0;
@@ -312,45 +558,52 @@ impl AdaptiveTauEngine {
                 break;
             }
         }
-        let mut state = self.state.clone();
-        let mut changed = Vec::with_capacity(self.flat.delta[chosen].len());
-        for &(i, d) in &self.flat.delta[chosen] {
-            state[i] += d;
-            changed.push(i);
-        }
+        self.exact_transition(chosen, dt)
+    }
+
+    /// Packages one exact firing of `chosen` as a sparse transition.
+    fn exact_transition(&mut self, chosen: usize, dt: f64) -> PendingTransition {
+        let mut updates = std::mem::take(&mut self.updates_pool);
+        updates.clear();
+        updates.extend(
+            self.flat.delta[chosen]
+                .iter()
+                .map(|&(i, d)| (i, self.state[i] + d)),
+        );
         PendingTransition {
-            state,
+            updates,
             end: self.committed + dt,
             firings: 1,
             exact: true,
-            changed,
         }
     }
 
     /// Draws one transition from the committed state without committing
     /// it. Returns `None` when the state is absorbing. (Thin shell that
-    /// loans out the reusable buffers.)
+    /// loans out the reusable buffers / hot state.)
     fn draw_transition(&mut self) -> Option<PendingTransition> {
-        let mut props = std::mem::take(&mut self.props_buf);
-        let mut critical = std::mem::take(&mut self.crit_buf);
-        let out = self.draw_transition_with(&mut props, &mut critical);
-        self.props_buf = props;
-        self.crit_buf = critical;
-        out
+        if self.full_recompute {
+            let mut props = std::mem::take(&mut self.props_buf);
+            let mut critical = std::mem::take(&mut self.crit_buf);
+            let out = self.draw_full(&mut props, &mut critical);
+            self.props_buf = props;
+            self.crit_buf = critical;
+            out
+        } else {
+            self.draw_incremental()
+        }
     }
 
-    fn draw_transition_with(
+    /// The full-recompute replica draw: every propensity, criticality
+    /// flag, fold and sweep rescans all rules with plain scalar loops.
+    /// This is the reference the incremental hot path is pinned against
+    /// (bit-for-bit, by the golden suite and the hot-path proptests).
+    fn draw_full(
         &mut self,
         props: &mut Vec<f64>,
         critical: &mut Vec<bool>,
     ) -> Option<PendingTransition> {
-        // `props` is the persistent cache: a full recompute happens only
-        // on the first draw (or in the diagnostic full-recompute mode);
-        // afterwards commits keep it fresh via the incidence list.
-        if self.full_recompute || !self.cache_ready {
-            self.flat.propensities_into(&self.state, props);
-            self.cache_ready = true;
-        }
+        self.flat.propensities_into(&self.state, props);
         let a0: f64 = props.iter().sum();
         if a0 <= 0.0 {
             return None;
@@ -448,11 +701,10 @@ impl AdaptiveTauEngine {
             }
             if candidate.iter().all(|&c| c >= 0) {
                 return Some(PendingTransition {
-                    state: candidate,
+                    updates: changed.iter().map(|&i| (i, candidate[i])).collect(),
                     end: self.committed + leap_len,
                     firings,
                     exact: fire_critical && firings == 1,
-                    changed,
                 });
             }
             // Rare overshoot (criticality is a 10-firing heuristic, not a
@@ -463,20 +715,212 @@ impl AdaptiveTauEngine {
         }
     }
 
+    /// The incremental kernel-routed draw. Bit-identical to
+    /// [`Self::draw_full`] by construction:
+    ///
+    /// - `active == 0` ⟺ the replica's `a0 <= 0.0` (an adds-only fold
+    ///   with no positive entry cannot exceed zero);
+    /// - the maintained criticality masks equal the per-draw
+    ///   re-classification (a rule's criticality depends only on its
+    ///   reactant counts, and every such change routes through
+    ///   `FlatModel::incidence` at commit);
+    /// - the masked folds add the same values in the same rule order as
+    ///   the replica's skip-scans, so `a0`/`a0_crit` carry the same bits
+    ///   (`-0.0` vs `0.0` seeds are washed out by the first positive add
+    ///   and compare equal otherwise);
+    /// - the CGP bound accumulates over the same enabled non-critical
+    ///   rules in the same order (`cgp_tau_masked`);
+    /// - Poisson sweeps visit the same rules in the same order, so the
+    ///   RNG stream is consumed identically; selection searches return
+    ///   the replica scans' crossing slots.
+    ///
+    /// When `tau1` is infinite the fallback guard needs no `a0` at all
+    /// (`tau1 < mult/a0` is false for every positive `a0`), so the
+    /// pure-critical regime never folds the full-width row — that plus
+    /// the O(affected) commits is where the speedup comes from.
+    fn draw_incremental(&mut self) -> Option<PendingTransition> {
+        if !self.cache_ready {
+            self.hot.rebuild(&self.flat, &self.state);
+            self.cache_ready = true;
+        }
+        // Disjoint field borrows (no per-draw moves of the hot state).
+        let Self {
+            flat,
+            state,
+            rng,
+            hot,
+            cgp_scratch,
+            seen_buf,
+            cand_buf,
+            changed_buf,
+            updates_pool,
+            ..
+        } = self;
+        let (kernel, epsilon, committed) = (self.kernel, self.epsilon, self.committed);
+        if hot.active == 0 {
+            return None;
+        }
+        let mut tau1 = if hot.active == hot.n_crit {
+            // No enabled non-critical rule: the CGP scan accumulates
+            // nothing and the bound is unbounded.
+            f64::INFINITY
+        } else {
+            flat.cgp_tau_masked(
+                cgp_scratch,
+                state,
+                &hot.props,
+                epsilon,
+                hot.enabled.iter_minus(&hot.crit),
+            )
+        };
+        let changed = changed_buf;
+        loop {
+            // Replica guard: `tau1 < mult/a0 || (!tau1.is_finite() &&
+            // a0_crit <= 0.0)`. Each fold is forced only when its value
+            // can matter: the full row only when tau1 is finite (an
+            // infinite tau1 fails `tau1 < mult/a0` for every positive
+            // a0), the critical row only when a critical clock actually
+            // runs (`a0_crit <= 0.0` ⟺ `n_crit == 0`, no bits needed).
+            let fallback = if tau1.is_finite() {
+                match hot.screen_fallback(tau1) {
+                    Some(f) => f,
+                    None => tau1 < SSA_FALLBACK_MULT / hot.refold_main(kernel),
+                }
+            } else {
+                hot.n_crit == 0
+            };
+            if fallback {
+                // Exact step, hot flavour: identical draw discipline and
+                // selection index to `draw_exact_step`, but the linear
+                // accumulate scan becomes a kernel search over the
+                // maintained prefix row (same partial sums, same
+                // crossing slot).
+                let a0 = hot.refold_main(kernel);
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let dt = -u1.ln() / a0;
+                let target = rng.gen_range(0.0..a0);
+                let mut chosen = kernels::row_select(kernel, &hot.main_prefix, target);
+                if chosen >= hot.props.len() {
+                    // fp-slack shortfall: the replica scan's default slot.
+                    chosen = hot.props.len() - 1;
+                }
+                let mut updates = std::mem::take(updates_pool);
+                updates.clear();
+                updates.extend(flat.delta[chosen].iter().map(|&(i, d)| (i, state[i] + d)));
+                return Some(PendingTransition {
+                    updates,
+                    end: committed + dt,
+                    firings: 1,
+                    exact: true,
+                });
+            }
+            let tau2 = if hot.n_crit > 0 {
+                let a0_crit = hot.refold_crit(kernel);
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -u.ln() / a0_crit
+            } else {
+                f64::INFINITY
+            };
+            let (leap_len, fire_critical) = if tau2 <= tau1 {
+                (tau2, true)
+            } else {
+                (tau1, false)
+            };
+            let mut firings = 0u64;
+            for r in hot.enabled.iter_minus(&hot.crit) {
+                let k = poisson(rng, hot.props[r] * leap_len);
+                if k == 0 {
+                    continue;
+                }
+                firings += k;
+                for &(i, d) in &flat.delta[r] {
+                    if !seen_buf[i] {
+                        seen_buf[i] = true;
+                        cand_buf[i] = state[i];
+                        changed.push(i);
+                    }
+                    cand_buf[i] += d * k as i64;
+                }
+            }
+            if fire_critical {
+                // tau2 finite ⟹ the critical row was folded above.
+                let target = rng.gen_range(0.0..hot.crit_total);
+                let mut chosen = kernels::row_select(kernel, &hot.crit_prefix, target);
+                if chosen >= hot.props.len() {
+                    // fp-slack shortfall: the replica's "last critical
+                    // wins" terminal slot.
+                    chosen = hot
+                        .crit
+                        .last_set()
+                        .expect("a0_crit > 0 implies a critical reaction");
+                }
+                for &(i, d) in &flat.delta[chosen] {
+                    if !seen_buf[i] {
+                        seen_buf[i] = true;
+                        cand_buf[i] = state[i];
+                        changed.push(i);
+                    }
+                    cand_buf[i] += d;
+                }
+                firings += 1;
+            }
+            // Unchanged species keep their committed (non-negative)
+            // values, so checking the touched ones is the replica's
+            // whole-vector scan.
+            let ok = changed.iter().all(|&i| cand_buf[i] >= 0);
+            let updates = if ok {
+                let mut updates = std::mem::take(updates_pool);
+                updates.clear();
+                updates.extend(changed.iter().map(|&i| (i, cand_buf[i])));
+                Some(updates)
+            } else {
+                None
+            };
+            for &i in changed.iter() {
+                seen_buf[i] = false;
+            }
+            changed.clear();
+            if let Some(updates) = updates {
+                return Some(PendingTransition {
+                    updates,
+                    end: committed + leap_len,
+                    firings,
+                    exact: fire_critical && firings == 1,
+                });
+            }
+            // Rare overshoot: halve the bound and redraw, as the replica
+            // does.
+            tau1 /= 2.0;
+        }
+    }
+
     /// Applies the pending transition, returning its firings.
     fn commit_pending(&mut self) -> u64 {
         let p = self.pending.take().expect("pending transition to commit");
-        self.state = p.state;
-        // O(affected) cache refresh: only rules whose reactants changed
-        // can have a different propensity; every other cached value is
-        // bit-identical to what a full recompute would produce.
+        for &(i, v) in &p.updates {
+            self.state[i] = v;
+        }
+        // O(affected) hot-state refresh: only rules whose reactant
+        // species changed can differ in propensity *or* criticality
+        // (a negative net delta implies the species is a reactant, so
+        // `incidence` covers both); everything else keeps committed
+        // bits. The fold watermarks drop to the lowest refreshed rule,
+        // leaving the prefix rows below it valid.
         if self.cache_ready && !self.full_recompute {
-            for &i in &p.changed {
-                for &r in &self.flat.incidence[i] {
-                    self.props_buf[r] = self.flat.propensity(&self.state, r);
+            let Self {
+                flat, state, hot, ..
+            } = self;
+            for &(i, _) in &p.updates {
+                for &r in &flat.incidence[i] {
+                    let a = flat.propensity(state, r);
+                    let critical = a > 0.0 && rule_is_critical(flat, state, r);
+                    hot.update_rule(r, a, critical);
                 }
             }
         }
+        let mut spent = p.updates;
+        spent.clear();
+        self.updates_pool = spent;
         self.committed = p.end;
         if self.time < p.end {
             self.time = p.end;
@@ -791,8 +1235,13 @@ mod tests {
 
     #[test]
     fn recompute_heuristic_crosses_over_at_the_pinned_rule_count() {
-        // A flat cycle with a configurable rule count, straddling the
-        // threshold by one rule on each side.
+        // The kernel-path re-derivation put the crossover at zero:
+        // incidence wins at every measured rule count (see
+        // FULL_RECOMPUTE_MAX_RULES), so even the smallest buildable
+        // model must default to the incidence cache. The equality pin
+        // makes a silent bump of the constant fail here, forcing a
+        // fresh measurement.
+        assert_eq!(FULL_RECOMPUTE_MAX_RULES, 0, "re-derive before bumping");
         let cycle = |rules: usize| {
             let mut m = Model::new("cycle");
             for i in 0..rules {
@@ -810,16 +1259,16 @@ mod tests {
             }
             Arc::new(m)
         };
-        let at = AdaptiveTauEngine::new(cycle(FULL_RECOMPUTE_MAX_RULES), 1, 0).unwrap();
-        assert!(at.full_recompute(), "≤ threshold ⇒ full recompute");
-        let above = AdaptiveTauEngine::new(cycle(FULL_RECOMPUTE_MAX_RULES + 1), 1, 0).unwrap();
-        assert!(!above.full_recompute(), "> threshold ⇒ incidence cache");
+        for rules in [2, 3, 33, 300] {
+            let at = AdaptiveTauEngine::new(cycle(rules), 1, 0).unwrap();
+            assert!(!at.full_recompute(), "{rules} rules ⇒ incidence cache");
+        }
         // Both overrides beat the heuristic, in both directions.
         let forced_cache = AdaptiveTauEngine::new(cycle(2), 1, 0)
             .unwrap()
             .with_incidence_cache();
         assert!(!forced_cache.full_recompute());
-        let forced_full = AdaptiveTauEngine::new(cycle(FULL_RECOMPUTE_MAX_RULES + 1), 1, 0)
+        let forced_full = AdaptiveTauEngine::new(cycle(2), 1, 0)
             .unwrap()
             .with_full_recompute();
         assert!(forced_full.full_recompute());

@@ -283,7 +283,7 @@ impl BatchedSsaEngine {
             .collect();
         let slot_reactants: Vec<Vec<(usize, u64)>> = reactions
             .iter()
-            .map(|&rule| flat.reactants[rule].clone())
+            .map(|&rule| flat.reactants[rule].to_vec())
             .collect();
         let slot_rates: Vec<f64> = reactions.iter().map(|&rule| flat.rates[rule]).collect();
         let mut slot_delta_idx = Vec::with_capacity(nr + 1);

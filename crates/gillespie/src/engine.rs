@@ -516,7 +516,7 @@ impl EngineKind {
             }
             EngineKind::AdaptiveTau { epsilon } => {
                 let engine = AdaptiveTauEngine::with_deps(model, deps, base_seed, instance)?;
-                Ok(Engine::AdaptiveTau(engine.with_epsilon(epsilon)))
+                Ok(Engine::AdaptiveTau(Box::new(engine.with_epsilon(epsilon))))
             }
             EngineKind::Hybrid { epsilon, threshold } => {
                 let engine = HybridEngine::with_deps(model, deps, base_seed, instance)?;
@@ -653,8 +653,11 @@ pub enum Engine {
     TauLeap(TauLeapEngine),
     /// Exact first-reaction method.
     FirstReaction(FirstReactionEngine),
-    /// Approximate adaptive (CGP) tau-leaping.
-    AdaptiveTau(AdaptiveTauEngine),
+    /// Approximate adaptive (CGP) tau-leaping (boxed: the incremental
+    /// hot path carries SoA rows, criticality epochs and reusable
+    /// buffers, and would otherwise dominate the size of every task
+    /// that carries this enum).
+    AdaptiveTau(Box<AdaptiveTauEngine>),
     /// Hybrid exact/approximate engine (boxed: it embeds a full exact
     /// engine plus the flat reduction, and would otherwise dominate the
     /// size of every task that carries this enum).
@@ -1038,7 +1041,7 @@ mod tests {
                 Engine::Ssa(mut e) => drive(&mut e),
                 Engine::TauLeap(mut e) => drive(&mut e),
                 Engine::FirstReaction(mut e) => drive(&mut e),
-                Engine::AdaptiveTau(mut e) => drive(&mut e),
+                Engine::AdaptiveTau(mut e) => drive(&mut *e),
                 Engine::Hybrid(mut e) => drive(&mut *e),
             };
             assert_eq!(via_enum, via_concrete, "{kind}");

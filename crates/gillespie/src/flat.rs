@@ -94,6 +94,46 @@ impl std::fmt::Display for FlatModelError {
 
 impl std::error::Error for FlatModelError {}
 
+/// Compact CSR row storage: one offsets array plus one contiguous entry
+/// array instead of a `Vec` per row. Two allocations total (the
+/// per-instance engine constructors feel the difference on wide models)
+/// and contiguous iteration for the per-draw sweeps. `rows[r]` indexes to
+/// the row's slice.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Rows<T> {
+    /// `offsets[r]..offsets[r + 1]` bounds row `r` in `entries`.
+    offsets: Vec<u32>,
+    entries: Vec<T>,
+}
+
+impl<T> Rows<T> {
+    fn with_rows(rows: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        Rows {
+            offsets,
+            entries: Vec::new(),
+        }
+    }
+
+    fn push_row(&mut self, row: impl IntoIterator<Item = T>) {
+        self.entries.extend(row);
+        self.offsets.push(self.entries.len() as u32);
+    }
+
+    fn from_parts(offsets: Vec<u32>, entries: Vec<T>) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap() as usize, entries.len());
+        Rows { offsets, entries }
+    }
+}
+
+impl<T> std::ops::Index<usize> for Rows<T> {
+    type Output = [T];
+    fn index(&self, r: usize) -> &[T] {
+        &self.entries[self.offsets[r] as usize..self.offsets[r + 1] as usize]
+    }
+}
+
 /// A flat mass-action model compiled to dense index space: the state is
 /// `Vec<i64>` over [`FlatModel::species`], and every leaping engine reads
 /// its reactants, net stoichiometry and rates from here.
@@ -102,21 +142,27 @@ pub(crate) struct FlatModel {
     /// Interned species, ascending — index space of the state vector.
     pub species: Vec<Species>,
     /// Per-rule reactant multiplicities, `(species index, count)`.
-    pub reactants: Vec<Vec<(usize, u64)>>,
+    pub reactants: Rows<(usize, u64)>,
     /// Per-rule net stoichiometric change per firing.
-    pub delta: Vec<Vec<(usize, i64)>>,
+    pub delta: Rows<(usize, i64)>,
     /// Per-rule mass-action rate constants.
     pub rates: Vec<f64>,
     /// Per-species `(reaction order, copies required)` pairs over the
     /// rules consuming that species — the static inputs of the CGP
     /// `g_i` factor, precomputed so the tau-selection hot path avoids an
     /// O(rules × reactants) rescan per species.
-    g_pairs: Vec<Vec<(u64, u64)>>,
+    g_pairs: Rows<(u64, u64)>,
+    /// Per-species CGP `g_i` when it does not depend on the copy number
+    /// (no order-2/3 pair needing ≥2 copies of the species), `NaN` when
+    /// it does. Most mass-action models are first-order in each
+    /// reactant, making the per-draw `g_factor` table walk a constant
+    /// load on the adaptive hot path.
+    g_const: Vec<f64>,
     /// Species → rules whose *propensity depends on* that species (its
     /// reactants). When a transition changes species `i`, exactly the
     /// rules in `incidence[i]` can change propensity — the adaptive
     /// engine's O(affected) per-transition refresh reads this.
-    pub incidence: Vec<Vec<usize>>,
+    pub incidence: Rows<usize>,
 }
 
 impl FlatModel {
@@ -129,15 +175,18 @@ impl FlatModel {
         engine: &'static str,
     ) -> Result<Self, FlatModelError> {
         let species: Vec<Species> = model.alphabet.all_species().collect();
+        // Interned species come out ascending, so index lookup is a
+        // binary search instead of a linear scan (compile is per-engine,
+        // O(rules × reactants) lookups).
         let index_of = |s: Species| -> usize {
             species
-                .iter()
-                .position(|&x| x == s)
+                .binary_search(&s)
                 .expect("species interned in this model")
         };
-        let mut reactants = Vec::new();
-        let mut delta = Vec::new();
-        let mut rates = Vec::new();
+        let nrules = model.rules.len();
+        let mut reactants: Rows<(usize, u64)> = Rows::with_rows(nrules);
+        let mut delta: Rows<(usize, i64)> = Rows::with_rows(nrules);
+        let mut rates = Vec::with_capacity(nrules);
         for (ri, rule) in model.rules.iter().enumerate() {
             if !rule.is_flat() {
                 return Err(FlatModelError::NotFlat {
@@ -157,39 +206,71 @@ impl FlatModel {
                     rule: rule.name.clone(),
                 });
             }
-            let r: Vec<(usize, u64)> = rule
-                .lhs
-                .atoms
-                .iter()
-                .map(|(s, n)| (index_of(s), n))
-                .collect();
+            reactants.push_row(rule.lhs.atoms.iter().map(|(s, n)| (index_of(s), n)));
             // Net stoichiometry straight from the compiled dependency
             // info (ascending species order, like the interned indices).
-            let d: Vec<(usize, i64)> = deps
-                .rule(ri)
-                .site_delta
-                .iter()
-                .map(|&(s, v)| (index_of(s), v))
-                .collect();
-            reactants.push(r);
-            delta.push(d);
+            delta.push_row(
+                deps.rule(ri)
+                    .site_delta
+                    .iter()
+                    .map(|&(s, v)| (index_of(s), v)),
+            );
             rates.push(rule.rate);
         }
-        let mut g_pairs = vec![Vec::new(); species.len()];
-        let mut incidence = vec![Vec::new(); species.len()];
-        for (ri, r) in reactants.iter().enumerate() {
-            let order: u64 = r.iter().map(|&(_, n)| n).sum();
-            for &(i, k) in r {
-                g_pairs[i].push((order, k));
-                incidence[i].push(ri);
+        // Per-species rows (g pairs, incidence) via counting sort: rules
+        // land in ascending rule order per species, as the old per-species
+        // append produced.
+        let ns = species.len();
+        let mut counts = vec![0u32; ns];
+        for ri in 0..nrules {
+            for &(i, _) in &reactants[ri] {
+                counts[i] += 1;
             }
         }
+        let mut offsets = Vec::with_capacity(ns + 1);
+        offsets.push(0u32);
+        for &c in &counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let total = *offsets.last().unwrap() as usize;
+        let mut g_entries = vec![(0u64, 0u64); total];
+        let mut inc_entries = vec![0usize; total];
+        let mut cursor: Vec<u32> = offsets[..ns].to_vec();
+        for ri in 0..nrules {
+            let r = &reactants[ri];
+            let order: u64 = r.iter().map(|&(_, n)| n).sum();
+            for &(i, k) in r {
+                let at = cursor[i] as usize;
+                g_entries[at] = (order, k);
+                inc_entries[at] = ri;
+                cursor[i] += 1;
+            }
+        }
+        let g_pairs = Rows::from_parts(offsets.clone(), g_entries);
+        let incidence = Rows::from_parts(offsets, inc_entries);
+        let g_const = (0..ns)
+            .map(|i| {
+                let mut g: f64 = 1.0;
+                for &(order, k) in &g_pairs[i] {
+                    g = g.max(match (order, k) {
+                        (1, _) => 1.0,
+                        (2, 1) => 2.0,
+                        (3, 1) => 3.0,
+                        // Copy-number-dependent entries: no constant g.
+                        (2, 2) | (3, 2) | (3, 3) => return f64::NAN,
+                        (o, _) => o as f64,
+                    });
+                }
+                g
+            })
+            .collect();
         Ok(FlatModel {
             species,
             reactants,
             delta,
             rates,
             g_pairs,
+            g_const,
             incidence,
         })
     }
@@ -222,15 +303,8 @@ impl FlatModel {
         self.rates[r] * h
     }
 
-    /// All propensities of `state`, in rule order.
-    pub fn propensities(&self, state: &[i64]) -> Vec<f64> {
-        (0..self.rules())
-            .map(|r| self.propensity(state, r))
-            .collect()
-    }
-
-    /// Like [`FlatModel::propensities`], writing into a reusable buffer
-    /// (the adaptive engine's per-transition path).
+    /// All propensities of `state`, written into a reusable buffer in
+    /// rule order (the leaping engines' per-transition path).
     pub fn propensities_into(&self, state: &[i64], out: &mut Vec<f64>) {
         out.clear();
         out.extend((0..self.rules()).map(|r| self.propensity(state, r)));
@@ -262,6 +336,12 @@ impl FlatModel {
     /// a relative change `epsilon / g_i` in `x_i` bounds the relative
     /// change of every propensity (Cao, Gillespie & Petzold 2006, eq. 27).
     fn g_factor(&self, i: usize, x: i64) -> f64 {
+        // Constant-g fast path: same bits as the table walk below (each
+        // entry it folds is the same literal the walk would produce).
+        let g = self.g_const[i];
+        if !g.is_nan() {
+            return g;
+        }
         let xf = x as f64;
         let mut g: f64 = 1.0;
         for &(order, k) in &self.g_pairs[i] {
@@ -322,28 +402,102 @@ impl FlatModel {
                 sigma2[i] += df * df * a;
             }
         }
+        self.cgp_species_tau(scratch, state, epsilon)
+    }
+
+    /// [`cgp_tau_with`](Self::cgp_tau_with) over a pre-filtered rule set:
+    /// `rules` must yield exactly the reactions the closure variant would
+    /// keep (`a > 0` and included) — the adaptive hot path feeds it the
+    /// enabled∧non-critical mask iterator, skipping the full-width scan.
+    ///
+    /// Sparse on both ends: only species actually touched by a yielded
+    /// rule are accumulated, minimised over and re-zeroed, so the cost is
+    /// O(yielded stoichiometry), not O(species). Bit-identical to the
+    /// closure variant: the surviving rules accumulate in the same order
+    /// per species, and the final fold is a minimum over per-species
+    /// bounds — order-independent for the non-NaN values both compute.
+    ///
+    /// Contract: `scratch.mu`/`scratch.sigma2` are all-zero between
+    /// calls (this function restores that before returning; resizing
+    /// zero-fills). Callers switching a scratch over from
+    /// [`cgp_tau_with`] must reset it first.
+    pub(crate) fn cgp_tau_masked(
+        &self,
+        scratch: &mut CgpScratch,
+        state: &[i64],
+        props: &[f64],
+        epsilon: f64,
+        rules: impl Iterator<Item = usize>,
+    ) -> f64 {
+        let n = self.species.len();
+        if scratch.mu.len() != n {
+            scratch.mu.clear();
+            scratch.mu.resize(n, 0.0);
+            scratch.sigma2.clear();
+            scratch.sigma2.resize(n, 0.0);
+        }
+        scratch.touched.clear();
+        for r in rules {
+            let a = props[r];
+            debug_assert!(a > 0.0, "masked CGP fed a disabled rule");
+            for &(i, d) in &self.delta[r] {
+                let df = d as f64;
+                if scratch.mu[i] == 0.0 && scratch.sigma2[i] == 0.0 {
+                    scratch.touched.push(i);
+                }
+                scratch.mu[i] += df * a;
+                scratch.sigma2[i] += df * df * a;
+            }
+        }
         let mut tau = f64::INFINITY;
-        for i in 0..n {
-            if mu[i] == 0.0 && sigma2[i] == 0.0 {
+        for &i in &scratch.touched {
+            let (mu, sigma2) = (scratch.mu[i], scratch.sigma2[i]);
+            if mu == 0.0 && sigma2 == 0.0 {
                 continue;
             }
             let bound = (epsilon * state[i] as f64 / self.g_factor(i, state[i])).max(1.0);
-            if mu[i] != 0.0 {
-                tau = tau.min(bound / mu[i].abs());
+            if mu != 0.0 {
+                tau = tau.min(bound / mu.abs());
             }
-            if sigma2[i] > 0.0 {
-                tau = tau.min(bound * bound / sigma2[i]);
+            if sigma2 > 0.0 {
+                tau = tau.min(bound * bound / sigma2);
+            }
+        }
+        for &i in &scratch.touched {
+            scratch.mu[i] = 0.0;
+            scratch.sigma2[i] = 0.0;
+        }
+        tau
+    }
+
+    /// The shared per-species minimisation step of the CGP bound.
+    fn cgp_species_tau(&self, scratch: &CgpScratch, state: &[i64], epsilon: f64) -> f64 {
+        let mut tau = f64::INFINITY;
+        for (i, &s) in state.iter().enumerate().take(self.species.len()) {
+            let (mu, sigma2) = (scratch.mu[i], scratch.sigma2[i]);
+            if mu == 0.0 && sigma2 == 0.0 {
+                continue;
+            }
+            let bound = (epsilon * s as f64 / self.g_factor(i, s)).max(1.0);
+            if mu != 0.0 {
+                tau = tau.min(bound / mu.abs());
+            }
+            if sigma2 > 0.0 {
+                tau = tau.min(bound * bound / sigma2);
             }
         }
         tau
     }
 }
 
-/// Reusable per-species accumulators for [`FlatModel::cgp_tau_with`].
+/// Reusable per-species accumulators for [`FlatModel::cgp_tau_with`] and
+/// its sparse sibling `cgp_tau_masked` (which also tracks the touched
+/// species so it can restore the all-zero invariant in O(touched)).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct CgpScratch {
     mu: Vec<f64>,
     sigma2: Vec<f64>,
+    touched: Vec<usize>,
 }
 
 /// Poisson sampling: Knuth's product method for small λ, normal
@@ -456,7 +610,8 @@ mod tests {
         let (m, deps) = schlogl_like();
         let flat = FlatModel::compile(&m, &deps, "test").unwrap();
         let state = flat.initial_state(&m);
-        let props = flat.propensities(&state);
+        let mut props = Vec::new();
+        flat.propensities_into(&state, &mut props);
         let mut scratch = CgpScratch::default();
         let t1 = flat.cgp_tau_with(&mut scratch, &state, &props, 0.01, |_| true);
         let t5 = flat.cgp_tau_with(&mut scratch, &state, &props, 0.05, |_| true);

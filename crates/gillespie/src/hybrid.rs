@@ -43,6 +43,7 @@ use std::sync::Arc;
 use cwc::model::Model;
 use cwc::multiset::Multiset;
 
+use crate::batch::kernels::{self, Kernel, KernelDispatch};
 use crate::deps::ModelDeps;
 use crate::flat::{poisson, CgpScratch, FlatModel, FlatModelError};
 use crate::rng::{sim_rng, SimRng};
@@ -114,6 +115,19 @@ pub struct HybridEngine {
     switches: u64,
     /// Reusable accumulators for the per-decision CGP bound.
     cgp_scratch: CgpScratch,
+    /// Configured kernel knob (see [`KernelDispatch`]).
+    dispatch: KernelDispatch,
+    /// The knob resolved against this CPU: which kernels the leap-phase
+    /// folds run on. Never changes results — both are bit-identical.
+    kernel: Kernel,
+    /// Reusable propensity row for the leap-phase decision.
+    props_buf: Vec<f64>,
+    /// Rules with nonzero propensity at the decision point, ascending —
+    /// the Poisson sweep iterates these instead of scanning every rule.
+    active_buf: Vec<u32>,
+    /// Reusable candidate-state row for leap drawing (recycled through
+    /// the committed-state vector on leap commits).
+    cand_buf: Vec<i64>,
 }
 
 impl HybridEngine {
@@ -159,7 +173,28 @@ impl HybridEngine {
             leaps: 0,
             switches: 0,
             cgp_scratch: CgpScratch::default(),
+            dispatch: KernelDispatch::Auto,
+            kernel: KernelDispatch::Auto.resolve(),
+            props_buf: Vec::new(),
+            active_buf: Vec::new(),
+            cand_buf: Vec::new(),
         })
+    }
+
+    /// Selects the kernel implementation for the leap phase's full-width
+    /// folds (builder-style; the default is [`KernelDispatch::Auto`]).
+    /// Both dispatches are bit-for-bit identical, so this is a
+    /// performance knob, never a semantics knob.
+    #[must_use]
+    pub fn with_kernel_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.dispatch = dispatch;
+        self.kernel = dispatch.resolve();
+        self
+    }
+
+    /// The configured kernel dispatch knob.
+    pub fn kernel_dispatch(&self) -> KernelDispatch {
+        self.dispatch
     }
 
     /// Sets the leap phase's CGP bound ε.
@@ -288,26 +323,35 @@ impl HybridEngine {
     /// on negativity. Returns `None` when (after shrinking) the leap is no
     /// longer worth `threshold` firings — the caller runs an exact segment
     /// instead.
-    fn draw_leap(&mut self, props: &[f64], a0: f64, mut tau: f64) -> Option<PendingLeap> {
+    ///
+    /// The Poisson sweep walks `active` (the nonzero-propensity rules of
+    /// the decision point, ascending) — the same rules, in the same
+    /// order, that the historical full scan drew for, so the leap-stream
+    /// consumption is unchanged draw-for-draw.
+    fn draw_leap(
+        &mut self,
+        props: &[f64],
+        active: &[u32],
+        a0: f64,
+        mut tau: f64,
+    ) -> Option<PendingLeap> {
         loop {
             if !(tau.is_finite() && tau * a0 >= self.threshold) {
                 return None;
             }
-            let mut candidate = self.state.clone();
+            self.cand_buf.clone_from(&self.state);
             let mut firings = 0u64;
-            for (r, &a) in props.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let k = poisson(&mut self.leap_rng, a * tau);
+            for &r in active {
+                let r = r as usize;
+                let k = poisson(&mut self.leap_rng, props[r] * tau);
                 firings += k;
                 for &(i, d) in &self.flat.delta[r] {
-                    candidate[i] += d * k as i64;
+                    self.cand_buf[i] += d * k as i64;
                 }
             }
-            if candidate.iter().all(|&c| c >= 0) {
+            if self.cand_buf.iter().all(|&c| c >= 0) {
                 return Some(PendingLeap {
-                    state: candidate,
+                    state: std::mem::take(&mut self.cand_buf),
                     end: self.time + tau,
                     firings,
                 });
@@ -325,13 +369,28 @@ impl HybridEngine {
             // refresh the flat view of the term.
             self.sync_state_from_exact();
         }
-        let props = self.flat.propensities(&self.state);
-        let a0: f64 = props.iter().sum();
+        self.flat
+            .propensities_into(&self.state, &mut self.props_buf);
+        self.active_buf.clear();
+        self.active_buf.extend(
+            self.props_buf
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a > 0.0)
+                .map(|(r, _)| r as u32),
+        );
+        // Bit-identical to the historical `props.iter().sum()`: zero
+        // propensities are exact additive identities on a non-negative
+        // running sum, and the kernels add the positive slots in the same
+        // serial order (`-0.0` start only surfaces when every rule is
+        // dead, where the `> 0.0` comparisons below agree for both
+        // zeros).
+        let a0 = kernels::row_sum(self.kernel, &self.props_buf);
         let tau = if a0 > 0.0 {
             self.flat.cgp_tau_with(
                 &mut self.cgp_scratch,
                 &self.state,
-                &props,
+                &self.props_buf,
                 self.epsilon,
                 |_| true,
             )
@@ -339,7 +398,12 @@ impl HybridEngine {
             0.0
         };
         if a0 > 0.0 && tau.is_finite() && tau * a0 >= self.threshold {
-            if let Some(p) = self.draw_leap(&props, a0, tau) {
+            let props = std::mem::take(&mut self.props_buf);
+            let active = std::mem::take(&mut self.active_buf);
+            let drawn = self.draw_leap(&props, &active, a0, tau);
+            self.props_buf = props;
+            self.active_buf = active;
+            if let Some(p) = drawn {
                 if self.synced {
                     self.switches += 1; // exact → leap
                 }
@@ -412,7 +476,9 @@ impl HybridEngine {
                     let Phase::Leap(p) = std::mem::replace(&mut self.phase, Phase::Decide) else {
                         unreachable!("matched Leap above");
                     };
-                    self.state = p.state;
+                    // Recycle the outgoing state row as the next draw's
+                    // candidate buffer.
+                    self.cand_buf = std::mem::replace(&mut self.state, p.state);
                     self.time = p.end;
                     self.leap_firings += p.firings;
                     self.leaps += 1;
@@ -458,7 +524,7 @@ impl HybridEngine {
                     let Phase::Leap(p) = std::mem::replace(&mut self.phase, Phase::Decide) else {
                         unreachable!("matched Leap above");
                     };
-                    self.state = p.state;
+                    self.cand_buf = std::mem::replace(&mut self.state, p.state);
                     self.time = p.end;
                     self.leap_firings += p.firings;
                     self.leaps += 1;

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use cwc::model::Model;
 use cwc::species::Species;
 
+use crate::batch::kernels::{self, Kernel, KernelDispatch};
 use crate::deps::ModelDeps;
 use crate::flat::{poisson, FlatModel, FlatModelError};
 use crate::rng::{sim_rng, SimRng};
@@ -81,6 +82,19 @@ pub struct TauLeapEngine {
     instance: u64,
     leaps: u64,
     firings: u64,
+    /// Configured kernel knob (see [`KernelDispatch`]).
+    dispatch: KernelDispatch,
+    /// The knob resolved against this CPU; a performance knob only —
+    /// both kernel sets are bit-for-bit identical.
+    kernel: Kernel,
+    /// Reusable propensity row for leap drawing.
+    props_buf: Vec<f64>,
+    /// Rules with nonzero propensity at the leap start, ascending — the
+    /// Poisson sweep iterates these instead of scanning every rule.
+    active_buf: Vec<u32>,
+    /// Reusable candidate-state row (recycled through the committed
+    /// state on leap commits).
+    cand_buf: Vec<i64>,
 }
 
 impl TauLeapEngine {
@@ -124,7 +138,28 @@ impl TauLeapEngine {
             instance,
             leaps: 0,
             firings: 0,
+            dispatch: KernelDispatch::Auto,
+            kernel: KernelDispatch::Auto.resolve(),
+            props_buf: Vec::new(),
+            active_buf: Vec::new(),
+            cand_buf: Vec::new(),
         })
+    }
+
+    /// Selects the kernel implementation for the per-leap propensity
+    /// fold (builder-style; the default is [`KernelDispatch::Auto`]).
+    /// Both dispatches are bit-for-bit identical, so this is a
+    /// performance knob, never a semantics knob.
+    #[must_use]
+    pub fn with_kernel_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.dispatch = dispatch;
+        self.kernel = dispatch.resolve();
+        self
+    }
+
+    /// The configured kernel dispatch knob.
+    pub fn kernel_dispatch(&self) -> KernelDispatch {
+        self.dispatch
     }
 
     /// Sets the native leap length used by the quantum-execution API.
@@ -193,29 +228,44 @@ impl TauLeapEngine {
     /// on negativity), without committing it. Returns `None` when the
     /// state is absorbing.
     fn draw_leap(&mut self, tau: f64) -> Option<PendingLeap> {
-        let props = self.flat.propensities(&self.state);
-        let a0: f64 = props.iter().sum();
+        self.flat
+            .propensities_into(&self.state, &mut self.props_buf);
+        // Bit-identical to the historical `props.iter().sum()`: zero
+        // propensities are exact additive identities on a non-negative
+        // running sum (the kernels' `-0.0` start only surfaces in the
+        // absorbing case, where the `<= 0.0` test below agrees for both
+        // zeros).
+        let a0 = kernels::row_sum(self.kernel, &self.props_buf);
         if a0 <= 0.0 {
             return None;
         }
+        // The Poisson sweep walks the nonzero-propensity rules
+        // (ascending) — the same rules, in the same order, the
+        // historical full scan drew for, so RNG consumption is unchanged.
+        self.active_buf.clear();
+        self.active_buf.extend(
+            self.props_buf
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a > 0.0)
+                .map(|(r, _)| r as u32),
+        );
         let mut tau = tau;
         let floor = tau / 1024.0;
         loop {
-            let mut candidate = self.state.clone();
+            self.cand_buf.clone_from(&self.state);
             let mut firings = 0u64;
-            for (r, &a) in props.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let k = poisson(&mut self.rng, a * tau);
+            for &r in &self.active_buf {
+                let r = r as usize;
+                let k = poisson(&mut self.rng, self.props_buf[r] * tau);
                 firings += k;
                 for &(i, d) in &self.flat.delta[r] {
-                    candidate[i] += d * k as i64;
+                    self.cand_buf[i] += d * k as i64;
                 }
             }
-            if candidate.iter().all(|&c| c >= 0) {
+            if self.cand_buf.iter().all(|&c| c >= 0) {
                 return Some(PendingLeap {
-                    state: candidate,
+                    state: std::mem::take(&mut self.cand_buf),
                     end: self.committed + tau,
                     firings,
                 });
@@ -236,7 +286,9 @@ impl TauLeapEngine {
     /// Applies the pending leap, returning its firings.
     fn commit_pending(&mut self) -> u64 {
         let p = self.pending.take().expect("pending leap to commit");
-        self.state = p.state;
+        // Recycle the outgoing state row as the next draw's candidate
+        // buffer.
+        self.cand_buf = std::mem::replace(&mut self.state, p.state);
         self.committed = p.end;
         if self.time < p.end {
             self.time = p.end;
